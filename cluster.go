@@ -1,0 +1,199 @@
+package motifstream
+
+import (
+	"time"
+
+	"motifstream/internal/cluster"
+	"motifstream/internal/delivery"
+	"motifstream/internal/dynstore"
+	"motifstream/internal/motif"
+	"motifstream/internal/partition"
+	"motifstream/internal/queue"
+)
+
+// ClusterOptions configures the full partitioned deployment. Zero values
+// select production-shaped defaults.
+type ClusterOptions struct {
+	// Partitions is the number of hash partitions over users (paper: 20).
+	// Zero selects 20.
+	Partitions int
+	// Replicas per partition (fault tolerance + read throughput). Zero
+	// selects 1.
+	Replicas int
+	// K, Window, EdgeTypes, MaxInfluencers mirror Options.
+	K              int
+	Window         time.Duration
+	EdgeTypes      []EdgeType
+	MaxInfluencers int
+	// MaxFanout caps the recent actors considered per event, bounding
+	// work on viral items. Zero selects 256; negative means unlimited.
+	MaxFanout int
+	// ExtraDSL holds additional motif declarations compiled and run on
+	// every partition alongside the primary diamond.
+	ExtraDSL string
+	// QueueDelayMedian and QueueDelayP99 shape the simulated end-to-end
+	// message-queue propagation delay (the paper's dominant latency:
+	// median 7s, p99 15s). Both zero disables delay modeling. The total
+	// is split evenly between the ingest hop and the delivery hop.
+	QueueDelayMedian, QueueDelayP99 time.Duration
+	// MaxPushesPerUserPerDay is the fatigue budget (0 selects 4).
+	MaxPushesPerUserPerDay int
+	// DedupTTL suppresses repeat (user,item) pushes (0 selects 24h).
+	DedupTTL time.Duration
+	// DisableSleepHours turns off waking-hours suppression (useful in
+	// latency-focused experiments).
+	DisableSleepHours bool
+	// OnNotify receives each delivered push.
+	OnNotify func(Notification)
+	// Seed makes delay sampling reproducible.
+	Seed int64
+}
+
+// Cluster is the running multi-partition deployment.
+type Cluster struct {
+	inner *cluster.Cluster
+}
+
+// NewCluster builds and starts the deployment with the given static follow
+// edges.
+func NewCluster(staticEdges []Edge, opts ClusterOptions) (*Cluster, error) {
+	if opts.Partitions == 0 {
+		opts.Partitions = 20
+	}
+	if opts.K == 0 {
+		opts.K = 3
+	}
+	if opts.Window <= 0 {
+		opts.Window = 10 * time.Minute
+	}
+	if opts.MaxFanout == 0 {
+		opts.MaxFanout = 256
+	} else if opts.MaxFanout < 0 {
+		opts.MaxFanout = 0 // DiamondConfig's "unlimited"
+	}
+
+	var ingestDelay, deliverDelay queue.DelayModel
+	if opts.QueueDelayMedian > 0 && opts.QueueDelayP99 > opts.QueueDelayMedian {
+		// Two lognormal hops whose sum approximates the configured
+		// end-to-end quantiles: halve the median per hop; sums of two
+		// iid lognormals keep roughly the same tail ratio.
+		half := queue.LognormalFromQuantiles(opts.QueueDelayMedian/2, opts.QueueDelayP99/2)
+		ingestDelay, deliverDelay = half, half
+	}
+
+	newPrograms := func() []motif.Program {
+		progs := []motif.Program{
+			motif.NewDiamond(motif.DiamondConfig{
+				K:         opts.K,
+				Window:    opts.Window,
+				EdgeTypes: opts.EdgeTypes,
+				MaxFanout: opts.MaxFanout,
+			}),
+		}
+		if opts.ExtraDSL != "" {
+			extra, err := CompileMotif(opts.ExtraDSL)
+			if err == nil {
+				progs = append(progs, extra...)
+			}
+		}
+		return progs
+	}
+	if opts.ExtraDSL != "" {
+		// Validate once up front so a bad declaration fails construction
+		// rather than being silently dropped per replica.
+		if _, err := CompileMotif(opts.ExtraDSL); err != nil {
+			return nil, err
+		}
+	}
+
+	dopts := delivery.Options{
+		DedupTTL:         opts.DedupTTL,
+		MaxPerUserPerDay: opts.MaxPushesPerUserPerDay,
+	}
+	if opts.DisableSleepHours {
+		// Equal start/end disables the sleep window; pick a non-zero pair
+		// so the pipeline's defaulting leaves it alone.
+		dopts.SleepStartHour, dopts.SleepEndHour = 1, 1
+	}
+
+	var onNotify func(delivery.Notification)
+	if opts.OnNotify != nil {
+		onNotify = func(n delivery.Notification) { opts.OnNotify(n) }
+	}
+
+	inner, err := cluster.New(cluster.Config{
+		Partitions:     opts.Partitions,
+		Replicas:       opts.Replicas,
+		StaticEdges:    staticEdges,
+		MaxInfluencers: opts.MaxInfluencers,
+		Dynamic:        dynstore.Options{Retention: opts.Window, MaxPerTarget: 1024},
+		NewPrograms:    newPrograms,
+		IngestDelay:    ingestDelay,
+		DeliveryDelay:  deliverDelay,
+		Delivery:       dopts,
+		Seed:           opts.Seed,
+		OnNotify:       onNotify,
+	})
+	if err != nil {
+		return nil, err
+	}
+	inner.Start()
+	return &Cluster{inner: inner}, nil
+}
+
+// Publish feeds one edge into the cluster firehose. Blocks on backpressure.
+func (c *Cluster) Publish(e Edge) error { return c.inner.Publish(e) }
+
+// Stop drains and shuts down the cluster. Safe to call multiple times.
+func (c *Cluster) Stop() { c.inner.Stop() }
+
+// RecommendationsFor reads the most recent recommendations for a user
+// through the broker tier.
+func (c *Cluster) RecommendationsFor(a VertexID) ([]Candidate, error) {
+	return c.inner.RecommendationsFor(a)
+}
+
+// ClusterStats summarizes a deployment.
+type ClusterStats struct {
+	// Events is the number of stream edges ingested.
+	Events uint64
+	// Delivered is the number of push notifications sent.
+	Delivered uint64
+	// LatencyP50 and LatencyP99 are end-to-end (edge creation → push)
+	// latency quantiles including simulated queue propagation.
+	LatencyP50, LatencyP99 time.Duration
+	// Funnel breaks down candidate drops by pipeline stage.
+	Funnel FunnelStats
+}
+
+// Stats returns current cluster totals.
+func (c *Cluster) Stats() ClusterStats {
+	s := c.inner.Stats()
+	return ClusterStats{
+		Events:     s.Events,
+		Delivered:  s.Delivered,
+		LatencyP50: s.E2ELatency.P50,
+		LatencyP99: s.E2ELatency.P99,
+		Funnel:     s.Funnel,
+	}
+}
+
+// ItemCount pairs a recommended item with its recommendation count.
+type ItemCount = partition.ItemCount
+
+// TopItems returns the n globally most-recommended items, gathered by
+// fanning the query out to every partition through the broker tier.
+func (c *Cluster) TopItems(n int) ([]ItemCount, error) {
+	return c.inner.TopItems(n)
+}
+
+// FailReplica injects a replica failure (reads route around it; candidate
+// emission fails over).
+func (c *Cluster) FailReplica(partition, replica int) error {
+	return c.inner.FailReplica(partition, replica)
+}
+
+// RecoverReplica restores a failed replica.
+func (c *Cluster) RecoverReplica(partition, replica int) error {
+	return c.inner.RecoverReplica(partition, replica)
+}

@@ -1,0 +1,91 @@
+package motifstream_test
+
+import (
+	"fmt"
+	"time"
+
+	"motifstream"
+)
+
+// ExampleSystem reproduces the paper's Figure 1: with k=2, the edge
+// B2→C2 completes the diamond and recommends C2 to A2.
+func ExampleSystem() {
+	// A1,A2 follow B1 (vertex 4); A2,A3 follow B2 (vertex 5).
+	static := []motifstream.Edge{
+		{Src: 1, Dst: 4, Type: motifstream.Follow},
+		{Src: 2, Dst: 4, Type: motifstream.Follow},
+		{Src: 2, Dst: 5, Type: motifstream.Follow},
+		{Src: 3, Dst: 5, Type: motifstream.Follow},
+	}
+	sys, err := motifstream.New(static, motifstream.Options{
+		K:      2,
+		Window: 10 * time.Minute,
+	})
+	if err != nil {
+		panic(err)
+	}
+	t0 := int64(1_409_572_800_000)
+	sys.Apply(motifstream.Edge{Src: 4, Dst: 7, Type: motifstream.Follow, TS: t0})
+	cands := sys.Apply(motifstream.Edge{Src: 5, Dst: 7, Type: motifstream.Follow, TS: t0 + 120_000})
+	for _, c := range cands {
+		fmt.Printf("recommend %d to user %d (supported by %d followings)\n",
+			c.Item, c.User, len(c.Via))
+	}
+	// Output:
+	// recommend 7 to user 2 (supported by 2 followings)
+}
+
+// ExampleCompileMotif declares the production diamond in the paper's
+// envisioned declarative form and prints its query plan.
+func ExampleCompileMotif() {
+	const src = `
+motif "who-to-follow" {
+    match A -> B;
+    match B =[follow]=> C within 10m;
+    where count(B) >= 3;
+    emit C to A via B;
+}`
+	programs, err := motifstream.CompileMotif(src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(programs[0].Name())
+
+	plans, err := motifstream.ExplainMotif(src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plans[0])
+	// Output:
+	// who-to-follow
+	// plan "who-to-follow": diamond k=3 window=10m0s types=follow; per event: D-lookup(item) -> S-lookup(supports) -> 3-threshold intersect (fanout cap 0, candidate cap 0)
+}
+
+// ExampleNewCluster runs the Figure 1 scenario through the full
+// partitioned topology with the delivery funnel.
+func ExampleNewCluster() {
+	static := []motifstream.Edge{
+		{Src: 1, Dst: 4, Type: motifstream.Follow},
+		{Src: 2, Dst: 4, Type: motifstream.Follow},
+		{Src: 2, Dst: 5, Type: motifstream.Follow},
+		{Src: 3, Dst: 5, Type: motifstream.Follow},
+	}
+	clu, err := motifstream.NewCluster(static, motifstream.ClusterOptions{
+		Partitions:        4,
+		K:                 2,
+		Window:            10 * time.Minute,
+		DisableSleepHours: true,
+		OnNotify: func(n motifstream.Notification) {
+			fmt.Printf("push %d to user %d\n", n.Candidate.Item, n.Candidate.User)
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	t0 := int64(1_409_572_800_000)
+	clu.Publish(motifstream.Edge{Src: 4, Dst: 7, Type: motifstream.Follow, TS: t0})
+	clu.Publish(motifstream.Edge{Src: 5, Dst: 7, Type: motifstream.Follow, TS: t0 + 1_000})
+	clu.Stop()
+	// Output:
+	// push 7 to user 2
+}

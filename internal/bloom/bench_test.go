@@ -1,0 +1,33 @@
+package bloom
+
+import "testing"
+
+func BenchmarkAdd(b *testing.B) {
+	f := New(1_000_000, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(uint64(i))
+	}
+}
+
+func BenchmarkContainsHit(b *testing.B) {
+	f := New(100_000, 0.01)
+	for i := uint64(0); i < 100_000; i++ {
+		f.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(uint64(i % 100_000))
+	}
+}
+
+func BenchmarkContainsMiss(b *testing.B) {
+	f := New(100_000, 0.01)
+	for i := uint64(0); i < 100_000; i++ {
+		f.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(uint64(i) + 1<<40)
+	}
+}

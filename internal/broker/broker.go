@@ -1,0 +1,172 @@
+// Package broker implements the coordination tier of the paper's
+// "partitioned, replicated architecture with coordination handled by
+// brokers that fan-out queries and gather results" (§2). A Broker routes
+// user-keyed reads to the replica group that owns the user, load-balances
+// across healthy replicas, and fans out non-keyed queries to every group.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"motifstream/internal/graph"
+	"motifstream/internal/motif"
+	"motifstream/internal/partition"
+)
+
+// Replica is one copy of a partition served behind the broker. The
+// in-process implementation wraps *partition.Partition; a networked
+// deployment would substitute an RPC client.
+type Replica interface {
+	// RecommendationsFor returns recent candidates for user a.
+	RecommendationsFor(a graph.VertexID) []motif.Candidate
+	// ID identifies the underlying partition.
+	ID() int
+}
+
+// ErrNoReplica is returned when every replica of the owning group is
+// marked down.
+var ErrNoReplica = errors.New("broker: no healthy replica for partition")
+
+// group is one partition's replica set with health flags.
+type group struct {
+	replicas []Replica
+	down     []atomic.Bool
+	next     atomic.Uint64 // round-robin cursor
+}
+
+// Broker fronts all replica groups.
+type Broker struct {
+	part   partition.Partitioner
+	groups []*group
+
+	queries  atomic.Uint64
+	failures atomic.Uint64
+}
+
+// New creates a broker for the given replica groups; groups[i] must hold
+// the replicas of partition i. Every group needs at least one replica.
+func New(part partition.Partitioner, groups [][]Replica) (*Broker, error) {
+	if part == nil {
+		return nil, fmt.Errorf("broker: partitioner is required")
+	}
+	if len(groups) != part.N() {
+		return nil, fmt.Errorf("broker: have %d groups for %d partitions", len(groups), part.N())
+	}
+	b := &Broker{part: part}
+	for i, rs := range groups {
+		if len(rs) == 0 {
+			return nil, fmt.Errorf("broker: partition %d has no replicas", i)
+		}
+		b.groups = append(b.groups, &group{
+			replicas: rs,
+			down:     make([]atomic.Bool, len(rs)),
+		})
+	}
+	return b, nil
+}
+
+// RecommendationsFor routes the read to a healthy replica of the partition
+// owning a, rotating round-robin for load spreading. Returns ErrNoReplica
+// if the whole group is down.
+func (b *Broker) RecommendationsFor(a graph.VertexID) ([]motif.Candidate, error) {
+	g := b.groups[b.part.PartitionOf(a)]
+	n := len(g.replicas)
+	start := int(g.next.Add(1)) % n
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		if g.down[idx].Load() {
+			continue
+		}
+		b.queries.Add(1)
+		return g.replicas[idx].RecommendationsFor(a), nil
+	}
+	b.failures.Add(1)
+	return nil, ErrNoReplica
+}
+
+// FanOut invokes fn on one healthy replica of every partition group and
+// returns the per-partition results, indexed by partition. Partitions with
+// no healthy replica get a zero value and contribute to the returned error.
+func FanOut[T any](b *Broker, fn func(r Replica) T) ([]T, error) {
+	out := make([]T, len(b.groups))
+	var wg sync.WaitGroup
+	errs := make([]error, len(b.groups))
+	for i, g := range b.groups {
+		wg.Add(1)
+		go func(i int, g *group) {
+			defer wg.Done()
+			n := len(g.replicas)
+			start := int(g.next.Add(1)) % n
+			for j := 0; j < n; j++ {
+				idx := (start + j) % n
+				if g.down[idx].Load() {
+					continue
+				}
+				out[i] = fn(g.replicas[idx])
+				return
+			}
+			errs[i] = fmt.Errorf("partition %d: %w", i, ErrNoReplica)
+		}(i, g)
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+// MarkDown flags replica idx of the given partition as unhealthy; reads
+// route around it until MarkUp.
+func (b *Broker) MarkDown(partitionID, idx int) error {
+	return b.setHealth(partitionID, idx, true)
+}
+
+// MarkUp restores a replica flagged by MarkDown.
+func (b *Broker) MarkUp(partitionID, idx int) error {
+	return b.setHealth(partitionID, idx, false)
+}
+
+func (b *Broker) setHealth(partitionID, idx int, down bool) error {
+	if partitionID < 0 || partitionID >= len(b.groups) {
+		return fmt.Errorf("broker: partition %d out of range", partitionID)
+	}
+	g := b.groups[partitionID]
+	if idx < 0 || idx >= len(g.replicas) {
+		return fmt.Errorf("broker: replica %d out of range for partition %d", idx, partitionID)
+	}
+	g.down[idx].Store(down)
+	return nil
+}
+
+// ReplicaHealthy reports whether the given replica is currently marked
+// healthy. Out-of-range indices report false.
+func (b *Broker) ReplicaHealthy(partitionID, idx int) bool {
+	if partitionID < 0 || partitionID >= len(b.groups) {
+		return false
+	}
+	g := b.groups[partitionID]
+	if idx < 0 || idx >= len(g.replicas) {
+		return false
+	}
+	return !g.down[idx].Load()
+}
+
+// HealthyReplicas returns the number of healthy replicas for partitionID.
+func (b *Broker) HealthyReplicas(partitionID int) int {
+	if partitionID < 0 || partitionID >= len(b.groups) {
+		return 0
+	}
+	g := b.groups[partitionID]
+	n := 0
+	for i := range g.down {
+		if !g.down[i].Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats reports broker activity totals.
+func (b *Broker) Stats() (queries, failures uint64) {
+	return b.queries.Load(), b.failures.Load()
+}

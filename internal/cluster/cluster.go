@@ -1,0 +1,352 @@
+// Package cluster wires the complete system of the paper's §2 into one
+// in-process deployment: an edge firehose topic that every partition
+// replica consumes in full, hash-partitioned detection servers with
+// replication, a broker tier for fan-out reads, a candidate queue, and the
+// delivery pipeline. The topology is "a fairly standard partitioned,
+// replicated architecture with coordination handled by brokers that
+// fan-out queries and gather results".
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"motifstream/internal/broker"
+	"motifstream/internal/delivery"
+	"motifstream/internal/dynstore"
+	"motifstream/internal/graph"
+	"motifstream/internal/metrics"
+	"motifstream/internal/motif"
+	"motifstream/internal/partition"
+	"motifstream/internal/queue"
+)
+
+// Config assembles a Cluster.
+type Config struct {
+	// Partitions is the number of partitions (paper: 20). Required >= 1.
+	Partitions int
+	// Replicas is the number of replicas per partition; 0 selects 1.
+	Replicas int
+	// StaticEdges are the global A→B follow edges loaded into every
+	// partition's S (each keeps only its own A's).
+	StaticEdges []graph.Edge
+	// MaxInfluencers caps B's per A in S; 0 = unlimited.
+	MaxInfluencers int
+	// Dynamic configures each replica's D store.
+	Dynamic dynstore.Options
+	// NewPrograms constructs the motif programs for one replica. Programs
+	// hold no mutable state in this codebase, but giving each replica its
+	// own instances mirrors a real deployment and keeps the option open.
+	// Required.
+	NewPrograms func() []motif.Program
+	// IngestDelay models the firehose→partition queue hop; nil = NoDelay.
+	IngestDelay queue.DelayModel
+	// DeliveryDelay models the partition→push-gateway hop; nil = NoDelay.
+	DeliveryDelay queue.DelayModel
+	// Delivery configures the push pipeline.
+	Delivery delivery.Options
+	// Buffer sizes the queue channels; 0 selects 4096.
+	Buffer int
+	// Seed seeds the delay samplers.
+	Seed int64
+	// Metrics receives cluster instrumentation; nil creates a private one.
+	Metrics *metrics.Registry
+	// OnNotify, if set, receives every delivered notification.
+	OnNotify func(delivery.Notification)
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	cfg    Config
+	part   partition.Partitioner
+	groups [][]*partition.Partition
+	broker *broker.Broker
+
+	firehose   *queue.Topic[graph.Edge]
+	candidates *queue.Topic[candidateMsg]
+	pipeline   *delivery.Pipeline
+
+	reg        *metrics.Registry
+	e2eLatency *metrics.Histogram
+	ingested   *metrics.Counter
+	delivered  *metrics.Counter
+
+	// emitter[g] is the replica index of group g currently allowed to
+	// forward candidates to delivery; replicas other than the emitter
+	// detect identically but stay silent, so a failover can promote one
+	// without gaps or duplicates.
+	emitter []atomic.Int32
+
+	wg        sync.WaitGroup
+	deliverWG sync.WaitGroup
+	startOnce sync.Once
+	stopOnce  sync.Once
+}
+
+type candidateMsg struct {
+	c motif.Candidate
+}
+
+// New validates cfg and builds all partitions and replicas. The cluster is
+// idle until Start.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Partitions < 1 {
+		return nil, fmt.Errorf("cluster: need at least one partition")
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	if cfg.NewPrograms == nil {
+		return nil, fmt.Errorf("cluster: NewPrograms is required")
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 4096
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	part := partition.NewHashPartitioner(cfg.Partitions)
+	c := &Cluster{
+		cfg:  cfg,
+		part: part,
+		reg:  reg,
+		firehose: queue.NewTopic[graph.Edge](queue.Options{
+			Name:   "firehose",
+			Delay:  cfg.IngestDelay,
+			Buffer: cfg.Buffer,
+			Seed:   cfg.Seed,
+		}),
+		candidates: queue.NewTopic[candidateMsg](queue.Options{
+			Name:   "candidates",
+			Delay:  cfg.DeliveryDelay,
+			Buffer: cfg.Buffer,
+			Seed:   cfg.Seed + 1,
+		}),
+		pipeline:   delivery.NewPipeline(cfg.Delivery),
+		e2eLatency: reg.Histogram("cluster.e2e_latency"),
+		ingested:   reg.Counter("cluster.events"),
+		delivered:  reg.Counter("cluster.delivered"),
+		emitter:    make([]atomic.Int32, cfg.Partitions),
+	}
+
+	groups := make([][]*partition.Partition, cfg.Partitions)
+	replicaGroups := make([][]broker.Replica, cfg.Partitions)
+	for pid := 0; pid < cfg.Partitions; pid++ {
+		for r := 0; r < cfg.Replicas; r++ {
+			p, err := partition.New(partition.Config{
+				ID:             pid,
+				StaticEdges:    cfg.StaticEdges,
+				Partitioner:    part,
+				MaxInfluencers: cfg.MaxInfluencers,
+				Dynamic:        cfg.Dynamic,
+				Programs:       cfg.NewPrograms(),
+				Metrics:        reg,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("cluster: partition %d replica %d: %w", pid, r, err)
+			}
+			groups[pid] = append(groups[pid], p)
+			replicaGroups[pid] = append(replicaGroups[pid], p)
+		}
+	}
+	c.groups = groups
+	b, err := broker.New(part, replicaGroups)
+	if err != nil {
+		return nil, err
+	}
+	c.broker = b
+	return c, nil
+}
+
+// Start launches one consumer goroutine per replica plus the delivery
+// consumer. It may be called once; later calls are no-ops.
+func (c *Cluster) Start() {
+	c.startOnce.Do(func() {
+		for pid, group := range c.groups {
+			for r, p := range group {
+				sub := c.firehose.Subscribe()
+				c.wg.Add(1)
+				go c.runReplica(pid, r, p, sub)
+			}
+		}
+		deliverSub := c.candidates.Subscribe()
+		c.deliverWG.Add(1)
+		go c.runDelivery(deliverSub)
+	})
+}
+
+// runReplica consumes the full firehose, applies each edge, and — if this
+// replica is its group's current emitter — forwards candidates toward
+// delivery with the accumulated virtual queue delay.
+func (c *Cluster) runReplica(pid, r int, p *partition.Partition, sub <-chan queue.Envelope[graph.Edge]) {
+	defer c.wg.Done()
+	for env := range sub {
+		cands := p.Apply(env.Msg)
+		if r == 0 {
+			// Count each event once per cluster, not once per replica.
+			if pid == 0 {
+				c.ingested.Inc()
+			}
+		}
+		if len(cands) == 0 || int(c.emitter[pid].Load()) != r {
+			continue
+		}
+		for _, cand := range cands {
+			// Publishing to a closed candidates topic only happens during
+			// shutdown races; drop silently then.
+			if err := c.candidates.Publish(candidateMsg{c: cand}, env.VirtualDelay); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// runDelivery consumes candidates and runs the push pipeline.
+func (c *Cluster) runDelivery(sub <-chan queue.Envelope[candidateMsg]) {
+	defer c.deliverWG.Done()
+	for env := range sub {
+		decision, note := c.pipeline.Offer(env.Msg.c, env.VirtualDelay)
+		if decision != delivery.Delivered {
+			continue
+		}
+		c.delivered.Inc()
+		c.e2eLatency.Observe(note.Latency)
+		if c.cfg.OnNotify != nil {
+			c.cfg.OnNotify(*note)
+		}
+	}
+}
+
+// Publish feeds one edge into the firehose. It blocks when consumers lag
+// (backpressure) and fails after Stop.
+func (c *Cluster) Publish(e graph.Edge) error {
+	return c.firehose.Publish(e, 0)
+}
+
+// Stop closes the firehose, waits for partitions to drain, then closes the
+// candidate queue and waits for delivery. Safe to call multiple times.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() {
+		c.firehose.Close()
+		c.wg.Wait()
+		c.candidates.Close()
+		c.deliverWG.Wait()
+	})
+}
+
+// Broker returns the read-path broker.
+func (c *Cluster) Broker() *broker.Broker { return c.broker }
+
+// Pipeline returns the delivery pipeline (for funnel stats).
+func (c *Cluster) Pipeline() *delivery.Pipeline { return c.pipeline }
+
+// Metrics returns the cluster's registry.
+func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
+
+// Partitioner returns the cluster's A-space partitioner.
+func (c *Cluster) Partitioner() partition.Partitioner { return c.part }
+
+// Replica returns the given replica, for tests and failure injection.
+func (c *Cluster) Replica(pid, r int) (*partition.Partition, error) {
+	if pid < 0 || pid >= len(c.groups) {
+		return nil, fmt.Errorf("cluster: partition %d out of range", pid)
+	}
+	if r < 0 || r >= len(c.groups[pid]) {
+		return nil, fmt.Errorf("cluster: replica %d out of range for partition %d", r, pid)
+	}
+	return c.groups[pid][r], nil
+}
+
+// FailReplica marks a replica down for reads and, if it was its group's
+// candidate emitter, promotes the next healthy replica, preserving
+// delivery continuity — experiment E9's failover scenario.
+func (c *Cluster) FailReplica(pid, r int) error {
+	if err := c.broker.MarkDown(pid, r); err != nil {
+		return err
+	}
+	if int(c.emitter[pid].Load()) == r {
+		n := len(c.groups[pid])
+		for i := 1; i < n; i++ {
+			next := (r + i) % n
+			if c.broker.ReplicaHealthy(pid, next) {
+				c.emitter[pid].Store(int32(next))
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// RecoverReplica marks a replica healthy again. The emitter is not moved
+// back automatically; the promoted replica keeps the role.
+func (c *Cluster) RecoverReplica(pid, r int) error {
+	return c.broker.MarkUp(pid, r)
+}
+
+// Stats summarizes a running cluster.
+type Stats struct {
+	Events     uint64
+	Delivered  uint64
+	E2ELatency metrics.Snapshot
+	Funnel     delivery.FunnelStats
+}
+
+// Stats returns current cluster totals.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		Events:     c.ingested.Value(),
+		Delivered:  c.delivered.Value(),
+		E2ELatency: c.e2eLatency.Snapshot(),
+		Funnel:     c.pipeline.Stats(),
+	}
+}
+
+// RecommendationsFor serves a user read through the broker.
+func (c *Cluster) RecommendationsFor(a graph.VertexID) ([]motif.Candidate, error) {
+	return c.broker.RecommendationsFor(a)
+}
+
+// TopItems fans the "most recommended items" query out to one healthy
+// replica of every partition and gathers the merged global top-n — the
+// paper's broker fan-out/gather read path.
+func (c *Cluster) TopItems(n int) ([]partition.ItemCount, error) {
+	lists, err := broker.FanOut(c.broker, func(r broker.Replica) []partition.ItemCount {
+		p, ok := r.(*partition.Partition)
+		if !ok {
+			return nil
+		}
+		return p.TopItems(n)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return partition.MergeItemCounts(lists, n), nil
+}
+
+// Run ingests every edge from the slice, then stops the cluster and
+// returns final stats — the one-call path used by examples and benches.
+func Run(cfg Config, edges []graph.Edge) (Stats, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	c.Start()
+	for _, e := range edges {
+		if err := c.Publish(e); err != nil {
+			return Stats{}, err
+		}
+	}
+	c.Stop()
+	return c.Stats(), nil
+}
+
+// Elapsed measures the wall-clock cost of fn; a convenience for throughput
+// reporting in cmd/benchreport.
+func Elapsed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"motifstream/internal/dynstore"
+	"motifstream/internal/graph"
+	"motifstream/internal/metrics"
+	"motifstream/internal/motif"
+	"motifstream/internal/statstore"
+)
+
+func testEngine(t *testing.T, static []graph.Edge, cfgTweak func(*Config)) *Engine {
+	t.Helper()
+	b := &statstore.Builder{}
+	cfg := Config{
+		Static:  statstore.New(b.Build(static)),
+		Dynamic: dynstore.New(dynstore.Options{Retention: time.Hour}),
+		Programs: []motif.Program{
+			motif.NewDiamond(motif.DiamondConfig{K: 2, Window: 10 * time.Minute}),
+		},
+	}
+	if cfgTweak != nil {
+		cfgTweak(&cfg)
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func fig1Static() []graph.Edge {
+	return []graph.Edge{
+		{Src: 1, Dst: 10}, {Src: 2, Dst: 10},
+		{Src: 2, Dst: 11}, {Src: 3, Dst: 11},
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	b := &statstore.Builder{}
+	s := statstore.New(b.Build(nil))
+	d := dynstore.New(dynstore.Options{})
+	progs := []motif.Program{&motif.FreshFollow{}}
+	if _, err := NewEngine(Config{Dynamic: d, Programs: progs}); err == nil {
+		t.Fatal("missing Static accepted")
+	}
+	if _, err := NewEngine(Config{Static: s, Programs: progs}); err == nil {
+		t.Fatal("missing Dynamic accepted")
+	}
+	if _, err := NewEngine(Config{Static: s, Dynamic: d}); err == nil {
+		t.Fatal("missing Programs accepted")
+	}
+}
+
+func TestEngineDetectsAndCounts(t *testing.T) {
+	e := testEngine(t, fig1Static(), nil)
+	t0 := int64(1_000_000)
+	e.Apply(graph.Edge{Src: 10, Dst: 99, Type: graph.Follow, TS: t0})
+	got := e.Apply(graph.Edge{Src: 11, Dst: 99, Type: graph.Follow, TS: t0 + 1_000})
+	if len(got) != 1 || got[0].User != 2 {
+		t.Fatalf("candidates = %v", got)
+	}
+	st := e.Stats()
+	if st.Events != 2 {
+		t.Fatalf("Events = %d", st.Events)
+	}
+	if st.Candidates != 1 {
+		t.Fatalf("Candidates = %d", st.Candidates)
+	}
+	if st.QueryLatency.Count != 2 {
+		t.Fatalf("latency observations = %d", st.QueryLatency.Count)
+	}
+	if st.Dynamic.Edges != 2 {
+		t.Fatalf("D edges = %d", st.Dynamic.Edges)
+	}
+}
+
+func TestEngineInsertsEachEdgeOnce(t *testing.T) {
+	// Two programs must not double-insert: D should hold exactly the
+	// applied edges.
+	e := testEngine(t, fig1Static(), func(c *Config) {
+		c.Programs = append(c.Programs, &motif.FreshFollow{})
+	})
+	for i := 0; i < 5; i++ {
+		e.Apply(graph.Edge{Src: 10, Dst: graph.VertexID(50 + i), Type: graph.Follow, TS: int64(i)})
+	}
+	if st := e.Stats(); st.Dynamic.Edges != 5 {
+		t.Fatalf("D edges = %d, want 5", st.Dynamic.Edges)
+	}
+}
+
+func TestEngineStreamTimeSweep(t *testing.T) {
+	e := testEngine(t, fig1Static(), func(c *Config) {
+		c.Dynamic = dynstore.New(dynstore.Options{Retention: time.Minute})
+		c.SweepInterval = time.Minute
+	})
+	t0 := int64(1_000_000)
+	// Fill D with edges to many distinct targets.
+	for i := 0; i < 10; i++ {
+		e.Apply(graph.Edge{Src: 10, Dst: graph.VertexID(100 + i), Type: graph.Follow, TS: t0})
+	}
+	if st := e.Stats(); st.Dynamic.Targets != 10 {
+		t.Fatalf("targets before sweep = %d", st.Dynamic.Targets)
+	}
+	// Advance stream time by 2 minutes: sweep becomes due and the old
+	// targets (outside 1m retention) vanish.
+	e.Apply(graph.Edge{Src: 11, Dst: 200, Type: graph.Follow, TS: t0 + 120_000})
+	if st := e.Stats(); st.Dynamic.Targets != 1 {
+		t.Fatalf("targets after sweep = %d, want 1 (only the fresh one)", st.Dynamic.Targets)
+	}
+}
+
+func TestEngineReloadStatic(t *testing.T) {
+	e := testEngine(t, fig1Static(), nil)
+	b := &statstore.Builder{}
+	// New static graph: only user 7 follows the B's.
+	e.ReloadStatic(b.Build([]graph.Edge{
+		{Src: 7, Dst: 10}, {Src: 7, Dst: 11},
+	}))
+	t0 := int64(1_000_000)
+	e.Apply(graph.Edge{Src: 10, Dst: 99, Type: graph.Follow, TS: t0})
+	got := e.Apply(graph.Edge{Src: 11, Dst: 99, Type: graph.Follow, TS: t0 + 1})
+	if len(got) != 1 || got[0].User != 7 {
+		t.Fatalf("after reload: %v, want recommendation to user 7", got)
+	}
+}
+
+func TestEngineFollowsSuppression(t *testing.T) {
+	e := testEngine(t, fig1Static(), func(c *Config) {
+		c.Follows = func(a, cID graph.VertexID) bool { return true } // suppress everything
+	})
+	t0 := int64(1_000_000)
+	e.Apply(graph.Edge{Src: 10, Dst: 99, Type: graph.Follow, TS: t0})
+	if got := e.Apply(graph.Edge{Src: 11, Dst: 99, Type: graph.Follow, TS: t0 + 1}); len(got) != 0 {
+		t.Fatalf("suppression ignored: %v", got)
+	}
+}
+
+func TestEngineSharedMetricsRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := testEngine(t, fig1Static(), func(c *Config) { c.Metrics = reg })
+	if e.Metrics() != reg {
+		t.Fatal("engine did not adopt the shared registry")
+	}
+	e.Apply(graph.Edge{Src: 10, Dst: 99, Type: graph.Follow, TS: 1})
+	if reg.Counter("engine.events").Value() != 1 {
+		t.Fatal("shared registry not updated")
+	}
+}
+
+func TestEngineConcurrentApply(t *testing.T) {
+	e := testEngine(t, fig1Static(), nil)
+	var wg sync.WaitGroup
+	const writers = 4
+	const per = 1_000
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e.Apply(graph.Edge{
+					Src: graph.VertexID(10 + w),
+					Dst: graph.VertexID(i % 100),
+					TS:  int64(i),
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := e.Stats(); st.Events != writers*per {
+		t.Fatalf("Events = %d, want %d", st.Events, writers*per)
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	e := testEngine(t, fig1Static(), nil)
+	if e.Static() == nil || e.Dynamic() == nil {
+		t.Fatal("nil accessors")
+	}
+}

@@ -1,0 +1,36 @@
+package delivery
+
+import (
+	"testing"
+	"time"
+
+	"motifstream/internal/graph"
+	"motifstream/internal/motif"
+)
+
+func BenchmarkOffer(b *testing.B) {
+	p := NewPipeline(Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := motif.Candidate{
+			User:         graph.VertexID(i % 100_000),
+			Item:         graph.VertexID(i % 1_000),
+			DetectedAtMS: int64(i),
+			Trigger:      graph.Edge{TS: int64(i)},
+		}
+		p.Offer(c, 0)
+	}
+}
+
+func BenchmarkOfferHotDuplicates(b *testing.B) {
+	// The common production case: the same hot (user,item) pair offered
+	// repeatedly; dedup must reject cheaply.
+	p := NewPipeline(Options{DedupTTL: 24 * time.Hour})
+	c := motif.Candidate{User: 1, Item: 2, DetectedAtMS: 1, Trigger: graph.Edge{TS: 1}}
+	p.Offer(c, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Offer(c, 0)
+	}
+}

@@ -1,0 +1,265 @@
+// Package delivery implements the notification pipeline between raw motif
+// candidates and actual pushes. The paper: "billions of raw candidates are
+// generated, yielding millions of push notifications (after eliminating
+// duplicates, suppressing messages during non-waking hours, controlling
+// for fatigue, etc.)" (§2). The pipeline stages run in that order and the
+// funnel counters feed experiment E3.
+package delivery
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"motifstream/internal/graph"
+	"motifstream/internal/motif"
+)
+
+// Decision records what the pipeline did with one candidate.
+type Decision uint8
+
+const (
+	// Delivered means the candidate became a push notification.
+	Delivered Decision = iota
+	// DroppedDuplicate means the (user,item) pair was pushed recently.
+	DroppedDuplicate
+	// DroppedAsleep means the user's local time was within sleeping hours.
+	DroppedAsleep
+	// DroppedFatigue means the user hit the daily push budget.
+	DroppedFatigue
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	switch d {
+	case Delivered:
+		return "delivered"
+	case DroppedDuplicate:
+		return "dropped-duplicate"
+	case DroppedAsleep:
+		return "dropped-asleep"
+	case DroppedFatigue:
+		return "dropped-fatigue"
+	default:
+		return "unknown"
+	}
+}
+
+// Notification is a candidate that survived the funnel.
+type Notification struct {
+	Candidate motif.Candidate
+	// DeliveredAtMS is the stream time at delivery.
+	DeliveredAtMS int64
+	// Latency is the full end-to-end latency from edge creation to push:
+	// simulated queue propagation plus measured processing.
+	Latency time.Duration
+}
+
+// Options configures the pipeline.
+type Options struct {
+	// DedupTTL suppresses repeat (user,item) pushes within this window.
+	// Zero selects 24h.
+	DedupTTL time.Duration
+	// DedupCapacity bounds the dedup LRU; zero selects 1<<20 entries.
+	DedupCapacity int
+	// MaxPerUserPerDay is the fatigue budget; zero selects 4 (push fatigue
+	// budgets are small in practice).
+	MaxPerUserPerDay int
+	// SleepStartHour..SleepEndHour (local, 24h clock) is the non-waking
+	// interval; pushes inside it are suppressed. Defaults 23 and 8. Equal
+	// values disable suppression.
+	SleepStartHour, SleepEndHour int
+	// TimezoneOf returns the user's UTC offset in hours (may be negative).
+	// Nil derives a deterministic offset from the user ID, spreading users
+	// over 24 zones.
+	TimezoneOf func(u graph.VertexID) int
+}
+
+// Pipeline applies dedup, waking-hours, and fatigue policies. Safe for
+// concurrent use.
+type Pipeline struct {
+	opts Options
+
+	mu      sync.Mutex
+	dedup   *lruTTL
+	fatigue map[graph.VertexID]*budget
+
+	stats FunnelStats
+}
+
+// FunnelStats counts candidates through each pipeline stage.
+type FunnelStats struct {
+	Raw              uint64
+	DroppedDuplicate uint64
+	DroppedAsleep    uint64
+	DroppedFatigue   uint64
+	Delivered        uint64
+}
+
+// DeliveryRate returns Delivered/Raw, or 0 for an empty funnel.
+func (s FunnelStats) DeliveryRate() float64 {
+	if s.Raw == 0 {
+		return 0
+	}
+	return float64(s.Delivered) / float64(s.Raw)
+}
+
+type budget struct {
+	day   int64 // stream-day index
+	spent int
+}
+
+// NewPipeline constructs a pipeline with defaults applied.
+func NewPipeline(opts Options) *Pipeline {
+	if opts.DedupTTL <= 0 {
+		opts.DedupTTL = 24 * time.Hour
+	}
+	if opts.DedupCapacity <= 0 {
+		opts.DedupCapacity = 1 << 20
+	}
+	if opts.MaxPerUserPerDay <= 0 {
+		opts.MaxPerUserPerDay = 4
+	}
+	if opts.SleepStartHour == 0 && opts.SleepEndHour == 0 {
+		opts.SleepStartHour, opts.SleepEndHour = 23, 8
+	}
+	if opts.TimezoneOf == nil {
+		opts.TimezoneOf = func(u graph.VertexID) int {
+			return int((uint64(u)*0x9e3779b97f4a7c15)>>40%24) - 12
+		}
+	}
+	return &Pipeline{
+		opts:    opts,
+		dedup:   newLRUTTL(opts.DedupCapacity, opts.DedupTTL),
+		fatigue: make(map[graph.VertexID]*budget),
+	}
+}
+
+// Offer runs one candidate through the funnel. queueDelay is the simulated
+// propagation delay accumulated on the way here; it is folded into the
+// notification latency. The returned notification is non-nil only when the
+// decision is Delivered.
+func (p *Pipeline) Offer(c motif.Candidate, queueDelay time.Duration) (Decision, *Notification) {
+	nowMS := c.DetectedAtMS + queueDelay.Milliseconds()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Raw++
+
+	if !p.dedup.add(dedupKey{user: c.User, item: c.Item}, nowMS) {
+		p.stats.DroppedDuplicate++
+		return DroppedDuplicate, nil
+	}
+	if p.isAsleep(c.User, nowMS) {
+		p.stats.DroppedAsleep++
+		return DroppedAsleep, nil
+	}
+	if !p.spendBudget(c.User, nowMS) {
+		p.stats.DroppedFatigue++
+		return DroppedFatigue, nil
+	}
+	p.stats.Delivered++
+	lat := time.Duration(nowMS-c.Trigger.TS) * time.Millisecond
+	if lat < 0 {
+		lat = 0
+	}
+	return Delivered, &Notification{
+		Candidate:     c,
+		DeliveredAtMS: nowMS,
+		Latency:       lat,
+	}
+}
+
+// isAsleep reports whether the user's local hour falls in the sleep window.
+func (p *Pipeline) isAsleep(u graph.VertexID, nowMS int64) bool {
+	start, end := p.opts.SleepStartHour, p.opts.SleepEndHour
+	if start == end {
+		return false
+	}
+	utcHour := (nowMS / int64(time.Hour/time.Millisecond)) % 24
+	local := (int(utcHour) + p.opts.TimezoneOf(u)) % 24
+	if local < 0 {
+		local += 24
+	}
+	if start < end {
+		return local >= start && local < end
+	}
+	// Window wraps midnight, e.g. 23..8.
+	return local >= start || local < end
+}
+
+// spendBudget consumes one unit of the user's daily budget, resetting at
+// stream-day boundaries.
+func (p *Pipeline) spendBudget(u graph.VertexID, nowMS int64) bool {
+	day := nowMS / (24 * int64(time.Hour/time.Millisecond))
+	b := p.fatigue[u]
+	if b == nil {
+		b = &budget{day: day}
+		p.fatigue[u] = b
+	}
+	if b.day != day {
+		b.day = day
+		b.spent = 0
+	}
+	if b.spent >= p.opts.MaxPerUserPerDay {
+		return false
+	}
+	b.spent++
+	return true
+}
+
+// Stats returns a copy of the funnel counters.
+func (p *Pipeline) Stats() FunnelStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// dedupKey identifies a (user,item) push.
+type dedupKey struct {
+	user, item graph.VertexID
+}
+
+// lruTTL is a capacity-bounded map with per-entry expiry, used for push
+// dedup. Stream-time based, so replays behave identically.
+type lruTTL struct {
+	cap   int
+	ttlMS int64
+	ll    *list.List // front = most recent
+	items map[dedupKey]*list.Element
+}
+
+type lruEntry struct {
+	key   dedupKey
+	expMS int64
+}
+
+func newLRUTTL(capacity int, ttl time.Duration) *lruTTL {
+	return &lruTTL{
+		cap:   capacity,
+		ttlMS: ttl.Milliseconds(),
+		ll:    list.New(),
+		items: make(map[dedupKey]*list.Element),
+	}
+}
+
+// add returns true if the key was absent (or expired) and has now been
+// recorded; false if it is a live duplicate.
+func (l *lruTTL) add(k dedupKey, nowMS int64) bool {
+	if el, ok := l.items[k]; ok {
+		ent := el.Value.(*lruEntry)
+		if ent.expMS > nowMS {
+			l.ll.MoveToFront(el)
+			return false
+		}
+		ent.expMS = nowMS + l.ttlMS
+		l.ll.MoveToFront(el)
+		return true
+	}
+	for l.ll.Len() >= l.cap {
+		back := l.ll.Back()
+		l.ll.Remove(back)
+		delete(l.items, back.Value.(*lruEntry).key)
+	}
+	l.items[k] = l.ll.PushFront(&lruEntry{key: k, expMS: nowMS + l.ttlMS})
+	return true
+}

@@ -1,0 +1,237 @@
+package delivery
+
+import (
+	"testing"
+	"time"
+
+	"motifstream/internal/graph"
+	"motifstream/internal/motif"
+)
+
+const hourMS = int64(time.Hour / time.Millisecond)
+
+// alwaysAwake pins every user's local clock to midday.
+func alwaysAwake(opts *Options) {
+	opts.TimezoneOf = func(graph.VertexID) int { return 0 }
+	opts.SleepStartHour, opts.SleepEndHour = 1, 1 // equal = disabled
+}
+
+func cand(user, item graph.VertexID, ts int64) motif.Candidate {
+	return motif.Candidate{
+		User: user, Item: item, DetectedAtMS: ts,
+		Trigger: graph.Edge{Src: 1, Dst: item, TS: ts},
+	}
+}
+
+func TestDeliverBasic(t *testing.T) {
+	opts := Options{}
+	alwaysAwake(&opts)
+	p := NewPipeline(opts)
+	d, note := p.Offer(cand(1, 2, 1_000), 0)
+	if d != Delivered || note == nil {
+		t.Fatalf("decision = %v, note = %v", d, note)
+	}
+	if note.Candidate.User != 1 {
+		t.Fatal("wrong candidate in notification")
+	}
+	st := p.Stats()
+	if st.Raw != 1 || st.Delivered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.DeliveryRate() != 1 {
+		t.Fatalf("rate = %f", st.DeliveryRate())
+	}
+}
+
+func TestDedup(t *testing.T) {
+	opts := Options{DedupTTL: time.Hour}
+	alwaysAwake(&opts)
+	p := NewPipeline(opts)
+	p.Offer(cand(1, 2, 1_000), 0)
+	d, note := p.Offer(cand(1, 2, 2_000), 0)
+	if d != DroppedDuplicate || note != nil {
+		t.Fatalf("duplicate not dropped: %v", d)
+	}
+	// Different item is not a duplicate.
+	if d, _ := p.Offer(cand(1, 3, 3_000), 0); d != Delivered {
+		t.Fatalf("different item dropped: %v", d)
+	}
+	// Different user is not a duplicate.
+	if d, _ := p.Offer(cand(2, 2, 4_000), 0); d != Delivered {
+		t.Fatalf("different user dropped: %v", d)
+	}
+}
+
+func TestDedupExpiry(t *testing.T) {
+	opts := Options{DedupTTL: time.Minute}
+	alwaysAwake(&opts)
+	p := NewPipeline(opts)
+	p.Offer(cand(1, 2, 0), 0)
+	// Within TTL: duplicate.
+	if d, _ := p.Offer(cand(1, 2, 30_000), 0); d != DroppedDuplicate {
+		t.Fatalf("within TTL: %v", d)
+	}
+	// After TTL: allowed again.
+	if d, _ := p.Offer(cand(1, 2, 61_000), 0); d != Delivered {
+		t.Fatalf("after TTL: %v", d)
+	}
+}
+
+func TestFatigueBudget(t *testing.T) {
+	opts := Options{MaxPerUserPerDay: 2}
+	alwaysAwake(&opts)
+	p := NewPipeline(opts)
+	ts := int64(0)
+	for i := 0; i < 2; i++ {
+		ts += 1_000
+		if d, _ := p.Offer(cand(1, graph.VertexID(10+i), ts), 0); d != Delivered {
+			t.Fatalf("push %d: %v", i, d)
+		}
+	}
+	if d, _ := p.Offer(cand(1, 99, ts+1_000), 0); d != DroppedFatigue {
+		t.Fatalf("over budget: %v", d)
+	}
+	// Another user has their own budget.
+	if d, _ := p.Offer(cand(2, 99, ts+2_000), 0); d != Delivered {
+		t.Fatalf("other user: %v", d)
+	}
+	// Next stream-day the budget resets.
+	if d, _ := p.Offer(cand(1, 100, 24*hourMS+1_000), 0); d != Delivered {
+		t.Fatalf("next day: %v", d)
+	}
+}
+
+func TestSleepSuppression(t *testing.T) {
+	opts := Options{
+		SleepStartHour: 23,
+		SleepEndHour:   8,
+		TimezoneOf:     func(graph.VertexID) int { return 0 },
+	}
+	p := NewPipeline(opts)
+	// 03:00 UTC: asleep (inside 23..8 wrap window).
+	if d, _ := p.Offer(cand(1, 2, 3*hourMS), 0); d != DroppedAsleep {
+		t.Fatalf("03:00 = %v, want asleep", d)
+	}
+	// 12:00 UTC: awake.
+	if d, _ := p.Offer(cand(1, 3, 12*hourMS), 0); d != Delivered {
+		t.Fatalf("12:00 = %v, want delivered", d)
+	}
+	// 23:30 UTC: asleep again.
+	if d, _ := p.Offer(cand(1, 4, 23*hourMS+1800_000), 0); d != DroppedAsleep {
+		t.Fatalf("23:30 = %v, want asleep", d)
+	}
+}
+
+func TestSleepTimezoneShifts(t *testing.T) {
+	// User at UTC+9: 03:00 UTC is noon local — awake.
+	opts := Options{
+		SleepStartHour: 23,
+		SleepEndHour:   8,
+		TimezoneOf:     func(graph.VertexID) int { return 9 },
+	}
+	p := NewPipeline(opts)
+	if d, _ := p.Offer(cand(1, 2, 3*hourMS), 0); d != Delivered {
+		t.Fatalf("UTC+9 at 03:00 UTC = %v, want delivered", d)
+	}
+	// Negative offsets also work: UTC-4 at 12:00 UTC is 08:00 local,
+	// which is the boundary (SleepEndHour excluded) — awake.
+	opts.TimezoneOf = func(graph.VertexID) int { return -4 }
+	p2 := NewPipeline(opts)
+	if d, _ := p2.Offer(cand(1, 2, 12*hourMS), 0); d != Delivered {
+		t.Fatalf("UTC-4 at 12:00 UTC = %v, want delivered (8am boundary)", d)
+	}
+}
+
+func TestNonWrappingSleepWindow(t *testing.T) {
+	// Window 2..5 (does not wrap midnight).
+	opts := Options{
+		SleepStartHour: 2,
+		SleepEndHour:   5,
+		TimezoneOf:     func(graph.VertexID) int { return 0 },
+	}
+	p := NewPipeline(opts)
+	if d, _ := p.Offer(cand(1, 2, 3*hourMS), 0); d != DroppedAsleep {
+		t.Fatal("03:00 should be asleep in the 2..5 window")
+	}
+	if d, _ := p.Offer(cand(1, 3, 6*hourMS), 0); d != Delivered {
+		t.Fatal("06:00 should be awake in the 2..5 window")
+	}
+}
+
+func TestLatencyIncludesQueueDelay(t *testing.T) {
+	opts := Options{}
+	alwaysAwake(&opts)
+	p := NewPipeline(opts)
+	delay := 7 * time.Second
+	_, note := p.Offer(cand(1, 2, 10_000), delay)
+	if note == nil {
+		t.Fatal("not delivered")
+	}
+	if note.Latency != delay {
+		t.Fatalf("latency = %v, want %v", note.Latency, delay)
+	}
+	if note.DeliveredAtMS != 10_000+delay.Milliseconds() {
+		t.Fatalf("DeliveredAtMS = %d", note.DeliveredAtMS)
+	}
+}
+
+func TestFunnelAccounting(t *testing.T) {
+	opts := Options{MaxPerUserPerDay: 1, DedupTTL: time.Hour}
+	alwaysAwake(&opts)
+	p := NewPipeline(opts)
+	p.Offer(cand(1, 2, 1_000), 0) // delivered
+	p.Offer(cand(1, 2, 2_000), 0) // duplicate
+	p.Offer(cand(1, 3, 3_000), 0) // fatigue
+	st := p.Stats()
+	if st.Raw != 3 || st.Delivered != 1 || st.DroppedDuplicate != 1 || st.DroppedFatigue != 1 {
+		t.Fatalf("funnel = %+v", st)
+	}
+	if got := st.DeliveryRate(); got < 0.33 || got > 0.34 {
+		t.Fatalf("rate = %f", got)
+	}
+	if (FunnelStats{}).DeliveryRate() != 0 {
+		t.Fatal("empty funnel rate should be 0")
+	}
+}
+
+func TestDedupLRUCapacityEviction(t *testing.T) {
+	opts := Options{DedupCapacity: 2, DedupTTL: time.Hour, MaxPerUserPerDay: 1 << 30}
+	alwaysAwake(&opts)
+	p := NewPipeline(opts)
+	p.Offer(cand(1, 1, 1_000), 0)
+	p.Offer(cand(2, 2, 2_000), 0) // LRU full: {1,1},{2,2}
+	p.Offer(cand(3, 3, 3_000), 0) // evicts (1,1)
+	// (1,1) was evicted, so it is deliverable again despite the TTL.
+	if d, _ := p.Offer(cand(1, 1, 4_000), 0); d != Delivered {
+		t.Fatalf("evicted key still deduped: %v", d)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	for d, want := range map[Decision]string{
+		Delivered:        "delivered",
+		DroppedDuplicate: "dropped-duplicate",
+		DroppedAsleep:    "dropped-asleep",
+		DroppedFatigue:   "dropped-fatigue",
+		Decision(99):     "unknown",
+	} {
+		if d.String() != want {
+			t.Errorf("%d.String() = %q, want %q", d, d.String(), want)
+		}
+	}
+}
+
+func TestDefaultTimezoneSpread(t *testing.T) {
+	p := NewPipeline(Options{})
+	zones := map[int]bool{}
+	for u := graph.VertexID(0); u < 1_000; u++ {
+		z := p.opts.TimezoneOf(u)
+		if z < -12 || z > 11 {
+			t.Fatalf("timezone %d out of range", z)
+		}
+		zones[z] = true
+	}
+	if len(zones) < 12 {
+		t.Fatalf("default timezones poorly spread: only %d distinct", len(zones))
+	}
+}

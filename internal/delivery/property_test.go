@@ -1,0 +1,87 @@
+package delivery
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"motifstream/internal/graph"
+	"motifstream/internal/motif"
+)
+
+// TestFatigueNeverExceedsBudget drives random candidate streams through
+// the pipeline and checks the core fatigue invariant: no user ever
+// receives more than the daily budget within one stream day.
+func TestFatigueNeverExceedsBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		budget := 1 + r.Intn(5)
+		opts := Options{
+			MaxPerUserPerDay: budget,
+			DedupTTL:         time.Millisecond, // effectively off
+		}
+		alwaysAwake(&opts)
+		p := NewPipeline(opts)
+		type userDay struct {
+			u   graph.VertexID
+			day int64
+		}
+		delivered := map[userDay]int{}
+		ts := int64(0)
+		for i := 0; i < 2_000; i++ {
+			ts += int64(r.Intn(3_600_000))
+			c := motif.Candidate{
+				User:         graph.VertexID(r.Intn(5)),
+				Item:         graph.VertexID(r.Intn(1_000_000)), // rarely duplicated
+				DetectedAtMS: ts,
+				Trigger:      graph.Edge{TS: ts},
+			}
+			if d, _ := p.Offer(c, 0); d == Delivered {
+				k := userDay{c.User, ts / (24 * hourMS)}
+				delivered[k]++
+				if delivered[k] > budget {
+					t.Fatalf("trial %d: user %d got %d pushes in day %d (budget %d)",
+						trial, c.User, delivered[k], k.day, budget)
+				}
+			}
+		}
+	}
+}
+
+// TestDedupNeverDeliversLiveDuplicate fuzzes the dedup LRU: within the
+// TTL, a (user,item) pair is never delivered twice, regardless of
+// interleaving.
+func TestDedupNeverDeliversLiveDuplicate(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	ttl := 10 * time.Minute
+	opts := Options{
+		DedupTTL:         ttl,
+		MaxPerUserPerDay: 1 << 30,
+		DedupCapacity:    1 << 16, // large enough to avoid evictions here
+	}
+	alwaysAwake(&opts)
+	p := NewPipeline(opts)
+	type key struct {
+		u, i graph.VertexID
+	}
+	lastDelivered := map[key]int64{}
+	ts := int64(0)
+	for i := 0; i < 5_000; i++ {
+		ts += int64(r.Intn(30_000))
+		c := motif.Candidate{
+			User:         graph.VertexID(r.Intn(10)),
+			Item:         graph.VertexID(r.Intn(10)),
+			DetectedAtMS: ts,
+			Trigger:      graph.Edge{TS: ts},
+		}
+		d, _ := p.Offer(c, 0)
+		k := key{c.User, c.Item}
+		if d == Delivered {
+			if prev, ok := lastDelivered[k]; ok && ts-prev < ttl.Milliseconds() {
+				t.Fatalf("duplicate (%d,%d) delivered %dms apart (TTL %v)",
+					c.User, c.Item, ts-prev, ttl)
+			}
+			lastDelivered[k] = ts
+		}
+	}
+}

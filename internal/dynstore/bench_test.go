@@ -1,0 +1,82 @@
+package dynstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"motifstream/internal/graph"
+)
+
+func benchEdges(n int) []graph.Edge {
+	r := rand.New(rand.NewSource(1))
+	out := make([]graph.Edge, n)
+	ts := int64(0)
+	for i := range out {
+		ts += int64(r.Intn(3))
+		out[i] = graph.Edge{
+			Src: graph.VertexID(r.Intn(10_000)),
+			Dst: graph.VertexID(r.Intn(2_000)), // concentrated targets
+			TS:  ts,
+		}
+	}
+	return out
+}
+
+func BenchmarkInsert(b *testing.B) {
+	edges := benchEdges(100_000)
+	s := New(Options{Retention: time.Minute, MaxPerTarget: 1024})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(edges[i%len(edges)])
+	}
+}
+
+// BenchmarkInsertShards is the sharding ablation: contention at 1 shard
+// vs the default 64 under parallel writers.
+func BenchmarkInsertShards(b *testing.B) {
+	edges := benchEdges(100_000)
+	for _, shards := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := New(Options{Retention: time.Minute, Shards: shards, MaxPerTarget: 1024})
+			b.RunParallel(func(pb *testing.PB) {
+				i := rand.Int()
+				for pb.Next() {
+					s.Insert(edges[i%len(edges)])
+					i++
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkRecentLimit(b *testing.B) {
+	s := New(Options{MaxPerTarget: 2048})
+	for i := 0; i < 2_000; i++ {
+		s.Insert(graph.Edge{Src: graph.VertexID(i % 500), Dst: 7, TS: int64(i)})
+	}
+	for _, limit := range []int{0, 64} {
+		b.Run(fmt.Sprintf("limit=%d", limit), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.RecentLimit(7, 0, limit)
+			}
+		})
+	}
+}
+
+func BenchmarkSweep(b *testing.B) {
+	edges := benchEdges(50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := New(Options{Retention: time.Millisecond})
+		for _, e := range edges {
+			s.Insert(e)
+		}
+		b.StartTimer()
+		s.Sweep(edges[len(edges)-1].TS + int64(time.Hour/time.Millisecond))
+	}
+}

@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchList(seed int64, n, space int) AdjList {
+	r := rand.New(rand.NewSource(seed))
+	ids := make([]VertexID, n)
+	for i := range ids {
+		ids[i] = VertexID(r.Intn(space))
+	}
+	return NewAdjList(ids)
+}
+
+func BenchmarkIntersectMergeBalanced(b *testing.B) {
+	x := benchList(1, 10_000, 100_000)
+	y := benchList(2, 10_000, 100_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		IntersectMerge(x, y)
+	}
+}
+
+func BenchmarkIntersectGallopSkewed(b *testing.B) {
+	x := benchList(1, 100, 1_000_000)
+	y := benchList(2, 100_000, 1_000_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		IntersectGallop(x, y)
+	}
+}
+
+func BenchmarkIntersectAutoSkewed(b *testing.B) {
+	x := benchList(1, 100, 1_000_000)
+	y := benchList(2, 100_000, 1_000_000)
+	for i := 0; i < b.N; i++ {
+		Intersect(x, y)
+	}
+}
+
+func BenchmarkThresholdIntersect(b *testing.B) {
+	lists := make([]AdjList, 16)
+	for i := range lists {
+		lists[i] = benchList(int64(i), 2_000, 100_000)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ThresholdIntersect(lists, 3)
+	}
+}
+
+func BenchmarkBuildCSR(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	edges := make([]Edge, 200_000)
+	for i := range edges {
+		edges[i] = Edge{Src: VertexID(r.Intn(10_000)), Dst: VertexID(r.Intn(10_000))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildCSR(edges)
+	}
+}
+
+func BenchmarkCSRInvert(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	edges := make([]Edge, 200_000)
+	for i := range edges {
+		edges[i] = Edge{Src: VertexID(r.Intn(10_000)), Dst: VertexID(r.Intn(10_000))}
+	}
+	c := BuildCSR(edges)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Invert()
+	}
+}
+
+func BenchmarkAdjListContains(b *testing.B) {
+	l := benchList(1, 10_000, 1_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Contains(VertexID(i % 1_000_000))
+	}
+}

@@ -1,0 +1,209 @@
+package graph
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// This file implements the intersection kernels used by the diamond
+// detector. The paper intersects the sorted follower lists of the B's that
+// recently pointed at C; with the production setting k=3 out of n≥3 recent
+// B's, the required operation is the k-of-n threshold intersection: every A
+// appearing in at least k of the lists. Exact intersection (k == n) gets
+// the classic two-pointer and galloping kernels; threshold intersection
+// gets a heap-based multi-way merge and a counting fallback. Benchmark E8
+// compares them.
+
+// IntersectMerge computes the exact intersection of two sorted lists with a
+// linear two-pointer merge. Output is sorted.
+func IntersectMerge(a, b AdjList) AdjList {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make(AdjList, 0, minInt(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// IntersectGallop computes the exact intersection of two sorted lists by
+// galloping (exponential) search of the longer list for each element of the
+// shorter. It wins when the lists differ greatly in length, the common case
+// when one B is a celebrity account and another is not.
+func IntersectGallop(a, b AdjList) AdjList {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return nil
+	}
+	out := make(AdjList, 0, len(a))
+	lo := 0
+	for _, v := range a {
+		// Gallop forward from lo to find the first b index with b[i] >= v.
+		step := 1
+		hi := lo
+		for hi < len(b) && b[hi] < v {
+			lo = hi + 1
+			hi += step
+			step <<= 1
+		}
+		if hi > len(b) {
+			hi = len(b)
+		}
+		i := lo + sort.Search(hi-lo, func(i int) bool { return b[lo+i] >= v })
+		if i < len(b) && b[i] == v {
+			out = append(out, v)
+			lo = i + 1
+		} else {
+			lo = i
+		}
+		if lo >= len(b) {
+			break
+		}
+	}
+	return out
+}
+
+// Intersect picks an exact-intersection kernel based on the size ratio of
+// the inputs. The 32x cutover matches the E8 ablation crossover.
+func Intersect(a, b AdjList) AdjList {
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		return nil
+	}
+	if la > lb {
+		la, lb = lb, la
+	}
+	if lb/la >= 32 {
+		return IntersectGallop(a, b)
+	}
+	return IntersectMerge(a, b)
+}
+
+// IntersectAll computes the exact intersection of all lists (k == n).
+// Lists are processed shortest-first so intermediate results shrink fast.
+func IntersectAll(lists []AdjList) AdjList {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0].Clone()
+	}
+	ordered := make([]AdjList, len(lists))
+	copy(ordered, lists)
+	sort.Slice(ordered, func(i, j int) bool { return len(ordered[i]) < len(ordered[j]) })
+	acc := Intersect(ordered[0], ordered[1])
+	for _, l := range ordered[2:] {
+		if len(acc) == 0 {
+			return nil
+		}
+		acc = Intersect(acc, l)
+	}
+	return acc
+}
+
+// listCursor tracks a position within one input list for the heap merge.
+type listCursor struct {
+	list AdjList
+	pos  int
+}
+
+type cursorHeap []listCursor
+
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	return h[i].list[h[i].pos] < h[j].list[h[j].pos]
+}
+func (h cursorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(listCursor)) }
+func (h *cursorHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ThresholdIntersect returns, in sorted order, every vertex that appears in
+// at least k of the sorted input lists. k == len(lists) degenerates to
+// IntersectAll; k == 1 is a sorted union. It uses a k-way heap merge, so
+// cost is O(total · log n) independent of k.
+func ThresholdIntersect(lists []AdjList, k int) AdjList {
+	if k <= 0 || len(lists) < k {
+		return nil
+	}
+	if k == len(lists) {
+		return IntersectAll(lists)
+	}
+	h := make(cursorHeap, 0, len(lists))
+	for _, l := range lists {
+		if len(l) > 0 {
+			h = append(h, listCursor{list: l})
+		}
+	}
+	if len(h) < k {
+		return nil
+	}
+	heap.Init(&h)
+	var out AdjList
+	for len(h) > 0 {
+		cur := h[0].list[h[0].pos]
+		count := 0
+		for len(h) > 0 && h[0].list[h[0].pos] == cur {
+			count++
+			c := h[0]
+			c.pos++
+			if c.pos < len(c.list) {
+				h[0] = c
+				heap.Fix(&h, 0)
+			} else {
+				heap.Pop(&h)
+			}
+		}
+		if count >= k {
+			out = append(out, cur)
+		}
+	}
+	return out
+}
+
+// ThresholdIntersectCount is the counting-map fallback used as the E8
+// baseline: no sortedness assumed, output sorted at the end.
+func ThresholdIntersectCount(lists []AdjList, k int) AdjList {
+	if k <= 0 || len(lists) < k {
+		return nil
+	}
+	counts := make(map[VertexID]int)
+	for _, l := range lists {
+		for _, v := range l {
+			counts[v]++
+		}
+	}
+	var out AdjList
+	for v, c := range counts {
+		if c >= k {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

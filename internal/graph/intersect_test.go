@@ -1,0 +1,278 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// refIntersect is the trivially correct reference: map-count membership.
+func refIntersect(a, b AdjList) AdjList {
+	in := make(map[VertexID]bool, len(a))
+	for _, v := range a {
+		in[v] = true
+	}
+	var out AdjList
+	for _, v := range b {
+		if in[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// refThreshold is the reference k-of-n implementation.
+func refThreshold(lists []AdjList, k int) AdjList {
+	if k <= 0 || len(lists) < k {
+		return nil
+	}
+	counts := make(map[VertexID]int)
+	for _, l := range lists {
+		for _, v := range l {
+			counts[v]++
+		}
+	}
+	var out AdjList
+	for v, c := range counts {
+		if c >= k {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalLists(a, b AdjList) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randList(r *rand.Rand, n, space int) AdjList {
+	ids := make([]VertexID, n)
+	for i := range ids {
+		ids[i] = VertexID(r.Intn(space))
+	}
+	return NewAdjList(ids)
+}
+
+func TestIntersectKernelsFixedCases(t *testing.T) {
+	cases := []struct {
+		a, b, want AdjList
+	}{
+		{nil, nil, nil},
+		{AdjList{1}, nil, nil},
+		{nil, AdjList{1}, nil},
+		{AdjList{1, 2, 3}, AdjList{2, 3, 4}, AdjList{2, 3}},
+		{AdjList{1, 3, 5}, AdjList{2, 4, 6}, nil},
+		{AdjList{1, 2, 3}, AdjList{1, 2, 3}, AdjList{1, 2, 3}},
+		{AdjList{5}, AdjList{1, 2, 3, 4, 5, 6}, AdjList{5}},
+		{AdjList{0, 1<<64 - 1}, AdjList{1<<64 - 1}, AdjList{1<<64 - 1}},
+	}
+	for i, c := range cases {
+		for name, fn := range map[string]func(a, b AdjList) AdjList{
+			"merge":  IntersectMerge,
+			"gallop": IntersectGallop,
+			"auto":   Intersect,
+		} {
+			got := fn(c.a, c.b)
+			if !equalLists(got, c.want) {
+				t.Errorf("case %d %s(%v, %v) = %v, want %v", i, name, c.a, c.b, got, c.want)
+			}
+		}
+	}
+}
+
+// Property: all three exact kernels agree with the reference on random
+// inputs across a range of size skews.
+func TestIntersectKernelsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		na, nb := r.Intn(200), r.Intn(200)
+		if trial%3 == 0 {
+			nb = r.Intn(2000) // skewed case exercises galloping
+		}
+		a := randList(r, na, 500)
+		b := randList(r, nb, 500)
+		want := refIntersect(a, b)
+		if got := IntersectMerge(a, b); !equalLists(got, want) {
+			t.Fatalf("trial %d: merge = %v, want %v", trial, got, want)
+		}
+		if got := IntersectGallop(a, b); !equalLists(got, want) {
+			t.Fatalf("trial %d: gallop = %v, want %v", trial, got, want)
+		}
+		if got := Intersect(a, b); !equalLists(got, want) {
+			t.Fatalf("trial %d: auto = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestIntersectAll(t *testing.T) {
+	lists := []AdjList{
+		{1, 2, 3, 4, 5},
+		{2, 3, 4, 5, 6},
+		{3, 4, 5, 6, 7},
+	}
+	want := AdjList{3, 4, 5}
+	if got := IntersectAll(lists); !equalLists(got, want) {
+		t.Fatalf("IntersectAll = %v, want %v", got, want)
+	}
+	if got := IntersectAll(nil); got != nil {
+		t.Fatalf("IntersectAll(nil) = %v", got)
+	}
+	single := []AdjList{{1, 2}}
+	got := IntersectAll(single)
+	if !equalLists(got, AdjList{1, 2}) {
+		t.Fatalf("IntersectAll(single) = %v", got)
+	}
+	// Must be a copy, not an alias.
+	got[0] = 99
+	if single[0][0] != 1 {
+		t.Error("IntersectAll(single) aliases its input")
+	}
+	// Empty member kills the whole intersection.
+	if got := IntersectAll([]AdjList{{1, 2}, nil, {1, 2}}); len(got) != 0 {
+		t.Fatalf("IntersectAll with empty member = %v, want empty", got)
+	}
+}
+
+func TestThresholdIntersectFixedCases(t *testing.T) {
+	lists := []AdjList{
+		{1, 2, 3},
+		{2, 3, 4},
+		{3, 4, 5},
+	}
+	tests := []struct {
+		k    int
+		want AdjList
+	}{
+		{1, AdjList{1, 2, 3, 4, 5}}, // union
+		{2, AdjList{2, 3, 4}},
+		{3, AdjList{3}}, // full intersection
+		{4, nil},        // k > n
+		{0, nil},
+		{-1, nil},
+	}
+	for _, tt := range tests {
+		if got := ThresholdIntersect(lists, tt.k); !equalLists(got, tt.want) {
+			t.Errorf("ThresholdIntersect(k=%d) = %v, want %v", tt.k, got, tt.want)
+		}
+		if got := ThresholdIntersectCount(lists, tt.k); !equalLists(got, tt.want) {
+			t.Errorf("ThresholdIntersectCount(k=%d) = %v, want %v", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestThresholdIntersectEmptyLists(t *testing.T) {
+	// Empty input lists are skipped; threshold applies to remaining.
+	lists := []AdjList{nil, {1, 2}, nil, {2, 3}}
+	if got := ThresholdIntersect(lists, 2); !equalLists(got, AdjList{2}) {
+		t.Fatalf("got %v, want [2]", got)
+	}
+	// All empty with k <= n returns nothing.
+	if got := ThresholdIntersect([]AdjList{nil, nil, nil}, 2); got != nil {
+		t.Fatalf("all-empty got %v", got)
+	}
+}
+
+// Property: the heap-based threshold intersection agrees with the counting
+// reference for random inputs and all k.
+func TestThresholdIntersectAgreesWithReference(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(8)
+		lists := make([]AdjList, n)
+		for i := range lists {
+			lists[i] = randList(r, r.Intn(60), 40)
+		}
+		for k := 1; k <= n; k++ {
+			want := refThreshold(lists, k)
+			got := ThresholdIntersect(lists, k)
+			if !equalLists(got, want) {
+				t.Fatalf("trial %d k=%d/%d: got %v, want %v (lists=%v)",
+					trial, k, n, got, want, lists)
+			}
+		}
+	}
+}
+
+// Property (quick): intersection is commutative and a subset of both
+// inputs.
+func TestIntersectQuickProperties(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a := make([]VertexID, len(xs))
+		for i, v := range xs {
+			a[i] = VertexID(v)
+		}
+		b := make([]VertexID, len(ys))
+		for i, v := range ys {
+			b[i] = VertexID(v)
+		}
+		la, lb := NewAdjList(a), NewAdjList(b)
+		ab := Intersect(la, lb)
+		ba := Intersect(lb, la)
+		if !equalLists(ab, ba) {
+			return false
+		}
+		for _, v := range ab {
+			if !la.Contains(v) || !lb.Contains(v) {
+				return false
+			}
+		}
+		return ab.IsSorted() || len(ab) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: threshold results are monotone in k — raising k can only
+// shrink the result set.
+func TestThresholdMonotoneInK(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(6)
+		lists := make([]AdjList, n)
+		for i := range lists {
+			lists[i] = randList(r, 30, 50)
+		}
+		prev := ThresholdIntersect(lists, 1)
+		for k := 2; k <= n; k++ {
+			cur := ThresholdIntersect(lists, k)
+			curSet := make(map[VertexID]bool, len(cur))
+			for _, v := range cur {
+				curSet[v] = true
+			}
+			for _, v := range cur {
+				if !contains(prev, v) {
+					t.Fatalf("trial %d: k=%d result %d not in k=%d result", trial, k, v, k-1)
+				}
+			}
+			_ = curSet
+			prev = cur
+		}
+	}
+}
+
+func contains(l AdjList, v VertexID) bool { return l.Contains(v) }
+
+func TestIntersectDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a := randList(r, 1000, 10_000)
+	b := randList(r, 1000, 10_000)
+	first := Intersect(a, b)
+	for i := 0; i < 5; i++ {
+		if got := Intersect(a, b); !reflect.DeepEqual(got, first) {
+			t.Fatal("Intersect is not deterministic")
+		}
+	}
+}

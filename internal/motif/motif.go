@@ -1,0 +1,241 @@
+// Package motif implements online motif detection over the S and D stores.
+// A motif program is invoked once per incoming dynamic edge and emits
+// recommendation candidates the moment the motif completes — the paper's
+// novel "twist" over batch motif detection. The diamond program implements
+// the production algorithm of §2; the package also provides the content
+// co-action variant and a k=1 fresh-follow program, and the motifdsl
+// package compiles declarative specifications down to this interface.
+package motif
+
+import (
+	"time"
+
+	"motifstream/internal/dynstore"
+	"motifstream/internal/graph"
+	"motifstream/internal/statstore"
+)
+
+// Candidate is one raw recommendation produced by a program: "push item
+// Item to user User because the supporting B's acted on it". Candidates
+// flow into the delivery pipeline, which dedups and rate-limits them.
+type Candidate struct {
+	// User is the A receiving the recommendation.
+	User graph.VertexID
+	// Item is the C being recommended (an account for follow motifs, a
+	// tweet for content motifs).
+	Item graph.VertexID
+	// Via lists the supporting B's: followings of User that acted on Item
+	// within the window.
+	Via []graph.VertexID
+	// Trigger is the edge whose arrival completed the motif.
+	Trigger graph.Edge
+	// DetectedAtMS is when detection ran (stream time, Unix ms).
+	DetectedAtMS int64
+	// Program names the emitting program.
+	Program string
+	// Score ranks the candidate; more supporting B's score higher.
+	Score float64
+}
+
+// Context carries the partition-local stores a program reads. The engine
+// that owns the context inserts each edge into D exactly once before
+// invoking programs, so programs must never write to D themselves.
+type Context struct {
+	// S is the static inverted adjacency (B → sorted A's), already
+	// restricted to the partition's A's.
+	S *statstore.Store
+	// D is the dynamic store of recent B→C edges (full stream).
+	D *dynstore.Store
+	// Follows reports whether a already follows c, used to suppress
+	// redundant follow recommendations. Nil disables the check.
+	Follows func(a, c graph.VertexID) bool
+}
+
+// Program detects one motif shape. OnEdge is called after e has been
+// inserted into ctx.D and returns the candidates completed by e.
+// Implementations must be safe for concurrent OnEdge calls.
+type Program interface {
+	// Name identifies the program in candidates and metrics.
+	Name() string
+	// OnEdge reports the candidates whose motif e completes.
+	OnEdge(ctx *Context, e graph.Edge) []Candidate
+}
+
+// DiamondConfig parametrizes the diamond motif detector.
+type DiamondConfig struct {
+	// Name overrides the program name; empty selects "diamond".
+	Name string
+	// K is the minimum number of A's followings that must act on the same
+	// item within the window (paper: k, production value 3).
+	K int
+	// Window is the freshness period τ.
+	Window time.Duration
+	// EdgeTypes restricts which actions trigger the motif. Empty means
+	// follows only.
+	EdgeTypes []graph.EdgeType
+	// MaxFanout caps the recent B's considered per event, bounding work on
+	// viral items; 0 means unlimited.
+	MaxFanout int
+	// MaxCandidates caps emitted candidates per event; 0 means unlimited.
+	MaxCandidates int
+}
+
+// Diamond is the production algorithm of §2: on edge B→C, fetch the other
+// recent B's pointing at C from D; if at least K, look up each B's
+// followers in S and emit the K-threshold intersection.
+type Diamond struct {
+	cfg   DiamondConfig
+	types map[graph.EdgeType]bool
+}
+
+// NewDiamond validates cfg and returns the program. K < 2 or Window <= 0
+// are programmer errors and panic.
+func NewDiamond(cfg DiamondConfig) *Diamond {
+	if cfg.K < 2 {
+		panic("motif: diamond requires K >= 2 (use NewFreshFollow for K=1)")
+	}
+	if cfg.Window <= 0 {
+		panic("motif: diamond requires a positive window")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "diamond"
+	}
+	types := map[graph.EdgeType]bool{}
+	if len(cfg.EdgeTypes) == 0 {
+		types[graph.Follow] = true
+	}
+	for _, t := range cfg.EdgeTypes {
+		types[t] = true
+	}
+	return &Diamond{cfg: cfg, types: types}
+}
+
+// Name implements Program.
+func (d *Diamond) Name() string { return d.cfg.Name }
+
+// Config returns the program's configuration.
+func (d *Diamond) Config() DiamondConfig { return d.cfg }
+
+// OnEdge implements Program.
+func (d *Diamond) OnEdge(ctx *Context, e graph.Edge) []Candidate {
+	if !d.types[e.Type] {
+		return nil
+	}
+	since := e.TS - d.cfg.Window.Milliseconds()
+	// The fanout cap is pushed into the store query so a viral target with
+	// thousands of in-window actors costs O(MaxFanout), not O(window); the
+	// store returns the freshest distinct actors.
+	recent := ctx.D.RecentLimit(e.Dst, since, d.cfg.MaxFanout)
+	if len(recent) < d.cfg.K {
+		return nil
+	}
+	bs := make([]graph.VertexID, 0, len(recent))
+	lists := make([]graph.AdjList, 0, len(recent))
+	for _, in := range recent {
+		l := ctx.S.Followers(in.B)
+		if len(l) == 0 {
+			continue
+		}
+		bs = append(bs, in.B)
+		lists = append(lists, l)
+	}
+	if len(lists) < d.cfg.K {
+		return nil
+	}
+	as := graph.ThresholdIntersect(lists, d.cfg.K)
+	if len(as) == 0 {
+		return nil
+	}
+	out := make([]Candidate, 0, len(as))
+	for _, a := range as {
+		if a == e.Dst {
+			continue // never recommend someone to themselves
+		}
+		if ctx.Follows != nil && ctx.Follows(a, e.Dst) {
+			continue // a already follows/acted on the item
+		}
+		via := supportersOf(a, bs, lists)
+		out = append(out, Candidate{
+			User:         a,
+			Item:         e.Dst,
+			Via:          via,
+			Trigger:      e,
+			DetectedAtMS: e.TS,
+			Program:      d.cfg.Name,
+			Score:        float64(len(via)),
+		})
+		if d.cfg.MaxCandidates > 0 && len(out) >= d.cfg.MaxCandidates {
+			break
+		}
+	}
+	return out
+}
+
+// supportersOf returns the B's whose follower lists contain a. Survivor
+// sets are small, so a binary-search pass per survivor is cheap.
+func supportersOf(a graph.VertexID, bs []graph.VertexID, lists []graph.AdjList) []graph.VertexID {
+	via := make([]graph.VertexID, 0, len(bs))
+	for i, l := range lists {
+		if l.Contains(a) {
+			via = append(via, bs[i])
+		}
+	}
+	return via
+}
+
+// NewContentCoAction returns a diamond program over retweet and favorite
+// edges: "recommend tweet C to A when at least k of A's followings engaged
+// with it within τ" — the content-recommendation application of §1.
+func NewContentCoAction(k int, window time.Duration) *Diamond {
+	return NewDiamond(DiamondConfig{
+		Name:      "content-coaction",
+		K:         k,
+		Window:    window,
+		EdgeTypes: []graph.EdgeType{graph.Retweet, graph.Favorite},
+	})
+}
+
+// FreshFollow is the degenerate k=1 motif: every new B→C follow is
+// broadcast to all of B's followers. It exists to drive the delivery
+// funnel experiment (E3) with realistic raw-candidate volume; production
+// uses k≥2 precisely because k=1 floods.
+type FreshFollow struct {
+	// MaxCandidates caps emissions per event; 0 means unlimited.
+	MaxCandidates int
+}
+
+// Name implements Program.
+func (f *FreshFollow) Name() string { return "fresh-follow" }
+
+// OnEdge implements Program.
+func (f *FreshFollow) OnEdge(ctx *Context, e graph.Edge) []Candidate {
+	if e.Type != graph.Follow {
+		return nil
+	}
+	followers := ctx.S.Followers(e.Src)
+	if len(followers) == 0 {
+		return nil
+	}
+	out := make([]Candidate, 0, len(followers))
+	for _, a := range followers {
+		if a == e.Dst {
+			continue
+		}
+		if ctx.Follows != nil && ctx.Follows(a, e.Dst) {
+			continue
+		}
+		out = append(out, Candidate{
+			User:         a,
+			Item:         e.Dst,
+			Via:          []graph.VertexID{e.Src},
+			Trigger:      e,
+			DetectedAtMS: e.TS,
+			Program:      f.Name(),
+			Score:        1,
+		})
+		if f.MaxCandidates > 0 && len(out) >= f.MaxCandidates {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package motif
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"motifstream/internal/dynstore"
+	"motifstream/internal/graph"
+	"motifstream/internal/statstore"
+)
+
+// refDetector is a brute-force diamond oracle: it keeps the entire
+// dynamic history and, per event, recomputes from first principles the
+// set of (user, item) pairs whose motif the event completes. It shares no
+// code with the production path (no AdjList, no D store, no
+// intersections), so agreement is meaningful.
+type refDetector struct {
+	k        int
+	windowMS int64
+	// follows[a] is the set of B's that a follows.
+	follows map[graph.VertexID]map[graph.VertexID]bool
+	history []graph.Edge
+}
+
+func newRefDetector(k int, window time.Duration, static []graph.Edge) *refDetector {
+	follows := map[graph.VertexID]map[graph.VertexID]bool{}
+	for _, e := range static {
+		m := follows[e.Src]
+		if m == nil {
+			m = map[graph.VertexID]bool{}
+			follows[e.Src] = m
+		}
+		m[e.Dst] = true
+	}
+	return &refDetector{k: k, windowMS: window.Milliseconds(), follows: follows}
+}
+
+// onEdge returns the sorted "user>item" keys completed by e.
+func (r *refDetector) onEdge(e graph.Edge) []string {
+	r.history = append(r.history, e)
+	if e.Type != graph.Follow {
+		return nil
+	}
+	// Distinct actors on e.Dst within the window ending at e.TS.
+	actors := map[graph.VertexID]bool{}
+	for _, h := range r.history {
+		if h.Dst == e.Dst && h.Type == graph.Follow && h.TS >= e.TS-r.windowMS && h.TS <= e.TS {
+			actors[h.Src] = true
+		}
+	}
+	if len(actors) < r.k {
+		return nil
+	}
+	var out []string
+	for a, bs := range r.follows {
+		if a == e.Dst {
+			continue
+		}
+		if bs[e.Dst] {
+			continue // already follows the item
+		}
+		n := 0
+		for b := range actors {
+			if bs[b] {
+				n++
+			}
+		}
+		if n >= r.k {
+			out = append(out, fmt.Sprintf("%d>%d", a, e.Dst))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestDiamondAgainstOracle drives random worlds through both the
+// production diamond and the brute-force oracle and requires identical
+// detections event by event.
+func TestDiamondAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(20140901))
+	for trial := 0; trial < 30; trial++ {
+		users := 5 + r.Intn(20)
+		k := 2 + r.Intn(2)
+		window := time.Duration(1+r.Intn(10)) * time.Minute
+
+		// Random static graph.
+		var static []graph.Edge
+		for a := 0; a < users; a++ {
+			deg := r.Intn(6)
+			for j := 0; j < deg; j++ {
+				b := graph.VertexID(r.Intn(users))
+				if b != graph.VertexID(a) {
+					static = append(static, graph.Edge{
+						Src: graph.VertexID(a), Dst: b, Type: graph.Follow,
+					})
+				}
+			}
+		}
+
+		b := &statstore.Builder{}
+		s := statstore.New(b.Build(static))
+		d := dynstore.New(dynstore.Options{Retention: window})
+		followsIdx := map[graph.VertexID]map[graph.VertexID]bool{}
+		for _, e := range static {
+			m := followsIdx[e.Src]
+			if m == nil {
+				m = map[graph.VertexID]bool{}
+				followsIdx[e.Src] = m
+			}
+			m[e.Dst] = true
+		}
+		ctx := &Context{
+			S: s, D: d,
+			Follows: func(a, c graph.VertexID) bool { return followsIdx[a][c] },
+		}
+		prog := NewDiamond(DiamondConfig{K: k, Window: window})
+		oracle := newRefDetector(k, window, static)
+
+		// Random dynamic stream with clustered targets so motifs form.
+		now := int64(1_000_000)
+		for i := 0; i < 300; i++ {
+			now += int64(r.Intn(60_000))
+			e := graph.Edge{
+				Src:  graph.VertexID(r.Intn(users)),
+				Dst:  graph.VertexID(r.Intn(users/2 + 1)), // concentrated
+				Type: graph.Follow,
+				TS:   now,
+			}
+			if e.Src == e.Dst {
+				continue
+			}
+			d.Insert(e)
+			var got []string
+			for _, c := range prog.OnEdge(ctx, e) {
+				got = append(got, fmt.Sprintf("%d>%d", c.User, c.Item))
+			}
+			sort.Strings(got)
+			want := oracle.onEdge(e)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d event %d (%v, k=%d w=%v):\n got %v\nwant %v",
+					trial, i, e, k, window, got, want)
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("trial %d event %d: got %v want %v", trial, i, got, want)
+				}
+			}
+		}
+	}
+}

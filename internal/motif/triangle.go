@@ -1,0 +1,88 @@
+package motif
+
+import (
+	"time"
+
+	"motifstream/internal/graph"
+)
+
+// TriangleClosure is an additional motif program of the kind the paper's
+// conclusion anticipates: "beyond the 'diamond' motif there may exist
+// others that are useful for generating recommendations — these may be
+// implemented as additional programs that use the graph infrastructure."
+//
+// The shape is a co-action triangle: when B acts on C, every user A who
+// *also* acted on C recently shares a demonstrated interest with B, so B
+// itself is recommended to A ("you and B both engaged with C — follow B").
+// The closing A→B edge would complete the triangle A→C←B, A→B.
+//
+// Unlike the diamond, the candidate recipients come from D (recent
+// co-actors), and S is used in reverse: to suppress A's that already
+// follow B. MinActorFollowers additionally gates on B's audience size so
+// only accounts with some standing get recommended.
+type TriangleClosure struct {
+	// Window is the co-action freshness period.
+	Window time.Duration
+	// MaxCoActors caps the recent co-actors considered per event.
+	// Zero selects 64.
+	MaxCoActors int
+	// MinActorFollowers requires the acting B to have at least this many
+	// followers in S before it is worth recommending. Zero accepts all.
+	MinActorFollowers int
+	// MaxCandidates caps emissions per event; 0 means unlimited.
+	MaxCandidates int
+}
+
+// NewTriangleClosure validates and returns the program.
+func NewTriangleClosure(window time.Duration) *TriangleClosure {
+	if window <= 0 {
+		panic("motif: triangle closure requires a positive window")
+	}
+	return &TriangleClosure{Window: window}
+}
+
+// Name implements Program.
+func (t *TriangleClosure) Name() string { return "triangle-closure" }
+
+// OnEdge implements Program: on B→C, recommend B to recent co-actors of C.
+func (t *TriangleClosure) OnEdge(ctx *Context, e graph.Edge) []Candidate {
+	if t.Window <= 0 {
+		return nil
+	}
+	if t.MinActorFollowers > 0 && len(ctx.S.Followers(e.Src)) < t.MinActorFollowers {
+		return nil
+	}
+	limit := t.MaxCoActors
+	if limit <= 0 {
+		limit = 64
+	}
+	since := e.TS - t.Window.Milliseconds()
+	recent := ctx.D.RecentLimit(e.Dst, since, limit)
+	if len(recent) == 0 {
+		return nil
+	}
+	out := make([]Candidate, 0, len(recent))
+	for _, in := range recent {
+		a := in.B // a co-actor of C plays the A role here
+		if a == e.Src || a == e.Dst {
+			continue
+		}
+		if ctx.Follows != nil && ctx.Follows(a, e.Src) {
+			continue // A already follows B
+		}
+		out = append(out, Candidate{
+			User:         a,
+			Item:         e.Src, // recommend the actor B itself
+			Via:          []graph.VertexID{e.Dst},
+			Trigger:      e,
+			DetectedAtMS: e.TS,
+			Program:      t.Name(),
+			// Fresher co-action scores higher, normalized to (0, 1].
+			Score: 1 - float64(e.TS-in.TS)/float64(t.Window.Milliseconds()+1),
+		})
+		if t.MaxCandidates > 0 && len(out) >= t.MaxCandidates {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package motifdsl
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Spec is the parsed form of one motif declaration.
+type Spec struct {
+	// Name is the quoted motif name.
+	Name string
+	// Matches are the declared hops, in source order.
+	Matches []MatchClause
+	// Wheres are the support constraints.
+	Wheres []WhereClause
+	// Emit is the candidate shape. Exactly one per spec.
+	Emit EmitClause
+	// Limits are optional plan hints (fanout, candidates).
+	Limits []LimitClause
+	// Pos is where the declaration starts.
+	Pos Pos
+}
+
+// HopKind distinguishes static (S-resolved) from dynamic (stream) hops.
+type HopKind uint8
+
+const (
+	// StaticHop is resolved against the offline-built S structure ('->').
+	StaticHop HopKind = iota
+	// DynamicHop is matched against the live edge stream ('=>').
+	DynamicHop
+)
+
+// String names the hop kind.
+func (k HopKind) String() string {
+	if k == StaticHop {
+		return "static"
+	}
+	return "dynamic"
+}
+
+// MatchClause is one "match X -> Y" or "match X =[types]=> Y within d"
+// declaration.
+type MatchClause struct {
+	From, To string
+	Kind     HopKind
+	// EdgeTypes restricts a dynamic hop; empty means follow-only.
+	EdgeTypes []string
+	// Window is the freshness window for a dynamic hop.
+	Window time.Duration
+	Pos    Pos
+}
+
+// String renders the clause approximately as written.
+func (m MatchClause) String() string {
+	if m.Kind == StaticHop {
+		return fmt.Sprintf("match %s -> %s", m.From, m.To)
+	}
+	arrow := "=>"
+	if len(m.EdgeTypes) > 0 {
+		arrow = fmt.Sprintf("=[%s]=>", strings.Join(m.EdgeTypes, ","))
+	}
+	s := fmt.Sprintf("match %s %s %s", m.From, arrow, m.To)
+	if m.Window > 0 {
+		s += fmt.Sprintf(" within %s", m.Window)
+	}
+	return s
+}
+
+// WhereClause is one "where count(X) >= N" constraint.
+type WhereClause struct {
+	Var string
+	Min int
+	Pos Pos
+}
+
+// String renders the clause.
+func (w WhereClause) String() string {
+	return fmt.Sprintf("where count(%s) >= %d", w.Var, w.Min)
+}
+
+// EmitClause is the "emit ITEM to USER via SUPPORT" declaration.
+type EmitClause struct {
+	Item, User, Via string
+	Pos             Pos
+}
+
+// String renders the clause.
+func (e EmitClause) String() string {
+	s := fmt.Sprintf("emit %s to %s", e.Item, e.User)
+	if e.Via != "" {
+		s += " via " + e.Via
+	}
+	return s
+}
+
+// LimitClause is a plan hint: "limit fanout N" or "limit candidates N".
+type LimitClause struct {
+	What string // "fanout" or "candidates"
+	N    int
+	Pos  Pos
+}
+
+// String renders the clause.
+func (l LimitClause) String() string {
+	return fmt.Sprintf("limit %s %d", l.What, l.N)
+}
+
+// String renders the whole spec in canonical form.
+func (s *Spec) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "motif %q {\n", s.Name)
+	for _, m := range s.Matches {
+		fmt.Fprintf(&sb, "    %s;\n", m)
+	}
+	for _, w := range s.Wheres {
+		fmt.Fprintf(&sb, "    %s;\n", w)
+	}
+	fmt.Fprintf(&sb, "    %s;\n", s.Emit)
+	for _, l := range s.Limits {
+		fmt.Fprintf(&sb, "    %s;\n", l)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

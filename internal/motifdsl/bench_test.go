@@ -1,0 +1,23 @@
+package motifdsl
+
+import "testing"
+
+// BenchmarkCompile measures the full lex → parse → plan pipeline; it runs
+// once per deployment, off the hot path, so even milliseconds would be
+// fine — it is nanoseconds.
+func BenchmarkCompile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(validDiamond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Lex(validDiamond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package motifdsl
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer produces tokens from a source string. It is a hand-written scanner
+// with one rune of lookahead; the language is regular enough that no
+// buffering is needed.
+type lexer struct {
+	src  string
+	pos  int // byte offset
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input; it returns the first lexical error
+// encountered.
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) here() Pos { return Pos{Line: l.line, Col: l.col} }
+
+// skipSpace consumes whitespace and comments. Both '#' and '//' introduce
+// line comments.
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#', c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '-' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) next() (Token, error) {
+	l.skipSpace()
+	pos := l.here()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case c == '{':
+		l.advance()
+		return Token{Kind: TokLBrace, Text: "{", Pos: pos}, nil
+	case c == '}':
+		l.advance()
+		return Token{Kind: TokRBrace, Text: "}", Pos: pos}, nil
+	case c == '(':
+		l.advance()
+		return Token{Kind: TokLParen, Text: "(", Pos: pos}, nil
+	case c == ')':
+		l.advance()
+		return Token{Kind: TokRParen, Text: ")", Pos: pos}, nil
+	case c == '[':
+		l.advance()
+		return Token{Kind: TokLBracket, Text: "[", Pos: pos}, nil
+	case c == ']':
+		l.advance()
+		return Token{Kind: TokRBracket, Text: "]", Pos: pos}, nil
+	case c == ';':
+		l.advance()
+		return Token{Kind: TokSemi, Text: ";", Pos: pos}, nil
+	case c == ',':
+		l.advance()
+		return Token{Kind: TokComma, Text: ",", Pos: pos}, nil
+	case c == '-':
+		l.advance()
+		if l.peek() != '>' {
+			return Token{}, errf(pos, "expected '->' after '-'")
+		}
+		l.advance()
+		return Token{Kind: TokArrow, Text: "->", Pos: pos}, nil
+	case c == '=':
+		l.advance()
+		if l.peek() == '>' {
+			l.advance()
+			return Token{Kind: TokDynArrow, Text: "=>", Pos: pos}, nil
+		}
+		// Bare '=' opens the typed dynamic arrow form =[t1,t2]=>; the
+		// parser assembles the pieces.
+		return Token{Kind: TokEq, Text: "=", Pos: pos}, nil
+	case c == '>':
+		l.advance()
+		if l.peek() != '=' {
+			return Token{}, errf(pos, "expected '>=' after '>'")
+		}
+		l.advance()
+		return Token{Kind: TokGE, Text: ">=", Pos: pos}, nil
+	case c == '"':
+		return l.lexString(pos)
+	case unicode.IsDigit(rune(c)):
+		return l.lexNumber(pos)
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		return Token{Kind: TokIdent, Text: l.src[start:l.pos], Pos: pos}, nil
+	default:
+		return Token{}, errf(pos, "unexpected character %q", string(rune(c)))
+	}
+}
+
+func (l *lexer) lexString(pos Pos) (Token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return Token{}, errf(pos, "unterminated string")
+		}
+		c := l.advance()
+		switch c {
+		case '"':
+			return Token{Kind: TokString, Text: sb.String(), Pos: pos}, nil
+		case '\n':
+			return Token{}, errf(pos, "newline in string")
+		case '\\':
+			if l.pos >= len(l.src) {
+				return Token{}, errf(pos, "unterminated escape")
+			}
+			e := l.advance()
+			switch e {
+			case '"', '\\':
+				sb.WriteByte(e)
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				return Token{}, errf(pos, "unknown escape \\%s", string(rune(e)))
+			}
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}
+
+// lexNumber scans an integer, or a duration if a unit suffix follows
+// (ns, us, µs, ms, s, m, h — the time.ParseDuration units).
+func (l *lexer) lexNumber(pos Pos) (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.peek())) {
+		l.advance()
+	}
+	// A duration may contain a fractional part and multiple unit groups
+	// (e.g. 1h30m, 1.5s). Accept [0-9.]+ followed by unit letters,
+	// repeated.
+	isUnitChar := func(c byte) bool {
+		return c == 'n' || c == 'u' || c == 'm' || c == 's' || c == 'h'
+	}
+	if l.pos < len(l.src) && (l.peek() == '.' || isUnitChar(l.peek())) {
+		for l.pos < len(l.src) {
+			c := l.peek()
+			if unicode.IsDigit(rune(c)) || c == '.' || isUnitChar(c) {
+				l.advance()
+				continue
+			}
+			break
+		}
+		text := l.src[start:l.pos]
+		// All-digit means it never had a unit after all.
+		if strings.IndexFunc(text, func(r rune) bool { return !unicode.IsDigit(r) }) == -1 {
+			return Token{Kind: TokInt, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokDuration, Text: text, Pos: pos}, nil
+	}
+	return Token{Kind: TokInt, Text: l.src[start:l.pos], Pos: pos}, nil
+}

@@ -1,0 +1,136 @@
+package motifdsl
+
+import "testing"
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex(`motif "x" { } ( ) [ ] ; , -> => >= =`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokIdent, TokString, TokLBrace, TokRBrace, TokLParen, TokRParen,
+		TokLBracket, TokRBracket, TokSemi, TokComma, TokArrow, TokDynArrow,
+		TokGE, TokEq, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbersAndDurations(t *testing.T) {
+	toks, err := Lex(`123 10m 250ms 1h30m 1.5s 42`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokInt, "123"},
+		{TokDuration, "10m"},
+		{TokDuration, "250ms"},
+		{TokDuration, "1h30m"},
+		{TokDuration, "1.5s"},
+		{TokInt, "42"},
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Fatalf("token %d = %v %q, want %v %q", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("a # line comment\nb // another\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 { // a b c EOF
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[0].Text != "a" || toks[1].Text != "b" || toks[2].Text != "c" {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex(`"a\"b\\c\nd\te"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "a\"b\\c\nd\te" {
+		t.Fatalf("string = %q", toks[0].Text)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Fatalf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Fatalf("b at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		`"unterminated`,
+		`"newline
+		in string"`,
+		`"bad \q escape"`,
+		`- alone`,
+		`> alone`,
+		`@`,
+	} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexIdentWithDashAndDigits(t *testing.T) {
+	toks, err := Lex("who-to-follow B2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "who-to-follow" || toks[1].Text != "B2" {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestErrorRendering(t *testing.T) {
+	err := errf(Pos{3, 7}, "bad %s", "thing")
+	want := "motifdsl: 3:7: bad thing"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	for k := TokEOF; k <= TokEq; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty String()", k)
+		}
+	}
+	if TokenKind(200).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}

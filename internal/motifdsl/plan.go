@@ -1,0 +1,219 @@
+package motifdsl
+
+import (
+	"fmt"
+	"time"
+
+	"motifstream/internal/graph"
+	"motifstream/internal/motif"
+)
+
+// Plan is a validated, executable form of a Spec. The currently supported
+// plan family is the paper's diamond: one static hop USER->SUPPORT resolved
+// in S, one dynamic hop SUPPORT=>ITEM over the stream, a support threshold,
+// and an emit of ITEM to USER. The planner's job is to recognize that
+// family regardless of the variable names used, reject what the engine
+// cannot run, and choose the execution parameters.
+type Plan struct {
+	Spec *Spec
+	// Diamond holds the compiled configuration when K >= 2.
+	Diamond *motif.DiamondConfig
+	// FreshFollow is set instead when the threshold is 1.
+	FreshFollow *motif.FreshFollow
+}
+
+// Compile parses src and plans every declaration into runnable programs.
+func Compile(src string) ([]motif.Program, error) {
+	specs, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]motif.Program, 0, len(specs))
+	for _, s := range specs {
+		p, err := PlanSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p.Program())
+	}
+	return out, nil
+}
+
+// CompileOne parses and plans exactly one declaration.
+func CompileOne(src string) (motif.Program, error) {
+	spec, err := ParseOne(src)
+	if err != nil {
+		return nil, err
+	}
+	p, err := PlanSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return p.Program(), nil
+}
+
+// defaultWindow applies when a dynamic hop omits 'within'.
+const defaultWindow = 10 * time.Minute
+
+// PlanSpec semantically checks spec and produces a Plan.
+func PlanSpec(spec *Spec) (*Plan, error) {
+	if len(spec.Matches) != 2 {
+		return nil, errf(spec.Pos,
+			"motif %q: the engine supports exactly two hops (one static, one dynamic), got %d",
+			spec.Name, len(spec.Matches))
+	}
+	var static, dynamic *MatchClause
+	for i := range spec.Matches {
+		m := &spec.Matches[i]
+		switch m.Kind {
+		case StaticHop:
+			if static != nil {
+				return nil, errf(m.Pos, "motif %q: more than one static hop", spec.Name)
+			}
+			static = m
+		case DynamicHop:
+			if dynamic != nil {
+				return nil, errf(m.Pos, "motif %q: more than one dynamic hop", spec.Name)
+			}
+			dynamic = m
+		}
+	}
+	if static == nil {
+		return nil, errf(spec.Pos, "motif %q: need one static hop ('->')", spec.Name)
+	}
+	if dynamic == nil {
+		return nil, errf(spec.Pos, "motif %q: need one dynamic hop ('=>')", spec.Name)
+	}
+	// The hops must chain: USER -> SUPPORT => ITEM.
+	if static.To != dynamic.From {
+		return nil, errf(dynamic.Pos,
+			"motif %q: hops do not chain: static hop ends at %q but dynamic hop starts at %q",
+			spec.Name, static.To, dynamic.From)
+	}
+	user, support, item := static.From, static.To, dynamic.To
+
+	// Emit must be ITEM to USER (via SUPPORT).
+	if spec.Emit.Item != item {
+		return nil, errf(spec.Emit.Pos,
+			"motif %q: emit item %q must be the dynamic hop target %q", spec.Name, spec.Emit.Item, item)
+	}
+	if spec.Emit.User != user {
+		return nil, errf(spec.Emit.Pos,
+			"motif %q: emit recipient %q must be the static hop source %q", spec.Name, spec.Emit.User, user)
+	}
+	if spec.Emit.Via != "" && spec.Emit.Via != support {
+		return nil, errf(spec.Emit.Pos,
+			"motif %q: emit via %q must be the support variable %q", spec.Name, spec.Emit.Via, support)
+	}
+
+	// Threshold: exactly one where clause, over the support variable.
+	k := 0
+	for _, w := range spec.Wheres {
+		if w.Var != support {
+			return nil, errf(w.Pos,
+				"motif %q: count(%s) is not supported; the threshold must be over the support variable %q",
+				spec.Name, w.Var, support)
+		}
+		if k != 0 {
+			return nil, errf(w.Pos, "motif %q: duplicate count(%s) constraint", spec.Name, support)
+		}
+		k = w.Min
+	}
+	if k == 0 {
+		return nil, errf(spec.Pos,
+			"motif %q: missing 'where count(%s) >= k' support threshold", spec.Name, support)
+	}
+
+	types, err := edgeTypesOf(dynamic)
+	if err != nil {
+		return nil, err
+	}
+	window := dynamic.Window
+	if window <= 0 {
+		window = defaultWindow
+	}
+
+	fanout, maxCands := 0, 0
+	for _, l := range spec.Limits {
+		switch l.What {
+		case "fanout":
+			fanout = l.N
+		case "candidates":
+			maxCands = l.N
+		}
+	}
+
+	plan := &Plan{Spec: spec}
+	if k == 1 {
+		if len(types) > 0 {
+			for _, t := range types {
+				if t != graph.Follow {
+					return nil, errf(dynamic.Pos,
+						"motif %q: k=1 plans support follow edges only", spec.Name)
+				}
+			}
+		}
+		plan.FreshFollow = &motif.FreshFollow{MaxCandidates: maxCands}
+		return plan, nil
+	}
+	plan.Diamond = &motif.DiamondConfig{
+		Name:          spec.Name,
+		K:             k,
+		Window:        window,
+		EdgeTypes:     types,
+		MaxFanout:     fanout,
+		MaxCandidates: maxCands,
+	}
+	return plan, nil
+}
+
+// edgeTypesOf resolves the dynamic hop's type names.
+func edgeTypesOf(m *MatchClause) ([]graph.EdgeType, error) {
+	if len(m.EdgeTypes) == 0 {
+		return nil, nil // defaults to follow in DiamondConfig
+	}
+	out := make([]graph.EdgeType, 0, len(m.EdgeTypes))
+	for _, name := range m.EdgeTypes {
+		switch name {
+		case "follow":
+			out = append(out, graph.Follow)
+		case "retweet":
+			out = append(out, graph.Retweet)
+		case "favorite":
+			out = append(out, graph.Favorite)
+		default:
+			return nil, errf(m.Pos, "unknown edge type %q (want follow, retweet, or favorite)", name)
+		}
+	}
+	return out, nil
+}
+
+// Program instantiates the runnable motif program for the plan.
+func (p *Plan) Program() motif.Program {
+	if p.FreshFollow != nil {
+		return p.FreshFollow
+	}
+	return motif.NewDiamond(*p.Diamond)
+}
+
+// Describe returns a human-readable query-plan summary, the moral
+// equivalent of EXPLAIN.
+func (p *Plan) Describe() string {
+	if p.FreshFollow != nil {
+		return fmt.Sprintf("plan %q: fresh-follow broadcast (k=1), S-lookup per event", p.Spec.Name)
+	}
+	d := p.Diamond
+	types := "follow"
+	if len(d.EdgeTypes) > 0 {
+		types = ""
+		for i, t := range d.EdgeTypes {
+			if i > 0 {
+				types += ","
+			}
+			types += t.String()
+		}
+	}
+	return fmt.Sprintf(
+		"plan %q: diamond k=%d window=%s types=%s; per event: D-lookup(item) -> S-lookup(supports) -> %d-threshold intersect (fanout cap %d, candidate cap %d)",
+		p.Spec.Name, d.K, d.Window, types, d.K, d.MaxFanout, d.MaxCandidates)
+}

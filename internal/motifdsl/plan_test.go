@@ -1,0 +1,260 @@
+package motifdsl
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"motifstream/internal/dynstore"
+	"motifstream/internal/graph"
+	"motifstream/internal/motif"
+	"motifstream/internal/statstore"
+)
+
+func TestPlanDiamond(t *testing.T) {
+	p, err := CompileOne(validDiamond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := p.(*motif.Diamond)
+	if !ok {
+		t.Fatalf("program type %T, want *motif.Diamond", p)
+	}
+	cfg := d.Config()
+	if cfg.K != 3 || cfg.Window != 10*time.Minute || cfg.MaxFanout != 64 || cfg.MaxCandidates != 100 {
+		t.Fatalf("config = %+v", cfg)
+	}
+	if d.Name() != "diamond" {
+		t.Fatalf("name = %q", d.Name())
+	}
+}
+
+func TestPlanDefaultWindow(t *testing.T) {
+	p, err := CompileOne(`
+motif "x" {
+    match A -> B;
+    match B => C;
+    where count(B) >= 2;
+    emit C to A;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.(*motif.Diamond).Config().Window; got != defaultWindow {
+		t.Fatalf("window = %v, want default %v", got, defaultWindow)
+	}
+}
+
+func TestPlanK1CompilesToFreshFollow(t *testing.T) {
+	p, err := CompileOne(`
+motif "broadcast" {
+    match A -> B;
+    match B =[follow]=> C;
+    where count(B) >= 1;
+    emit C to A;
+    limit candidates 10;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, ok := p.(*motif.FreshFollow)
+	if !ok {
+		t.Fatalf("program type %T, want *motif.FreshFollow", p)
+	}
+	if ff.MaxCandidates != 10 {
+		t.Fatalf("MaxCandidates = %d", ff.MaxCandidates)
+	}
+}
+
+func TestPlanK1RejectsContentTypes(t *testing.T) {
+	_, err := CompileOne(`
+motif "bad" {
+    match A -> B;
+    match B =[retweet]=> C;
+    where count(B) >= 1;
+    emit C to A;
+}`)
+	if err == nil || !strings.Contains(err.Error(), "follow edges only") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPlanVariableNamesAreFree(t *testing.T) {
+	// Any identifiers work as long as the roles chain correctly.
+	p, err := CompileOne(`
+motif "renamed" {
+    match user -> influencer;
+    match influencer =[favorite]=> tweet within 2m;
+    where count(influencer) >= 2;
+    emit tweet to user via influencer;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := p.(*motif.Diamond).Config()
+	if cfg.K != 2 || len(cfg.EdgeTypes) != 1 || cfg.EdgeTypes[0] != graph.Favorite {
+		t.Fatalf("config = %+v", cfg)
+	}
+}
+
+func TestPlanSemanticErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{
+			"one hop",
+			`motif "x" { match A -> B; where count(B) >= 2; emit B to A; }`,
+			"exactly two hops",
+		},
+		{
+			"two static hops",
+			`motif "x" { match A -> B; match B -> C; where count(B) >= 2; emit C to A; }`,
+			"more than one static hop",
+		},
+		{
+			"two dynamic hops",
+			`motif "x" { match A => B; match B => C; where count(B) >= 2; emit C to A; }`,
+			"more than one dynamic hop",
+		},
+		{
+			"hops do not chain",
+			`motif "x" { match A -> B; match X => C; where count(X) >= 2; emit C to A; }`,
+			"do not chain",
+		},
+		{
+			"emit wrong item",
+			`motif "x" { match A -> B; match B => C; where count(B) >= 2; emit B to A; }`,
+			"emit item",
+		},
+		{
+			"emit wrong user",
+			`motif "x" { match A -> B; match B => C; where count(B) >= 2; emit C to B; }`,
+			"recipient",
+		},
+		{
+			"emit wrong via",
+			`motif "x" { match A -> B; match B => C; where count(B) >= 2; emit C to A via C; }`,
+			"via",
+		},
+		{
+			"threshold on wrong var",
+			`motif "x" { match A -> B; match B => C; where count(A) >= 2; emit C to A; }`,
+			"support variable",
+		},
+		{
+			"no threshold",
+			`motif "x" { match A -> B; match B => C; emit C to A; }`,
+			"missing",
+		},
+		{
+			"duplicate threshold",
+			`motif "x" { match A -> B; match B => C; where count(B) >= 2; where count(B) >= 3; emit C to A; }`,
+			"duplicate",
+		},
+		{
+			"unknown edge type",
+			`motif "x" { match A -> B; match B =[poke]=> C; where count(B) >= 2; emit C to A; }`,
+			"unknown edge type",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := CompileOne(c.src)
+			if err == nil {
+				t.Fatal("compile succeeded")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not mention %q", err.Error(), c.wantSub)
+			}
+		})
+	}
+}
+
+func TestCompileMultiple(t *testing.T) {
+	progs, err := Compile(validDiamond + `
+motif "content" {
+    match A -> B;
+    match B =[retweet,favorite]=> C within 5m;
+    where count(B) >= 3;
+    emit C to A via B;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 2 {
+		t.Fatalf("%d programs", len(progs))
+	}
+	if progs[0].Name() != "diamond" || progs[1].Name() != "content" {
+		t.Fatalf("names = %q, %q", progs[0].Name(), progs[1].Name())
+	}
+}
+
+func TestPlanDescribe(t *testing.T) {
+	spec, err := ParseOne(validDiamond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := plan.Describe()
+	for _, want := range []string{"diamond", "k=3", "10m", "follow"} {
+		if !strings.Contains(desc, want) {
+			t.Fatalf("Describe() = %q missing %q", desc, want)
+		}
+	}
+	// FreshFollow plans describe themselves too.
+	spec2, _ := ParseOne(`
+motif "b" {
+    match A -> B;
+    match B => C;
+    where count(B) >= 1;
+    emit C to A;
+}`)
+	plan2, err := PlanSpec(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan2.Describe(), "fresh-follow") {
+		t.Fatalf("Describe() = %q", plan2.Describe())
+	}
+}
+
+// TestCompiledProgramDetects is the end-to-end DSL test: the compiled
+// diamond detects the paper's Figure 1 motif exactly like the hand-coded
+// one (the E10 equivalence property, in miniature).
+func TestCompiledProgramDetects(t *testing.T) {
+	prog, err := CompileOne(`
+motif "fig1" {
+    match A -> B;
+    match B =[follow]=> C within 10m;
+    where count(B) >= 2;
+    emit C to A via B;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &statstore.Builder{}
+	s := statstore.New(b.Build([]graph.Edge{
+		{Src: 1, Dst: 10}, {Src: 2, Dst: 10},
+		{Src: 2, Dst: 11}, {Src: 3, Dst: 11},
+	}))
+	d := dynstore.New(dynstore.Options{Retention: time.Hour})
+	ctx := &motif.Context{S: s, D: d}
+	t0 := int64(1_000_000)
+	e1 := graph.Edge{Src: 10, Dst: 99, Type: graph.Follow, TS: t0}
+	e2 := graph.Edge{Src: 11, Dst: 99, Type: graph.Follow, TS: t0 + 1_000}
+	d.Insert(e1)
+	if got := prog.OnEdge(ctx, e1); len(got) != 0 {
+		t.Fatalf("premature: %v", got)
+	}
+	d.Insert(e2)
+	got := prog.OnEdge(ctx, e2)
+	if len(got) != 1 || got[0].User != 2 || got[0].Item != 99 {
+		t.Fatalf("candidates = %v", got)
+	}
+	if got[0].Program != "fig1" {
+		t.Fatalf("program label = %q", got[0].Program)
+	}
+}

@@ -1,0 +1,245 @@
+// Package offline models the batch side of the paper's design: "currently
+// the A→B edges are computed offline and loaded into the system
+// periodically: this allows us to take advantage of rich features to prune
+// the graph" (§2). The pipeline scores each follow edge from interaction
+// features, prunes weak edges and over-long follow lists, and publishes
+// fresh S snapshots to the online system on a schedule.
+package offline
+
+import (
+	"fmt"
+	"time"
+
+	"motifstream/internal/graph"
+	"motifstream/internal/statstore"
+)
+
+// Interaction is one engagement signal between a follower and a
+// following: A retweeted/favorited/replied-to B at some time. The offline
+// pipeline aggregates these into per-edge features.
+type Interaction struct {
+	A, B graph.VertexID
+	TS   int64 // Unix ms
+}
+
+// EdgeFeatures aggregates the signals available for one A→B follow edge.
+type EdgeFeatures struct {
+	// FollowAgeMS is how long ago A followed B, relative to the build
+	// time (non-negative).
+	FollowAgeMS int64
+	// Interactions counts A's engagements with B's content.
+	Interactions int
+	// LastInteractionMS is the age of the most recent engagement; 0 when
+	// Interactions is 0.
+	LastInteractionMS int64
+	// Reciprocal reports whether B also follows A.
+	Reciprocal bool
+}
+
+// Scorer ranks an edge from its features; higher keeps the edge longer
+// under pruning.
+type Scorer func(f EdgeFeatures) float64
+
+// DefaultScorer blends engagement volume, engagement recency, follow
+// recency, and reciprocity — the "rich features" of the paper, in
+// miniature. The weights are ad hoc but monotone in the obvious
+// directions, which is all the pruning experiment needs.
+func DefaultScorer(f EdgeFeatures) float64 {
+	score := float64(f.Interactions)
+	if f.Interactions > 0 {
+		// Engagement in the last week is worth more than stale history.
+		weekMS := float64(7 * 24 * time.Hour / time.Millisecond)
+		score += 5 * decay(float64(f.LastInteractionMS), weekMS)
+	}
+	// Fresh follows carry intent even with no engagement yet.
+	monthMS := float64(30 * 24 * time.Hour / time.Millisecond)
+	score += 2 * decay(float64(f.FollowAgeMS), monthMS)
+	if f.Reciprocal {
+		score += 3
+	}
+	return score
+}
+
+// decay maps age to (0,1], halving every halfLife.
+func decay(ageMS, halfLifeMS float64) float64 {
+	if ageMS <= 0 {
+		return 1
+	}
+	return 1 / (1 + ageMS/halfLifeMS)
+}
+
+// Config assembles a Pipeline.
+type Config struct {
+	// MaxInfluencers caps each A's follow list after scoring (the
+	// paper's influencer cap). Zero keeps everything.
+	MaxInfluencers int
+	// MinScore prunes edges scoring below it regardless of the cap.
+	MinScore float64
+	// Scorer ranks edges; nil selects DefaultScorer.
+	Scorer Scorer
+	// PartitionKeep optionally restricts the build to one partition's
+	// A's, matching statstore.Builder semantics.
+	PartitionKeep func(a graph.VertexID) bool
+}
+
+// Pipeline scores and prunes follow edges into S snapshots.
+type Pipeline struct {
+	cfg     Config
+	builder *statstore.Builder
+}
+
+// NewPipeline validates cfg and returns a Pipeline.
+func NewPipeline(cfg Config) *Pipeline {
+	if cfg.Scorer == nil {
+		cfg.Scorer = DefaultScorer
+	}
+	return &Pipeline{cfg: cfg}
+}
+
+// BuildStats reports what one build did.
+type BuildStats struct {
+	InputEdges   int
+	ScoredOut    int // dropped by MinScore
+	CappedOut    int // dropped by the influencer cap
+	OutputEdges  int
+	BuildElapsed time.Duration
+}
+
+// String renders the stats for logs.
+func (s BuildStats) String() string {
+	return fmt.Sprintf("offline build: %d in, %d below min-score, %d over cap, %d out (%v)",
+		s.InputEdges, s.ScoredOut, s.CappedOut, s.OutputEdges, s.BuildElapsed)
+}
+
+// Build scores every follow edge at the given build time, prunes, and
+// returns the snapshot plus the surviving edges (which the online side
+// also needs for its already-follows index).
+func (p *Pipeline) Build(follows []graph.Edge, interactions []Interaction, nowMS int64) (*statstore.Snapshot, []graph.Edge, BuildStats) {
+	start := time.Now()
+	stats := BuildStats{InputEdges: len(follows)}
+
+	// Aggregate interaction features per (A,B).
+	type pair struct{ a, b graph.VertexID }
+	counts := make(map[pair]int)
+	latest := make(map[pair]int64)
+	for _, it := range interactions {
+		k := pair{it.A, it.B}
+		counts[k]++
+		if it.TS > latest[k] {
+			latest[k] = it.TS
+		}
+	}
+	followSet := make(map[pair]bool, len(follows))
+	for _, e := range follows {
+		followSet[pair{e.Src, e.Dst}] = true
+	}
+
+	score := func(e graph.Edge) float64 {
+		k := pair{e.Src, e.Dst}
+		f := EdgeFeatures{
+			FollowAgeMS:  maxI64(0, nowMS-e.TS),
+			Interactions: counts[k],
+			Reciprocal:   followSet[pair{e.Dst, e.Src}],
+		}
+		if f.Interactions > 0 {
+			f.LastInteractionMS = maxI64(0, nowMS-latest[k])
+		}
+		return p.cfg.Scorer(f)
+	}
+
+	// Min-score pruning first, so the cap ranks survivors only.
+	kept := follows
+	if p.cfg.MinScore > 0 {
+		kept = make([]graph.Edge, 0, len(follows))
+		for _, e := range follows {
+			if score(e) >= p.cfg.MinScore {
+				kept = append(kept, e)
+			}
+		}
+		stats.ScoredOut = len(follows) - len(kept)
+	}
+
+	builder := &statstore.Builder{
+		Keep:           p.cfg.PartitionKeep,
+		MaxInfluencers: p.cfg.MaxInfluencers,
+		Score:          score,
+	}
+	snap := builder.Build(kept)
+	stats.OutputEdges = int(snap.NumEdges())
+	capped := len(kept) - stats.OutputEdges
+	if p.cfg.PartitionKeep == nil && capped > 0 {
+		stats.CappedOut = capped
+	}
+	stats.BuildElapsed = time.Since(start)
+	return snap, kept, stats
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Reloader periodically rebuilds S and publishes it to a target store,
+// modeling the paper's "loaded into the system periodically". Sources are
+// pulled at each tick so the batch inputs can evolve between builds.
+type Reloader struct {
+	// Pipeline performs the builds. Required.
+	Pipeline *Pipeline
+	// Target receives each new snapshot. Required.
+	Target *statstore.Store
+	// Fetch returns the current batch inputs and build time. Required.
+	Fetch func() (follows []graph.Edge, interactions []Interaction, nowMS int64)
+	// Interval between builds; zero selects one hour.
+	Interval time.Duration
+	// OnBuild, if set, observes each build's stats.
+	OnBuild func(BuildStats)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start launches the reload loop; the first build runs immediately.
+// It returns an error if required fields are missing.
+func (r *Reloader) Start() error {
+	if r.Pipeline == nil || r.Target == nil || r.Fetch == nil {
+		return fmt.Errorf("offline: Reloader needs Pipeline, Target, and Fetch")
+	}
+	if r.Interval <= 0 {
+		r.Interval = time.Hour
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	r.buildOnce()
+	go func() {
+		defer close(r.done)
+		ticker := time.NewTicker(r.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				r.buildOnce()
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+func (r *Reloader) buildOnce() {
+	follows, interactions, nowMS := r.Fetch()
+	snap, _, stats := r.Pipeline.Build(follows, interactions, nowMS)
+	r.Target.Reload(snap)
+	if r.OnBuild != nil {
+		r.OnBuild(stats)
+	}
+}
+
+// Stop terminates the loop and waits for it to exit. Safe to call once
+// after a successful Start.
+func (r *Reloader) Stop() {
+	close(r.stop)
+	<-r.done
+}

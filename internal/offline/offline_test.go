@@ -1,0 +1,181 @@
+package offline
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"motifstream/internal/graph"
+	"motifstream/internal/statstore"
+)
+
+const dayMS = int64(24 * time.Hour / time.Millisecond)
+
+func follow(a, b graph.VertexID, ts int64) graph.Edge {
+	return graph.Edge{Src: a, Dst: b, Type: graph.Follow, TS: ts}
+}
+
+func TestDefaultScorerMonotone(t *testing.T) {
+	base := EdgeFeatures{FollowAgeMS: 30 * dayMS}
+	s0 := DefaultScorer(base)
+
+	engaged := base
+	engaged.Interactions = 5
+	engaged.LastInteractionMS = dayMS
+	if DefaultScorer(engaged) <= s0 {
+		t.Fatal("engagement should raise the score")
+	}
+
+	recent := engaged
+	recent.LastInteractionMS = dayMS / 24
+	if DefaultScorer(recent) <= DefaultScorer(engaged) {
+		t.Fatal("fresher engagement should score higher")
+	}
+
+	reciprocal := base
+	reciprocal.Reciprocal = true
+	if DefaultScorer(reciprocal) <= s0 {
+		t.Fatal("reciprocity should raise the score")
+	}
+
+	fresh := base
+	fresh.FollowAgeMS = 0
+	if DefaultScorer(fresh) <= s0 {
+		t.Fatal("fresher follow should score higher")
+	}
+}
+
+func TestBuildScoresAndCaps(t *testing.T) {
+	now := 100 * dayMS
+	// A=1 follows 10, 20, 30. It engages heavily with 20 only.
+	follows := []graph.Edge{
+		follow(1, 10, now-50*dayMS),
+		follow(1, 20, now-50*dayMS),
+		follow(1, 30, now-50*dayMS),
+	}
+	var interactions []Interaction
+	for i := int64(0); i < 10; i++ {
+		interactions = append(interactions, Interaction{A: 1, B: 20, TS: now - i*dayMS})
+	}
+	p := NewPipeline(Config{MaxInfluencers: 1})
+	snap, kept, stats := p.Build(follows, interactions, now)
+	if stats.InputEdges != 3 || stats.OutputEdges != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(kept) != 3 {
+		t.Fatalf("kept (pre-cap) = %d, want 3", len(kept))
+	}
+	if snap.Followers(20) == nil {
+		t.Fatal("the engaged-with influencer should survive the cap")
+	}
+	if snap.Followers(10) != nil || snap.Followers(30) != nil {
+		t.Fatal("unengaged influencers should be capped away")
+	}
+	if stats.CappedOut != 2 {
+		t.Fatalf("CappedOut = %d, want 2", stats.CappedOut)
+	}
+	if stats.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestBuildMinScore(t *testing.T) {
+	now := 100 * dayMS
+	follows := []graph.Edge{
+		follow(1, 10, now),          // fresh follow: decent score
+		follow(2, 20, now-90*dayMS), // stale, no engagement: weak
+	}
+	p := NewPipeline(Config{MinScore: 1.0})
+	snap, _, stats := p.Build(follows, nil, now)
+	if stats.ScoredOut != 1 {
+		t.Fatalf("ScoredOut = %d, want 1 (stale edge)", stats.ScoredOut)
+	}
+	if snap.Followers(10) == nil || snap.Followers(20) != nil {
+		t.Fatal("wrong edges pruned")
+	}
+}
+
+func TestBuildReciprocity(t *testing.T) {
+	now := 100 * dayMS
+	// 1↔2 reciprocal; 1→3 one-way. Cap to 1 influencer: reciprocity wins.
+	follows := []graph.Edge{
+		follow(1, 2, now-50*dayMS),
+		follow(2, 1, now-50*dayMS),
+		follow(1, 3, now-50*dayMS),
+	}
+	p := NewPipeline(Config{MaxInfluencers: 1})
+	snap, _, _ := p.Build(follows, nil, now)
+	if snap.Followers(2) == nil {
+		t.Fatal("reciprocal edge should survive")
+	}
+	if snap.Followers(3) != nil {
+		t.Fatal("one-way edge should be capped away")
+	}
+}
+
+func TestBuildPartitionKeep(t *testing.T) {
+	now := dayMS
+	follows := []graph.Edge{follow(1, 10, now), follow(2, 10, now)}
+	p := NewPipeline(Config{
+		PartitionKeep: func(a graph.VertexID) bool { return a == 1 },
+	})
+	snap, _, _ := p.Build(follows, nil, now)
+	l := snap.Followers(10)
+	if len(l) != 1 || l[0] != 1 {
+		t.Fatalf("Followers(10) = %v", l)
+	}
+}
+
+func TestReloaderPublishes(t *testing.T) {
+	target := statstore.New(nil)
+	var builds atomic.Int32
+	var gen atomic.Int64
+	r := &Reloader{
+		Pipeline: NewPipeline(Config{}),
+		Target:   target,
+		Interval: 5 * time.Millisecond,
+		Fetch: func() ([]graph.Edge, []Interaction, int64) {
+			g := gen.Add(1)
+			// The follow graph evolves between builds.
+			return []graph.Edge{follow(graph.VertexID(g), 10, 0)}, nil, dayMS
+		},
+		OnBuild: func(BuildStats) { builds.Add(1) },
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// First build is synchronous.
+	if builds.Load() < 1 {
+		t.Fatal("no initial build")
+	}
+	if target.Followers(10) == nil {
+		t.Fatal("snapshot not published")
+	}
+	deadline := time.After(2 * time.Second)
+	for builds.Load() < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("reloader did not tick")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	r.Stop()
+	after := builds.Load()
+	time.Sleep(20 * time.Millisecond)
+	if builds.Load() != after {
+		t.Fatal("reloader kept building after Stop")
+	}
+	// The served snapshot reflects a later generation.
+	snap := target.Snapshot()
+	if snap.NumEdges() != 1 {
+		t.Fatalf("served snapshot edges = %d", snap.NumEdges())
+	}
+}
+
+func TestReloaderValidation(t *testing.T) {
+	r := &Reloader{}
+	if err := r.Start(); err == nil {
+		t.Fatal("empty reloader started")
+	}
+}

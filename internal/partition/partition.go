@@ -1,0 +1,226 @@
+// Package partition implements the paper's horizontal scaling scheme:
+// hash-partitioning by the A's. "Each partition holds a disjoint set of
+// source vertices for the S data structure... Such a design guarantees
+// that all adjacency list intersections are local to each partition, which
+// eliminates complex cross-partition operations" (§2). Every partition
+// nonetheless ingests the entire dynamic stream into its own full copy of
+// D.
+package partition
+
+import (
+	"fmt"
+	"sync"
+
+	"motifstream/internal/core"
+	"motifstream/internal/dynstore"
+	"motifstream/internal/graph"
+	"motifstream/internal/metrics"
+	"motifstream/internal/motif"
+	"motifstream/internal/statstore"
+)
+
+// Partitioner assigns each A to exactly one partition.
+type Partitioner interface {
+	// PartitionOf returns the partition index owning a, in [0, N()).
+	PartitionOf(a graph.VertexID) int
+	// N returns the number of partitions.
+	N() int
+}
+
+// HashPartitioner assigns A's by Fibonacci hash, giving a near-uniform
+// spread even for sequential IDs.
+type HashPartitioner struct {
+	n int
+}
+
+// NewHashPartitioner panics on n < 1.
+func NewHashPartitioner(n int) HashPartitioner {
+	if n < 1 {
+		panic("partition: need at least one partition")
+	}
+	return HashPartitioner{n: n}
+}
+
+// PartitionOf implements Partitioner.
+func (p HashPartitioner) PartitionOf(a graph.VertexID) int {
+	h := uint64(a) * 0x9e3779b97f4a7c15
+	return int((h >> 32) % uint64(p.n))
+}
+
+// N implements Partitioner.
+func (p HashPartitioner) N() int { return p.n }
+
+// Config assembles one Partition.
+type Config struct {
+	// ID is the partition index.
+	ID int
+	// StaticEdges are the global A→B follow edges; the builder keeps only
+	// this partition's A's.
+	StaticEdges []graph.Edge
+	// Partitioner decides ownership. Required.
+	Partitioner Partitioner
+	// MaxInfluencers caps B's per A in S (0 = unlimited).
+	MaxInfluencers int
+	// Dynamic configures this partition's D store.
+	Dynamic dynstore.Options
+	// Programs are the motif programs to run. Required.
+	Programs []motif.Program
+	// Metrics is the shared registry; nil creates a private one.
+	Metrics *metrics.Registry
+	// RecentPerUser is the per-user candidate log depth for serving read
+	// queries; 0 selects 16.
+	RecentPerUser int
+}
+
+// Partition is one shard of the system: a partition-filtered S, a full D,
+// the detection engine, and a small per-user candidate log that serves the
+// broker's read path.
+type Partition struct {
+	id     int
+	part   Partitioner
+	engine *core.Engine
+	log    *candidateLog
+	items  *itemCounter
+}
+
+// New builds a partition, including its S snapshot from the global static
+// edge set.
+func New(cfg Config) (*Partition, error) {
+	if cfg.Partitioner == nil {
+		return nil, fmt.Errorf("partition: Partitioner is required")
+	}
+	if cfg.ID < 0 || cfg.ID >= cfg.Partitioner.N() {
+		return nil, fmt.Errorf("partition: ID %d out of range [0,%d)", cfg.ID, cfg.Partitioner.N())
+	}
+	builder := &statstore.Builder{
+		Keep:           func(a graph.VertexID) bool { return cfg.Partitioner.PartitionOf(a) == cfg.ID },
+		MaxInfluencers: cfg.MaxInfluencers,
+	}
+	snap := builder.Build(cfg.StaticEdges)
+	static := statstore.New(snap)
+	// Forward index for already-follows suppression, partition-local.
+	follows := buildFollowsIndex(cfg.StaticEdges, cfg.Partitioner, cfg.ID)
+	eng, err := core.NewEngine(core.Config{
+		Static:   static,
+		Dynamic:  dynstore.New(cfg.Dynamic),
+		Programs: cfg.Programs,
+		Follows: func(a, c graph.VertexID) bool {
+			return follows[a].Contains(c)
+		},
+		Metrics: cfg.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	depth := cfg.RecentPerUser
+	if depth <= 0 {
+		depth = 16
+	}
+	return &Partition{
+		id:     cfg.ID,
+		part:   cfg.Partitioner,
+		engine: eng,
+		log:    newCandidateLog(depth),
+		items:  newItemCounter(),
+	}, nil
+}
+
+// buildFollowsIndex maps each in-partition A to its sorted followings.
+func buildFollowsIndex(edges []graph.Edge, p Partitioner, id int) map[graph.VertexID]graph.AdjList {
+	byA := make(map[graph.VertexID][]graph.VertexID)
+	for _, e := range edges {
+		if p.PartitionOf(e.Src) == id {
+			byA[e.Src] = append(byA[e.Src], e.Dst)
+		}
+	}
+	out := make(map[graph.VertexID]graph.AdjList, len(byA))
+	for a, bs := range byA {
+		out[a] = graph.NewAdjList(bs)
+	}
+	return out
+}
+
+// ID returns the partition index.
+func (p *Partition) ID() int { return p.id }
+
+// Engine exposes the partition's detection engine.
+func (p *Partition) Engine() *core.Engine { return p.engine }
+
+// Apply ingests one dynamic edge and returns the candidates detected for
+// this partition's A's. Candidates are also appended to the per-user log.
+func (p *Partition) Apply(e graph.Edge) []motif.Candidate {
+	cands := p.engine.Apply(e)
+	for _, c := range cands {
+		p.log.add(c)
+		p.items.add(c.Item)
+	}
+	return cands
+}
+
+// RecommendationsFor returns the most recent logged candidates for user a.
+// Returns nil if a is not owned by this partition.
+func (p *Partition) RecommendationsFor(a graph.VertexID) []motif.Candidate {
+	if p.part.PartitionOf(a) != p.id {
+		return nil
+	}
+	return p.log.get(a)
+}
+
+// Owns reports whether this partition owns user a.
+func (p *Partition) Owns(a graph.VertexID) bool {
+	return p.part.PartitionOf(a) == p.id
+}
+
+// candidateLog retains the last depth candidates per user, serving the
+// broker read path.
+type candidateLog struct {
+	depth int
+	mu    sync.RWMutex
+	byA   map[graph.VertexID][]motif.Candidate
+}
+
+func newCandidateLog(depth int) *candidateLog {
+	return &candidateLog{depth: depth, byA: make(map[graph.VertexID][]motif.Candidate)}
+}
+
+func (l *candidateLog) add(c motif.Candidate) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	list := append(l.byA[c.User], c)
+	if len(list) > l.depth {
+		list = list[len(list)-l.depth:]
+	}
+	l.byA[c.User] = list
+}
+
+func (l *candidateLog) get(a graph.VertexID) []motif.Candidate {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	list := l.byA[a]
+	if len(list) == 0 {
+		return nil
+	}
+	out := make([]motif.Candidate, len(list))
+	copy(out, list)
+	return out
+}
+
+// SweepBefore drops logged candidates older than cutoff stream time; used
+// by long-running deployments to bound memory.
+func (p *Partition) SweepBefore(cutoffMS int64) {
+	p.log.mu.Lock()
+	defer p.log.mu.Unlock()
+	for a, list := range p.log.byA {
+		keep := list[:0]
+		for _, c := range list {
+			if c.DetectedAtMS >= cutoffMS {
+				keep = append(keep, c)
+			}
+		}
+		if len(keep) == 0 {
+			delete(p.log.byA, a)
+		} else {
+			p.log.byA[a] = keep
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package partition
+
+import (
+	"sort"
+	"sync"
+
+	"motifstream/internal/graph"
+)
+
+// ItemCount pairs a recommended item with how many times this partition
+// recommended it.
+type ItemCount struct {
+	Item  graph.VertexID
+	Count uint64
+}
+
+// itemCounter tracks per-item recommendation totals for the fan-out read
+// path ("what's trending"). Counts are partition-local; the broker merges
+// them across partitions.
+type itemCounter struct {
+	mu     sync.RWMutex
+	counts map[graph.VertexID]uint64
+}
+
+func newItemCounter() *itemCounter {
+	return &itemCounter{counts: make(map[graph.VertexID]uint64)}
+}
+
+func (c *itemCounter) add(item graph.VertexID) {
+	c.mu.Lock()
+	c.counts[item]++
+	c.mu.Unlock()
+}
+
+// top returns the n highest-count items, descending by count with item ID
+// as the tiebreak so results are deterministic.
+func (c *itemCounter) top(n int) []ItemCount {
+	if n <= 0 {
+		return nil
+	}
+	c.mu.RLock()
+	out := make([]ItemCount, 0, len(c.counts))
+	for item, count := range c.counts {
+		out = append(out, ItemCount{Item: item, Count: count})
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// TopItems returns this partition's n most-recommended items — the
+// per-partition half of the paper's "brokers that fan-out queries and
+// gather results".
+func (p *Partition) TopItems(n int) []ItemCount {
+	return p.items.top(n)
+}
+
+// MergeItemCounts combines per-partition results into a global top-n.
+// Partitions own disjoint users, so the same item may appear in several
+// lists; counts add.
+func MergeItemCounts(lists [][]ItemCount, n int) []ItemCount {
+	if n <= 0 {
+		return nil
+	}
+	total := make(map[graph.VertexID]uint64)
+	for _, list := range lists {
+		for _, ic := range list {
+			total[ic.Item] += ic.Count
+		}
+	}
+	out := make([]ItemCount, 0, len(total))
+	for item, count := range total {
+		out = append(out, ItemCount{Item: item, Count: count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package partition
+
+import (
+	"testing"
+	"time"
+
+	"motifstream/internal/dynstore"
+	"motifstream/internal/graph"
+)
+
+func TestTopItemsCountsRecommendations(t *testing.T) {
+	p, err := New(Config{
+		ID: 0, StaticEdges: fig1Edges(), Partitioner: singlePartitioner{},
+		Dynamic:  dynstore.Options{Retention: time.Hour},
+		Programs: diamondProgs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := int64(1_000_000)
+	// Item 90 completes twice (two separate diamond completions via the
+	// second B re-acting), item 91 once.
+	for i, target := range []graph.VertexID{90, 90, 91} {
+		ts := t0 + int64(i)*100_000
+		p.Apply(graph.Edge{Src: 10, Dst: target, Type: graph.Follow, TS: ts})
+		p.Apply(graph.Edge{Src: 11, Dst: target, Type: graph.Follow, TS: ts + 1})
+	}
+	top := p.TopItems(10)
+	if len(top) != 2 {
+		t.Fatalf("TopItems = %v", top)
+	}
+	if top[0].Item != 90 || top[0].Count < top[1].Count {
+		t.Fatalf("ordering wrong: %v", top)
+	}
+	if got := p.TopItems(1); len(got) != 1 || got[0].Item != 90 {
+		t.Fatalf("TopItems(1) = %v", got)
+	}
+	if p.TopItems(0) != nil {
+		t.Fatal("TopItems(0) should be nil")
+	}
+}
+
+func TestMergeItemCounts(t *testing.T) {
+	lists := [][]ItemCount{
+		{{Item: 1, Count: 5}, {Item: 2, Count: 3}},
+		{{Item: 2, Count: 4}, {Item: 3, Count: 1}},
+		nil,
+	}
+	got := MergeItemCounts(lists, 10)
+	// Item 2: 3+4=7 beats item 1: 5.
+	if len(got) != 3 || got[0].Item != 2 || got[0].Count != 7 {
+		t.Fatalf("merged = %v", got)
+	}
+	if got[1].Item != 1 || got[2].Item != 3 {
+		t.Fatalf("ordering = %v", got)
+	}
+	// Top-n truncation.
+	if got := MergeItemCounts(lists, 1); len(got) != 1 || got[0].Item != 2 {
+		t.Fatalf("top-1 = %v", got)
+	}
+	if MergeItemCounts(lists, 0) != nil {
+		t.Fatal("n=0 should be nil")
+	}
+	// Deterministic tiebreak by item ID.
+	tie := [][]ItemCount{{{Item: 9, Count: 2}, {Item: 4, Count: 2}}}
+	got = MergeItemCounts(tie, 2)
+	if got[0].Item != 4 {
+		t.Fatalf("tiebreak = %v", got)
+	}
+}

@@ -1,0 +1,47 @@
+package queue
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkPublishFanOut measures one publish delivered to n draining
+// subscribers — the firehose pattern where every partition consumes the
+// full stream.
+func BenchmarkPublishFanOut(b *testing.B) {
+	for _, subs := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			t := NewTopic[int](Options{Buffer: 1 << 16})
+			done := make(chan struct{}, subs)
+			for i := 0; i < subs; i++ {
+				ch := t.Subscribe()
+				go func() {
+					for range ch {
+					}
+					done <- struct{}{}
+				}()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := t.Publish(i, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			t.Close()
+			for i := 0; i < subs; i++ {
+				<-done
+			}
+		})
+	}
+}
+
+func BenchmarkLognormalSample(b *testing.B) {
+	m := LognormalFromQuantiles(7*time.Second, 15*time.Second)
+	lr := newLockedRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lr.sample(m)
+	}
+}

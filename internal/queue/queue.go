@@ -1,0 +1,123 @@
+package queue
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Envelope wraps a message crossing a queue. VirtualDelay accumulates the
+// simulated propagation delay of every hop the message has crossed so far;
+// downstream stages add it to processing time to compute end-to-end latency
+// without sleeping.
+type Envelope[T any] struct {
+	Msg          T
+	VirtualDelay time.Duration
+}
+
+// ErrClosed is returned by Publish after Close.
+var ErrClosed = errors.New("queue: closed")
+
+// Topic is a fan-out pub/sub queue: every subscriber receives every
+// message, matching the paper's design in which "every partition needs to
+// handle the entire stream of edge creation events". Publish blocks when a
+// subscriber's buffer is full (backpressure). Safe for concurrent use.
+type Topic[T any] struct {
+	name  string
+	delay DelayModel
+	rng   *lockedRand
+	buf   int
+
+	mu     sync.Mutex
+	subs   []chan Envelope[T]
+	closed bool
+
+	published uint64
+}
+
+// Options configures a Topic.
+type Options struct {
+	// Name labels the topic in stats.
+	Name string
+	// Delay is the per-hop propagation delay model; nil means NoDelay.
+	Delay DelayModel
+	// Buffer is each subscriber's channel capacity; 0 selects 1024.
+	Buffer int
+	// Seed seeds the delay sampler for reproducibility.
+	Seed int64
+}
+
+// NewTopic creates a Topic.
+func NewTopic[T any](opts Options) *Topic[T] {
+	d := opts.Delay
+	if d == nil {
+		d = NoDelay{}
+	}
+	b := opts.Buffer
+	if b <= 0 {
+		b = 1024
+	}
+	return &Topic[T]{
+		name:  opts.Name,
+		delay: d,
+		rng:   newLockedRand(opts.Seed),
+		buf:   b,
+	}
+}
+
+// Subscribe registers a new consumer and returns its channel. The channel
+// is closed when the topic closes. Subscriptions made after publishing
+// begins miss earlier messages, as with any broker.
+func (t *Topic[T]) Subscribe() <-chan Envelope[T] {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ch := make(chan Envelope[T], t.buf)
+	if t.closed {
+		close(ch)
+		return ch
+	}
+	t.subs = append(t.subs, ch)
+	return ch
+}
+
+// Publish delivers msg to every subscriber, stamping each copy with an
+// independently sampled hop delay added to carried (the delay already
+// accumulated upstream). Returns ErrClosed after Close.
+func (t *Topic[T]) Publish(msg T, carried time.Duration) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	subs := t.subs
+	t.published++
+	t.mu.Unlock()
+	for _, ch := range subs {
+		ch <- Envelope[T]{Msg: msg, VirtualDelay: carried + t.rng.sample(t.delay)}
+	}
+	return nil
+}
+
+// Close closes all subscriber channels. Publish afterwards fails.
+func (t *Topic[T]) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for _, ch := range t.subs {
+		close(ch)
+	}
+	t.subs = nil
+}
+
+// Published returns the number of accepted Publish calls.
+func (t *Topic[T]) Published() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.published
+}
+
+// Name returns the topic label.
+func (t *Topic[T]) Name() string { return t.name }

@@ -1,0 +1,80 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestManualAdvance(t *testing.T) {
+	start := time.Date(2014, 9, 1, 0, 0, 0, 0, time.UTC)
+	m := NewManual(start)
+	if !m.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", m.Now(), start)
+	}
+	got := m.Advance(time.Hour)
+	if !got.Equal(start.Add(time.Hour)) {
+		t.Fatalf("Advance returned %v", got)
+	}
+	if !m.Now().Equal(start.Add(time.Hour)) {
+		t.Fatal("Advance not visible via Now")
+	}
+}
+
+func TestManualNeverGoesBackwards(t *testing.T) {
+	start := time.Unix(1000, 0)
+	m := NewManual(start)
+	m.Advance(-time.Hour)
+	if !m.Now().Equal(start) {
+		t.Fatal("negative Advance moved the clock")
+	}
+	m.Set(start.Add(-time.Minute))
+	if !m.Now().Equal(start) {
+		t.Fatal("Set to the past moved the clock")
+	}
+	m.Set(start.Add(time.Minute))
+	if !m.Now().Equal(start.Add(time.Minute)) {
+		t.Fatal("Set to the future ignored")
+	}
+}
+
+func TestManualZeroValue(t *testing.T) {
+	var m Manual
+	if got := m.Now(); !got.Equal(time.Time{}) {
+		t.Fatalf("zero Manual.Now() = %v", got)
+	}
+	m.Advance(time.Second)
+	if m.Now().IsZero() {
+		t.Fatal("Advance on zero value had no effect")
+	}
+}
+
+func TestManualConcurrent(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1_000; j++ {
+				m.Advance(time.Millisecond)
+				m.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Unix(0, 0).Add(4 * 1000 * time.Millisecond)
+	if !m.Now().Equal(want) {
+		t.Fatalf("concurrent advances lost: %v, want %v", m.Now(), want)
+	}
+}

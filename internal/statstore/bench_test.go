@@ -1,0 +1,70 @@
+package statstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"motifstream/internal/graph"
+)
+
+func benchFollowEdges(users, avg int) []graph.Edge {
+	r := rand.New(rand.NewSource(1))
+	edges := make([]graph.Edge, 0, users*avg)
+	for a := 0; a < users; a++ {
+		for j := 0; j < avg; j++ {
+			edges = append(edges, graph.Edge{
+				Src: graph.VertexID(a),
+				Dst: graph.VertexID(r.Intn(users)),
+				TS:  int64(j),
+			})
+		}
+	}
+	return edges
+}
+
+func BenchmarkBuild(b *testing.B) {
+	edges := benchFollowEdges(10_000, 25)
+	for _, cap := range []int{0, 50} {
+		name := "uncapped"
+		if cap > 0 {
+			name = fmt.Sprintf("cap=%d", cap)
+		}
+		b.Run(name, func(b *testing.B) {
+			builder := &Builder{MaxInfluencers: cap}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				builder.Build(edges)
+			}
+		})
+	}
+}
+
+func BenchmarkFollowers(b *testing.B) {
+	builder := &Builder{}
+	snap := builder.Build(benchFollowEdges(10_000, 25))
+	store := New(snap)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.Followers(graph.VertexID(i % 10_000))
+	}
+}
+
+func BenchmarkReloadUnderReads(b *testing.B) {
+	builder := &Builder{}
+	edges := benchFollowEdges(2_000, 10)
+	store := New(builder.Build(edges))
+	next := builder.Build(edges)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%1_000 == 0 {
+				store.Reload(next)
+			} else {
+				store.Followers(graph.VertexID(i % 2_000))
+			}
+			i++
+		}
+	})
+}

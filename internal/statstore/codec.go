@@ -1,0 +1,128 @@
+package statstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"motifstream/internal/graph"
+)
+
+// The binary snapshot format is what the offline pipeline ships to
+// partition servers: a magic header, the build version, then per
+// influencer a vertex ID, list length, and delta-encoded sorted follower
+// IDs. Delta encoding exploits the sortedness the intersection kernels
+// require anyway.
+
+// snapMagic identifies the snapshot format, version 1.
+var snapMagic = [8]byte{'M', 'S', 'S', 'N', 'A', 'P', 0, 1}
+
+// WriteSnapshot serializes a snapshot.
+func WriteSnapshot(w io.Writer, s *Snapshot) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := put(s.version); err != nil {
+		return err
+	}
+	if err := put(uint64(len(s.followers))); err != nil {
+		return err
+	}
+	// Deterministic output: influencers in ascending ID order.
+	bs := make([]graph.VertexID, 0, len(s.followers))
+	for b := range s.followers {
+		bs = append(bs, b)
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for _, b := range bs {
+		list := s.followers[b]
+		if err := put(uint64(b)); err != nil {
+			return err
+		}
+		if err := put(uint64(len(list))); err != nil {
+			return err
+		}
+		prev := graph.VertexID(0)
+		for i, a := range list {
+			delta := uint64(a - prev)
+			if i == 0 {
+				delta = uint64(a)
+			}
+			if err := put(delta); err != nil {
+				return err
+			}
+			prev = a
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot deserializes a snapshot written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("statstore: reading magic: %w", err)
+	}
+	if magic != snapMagic {
+		return nil, fmt.Errorf("statstore: bad snapshot magic %q", magic[:])
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("statstore: reading version: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("statstore: reading influencer count: %w", err)
+	}
+	const maxInfluencers = 1 << 30
+	if count > maxInfluencers {
+		return nil, fmt.Errorf("statstore: implausible influencer count %d", count)
+	}
+	followers := make(map[graph.VertexID]graph.AdjList, count)
+	var edges uint64
+	for i := uint64(0); i < count; i++ {
+		b, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("statstore: influencer %d id: %w", i, err)
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("statstore: influencer %d length: %w", i, err)
+		}
+		const maxList = 1 << 28
+		if n > maxList {
+			return nil, fmt.Errorf("statstore: implausible list length %d", n)
+		}
+		list := make(graph.AdjList, n)
+		prev := graph.VertexID(0)
+		for j := uint64(0); j < n; j++ {
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("statstore: influencer %d entry %d: %w", i, j, err)
+			}
+			if j == 0 {
+				prev = graph.VertexID(delta)
+			} else {
+				next := prev + graph.VertexID(delta)
+				if delta == 0 || next <= prev {
+					return nil, fmt.Errorf("statstore: influencer %d entry %d breaks sortedness", i, j)
+				}
+				prev = next
+			}
+			list[j] = prev
+		}
+		followers[graph.VertexID(b)] = list
+		edges += n
+	}
+	return &Snapshot{followers: followers, numEdges: edges, version: version}, nil
+}

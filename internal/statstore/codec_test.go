@@ -1,0 +1,140 @@
+package statstore
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"motifstream/internal/graph"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	b := &Builder{}
+	orig := b.Build([]graph.Edge{
+		follow(1, 10, 0), follow(2, 10, 0), follow(3, 10, 0),
+		follow(2, 20, 0), follow(1<<40, 20, 0),
+	})
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version() != orig.Version() {
+		t.Fatalf("version %d != %d", got.Version(), orig.Version())
+	}
+	if got.NumEdges() != orig.NumEdges() || got.NumInfluencers() != orig.NumInfluencers() {
+		t.Fatalf("size mismatch: %d/%d edges, %d/%d influencers",
+			got.NumEdges(), orig.NumEdges(), got.NumInfluencers(), orig.NumInfluencers())
+	}
+	for _, bID := range []graph.VertexID{10, 20} {
+		a, b := orig.Followers(bID), got.Followers(bID)
+		if len(a) != len(b) {
+			t.Fatalf("Followers(%d): %v vs %v", bID, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("Followers(%d): %v vs %v", bID, a, b)
+			}
+		}
+	}
+}
+
+func TestSnapshotRoundTripEmpty(t *testing.T) {
+	b := &Builder{}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, b.Build(nil)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != 0 || got.NumInfluencers() != 0 {
+		t.Fatal("empty snapshot round trip not empty")
+	}
+}
+
+func TestSnapshotRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		var edges []graph.Edge
+		for i := 0; i < r.Intn(2_000); i++ {
+			edges = append(edges, follow(
+				graph.VertexID(r.Intn(500)), graph.VertexID(r.Intn(200)), 0))
+		}
+		b := &Builder{}
+		orig := b.Build(edges)
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadSnapshot(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumEdges() != orig.NumEdges() {
+			t.Fatalf("trial %d: %d edges, want %d", trial, got.NumEdges(), orig.NumEdges())
+		}
+		for bID := graph.VertexID(0); bID < 200; bID++ {
+			a, g := orig.Followers(bID), got.Followers(bID)
+			if len(a) != len(g) {
+				t.Fatalf("trial %d: Followers(%d) length mismatch", trial, bID)
+			}
+			for i := range a {
+				if a[i] != g[i] {
+					t.Fatalf("trial %d: Followers(%d) mismatch", trial, bID)
+				}
+			}
+			if !g.IsSorted() {
+				t.Fatalf("trial %d: decoded Followers(%d) not sorted", trial, bID)
+			}
+		}
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("not a snapshot at all")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadSnapshot(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReadSnapshotRejectsTruncation(t *testing.T) {
+	b := &Builder{}
+	snap := b.Build([]graph.Edge{
+		follow(1, 10, 0), follow(2, 10, 0), follow(3, 20, 0),
+	})
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut += 3 {
+		if _, err := ReadSnapshot(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestWriteSnapshotDeterministic(t *testing.T) {
+	b := &Builder{}
+	snap := b.Build([]graph.Edge{
+		follow(5, 50, 0), follow(1, 10, 0), follow(3, 30, 0), follow(2, 10, 0),
+	})
+	var b1, b2 bytes.Buffer
+	if err := WriteSnapshot(&b1, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(&b2, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("snapshot serialization is not deterministic")
+	}
+}

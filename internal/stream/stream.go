@@ -1,0 +1,139 @@
+// Package stream provides edge-event sources and sinks: in-memory sources
+// for tests and benchmarks, a binary on-disk format for recorded streams
+// (written by cmd/loadgen, replayed by cmd/magicrecs), and a
+// rate-controlled producer that feeds a queue topic at a target
+// events-per-second rate. In paper terms this package plays the role of
+// the firehose: "a data source (e.g., message queue) that provides a
+// stream of graph edges as they are created in real-time".
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"motifstream/internal/graph"
+)
+
+// Source yields edges in timestamp order.
+type Source interface {
+	// Next returns the next edge; ok is false when the stream is
+	// exhausted.
+	Next() (e graph.Edge, ok bool)
+}
+
+// SliceSource replays a fixed edge slice.
+type SliceSource struct {
+	edges []graph.Edge
+	pos   int
+}
+
+// NewSliceSource wraps edges (not copied).
+func NewSliceSource(edges []graph.Edge) *SliceSource {
+	return &SliceSource{edges: edges}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (graph.Edge, bool) {
+	if s.pos >= len(s.edges) {
+		return graph.Edge{}, false
+	}
+	e := s.edges[s.pos]
+	s.pos++
+	return e, true
+}
+
+// Reset rewinds to the beginning.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Len returns the total number of edges.
+func (s *SliceSource) Len() int { return len(s.edges) }
+
+// streamMagic identifies the binary edge-stream format, version 1.
+var streamMagic = [8]byte{'M', 'S', 'T', 'R', 'E', 'A', 'M', 1}
+
+// WriteEdges writes edges in the binary stream format: an 8-byte magic, a
+// uvarint count, then per edge varint-delta-encoded fields. Delta-encoding
+// timestamps exploits near-sortedness for compactness.
+func WriteEdges(w io.Writer, edges []graph.Edge) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(streamMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := put(uint64(len(edges))); err != nil {
+		return err
+	}
+	var prevTS int64
+	for _, e := range edges {
+		if err := put(uint64(e.Src)); err != nil {
+			return err
+		}
+		if err := put(uint64(e.Dst)); err != nil {
+			return err
+		}
+		if err := put(uint64(e.Type)); err != nil {
+			return err
+		}
+		n := binary.PutVarint(buf[:], e.TS-prevTS)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prevTS = e.TS
+	}
+	return bw.Flush()
+}
+
+// ReadEdges reads a stream written by WriteEdges.
+func ReadEdges(r io.Reader) ([]graph.Edge, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("stream: reading magic: %w", err)
+	}
+	if magic != streamMagic {
+		return nil, fmt.Errorf("stream: bad magic %q", magic[:])
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("stream: reading count: %w", err)
+	}
+	const maxEdges = 1 << 30
+	if count > maxEdges {
+		return nil, fmt.Errorf("stream: implausible edge count %d", count)
+	}
+	edges := make([]graph.Edge, 0, count)
+	var prevTS int64
+	for i := uint64(0); i < count; i++ {
+		src, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("stream: edge %d src: %w", i, err)
+		}
+		dst, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("stream: edge %d dst: %w", i, err)
+		}
+		typ, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("stream: edge %d type: %w", i, err)
+		}
+		dts, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("stream: edge %d ts: %w", i, err)
+		}
+		prevTS += dts
+		edges = append(edges, graph.Edge{
+			Src:  graph.VertexID(src),
+			Dst:  graph.VertexID(dst),
+			Type: graph.EdgeType(typ),
+			TS:   prevTS,
+		})
+	}
+	return edges, nil
+}

@@ -1,0 +1,233 @@
+package motifstream_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"motifstream"
+)
+
+// fig1 is the static follow graph of the paper's Figure 1.
+func fig1() []motifstream.Edge {
+	return []motifstream.Edge{
+		{Src: 1, Dst: 10, Type: motifstream.Follow},
+		{Src: 2, Dst: 10, Type: motifstream.Follow},
+		{Src: 2, Dst: 11, Type: motifstream.Follow},
+		{Src: 3, Dst: 11, Type: motifstream.Follow},
+	}
+}
+
+func TestSystemFigure1(t *testing.T) {
+	sys, err := motifstream.New(fig1(), motifstream.Options{K: 2, Window: 10 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := motifstream.Millis(time.Date(2014, 9, 1, 12, 0, 0, 0, time.UTC))
+	if got := sys.Apply(motifstream.Edge{Src: 10, Dst: 99, Type: motifstream.Follow, TS: t0}); len(got) != 0 {
+		t.Fatalf("premature: %v", got)
+	}
+	got := sys.Apply(motifstream.Edge{Src: 11, Dst: 99, Type: motifstream.Follow, TS: t0 + 1_000})
+	if len(got) != 1 || got[0].User != 2 || got[0].Item != 99 {
+		t.Fatalf("candidates = %v", got)
+	}
+	st := sys.Stats()
+	if st.Events != 2 || st.Candidates != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.RetainedEdges != 2 || st.RetainedBytes == 0 {
+		t.Fatalf("D accounting = %+v", st)
+	}
+	if sys.Metrics() == nil {
+		t.Fatal("metrics registry missing")
+	}
+}
+
+func TestSystemDefaults(t *testing.T) {
+	// Zero options select the production configuration: k=3, 10m window.
+	sys, err := motifstream.New(fig1(), motifstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := int64(1_000_000)
+	// k=3 requires three distinct B's; only two exist here, so the k=2
+	// motif must NOT fire.
+	sys.Apply(motifstream.Edge{Src: 10, Dst: 99, Type: motifstream.Follow, TS: t0})
+	if got := sys.Apply(motifstream.Edge{Src: 11, Dst: 99, Type: motifstream.Follow, TS: t0 + 1}); len(got) != 0 {
+		t.Fatalf("default k should be 3: %v", got)
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	if _, err := motifstream.New(nil, motifstream.Options{K: 1}); err == nil {
+		t.Fatal("K=1 accepted")
+	}
+	if _, err := motifstream.New(nil, motifstream.Options{
+		K: 2, Window: time.Hour, Retention: time.Minute,
+	}); err == nil {
+		t.Fatal("Retention < Window accepted")
+	}
+}
+
+func TestSystemSuppressKnown(t *testing.T) {
+	static := append(fig1(), motifstream.Edge{Src: 2, Dst: 99, Type: motifstream.Follow})
+	sys, err := motifstream.New(static, motifstream.Options{
+		K: 2, Window: 10 * time.Minute, SuppressKnown: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := int64(1_000_000)
+	sys.Apply(motifstream.Edge{Src: 10, Dst: 99, Type: motifstream.Follow, TS: t0})
+	if got := sys.Apply(motifstream.Edge{Src: 11, Dst: 99, Type: motifstream.Follow, TS: t0 + 1}); len(got) != 0 {
+		t.Fatalf("known follow recommended: %v", got)
+	}
+}
+
+func TestSystemReloadStatic(t *testing.T) {
+	sys, err := motifstream.New(fig1(), motifstream.Options{K: 2, Window: 10 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ReloadStatic([]motifstream.Edge{
+		{Src: 7, Dst: 10, Type: motifstream.Follow},
+		{Src: 7, Dst: 11, Type: motifstream.Follow},
+	})
+	t0 := int64(1_000_000)
+	sys.Apply(motifstream.Edge{Src: 10, Dst: 99, Type: motifstream.Follow, TS: t0})
+	got := sys.Apply(motifstream.Edge{Src: 11, Dst: 99, Type: motifstream.Follow, TS: t0 + 1})
+	if len(got) != 1 || got[0].User != 7 {
+		t.Fatalf("after reload: %v", got)
+	}
+}
+
+func TestSystemExtraProgramsFromDSL(t *testing.T) {
+	progs, err := motifstream.CompileMotif(`
+motif "content" {
+    match A -> B;
+    match B =[retweet,favorite]=> C within 10m;
+    where count(B) >= 2;
+    emit C to A via B;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := motifstream.New(fig1(), motifstream.Options{
+		K: 2, Window: 10 * time.Minute, ExtraPrograms: progs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := int64(1_000_000)
+	// Tweet 5000 gets retweeted by both B's: only the DSL program fires.
+	sys.Apply(motifstream.Edge{Src: 10, Dst: 5000, Type: motifstream.Retweet, TS: t0})
+	got := sys.Apply(motifstream.Edge{Src: 11, Dst: 5000, Type: motifstream.Favorite, TS: t0 + 1})
+	if len(got) != 1 || got[0].Program != "content" {
+		t.Fatalf("DSL program results = %v", got)
+	}
+}
+
+func TestCompileMotifErrorsArePositioned(t *testing.T) {
+	_, err := motifstream.CompileMotif(`motif "x" {
+    match A -> B;
+}`)
+	if err == nil {
+		t.Fatal("bad motif compiled")
+	}
+	if !strings.Contains(err.Error(), "motifdsl:") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExplainMotif(t *testing.T) {
+	plans, err := motifstream.ExplainMotif(`
+motif "a" {
+    match A -> B;
+    match B => C within 5m;
+    where count(B) >= 3;
+    emit C to A;
+}
+motif "b" {
+    match A -> B;
+    match B => C;
+    where count(B) >= 1;
+    emit C to A;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 {
+		t.Fatalf("plans = %v", plans)
+	}
+	if !strings.Contains(plans[0], "k=3") || !strings.Contains(plans[1], "fresh-follow") {
+		t.Fatalf("plans = %v", plans)
+	}
+	if _, err := motifstream.ExplainMotif("motif nope"); err == nil {
+		t.Fatal("bad source explained")
+	}
+}
+
+func TestClusterFacadeEndToEnd(t *testing.T) {
+	var delivered []motifstream.Notification
+	clu, err := motifstream.NewCluster(fig1(), motifstream.ClusterOptions{
+		Partitions:        4,
+		Replicas:          2,
+		K:                 2,
+		Window:            10 * time.Minute,
+		DisableSleepHours: true,
+		OnNotify:          func(n motifstream.Notification) { delivered = append(delivered, n) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := int64(1_000_000)
+	clu.Publish(motifstream.Edge{Src: 10, Dst: 99, Type: motifstream.Follow, TS: t0})
+	clu.Publish(motifstream.Edge{Src: 11, Dst: 99, Type: motifstream.Follow, TS: t0 + 1})
+	clu.Stop()
+
+	st := clu.Stats()
+	if st.Events != 2 || st.Delivered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(delivered) != 1 || delivered[0].Candidate.User != 2 {
+		t.Fatalf("delivered = %v", delivered)
+	}
+	recs, err := clu.RecommendationsFor(2)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("reads = %v, %v", recs, err)
+	}
+	// Failure injection via the facade.
+	if err := clu.FailReplica(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := clu.RecoverReplica(0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterFacadeValidatesDSL(t *testing.T) {
+	_, err := motifstream.NewCluster(fig1(), motifstream.ClusterOptions{
+		ExtraDSL: "motif bogus",
+	})
+	if err == nil {
+		t.Fatal("bad ExtraDSL accepted")
+	}
+}
+
+func TestWorkloadReexports(t *testing.T) {
+	g := motifstream.GenFollowGraph(motifstream.GraphConfig{
+		Users: 100, AvgFollows: 5, ZipfS: 1.35, Seed: 1,
+	})
+	if len(g) == 0 {
+		t.Fatal("GenFollowGraph empty")
+	}
+	s := motifstream.GenEventStream(motifstream.StreamConfig{
+		Users: 100, Events: 50, Rate: 10, ZipfS: 1.35, Seed: 1,
+	})
+	if len(s) != 50 {
+		t.Fatal("GenEventStream wrong size")
+	}
+	if motifstream.DefaultGraphConfig().Users == 0 || motifstream.DefaultStreamConfig().Events == 0 {
+		t.Fatal("default configs empty")
+	}
+}

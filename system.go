@@ -1,0 +1,172 @@
+package motifstream
+
+import (
+	"fmt"
+	"time"
+
+	"motifstream/internal/core"
+	"motifstream/internal/dynstore"
+	"motifstream/internal/graph"
+	"motifstream/internal/metrics"
+	"motifstream/internal/motif"
+	"motifstream/internal/statstore"
+)
+
+// Options configures a single-node System.
+type Options struct {
+	// K is the support threshold: how many of a user's followings must
+	// act on the same item within the window (paper: k; production 3).
+	// Zero selects 3.
+	K int
+	// Window is the freshness window τ. Zero selects 10 minutes.
+	Window time.Duration
+	// EdgeTypes are the stream actions that trigger detection; empty
+	// means follows only.
+	EdgeTypes []EdgeType
+	// MaxInfluencers caps the followings considered per user when
+	// building the static store, the paper's quality/memory lever.
+	// Zero means unlimited.
+	MaxInfluencers int
+	// Retention bounds how long stream edges stay queryable; it must be
+	// at least Window. Zero selects Window.
+	Retention time.Duration
+	// MaxFanout caps the recent actors considered per event, bounding
+	// work on viral items. Zero selects 256; negative means unlimited.
+	MaxFanout int
+	// SuppressKnown drops recommendations of items the user already
+	// follows (derivable from the static edges). Default on for follow
+	// motifs; content actions are never suppressed this way.
+	SuppressKnown bool
+	// ExtraPrograms run after the primary diamond program; use
+	// CompileMotif to build them from DSL source.
+	ExtraPrograms []Program
+}
+
+// System is the single-node detection engine: one S snapshot, one D store,
+// and one or more motif programs. Safe for concurrent Apply calls.
+type System struct {
+	engine *core.Engine
+	opts   Options
+}
+
+// New builds a System from the static A→B follow edges.
+func New(staticEdges []Edge, opts Options) (*System, error) {
+	if opts.K == 0 {
+		opts.K = 3
+	}
+	if opts.K < 2 {
+		return nil, fmt.Errorf("motifstream: K must be >= 2, got %d", opts.K)
+	}
+	if opts.Window <= 0 {
+		opts.Window = 10 * time.Minute
+	}
+	if opts.Retention <= 0 {
+		opts.Retention = opts.Window
+	}
+	if opts.Retention < opts.Window {
+		return nil, fmt.Errorf("motifstream: Retention %s shorter than Window %s", opts.Retention, opts.Window)
+	}
+	if opts.MaxFanout == 0 {
+		opts.MaxFanout = 256
+	} else if opts.MaxFanout < 0 {
+		opts.MaxFanout = 0 // DiamondConfig's "unlimited"
+	}
+
+	builder := &statstore.Builder{MaxInfluencers: opts.MaxInfluencers}
+	static := statstore.New(builder.Build(staticEdges))
+
+	var follows func(a, c VertexID) bool
+	if opts.SuppressKnown {
+		idx := buildForwardIndex(staticEdges)
+		follows = func(a, c VertexID) bool { return idx[a].Contains(c) }
+	}
+
+	programs := []motif.Program{
+		motif.NewDiamond(motif.DiamondConfig{
+			K:         opts.K,
+			Window:    opts.Window,
+			EdgeTypes: opts.EdgeTypes,
+			MaxFanout: opts.MaxFanout,
+		}),
+	}
+	programs = append(programs, opts.ExtraPrograms...)
+
+	eng, err := core.NewEngine(core.Config{
+		Static: static,
+		// MaxPerTarget bounds per-event work on viral items: only the
+		// most recent in-edges matter for k-threshold detection.
+		Dynamic:  dynstore.New(dynstore.Options{Retention: opts.Retention, MaxPerTarget: 1024}),
+		Programs: programs,
+		Follows:  follows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{engine: eng, opts: opts}, nil
+}
+
+func buildForwardIndex(edges []Edge) map[VertexID]graph.AdjList {
+	byA := make(map[VertexID][]VertexID)
+	for _, e := range edges {
+		byA[e.Src] = append(byA[e.Src], e.Dst)
+	}
+	out := make(map[VertexID]graph.AdjList, len(byA))
+	for a, bs := range byA {
+		out[a] = graph.NewAdjList(bs)
+	}
+	return out
+}
+
+// Apply ingests one stream edge and returns the recommendations whose
+// motif it completed.
+func (s *System) Apply(e Edge) []Candidate {
+	return s.engine.Apply(e)
+}
+
+// ReloadStatic swaps in a freshly built static store, modeling the paper's
+// periodic offline S load. Ongoing Apply calls see either the old or the
+// new snapshot, never a mix.
+func (s *System) ReloadStatic(staticEdges []Edge) {
+	builder := &statstore.Builder{MaxInfluencers: s.opts.MaxInfluencers}
+	s.engine.ReloadStatic(builder.Build(staticEdges))
+}
+
+// Stats summarizes engine activity.
+type Stats struct {
+	// Events is the number of stream edges applied.
+	Events uint64
+	// Candidates is the total recommendations emitted.
+	Candidates uint64
+	// QueryP50 and QueryP99 are graph-query latency quantiles — the
+	// paper's "the actual graph queries take only a few milliseconds".
+	QueryP50, QueryP99 time.Duration
+	// RetainedEdges is the current D store size.
+	RetainedEdges int64
+	// RetainedBytes approximates D's resident memory.
+	RetainedBytes uint64
+}
+
+// Stats returns current counters.
+func (s *System) Stats() Stats {
+	es := s.engine.Stats()
+	return Stats{
+		Events:        es.Events,
+		Candidates:    es.Candidates,
+		QueryP50:      es.QueryLatency.P50,
+		QueryP99:      es.QueryLatency.P99,
+		RetainedEdges: es.Dynamic.Edges,
+		RetainedBytes: es.Dynamic.Bytes,
+	}
+}
+
+// Metrics exposes the engine's full metrics registry.
+func (s *System) Metrics() *metrics.Registry { return s.engine.Metrics() }
+
+// NewTriangleClosure returns the co-action triangle motif program: when B
+// acts on item C, recommend following B to users who also acted on C
+// within the window. It demonstrates the paper's §3 point that other
+// motifs can run as additional programs over the same S/D infrastructure;
+// pass it via Options.ExtraPrograms.
+func NewTriangleClosure(window time.Duration) Program {
+	return motif.NewTriangleClosure(window)
+}
