@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: check build vet test test-race bench fuzz
+
+# check is the CI gate: formatting, static analysis, and the full test
+# suite under the race detector.
+check: fmt-check vet test-race
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# bench runs the experiment-index benchmarks briefly (regression smoke,
+# not a measurement run).
+bench:
+	$(GO) test -run=NONE -bench . -benchtime=1x ./...
+
+# fuzz gives each fuzz target a short budget.
+fuzz:
+	$(GO) test -run=NONE -fuzz FuzzSnapshotDecode -fuzztime 30s ./internal/dynstore

@@ -314,6 +314,46 @@ motif "dsl-diamond" {
 	})
 }
 
+// BenchmarkE11RecoveryReplay measures the cost of replica crash recovery:
+// a replica of a 2-partition, 2-replica cluster is killed after ingesting
+// the stream, then restored from its durable checkpoint and caught up by
+// replaying the retained firehose. The reported events/s is catch-up
+// replay throughput — how fast a rejoining detection server chews through
+// the log — which bounds recovery time after real outages.
+func BenchmarkE11RecoveryReplay(b *testing.B) {
+	static, stream := benchWorkload(b)
+	const events = 50_000
+	clu, err := motifstream.NewCluster(static, motifstream.ClusterOptions{
+		Partitions: 2, Replicas: 2, K: 3,
+		Window: 10 * time.Minute, MaxFanout: 64, DisableSleepHours: true,
+		CheckpointDir:      b.TempDir(),
+		CheckpointInterval: time.Minute, // stream time
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range stream[:events] {
+		if err := clu.Publish(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	defer clu.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := clu.KillReplica(0, 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := clu.RestoreReplica(0, 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := clu.AwaitReplicaLive(0, 1, 5*time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(events)/perOp, "replayed-events/s")
+}
+
 // BenchmarkF1Figure1 measures the minimal end-to-end detection: the
 // Figure 1 motif completion itself.
 func BenchmarkF1Figure1(b *testing.B) {

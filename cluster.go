@@ -47,6 +47,14 @@ type ClusterOptions struct {
 	OnNotify func(Notification)
 	// Seed makes delay sampling reproducible.
 	Seed int64
+	// CheckpointDir, when non-empty, enables the recovery subsystem:
+	// replicas write periodic durable checkpoints here, the firehose
+	// retains its log for offset replay, and KillReplica/RestoreReplica
+	// become available for crash/recovery testing and operations.
+	CheckpointDir string
+	// CheckpointInterval is the stream-time interval between per-replica
+	// checkpoints; zero selects one minute. Ignored without CheckpointDir.
+	CheckpointInterval time.Duration
 }
 
 // Cluster is the running multi-partition deployment.
@@ -122,17 +130,19 @@ func NewCluster(staticEdges []Edge, opts ClusterOptions) (*Cluster, error) {
 	}
 
 	inner, err := cluster.New(cluster.Config{
-		Partitions:     opts.Partitions,
-		Replicas:       opts.Replicas,
-		StaticEdges:    staticEdges,
-		MaxInfluencers: opts.MaxInfluencers,
-		Dynamic:        dynstore.Options{Retention: opts.Window, MaxPerTarget: 1024},
-		NewPrograms:    newPrograms,
-		IngestDelay:    ingestDelay,
-		DeliveryDelay:  deliverDelay,
-		Delivery:       dopts,
-		Seed:           opts.Seed,
-		OnNotify:       onNotify,
+		Partitions:         opts.Partitions,
+		Replicas:           opts.Replicas,
+		StaticEdges:        staticEdges,
+		MaxInfluencers:     opts.MaxInfluencers,
+		Dynamic:            dynstore.Options{Retention: opts.Window, MaxPerTarget: 1024},
+		NewPrograms:        newPrograms,
+		IngestDelay:        ingestDelay,
+		DeliveryDelay:      deliverDelay,
+		Delivery:           dopts,
+		Seed:               opts.Seed,
+		OnNotify:           onNotify,
+		CheckpointDir:      opts.CheckpointDir,
+		CheckpointInterval: opts.CheckpointInterval,
 	})
 	if err != nil {
 		return nil, err
@@ -164,17 +174,22 @@ type ClusterStats struct {
 	LatencyP50, LatencyP99 time.Duration
 	// Funnel breaks down candidate drops by pipeline stage.
 	Funnel FunnelStats
+	// Checkpoints counts durable replica checkpoints written; Restores
+	// counts replicas rejoined through checkpoint + replay.
+	Checkpoints, Restores uint64
 }
 
 // Stats returns current cluster totals.
 func (c *Cluster) Stats() ClusterStats {
 	s := c.inner.Stats()
 	return ClusterStats{
-		Events:     s.Events,
-		Delivered:  s.Delivered,
-		LatencyP50: s.E2ELatency.P50,
-		LatencyP99: s.E2ELatency.P99,
-		Funnel:     s.Funnel,
+		Events:      s.Events,
+		Delivered:   s.Delivered,
+		LatencyP50:  s.E2ELatency.P50,
+		LatencyP99:  s.E2ELatency.P99,
+		Funnel:      s.Funnel,
+		Checkpoints: s.Checkpoints,
+		Restores:    s.Restores,
 	}
 }
 
@@ -187,13 +202,38 @@ func (c *Cluster) TopItems(n int) ([]ItemCount, error) {
 	return c.inner.TopItems(n)
 }
 
-// FailReplica injects a replica failure (reads route around it; candidate
-// emission fails over).
+// FailReplica injects a transient replica failure: reads route around it
+// while it keeps consuming, so delivery continues from the surviving
+// copies. Use KillReplica for real crash semantics.
 func (c *Cluster) FailReplica(partition, replica int) error {
 	return c.inner.FailReplica(partition, replica)
 }
 
-// RecoverReplica restores a failed replica.
+// RecoverReplica restores a replica failed with FailReplica.
 func (c *Cluster) RecoverReplica(partition, replica int) error {
 	return c.inner.RecoverReplica(partition, replica)
+}
+
+// KillReplica crashes a replica for real: it stops consuming and drops
+// all of its state. Requires ClusterOptions.CheckpointDir.
+func (c *Cluster) KillReplica(partition, replica int) error {
+	return c.inner.KillReplica(partition, replica)
+}
+
+// RestoreReplica rejoins a killed replica: it reloads the newest durable
+// checkpoint and replays the firehose from the checkpoint's offset until
+// caught up, at which point it serves reads again.
+func (c *Cluster) RestoreReplica(partition, replica int) error {
+	return c.inner.RestoreReplica(partition, replica)
+}
+
+// ReplicaState reports "live", "replaying", or "dead" for a replica.
+func (c *Cluster) ReplicaState(partition, replica int) (string, error) {
+	return c.inner.ReplicaState(partition, replica)
+}
+
+// AwaitReplicaLive blocks until the replica finishes catch-up, up to
+// timeout.
+func (c *Cluster) AwaitReplicaLive(partition, replica int, timeout time.Duration) error {
+	return c.inner.AwaitReplicaLive(partition, replica, timeout)
 }

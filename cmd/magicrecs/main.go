@@ -42,6 +42,8 @@ func main() {
 		queueMed   = flag.Duration("queuemedian", 7*time.Second, "simulated queue-delay median (0 disables)")
 		queueP99   = flag.Duration("queuep99", 15*time.Second, "simulated queue-delay p99")
 		progress   = flag.Int("progress", 50_000, "print progress every N events (0 disables)")
+		ckptDir    = flag.String("checkpointdir", "", "directory for durable replica checkpoints (enables crash recovery; empty disables)")
+		ckptEvery  = flag.Duration("checkpointinterval", time.Minute, "stream-time interval between replica checkpoints")
 	)
 	flag.Parse()
 
@@ -52,15 +54,17 @@ func main() {
 	fmt.Printf("workload: %d static follow edges, %d stream events\n", len(static), len(events))
 
 	clu, err := motifstream.NewCluster(static, motifstream.ClusterOptions{
-		Partitions:       *partitions,
-		Replicas:         *replicas,
-		K:                *k,
-		Window:           *window,
-		MaxInfluencers:   *maxInfl,
-		MaxFanout:        *maxFanout,
-		QueueDelayMedian: *queueMed,
-		QueueDelayP99:    *queueP99,
-		Seed:             1,
+		Partitions:         *partitions,
+		Replicas:           *replicas,
+		K:                  *k,
+		Window:             *window,
+		MaxInfluencers:     *maxInfl,
+		MaxFanout:          *maxFanout,
+		QueueDelayMedian:   *queueMed,
+		QueueDelayP99:      *queueP99,
+		Seed:               1,
+		CheckpointDir:      *ckptDir,
+		CheckpointInterval: *ckptEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -90,6 +94,9 @@ func main() {
 	fmt.Printf("funnel:      raw=%d -> dup-%d asleep-%d fatigue-%d -> delivered=%d (%.3f%%)\n",
 		s.Funnel.Raw, s.Funnel.DroppedDuplicate, s.Funnel.DroppedAsleep,
 		s.Funnel.DroppedFatigue, s.Funnel.Delivered, 100*s.Funnel.DeliveryRate())
+	if *ckptDir != "" {
+		fmt.Printf("recovery:    %d checkpoints written to %s\n", s.Checkpoints, *ckptDir)
+	}
 
 	// The broker fan-out read path: globally hottest recommendations.
 	if top, err := clu.TopItems(5); err == nil && len(top) > 0 {

@@ -1,0 +1,3 @@
+module motifstream
+
+go 1.22

@@ -5,10 +5,45 @@
 // delivery pipeline. The topology is "a fairly standard partitioned,
 // replicated architecture with coordination handled by brokers that
 // fan-out queries and gather results".
+//
+// # Failure and recovery
+//
+// Two failure models are provided. FailReplica/RecoverReplica model
+// transient unreachability: the replica keeps its state and keeps
+// consuming, but reads route around it and candidate emission fails over —
+// experiment E9's scenario. KillReplica models a real crash: the replica
+// stops consuming the firehose and its entire recoverable state (the D
+// store, sweep clock, candidate log, item counters) is dropped.
+//
+// A killed replica rejoins through RestoreReplica, which runs the
+// catch-up state machine restoring → replaying → live: it loads the
+// newest durable checkpoint (written periodically per replica when
+// Config.CheckpointDir is set), then replays the retained firehose log
+// from the checkpoint's offset via SubscribeFrom until it reaches the
+// offset that was the head when recovery began. Until then the broker
+// keeps the replica marked down, so a stale replica never serves reads.
+//
+// # Exactly-once candidate delivery
+//
+// Detection is deterministic and idempotent, so every alive replica of a
+// group forwards its (identical) candidate batches toward delivery,
+// tagged with the firehose offset of the triggering event. The delivery
+// consumer keeps a per-group high-water offset and processes a batch only
+// if its offset is new — at-least-once emission collapsed to exactly-once
+// per event per group. This is what makes crash recovery lossless without
+// coordination: a replica can die, rejoin, and replay — its re-emitted
+// batches for already-covered offsets are dropped by construction, and
+// any offsets its peers covered while it was gone were delivered from
+// their copies. The fault-equivalence oracle tests pin this end to end:
+// a kill/checkpoint/restore/replay run delivers exactly the notification
+// set of a no-fault run.
 package cluster
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,29 +90,79 @@ type Config struct {
 	Metrics *metrics.Registry
 	// OnNotify, if set, receives every delivered notification.
 	OnNotify func(delivery.Notification)
+	// CheckpointDir, when non-empty, enables the recovery subsystem: the
+	// firehose retains its log for offset replay, each replica writes
+	// periodic durable checkpoints here, and KillReplica/RestoreReplica
+	// become available. The directory is created if missing.
+	CheckpointDir string
+	// CheckpointInterval is the stream-time interval between per-replica
+	// checkpoints; zero selects one minute. Ignored without CheckpointDir.
+	CheckpointInterval time.Duration
+}
+
+// Replica catch-up states. A replica is born live; KillReplica moves it to
+// dead; RestoreReplica moves it to replaying (or straight to live when
+// already at the head); applying the catch-up target offset moves
+// replaying to live.
+const (
+	replicaLive int32 = iota
+	replicaReplaying
+	replicaDead
+)
+
+// replicaSlot is the cluster-side handle for one running replica: the
+// partition state plus the consumer goroutine's lifecycle and catch-up
+// bookkeeping. quit/stopped/sub are replaced on restore; they are only
+// written while no consumer goroutine is running.
+type replicaSlot struct {
+	pid, idx int
+	p        *partition.Partition
+
+	state atomic.Int32
+
+	quit    chan struct{} // closed by KillReplica to stop the consumer
+	stopped chan struct{} // closed by the consumer on exit
+	live    chan struct{} // closed when the replica (re)enters live
+	sub     <-chan queue.Envelope[graph.Edge]
+
+	// target is the firehose offset the replica must reach to leave
+	// replaying; meaningful only while state == replicaReplaying.
+	target uint64
+	// lastCkptTS is the stream time of the newest checkpoint.
+	lastCkptTS int64
 }
 
 // Cluster is a running deployment.
 type Cluster struct {
 	cfg    Config
 	part   partition.Partitioner
-	groups [][]*partition.Partition
+	slots  [][]*replicaSlot
 	broker *broker.Broker
 
 	firehose   *queue.Topic[graph.Edge]
 	candidates *queue.Topic[candidateMsg]
 	pipeline   *delivery.Pipeline
 
-	reg        *metrics.Registry
-	e2eLatency *metrics.Histogram
-	ingested   *metrics.Counter
-	delivered  *metrics.Counter
+	ckptEveryMS int64
+	// runID stamps this cluster instance's checkpoint files. The retained
+	// firehose log dies with the process, so a checkpoint from a previous
+	// run names offsets in a log that no longer exists; restore treats
+	// foreign-run checkpoints as absent rather than resurrecting them.
+	runID uint64
 
-	// emitter[g] is the replica index of group g currently allowed to
-	// forward candidates to delivery; replicas other than the emitter
-	// detect identically but stay silent, so a failover can promote one
-	// without gaps or duplicates.
-	emitter []atomic.Int32
+	reg         *metrics.Registry
+	e2eLatency  *metrics.Histogram
+	ingested    *metrics.Counter
+	delivered   *metrics.Counter
+	checkpoints *metrics.Counter
+	ckptErrors  *metrics.Counter
+	restores    *metrics.Counter
+
+	// ctl serializes the replica lifecycle operations (KillReplica,
+	// RestoreReplica) and guards the slot fields they rewrite, so
+	// concurrent chaos injection cannot double-close a quit channel or
+	// race the last-alive-replica guard.
+	ctl sync.Mutex
 
 	wg        sync.WaitGroup
 	deliverWG sync.WaitGroup
@@ -85,8 +170,14 @@ type Cluster struct {
 	stopOnce  sync.Once
 }
 
+// candidateMsg is one event's worth of candidates from one replica: the
+// group it came from and the firehose offset of the triggering event, so
+// the delivery consumer can collapse the replicas' redundant emissions to
+// exactly one batch per event per group.
 type candidateMsg struct {
-	c motif.Candidate
+	pid    int
+	offset uint64
+	cands  []motif.Candidate
 }
 
 // New validates cfg and builds all partitions and replicas. The cluster is
@@ -104,6 +195,15 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = 4096
 	}
+	recovery := cfg.CheckpointDir != ""
+	if recovery {
+		if cfg.CheckpointInterval <= 0 {
+			cfg.CheckpointInterval = time.Minute
+		}
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("cluster: checkpoint dir: %w", err)
+		}
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
@@ -118,6 +218,11 @@ func New(cfg Config) (*Cluster, error) {
 			Delay:  cfg.IngestDelay,
 			Buffer: cfg.Buffer,
 			Seed:   cfg.Seed,
+			Retain: recovery,
+			// The delivery tier sequences on firehose offsets, so offset
+			// order must equal every replica's delivery order even when
+			// Publish is called from multiple goroutines.
+			Ordered: true,
 		}),
 		candidates: queue.NewTopic[candidateMsg](queue.Options{
 			Name:   "candidates",
@@ -125,34 +230,38 @@ func New(cfg Config) (*Cluster, error) {
 			Buffer: cfg.Buffer,
 			Seed:   cfg.Seed + 1,
 		}),
-		pipeline:   delivery.NewPipeline(cfg.Delivery),
-		e2eLatency: reg.Histogram("cluster.e2e_latency"),
-		ingested:   reg.Counter("cluster.events"),
-		delivered:  reg.Counter("cluster.delivered"),
-		emitter:    make([]atomic.Int32, cfg.Partitions),
+		pipeline:    delivery.NewPipeline(cfg.Delivery),
+		e2eLatency:  reg.Histogram("cluster.e2e_latency"),
+		ingested:    reg.Counter("cluster.events"),
+		delivered:   reg.Counter("cluster.delivered"),
+		checkpoints: reg.Counter("cluster.checkpoints"),
+		ckptErrors:  reg.Counter("cluster.checkpoint_errors"),
+		restores:    reg.Counter("cluster.restores"),
+	}
+	if recovery {
+		c.ckptEveryMS = cfg.CheckpointInterval.Milliseconds()
+		var id [8]byte
+		if _, err := rand.Read(id[:]); err != nil {
+			return nil, fmt.Errorf("cluster: run id: %w", err)
+		}
+		c.runID = binary.LittleEndian.Uint64(id[:])
 	}
 
-	groups := make([][]*partition.Partition, cfg.Partitions)
+	slots := make([][]*replicaSlot, cfg.Partitions)
 	replicaGroups := make([][]broker.Replica, cfg.Partitions)
 	for pid := 0; pid < cfg.Partitions; pid++ {
 		for r := 0; r < cfg.Replicas; r++ {
-			p, err := partition.New(partition.Config{
-				ID:             pid,
-				StaticEdges:    cfg.StaticEdges,
-				Partitioner:    part,
-				MaxInfluencers: cfg.MaxInfluencers,
-				Dynamic:        cfg.Dynamic,
-				Programs:       cfg.NewPrograms(),
-				Metrics:        reg,
-			})
+			p, err := c.buildPartition(pid)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: partition %d replica %d: %w", pid, r, err)
 			}
-			groups[pid] = append(groups[pid], p)
+			slot := &replicaSlot{pid: pid, idx: r, p: p, live: make(chan struct{})}
+			close(slot.live) // replicas are born live
+			slots[pid] = append(slots[pid], slot)
 			replicaGroups[pid] = append(replicaGroups[pid], p)
 		}
 	}
-	c.groups = groups
+	c.slots = slots
 	b, err := broker.New(part, replicaGroups)
 	if err != nil {
 		return nil, err
@@ -161,15 +270,30 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// buildPartition constructs one replica's partition from configuration.
+func (c *Cluster) buildPartition(pid int) (*partition.Partition, error) {
+	return partition.New(partition.Config{
+		ID:             pid,
+		StaticEdges:    c.cfg.StaticEdges,
+		Partitioner:    c.part,
+		MaxInfluencers: c.cfg.MaxInfluencers,
+		Dynamic:        c.cfg.Dynamic,
+		Programs:       c.cfg.NewPrograms(),
+		Metrics:        c.reg,
+	})
+}
+
 // Start launches one consumer goroutine per replica plus the delivery
 // consumer. It may be called once; later calls are no-ops.
 func (c *Cluster) Start() {
 	c.startOnce.Do(func() {
-		for pid, group := range c.groups {
-			for r, p := range group {
-				sub := c.firehose.Subscribe()
+		for _, group := range c.slots {
+			for _, slot := range group {
+				slot.quit = make(chan struct{})
+				slot.stopped = make(chan struct{})
+				slot.sub = c.firehose.Subscribe()
 				c.wg.Add(1)
-				go c.runReplica(pid, r, p, sub)
+				go c.runReplica(slot)
 			}
 		}
 		deliverSub := c.candidates.Subscribe()
@@ -178,44 +302,94 @@ func (c *Cluster) Start() {
 	})
 }
 
-// runReplica consumes the full firehose, applies each edge, and — if this
-// replica is its group's current emitter — forwards candidates toward
-// delivery with the accumulated virtual queue delay.
-func (c *Cluster) runReplica(pid, r int, p *partition.Partition, sub <-chan queue.Envelope[graph.Edge]) {
+// runReplica consumes the replica's subscription — live from Start, or
+// replay-then-live from RestoreReplica — until the topic closes or
+// KillReplica pulls the plug.
+func (c *Cluster) runReplica(slot *replicaSlot) {
 	defer c.wg.Done()
-	for env := range sub {
-		cands := p.Apply(env.Msg)
-		if r == 0 {
-			// Count each event once per cluster, not once per replica.
-			if pid == 0 {
-				c.ingested.Inc()
+	defer close(slot.stopped)
+	for {
+		select {
+		case <-slot.quit:
+			return
+		case env, ok := <-slot.sub:
+			if !ok {
+				return
 			}
-		}
-		if len(cands) == 0 || int(c.emitter[pid].Load()) != r {
-			continue
-		}
-		for _, cand := range cands {
-			// Publishing to a closed candidates topic only happens during
-			// shutdown races; drop silently then.
-			if err := c.candidates.Publish(candidateMsg{c: cand}, env.VirtualDelay); err != nil {
+			if !c.applyEnvelope(slot, env) {
 				return
 			}
 		}
 	}
 }
 
-// runDelivery consumes candidates and runs the push pipeline.
+// applyEnvelope runs one firehose envelope through the replica: detection,
+// checkpointing, the replaying→live transition, and candidate forwarding.
+// Every alive replica forwards its batches; the delivery consumer's
+// per-group offset filter collapses the redundancy to exactly one batch
+// per event. Returns false only when the candidates topic has closed
+// (shutdown race).
+func (c *Cluster) applyEnvelope(slot *replicaSlot, env queue.Envelope[graph.Edge]) bool {
+	cands := slot.p.Apply(env.Msg)
+
+	if c.ckptEveryMS > 0 {
+		if slot.lastCkptTS == 0 {
+			// First envelope after Start or a restore: seed the clock so a
+			// full checkpoint interval elapses before the first write —
+			// stream timestamps are absolute, and `TS - 0` would otherwise
+			// trip an immediate (and, after a restore, redundant) encode.
+			slot.lastCkptTS = env.Msg.TS
+		} else if env.Msg.TS-slot.lastCkptTS >= c.ckptEveryMS {
+			slot.lastCkptTS = env.Msg.TS
+			c.writeCheckpoint(slot, env.Offset+1)
+		}
+	}
+
+	if slot.state.Load() == replicaReplaying && env.Offset+1 >= slot.target {
+		// Caught up with the head observed at restore time: from here the
+		// replica is as fresh as any live one (behind by at most its
+		// subscription buffer), so the broker may serve reads from it.
+		// CAS, not Store: a concurrent KillReplica may have already moved
+		// the state to dead, and resurrecting it would mark a reset
+		// replica broker-healthy.
+		if slot.state.CompareAndSwap(replicaReplaying, replicaLive) {
+			c.broker.MarkUp(slot.pid, slot.idx)
+			close(slot.live)
+		}
+	}
+
+	if len(cands) == 0 || slot.state.Load() == replicaDead {
+		return true
+	}
+	// Publishing to a closed candidates topic only happens during
+	// shutdown races; drop silently then.
+	msg := candidateMsg{pid: slot.pid, offset: env.Offset, cands: cands}
+	return c.candidates.Publish(msg, env.VirtualDelay) == nil
+}
+
+// runDelivery consumes candidate batches and runs the push pipeline.
+// nextOffset[g] is group g's exactly-once high-water mark: a batch is
+// processed only when its firehose offset has not been covered yet, so
+// the replicas' redundant emissions — including a recovering replica's
+// replay — produce exactly one delivery attempt per candidate.
 func (c *Cluster) runDelivery(sub <-chan queue.Envelope[candidateMsg]) {
 	defer c.deliverWG.Done()
+	nextOffset := make([]uint64, c.cfg.Partitions)
 	for env := range sub {
-		decision, note := c.pipeline.Offer(env.Msg.c, env.VirtualDelay)
-		if decision != delivery.Delivered {
-			continue
+		if env.Msg.offset < nextOffset[env.Msg.pid] {
+			continue // another replica's copy already covered this event
 		}
-		c.delivered.Inc()
-		c.e2eLatency.Observe(note.Latency)
-		if c.cfg.OnNotify != nil {
-			c.cfg.OnNotify(*note)
+		nextOffset[env.Msg.pid] = env.Msg.offset + 1
+		for _, cand := range env.Msg.cands {
+			decision, note := c.pipeline.Offer(cand, env.VirtualDelay)
+			if decision != delivery.Delivered {
+				continue
+			}
+			c.delivered.Inc()
+			c.e2eLatency.Observe(note.Latency)
+			if c.cfg.OnNotify != nil {
+				c.cfg.OnNotify(*note)
+			}
 		}
 	}
 }
@@ -223,11 +397,17 @@ func (c *Cluster) runDelivery(sub <-chan queue.Envelope[candidateMsg]) {
 // Publish feeds one edge into the firehose. It blocks when consumers lag
 // (backpressure) and fails after Stop.
 func (c *Cluster) Publish(e graph.Edge) error {
-	return c.firehose.Publish(e, 0)
+	if err := c.firehose.Publish(e, 0); err != nil {
+		return err
+	}
+	c.ingested.Inc()
+	return nil
 }
 
-// Stop closes the firehose, waits for partitions to drain, then closes the
-// candidate queue and waits for delivery. Safe to call multiple times.
+// Stop closes the firehose, waits for partitions to drain — a replica
+// mid-catch-up finishes its replay first — then closes the candidate queue
+// and waits for delivery. Safe to call multiple times; must not be called
+// concurrently with RestoreReplica.
 func (c *Cluster) Stop() {
 	c.stopOnce.Do(func() {
 		c.firehose.Close()
@@ -249,58 +429,67 @@ func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
 // Partitioner returns the cluster's A-space partitioner.
 func (c *Cluster) Partitioner() partition.Partitioner { return c.part }
 
-// Replica returns the given replica, for tests and failure injection.
-func (c *Cluster) Replica(pid, r int) (*partition.Partition, error) {
-	if pid < 0 || pid >= len(c.groups) {
+// slot validates indices and returns the slot.
+func (c *Cluster) slot(pid, r int) (*replicaSlot, error) {
+	if pid < 0 || pid >= len(c.slots) {
 		return nil, fmt.Errorf("cluster: partition %d out of range", pid)
 	}
-	if r < 0 || r >= len(c.groups[pid]) {
+	if r < 0 || r >= len(c.slots[pid]) {
 		return nil, fmt.Errorf("cluster: replica %d out of range for partition %d", r, pid)
 	}
-	return c.groups[pid][r], nil
+	return c.slots[pid][r], nil
 }
 
-// FailReplica marks a replica down for reads and, if it was its group's
-// candidate emitter, promotes the next healthy replica, preserving
-// delivery continuity — experiment E9's failover scenario.
+// Replica returns the given replica, for tests and failure injection.
+func (c *Cluster) Replica(pid, r int) (*partition.Partition, error) {
+	slot, err := c.slot(pid, r)
+	if err != nil {
+		return nil, err
+	}
+	return slot.p, nil
+}
+
+// FailReplica marks a replica down for reads — experiment E9's failover
+// scenario. The replica keeps its state and keeps consuming (transient
+// unreachability), so candidate delivery continues seamlessly from the
+// surviving copies; use KillReplica for real state loss.
 func (c *Cluster) FailReplica(pid, r int) error {
-	if err := c.broker.MarkDown(pid, r); err != nil {
+	return c.broker.MarkDown(pid, r)
+}
+
+// RecoverReplica marks a flag-failed replica healthy again. Replicas
+// killed with KillReplica must rejoin through RestoreReplica instead:
+// their state is gone, so serving reads would be a lie.
+func (c *Cluster) RecoverReplica(pid, r int) error {
+	slot, err := c.slot(pid, r)
+	if err != nil {
 		return err
 	}
-	if int(c.emitter[pid].Load()) == r {
-		n := len(c.groups[pid])
-		for i := 1; i < n; i++ {
-			next := (r + i) % n
-			if c.broker.ReplicaHealthy(pid, next) {
-				c.emitter[pid].Store(int32(next))
-				break
-			}
-		}
+	if slot.state.Load() != replicaLive {
+		return fmt.Errorf("cluster: replica %d/%d is not merely flagged down; use RestoreReplica", pid, r)
 	}
-	return nil
-}
-
-// RecoverReplica marks a replica healthy again. The emitter is not moved
-// back automatically; the promoted replica keeps the role.
-func (c *Cluster) RecoverReplica(pid, r int) error {
 	return c.broker.MarkUp(pid, r)
 }
 
 // Stats summarizes a running cluster.
 type Stats struct {
-	Events     uint64
-	Delivered  uint64
-	E2ELatency metrics.Snapshot
-	Funnel     delivery.FunnelStats
+	Events      uint64
+	Delivered   uint64
+	Checkpoints uint64
+	Restores    uint64
+	E2ELatency  metrics.Snapshot
+	Funnel      delivery.FunnelStats
 }
 
 // Stats returns current cluster totals.
 func (c *Cluster) Stats() Stats {
 	return Stats{
-		Events:     c.ingested.Value(),
-		Delivered:  c.delivered.Value(),
-		E2ELatency: c.e2eLatency.Snapshot(),
-		Funnel:     c.pipeline.Stats(),
+		Events:      c.ingested.Value(),
+		Delivered:   c.delivered.Value(),
+		Checkpoints: c.checkpoints.Value(),
+		Restores:    c.restores.Value(),
+		E2ELatency:  c.e2eLatency.Snapshot(),
+		Funnel:      c.pipeline.Stats(),
 	}
 }
 

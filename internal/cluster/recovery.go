@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"motifstream/internal/codecutil"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Checkpoint files frame a partition checkpoint with the firehose offset
+// it corresponds to: magic, format version, the writing cluster's run id,
+// the offset as a uvarint, then the partition payload. One file per
+// replica, replaced atomically (write-temp-then-rename) so a crash
+// mid-write leaves the previous checkpoint intact. The run id ties a
+// checkpoint to the in-memory firehose log its offset indexes: a file
+// left behind by a previous process run names positions in a log that no
+// longer exists, so restore ignores it and replays from scratch instead
+// of resurrecting foreign state.
+
+// ckptMagic identifies the replica checkpoint file format, version 1.
+var ckptMagic = [8]byte{'M', 'S', 'C', 'K', 'P', 'T', 0, 1}
+
+const ckptVersion = 1
+
+// ErrRecoveryDisabled is returned by KillReplica/RestoreReplica when the
+// cluster was built without Config.CheckpointDir.
+var ErrRecoveryDisabled = errors.New("cluster: recovery requires Config.CheckpointDir")
+
+// checkpointPath names the checkpoint file for one replica.
+func checkpointPath(dir string, pid, r int) string {
+	return filepath.Join(dir, fmt.Sprintf("p%03d-r%02d.ckpt", pid, r))
+}
+
+// writeCheckpoint durably persists the replica's state as of nextOffset:
+// every envelope with Offset < nextOffset has been applied. Runs inline in
+// the replica's consume loop, so the partition state is quiescent. Errors
+// are counted, the temp file removed, and the previous checkpoint kept —
+// a replica with a stale checkpoint just replays more.
+func (c *Cluster) writeCheckpoint(slot *replicaSlot, nextOffset uint64) {
+	path := checkpointPath(c.cfg.CheckpointDir, slot.pid, slot.idx)
+	tmp := path + ".tmp"
+	err := func() error {
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := &codecutil.Writer{BW: bufio.NewWriter(f)}
+		w.PutBytes(ckptMagic[:])
+		w.PutU(ckptVersion)
+		w.PutU(c.runID)
+		w.PutU(nextOffset)
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		if _, err := slot.p.WriteTo(f); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if err != nil {
+		os.Remove(tmp)
+		c.ckptErrors.Inc()
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		c.ckptErrors.Inc()
+		return
+	}
+	c.checkpoints.Inc()
+}
+
+// loadCheckpoint restores the newest durable checkpoint for slot into its
+// partition and returns the firehose offset replay must start from.
+// found is false when no checkpoint exists or the file belongs to a
+// different cluster run (recover from scratch in both cases).
+func (c *Cluster) loadCheckpoint(dir string, slot *replicaSlot) (offset uint64, found bool, err error) {
+	f, err := os.Open(checkpointPath(dir, slot.pid, slot.idx))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return 0, false, fmt.Errorf("checkpoint magic: %w", err)
+	}
+	if magic != ckptMagic {
+		return 0, false, fmt.Errorf("bad checkpoint magic %q", magic[:])
+	}
+	r := &codecutil.Reader{BR: &codecutil.CountingReader{R: br}, Prefix: "checkpoint"}
+	if v := r.U("version"); r.Err == nil && v != ckptVersion {
+		return 0, false, fmt.Errorf("unsupported checkpoint version %d", v)
+	}
+	runID := r.U("run id")
+	offset = r.U("offset")
+	if r.Err != nil {
+		return 0, false, r.Err
+	}
+	if runID != c.runID {
+		// A previous run's checkpoint: its offset indexes a firehose log
+		// that died with that process. Recover from scratch instead.
+		return 0, false, nil
+	}
+	if _, err := slot.p.ReadFrom(br); err != nil {
+		return 0, false, err
+	}
+	return offset, true, nil
+}
+
+// KillReplica crashes a replica for real: it stops consuming the firehose
+// and its entire recoverable state is dropped, unlike FailReplica's
+// health-flag failure. Reads route around it, and candidate delivery
+// continues from the surviving replicas' redundant emissions. The last
+// alive replica of a group cannot be killed — that would lose in-flight
+// motifs for the whole partition, which the architecture (like the
+// paper's) does not survive.
+func (c *Cluster) KillReplica(pid, r int) error {
+	if c.cfg.CheckpointDir == "" {
+		return ErrRecoveryDisabled
+	}
+	slot, err := c.slot(pid, r)
+	if err != nil {
+		return err
+	}
+	c.ctl.Lock()
+	defer c.ctl.Unlock()
+	if slot.quit == nil {
+		return fmt.Errorf("cluster: replica %d/%d cannot be killed before Start", pid, r)
+	}
+	if slot.state.Load() == replicaDead {
+		return fmt.Errorf("cluster: replica %d/%d is already dead", pid, r)
+	}
+	alive := 0
+	for _, s := range c.slots[pid] {
+		if s.state.Load() != replicaDead {
+			alive++
+		}
+	}
+	if alive <= 1 {
+		return fmt.Errorf("cluster: cannot kill last alive replica of partition %d", pid)
+	}
+	slot.state.Store(replicaDead)
+	// Tear the consumer down: stop the goroutine, detach the subscription
+	// (releasing any publisher blocked on its buffer — buffered envelopes
+	// are lost, as with a dead process), then drop the state. The broker
+	// MarkDown happens only after the goroutine has stopped: a consumer
+	// mid-way through its replaying→live transition may still issue a
+	// MarkUp, and ordering ours after <-slot.stopped guarantees the dead
+	// replica ends broker-down.
+	close(slot.quit)
+	c.firehose.Unsubscribe(slot.sub)
+	<-slot.stopped
+	if err := c.broker.MarkDown(pid, r); err != nil {
+		return err
+	}
+	slot.p.Reset()
+	// Fresh, open live channel: closed again when a future restore
+	// finishes catch-up.
+	slot.live = make(chan struct{})
+	return nil
+}
+
+// RestoreReplica rejoins a killed replica through the catch-up state
+// machine: restore the newest durable checkpoint (or start empty if none
+// exists or it is unreadable), then replay the retained firehose log from
+// the checkpoint's offset. The replica stays broker-down while replaying,
+// and the delivery tier's offset filter absorbs its replayed candidate
+// batches; it turns live once it has applied every offset that existed
+// when recovery began. Must not be called concurrently with Stop.
+func (c *Cluster) RestoreReplica(pid, r int) error {
+	if c.cfg.CheckpointDir == "" {
+		return ErrRecoveryDisabled
+	}
+	slot, err := c.slot(pid, r)
+	if err != nil {
+		return err
+	}
+	c.ctl.Lock()
+	defer c.ctl.Unlock()
+	if slot.state.Load() != replicaDead {
+		return fmt.Errorf("cluster: replica %d/%d is not dead; only killed replicas restore", pid, r)
+	}
+	offset, found, err := c.loadCheckpoint(c.cfg.CheckpointDir, slot)
+	if err != nil || !found {
+		// Unreadable or absent checkpoint: recover from scratch. A failed
+		// ReadFrom leaves the partition reset, so replaying the full log
+		// rebuilds identical state, just more slowly.
+		slot.p.Reset()
+		offset = 0
+		if err != nil {
+			c.ckptErrors.Inc()
+		}
+	}
+	target := c.firehose.Published()
+	sub, err := c.firehose.SubscribeFrom(offset)
+	if err != nil {
+		return fmt.Errorf("cluster: replay from %d: %w", offset, err)
+	}
+	slot.sub = sub
+	slot.quit = make(chan struct{})
+	slot.stopped = make(chan struct{})
+	slot.lastCkptTS = 0
+	if offset >= target {
+		// Nothing to replay: the checkpoint is already at the head.
+		slot.state.Store(replicaLive)
+		c.broker.MarkUp(pid, r)
+		close(slot.live)
+	} else {
+		slot.target = target
+		slot.state.Store(replicaReplaying)
+	}
+	c.restores.Inc()
+	c.wg.Add(1)
+	go c.runReplica(slot)
+	return nil
+}
+
+// ReplicaState reports a replica's position in the catch-up state machine:
+// "live", "replaying", or "dead".
+func (c *Cluster) ReplicaState(pid, r int) (string, error) {
+	slot, err := c.slot(pid, r)
+	if err != nil {
+		return "", err
+	}
+	switch slot.state.Load() {
+	case replicaReplaying:
+		return "replaying", nil
+	case replicaDead:
+		return "dead", nil
+	default:
+		return "live", nil
+	}
+}
+
+// AwaitReplicaLive blocks until the replica reaches the live state, up to
+// timeout — the test and benchmark hook for measuring catch-up. Waiting
+// is event-driven (the slot's live channel closes on the replaying→live
+// transition), not a poll. A kill/restore cycle racing the wait counts as
+// not reaching live.
+func (c *Cluster) AwaitReplicaLive(pid, r int, timeout time.Duration) error {
+	slot, err := c.slot(pid, r)
+	if err != nil {
+		return err
+	}
+	c.ctl.Lock()
+	live := slot.live
+	c.ctl.Unlock()
+	if slot.state.Load() == replicaLive {
+		return nil
+	}
+	select {
+	case <-live:
+		return nil
+	case <-time.After(timeout):
+		state, _ := c.ReplicaState(pid, r)
+		return fmt.Errorf("cluster: replica %d/%d still %s after %v", pid, r, state, timeout)
+	}
+}

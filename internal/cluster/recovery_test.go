@@ -1,0 +1,661 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"motifstream/internal/delivery"
+	"motifstream/internal/dynstore"
+	"motifstream/internal/graph"
+)
+
+// recoveryConfig is a 2-partition, 2-replica cluster with durable
+// checkpoints and a deterministic, suppression-free delivery pipeline.
+func recoveryConfig(t *testing.T, static []graph.Edge) Config {
+	t.Helper()
+	return Config{
+		Partitions:         2,
+		Replicas:           2,
+		StaticEdges:        static,
+		Dynamic:            dynstore.Options{Retention: time.Hour},
+		NewPrograms:        diamondPrograms,
+		CheckpointDir:      t.TempDir(),
+		CheckpointInterval: time.Minute, // stream time
+		Delivery: delivery.Options{
+			SleepStartHour: 1, SleepEndHour: 1,
+			MaxPerUserPerDay: 1 << 30,
+			TimezoneOf:       func(graph.VertexID) int { return 0 },
+		},
+	}
+}
+
+// ringStatic wires users 0..n-1 so each follows the next two — motifs can
+// complete for A's in every partition.
+func ringStatic(n int) []graph.Edge {
+	var static []graph.Edge
+	for a := graph.VertexID(0); a < graph.VertexID(n); a++ {
+		static = append(static,
+			graph.Edge{Src: a, Dst: (a + 1) % graph.VertexID(n)},
+			graph.Edge{Src: a, Dst: (a + 2) % graph.VertexID(n)},
+		)
+	}
+	return static
+}
+
+// motifWorkload generates a seeded stream where consecutive ring members
+// follow fresh targets, completing diamonds continually. Stream time
+// advances ~3s per step so checkpoint intervals and sweeps trigger.
+func motifWorkload(seed int64, users, steps int) []graph.Edge {
+	r := rand.New(rand.NewSource(seed))
+	t0 := int64(10_000_000)
+	var out []graph.Edge
+	for i := 0; i < steps; i++ {
+		b1 := graph.VertexID(r.Intn(users))
+		b2 := (b1 + 1) % graph.VertexID(users)
+		target := graph.VertexID(100_000 + i)
+		ts := t0 + int64(i)*3_000
+		out = append(out,
+			graph.Edge{Src: b1, Dst: target, Type: graph.Follow, TS: ts},
+			graph.Edge{Src: b2, Dst: target, Type: graph.Follow, TS: ts + 1},
+		)
+	}
+	return out
+}
+
+// noteKey identifies one delivered notification for set comparison.
+type noteKey struct {
+	user, item graph.VertexID
+}
+
+// collectNotes wires a mutex-guarded notification recorder into cfg.
+func collectNotes(cfg *Config) func() map[noteKey]int {
+	var mu sync.Mutex
+	got := map[noteKey]int{}
+	cfg.OnNotify = func(n delivery.Notification) {
+		mu.Lock()
+		got[noteKey{n.Candidate.User, n.Candidate.Item}]++
+		mu.Unlock()
+	}
+	return func() map[noteKey]int {
+		mu.Lock()
+		defer mu.Unlock()
+		out := make(map[noteKey]int, len(got))
+		for k, v := range got {
+			out[k] = v
+		}
+		return out
+	}
+}
+
+func TestKillRestoreValidation(t *testing.T) {
+	// Without CheckpointDir the recovery subsystem is unavailable.
+	plain, err := New(testConfig(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.KillReplica(0, 0); err != ErrRecoveryDisabled {
+		t.Fatalf("KillReplica without CheckpointDir = %v", err)
+	}
+	if err := plain.RestoreReplica(0, 0); err != ErrRecoveryDisabled {
+		t.Fatalf("RestoreReplica without CheckpointDir = %v", err)
+	}
+
+	cfg := recoveryConfig(t, fig1Static())
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	if err := c.KillReplica(9, 0); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+	if err := c.RestoreReplica(0, 0); err == nil {
+		t.Fatal("restoring a live replica accepted")
+	}
+	if err := c.KillReplica(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillReplica(0, 0); err == nil {
+		t.Fatal("double kill accepted")
+	}
+	if err := c.KillReplica(0, 1); err == nil {
+		t.Fatal("killing the last alive replica accepted")
+	}
+	if err := c.RecoverReplica(0, 0); err == nil {
+		t.Fatal("RecoverReplica on a dead replica accepted; must use RestoreReplica")
+	}
+	if state, _ := c.ReplicaState(0, 0); state != "dead" {
+		t.Fatalf("killed replica state = %q", state)
+	}
+	if err := c.RestoreReplica(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AwaitReplicaLive(0, 0, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKillReplicaDropsStateAndStopsConsuming(t *testing.T) {
+	cfg := recoveryConfig(t, ringStatic(40))
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	stream := motifWorkload(5, 40, 300)
+	half := len(stream) / 2
+	for _, e := range stream[:half] {
+		if err := c.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.KillReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.Replica(0, 1)
+	if st := p.Engine().Dynamic().Stats(); st.Edges != 0 {
+		t.Fatalf("killed replica kept its D store: %+v", st)
+	}
+	for _, e := range stream[half:] {
+		if err := c.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Stop()
+	// Dead replica consumed nothing after the kill.
+	if st := p.Engine().Dynamic().Stats(); st.Edges != 0 {
+		t.Fatalf("dead replica kept consuming: %+v", st)
+	}
+	// Its healthy peer consumed everything.
+	peer, _ := c.Replica(0, 0)
+	if st := peer.Engine().Dynamic().Stats(); st.Edges == 0 {
+		t.Fatal("surviving replica has an empty D store")
+	}
+}
+
+// TestFaultEquivalenceOracle is the suite's centerpiece: the same seeded
+// workload runs through a no-fault cluster and through a cluster whose
+// replica is killed mid-stream, restored from its durable checkpoint, and
+// caught up by replaying the firehose. The delivered notification sets
+// must be identical — no lost and no duplicate pushes — and the recovered
+// replica's D store must converge to the no-fault replica's.
+func TestFaultEquivalenceOracle(t *testing.T) {
+	static := ringStatic(60)
+	stream := motifWorkload(42, 60, 600)
+
+	// Oracle: no faults.
+	oracleCfg := recoveryConfig(t, static)
+	oracleNotes := collectNotes(&oracleCfg)
+	oracle, err := New(oracleCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.Start()
+	for _, e := range stream {
+		if err := oracle.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oracle.Stop()
+
+	// Fault run: kill replica 1 of both partitions a third in, restore
+	// two thirds in, let catch-up finish before the stream ends.
+	faultCfg := recoveryConfig(t, static)
+	faultNotes := collectNotes(&faultCfg)
+	fault, err := New(faultCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Start()
+	killAt := len(stream) / 3
+	restoreAt := 2 * len(stream) / 3
+	for i, e := range stream {
+		if i == killAt {
+			for pid := 0; pid < faultCfg.Partitions; pid++ {
+				if err := fault.KillReplica(pid, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if i == restoreAt {
+			for pid := 0; pid < faultCfg.Partitions; pid++ {
+				if err := fault.RestoreReplica(pid, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := fault.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fault.Stop()
+	for pid := 0; pid < faultCfg.Partitions; pid++ {
+		if state, _ := fault.ReplicaState(pid, 1); state != "live" {
+			t.Fatalf("partition %d replica 1 state = %q after drain, want live", pid, state)
+		}
+	}
+
+	// Delivered notification sets are identical.
+	want, got := oracleNotes(), faultNotes()
+	if len(want) == 0 {
+		t.Fatal("vacuous: oracle run delivered nothing")
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("notification %v delivered %d times in fault run, %d in oracle", k, got[k], n)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Fatalf("fault run delivered %v, oracle did not", k)
+		}
+	}
+
+	// The recovered replicas' D stores converge to the no-fault ones.
+	for pid := 0; pid < faultCfg.Partitions; pid++ {
+		recovered, _ := fault.Replica(pid, 1)
+		reference, _ := oracle.Replica(pid, 1)
+		gotD := recovered.Engine().Dynamic().Stats()
+		wantD := reference.Engine().Dynamic().Stats()
+		if gotD != wantD {
+			t.Fatalf("partition %d recovered D stats %+v != oracle %+v", pid, gotD, wantD)
+		}
+		// And to their own surviving peer's.
+		peer, _ := fault.Replica(pid, 0)
+		if peerD := peer.Engine().Dynamic().Stats(); gotD != peerD {
+			t.Fatalf("partition %d recovered D stats %+v != peer %+v", pid, gotD, peerD)
+		}
+	}
+
+	// Checkpoints were actually written and used.
+	st := fault.Stats()
+	if st.Checkpoints == 0 {
+		t.Fatal("fault run wrote no checkpoints")
+	}
+	if st.Restores != uint64(faultCfg.Partitions) {
+		t.Fatalf("Restores = %d, want %d", st.Restores, faultCfg.Partitions)
+	}
+}
+
+// TestRestoreWithoutCheckpointReplaysFromZero covers the cold-restore
+// path: no checkpoint file exists, so the replica rebuilds purely from
+// the retained firehose log.
+func TestRestoreWithoutCheckpointReplaysFromZero(t *testing.T) {
+	cfg := recoveryConfig(t, ringStatic(40))
+	cfg.CheckpointInterval = time.Hour * 24 * 365 // never checkpoint
+	notes := collectNotes(&cfg)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	stream := motifWorkload(11, 40, 400)
+	third := len(stream) / 3
+	for _, e := range stream[:third] {
+		c.Publish(e)
+	}
+	if err := c.KillReplica(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range stream[third : 2*third] {
+		c.Publish(e)
+	}
+	if err := c.RestoreReplica(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range stream[2*third:] {
+		c.Publish(e)
+	}
+	c.Stop()
+	if state, _ := c.ReplicaState(1, 0); state != "live" {
+		t.Fatalf("state = %q after drain", state)
+	}
+	restored, _ := c.Replica(1, 0)
+	peer, _ := c.Replica(1, 1)
+	if got, want := restored.Engine().Dynamic().Stats(), peer.Engine().Dynamic().Stats(); got != want {
+		t.Fatalf("cold-restored D stats %+v != peer %+v", got, want)
+	}
+	if len(notes()) == 0 {
+		t.Fatal("vacuous: nothing delivered")
+	}
+}
+
+// TestRestoreFromCorruptCheckpointFallsBack truncates the checkpoint file
+// on disk: restore must not fail or panic — it replays from offset zero
+// and still converges.
+func TestRestoreFromCorruptCheckpointFallsBack(t *testing.T) {
+	cfg := recoveryConfig(t, ringStatic(40))
+	cfg.CheckpointInterval = time.Second // checkpoint densely (stream time)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	stream := motifWorkload(13, 40, 300)
+	half := len(stream) / 2
+	for _, e := range stream[:half] {
+		c.Publish(e)
+	}
+	// Publishing is asynchronous: wait for the replica to have written at
+	// least one checkpoint before crashing it.
+	path := checkpointPath(cfg.CheckpointDir, 0, 0)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := c.KillReplica(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the replica's checkpoint.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestoreReplica(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range stream[half:] {
+		c.Publish(e)
+	}
+	c.Stop()
+	restored, _ := c.Replica(0, 0)
+	peer, _ := c.Replica(0, 1)
+	if got, want := restored.Engine().Dynamic().Stats(), peer.Engine().Dynamic().Stats(); got != want {
+		t.Fatalf("fallback-restored D stats %+v != peer %+v", got, want)
+	}
+}
+
+// TestCheckpointFilesAreWrittenAtomically checks the on-disk layout: one
+// file per replica, no leftover temp files.
+func TestCheckpointFilesAreWrittenAtomically(t *testing.T) {
+	cfg := recoveryConfig(t, ringStatic(40))
+	cfg.CheckpointInterval = time.Second
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	for _, e := range motifWorkload(17, 40, 200) {
+		c.Publish(e)
+	}
+	c.Stop()
+	for pid := 0; pid < cfg.Partitions; pid++ {
+		for r := 0; r < cfg.Replicas; r++ {
+			if _, err := os.Stat(checkpointPath(cfg.CheckpointDir, pid, r)); err != nil {
+				t.Fatalf("missing checkpoint for %d/%d: %v", pid, r, err)
+			}
+		}
+	}
+	tmps, err := filepath.Glob(filepath.Join(cfg.CheckpointDir, "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Fatalf("leftover temp files: %v", tmps)
+	}
+	if st := c.Stats(); st.Checkpoints == 0 {
+		t.Fatal("no checkpoints recorded")
+	}
+}
+
+// TestRestoredReplicaServesReadsAfterCatchUp exercises the broker gate:
+// while replaying, reads never route to the stale replica; after catch-up
+// they do again.
+func TestRestoredReplicaServesReadsAfterCatchUp(t *testing.T) {
+	cfg := recoveryConfig(t, ringStatic(40))
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	stream := motifWorkload(19, 40, 300)
+	half := len(stream) / 2
+	for _, e := range stream[:half] {
+		c.Publish(e)
+	}
+	if err := c.KillReplica(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Broker().ReplicaHealthy(0, 0) {
+		t.Fatal("dead replica still broker-healthy")
+	}
+	if err := c.RestoreReplica(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The broker keeps the replica down until catch-up completes. The
+	// state machine may already have flipped to live if replay was quick,
+	// so only assert the invariant: replaying => broker-down.
+	if state, _ := c.ReplicaState(0, 0); state == "replaying" && c.Broker().ReplicaHealthy(0, 0) {
+		t.Fatal("replaying replica marked broker-healthy")
+	}
+	if err := c.AwaitReplicaLive(0, 0, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Broker().ReplicaHealthy(0, 0) {
+		t.Fatal("live replica not broker-healthy after catch-up")
+	}
+	for _, e := range stream[half:] {
+		c.Publish(e)
+	}
+	c.Stop()
+	// Both replicas healthy: reads for partition-0 users succeed.
+	served := 0
+	for a := graph.VertexID(0); a < 40; a++ {
+		if c.part.PartitionOf(a) != 0 {
+			continue
+		}
+		if recs, err := c.RecommendationsFor(a); err == nil && len(recs) > 0 {
+			served++
+		}
+	}
+	if served == 0 {
+		t.Fatal("no partition-0 reads served after recovery")
+	}
+}
+
+// TestRepeatedKillRestoreCycles stresses the state machine: several
+// sequential crash/recover cycles against a flowing stream, alternating
+// replicas, must keep converging.
+func TestRepeatedKillRestoreCycles(t *testing.T) {
+	cfg := recoveryConfig(t, ringStatic(40))
+	cfg.CheckpointInterval = 5 * time.Second
+	notes := collectNotes(&cfg)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	stream := motifWorkload(23, 40, 800)
+	chunk := len(stream) / 8
+	kills := 0
+	for i, e := range stream {
+		if i > 0 && i%chunk == 0 {
+			// Alternate crash and recover on replica 1 at each boundary,
+			// waiting out catch-up so every cycle starts from full health.
+			if state, _ := c.ReplicaState(0, 1); state == "dead" {
+				if err := c.RestoreReplica(0, 1); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.AwaitReplicaLive(0, 1, 30*time.Second); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := c.KillReplica(0, 1); err != nil {
+					t.Fatal(err)
+				}
+				kills++
+			}
+		}
+		if err := c.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Restore if the last cycle left the replica dead, so the run drains
+	// to full health.
+	if state, _ := c.ReplicaState(0, 1); state == "dead" {
+		if err := c.RestoreReplica(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Stop()
+	if kills < 3 {
+		t.Fatalf("only %d kill cycles ran", kills)
+	}
+	for r := 0; r < 2; r++ {
+		if state, _ := c.ReplicaState(0, r); state != "live" {
+			t.Fatalf("replica %d state = %q after drain", r, state)
+		}
+	}
+	a, _ := c.Replica(0, 0)
+	b, _ := c.Replica(0, 1)
+	if got, want := a.Engine().Dynamic().Stats(), b.Engine().Dynamic().Stats(); got != want {
+		t.Fatalf("replicas diverged after cycles: %+v != %+v", got, want)
+	}
+	if len(notes()) == 0 {
+		t.Fatal("vacuous: nothing delivered")
+	}
+	if st := c.Stats(); st.Restores < uint64(kills) {
+		t.Fatalf("Restores = %d for %d kills", st.Restores, kills)
+	}
+}
+
+// TestRestoreIgnoresForeignRunCheckpoints reuses a checkpoint directory
+// across two cluster runs: the second run's restore must not resurrect
+// the first run's state — its offsets index a firehose log that died with
+// that cluster — and must instead replay its own log from scratch.
+func TestRestoreIgnoresForeignRunCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	static := ringStatic(40)
+	newCfg := func() Config {
+		cfg := recoveryConfig(t, static)
+		cfg.CheckpointDir = dir
+		cfg.CheckpointInterval = time.Second
+		return cfg
+	}
+
+	// Run 1: a long stream, checkpoints land on disk.
+	c1, err := New(newCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Start()
+	for _, e := range motifWorkload(41, 40, 400) {
+		c1.Publish(e)
+	}
+	c1.Stop()
+	if st := c1.Stats(); st.Checkpoints == 0 {
+		t.Fatal("run 1 wrote no checkpoints")
+	}
+
+	// Run 2: same dir, much shorter stream. Restore must ignore run 1's
+	// files (their offsets exceed run 2's head) and converge to the peer.
+	c2, err := New(newCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Start()
+	stream := motifWorkload(43, 40, 60)
+	half := len(stream) / 2
+	for _, e := range stream[:half] {
+		c2.Publish(e)
+	}
+	if err := c2.KillReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.RestoreReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range stream[half:] {
+		c2.Publish(e)
+	}
+	c2.Stop()
+	if state, _ := c2.ReplicaState(0, 1); state != "live" {
+		t.Fatalf("state = %q after drain", state)
+	}
+	restored, _ := c2.Replica(0, 1)
+	peer, _ := c2.Replica(0, 0)
+	if got, want := restored.Engine().Dynamic().Stats(), peer.Engine().Dynamic().Stats(); got != want {
+		t.Fatalf("restored replica diverged (foreign state resurrected?): %+v != %+v", got, want)
+	}
+}
+
+// TestConcurrentKillRestoreIsSerialized hammers the lifecycle API from
+// many goroutines: no panics (double close), and the last-alive guard
+// must hold — both replicas can never be dead at once.
+func TestConcurrentKillRestoreIsSerialized(t *testing.T) {
+	cfg := recoveryConfig(t, ringStatic(40))
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	for _, e := range motifWorkload(31, 40, 100) {
+		if err := c.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			victim := g % 2
+			for i := 0; i < 50; i++ {
+				c.KillReplica(0, victim)    // errors expected, panics not
+				c.RestoreReplica(0, victim) // ditto
+			}
+		}(g)
+	}
+	wg.Wait()
+	aDead, _ := c.ReplicaState(0, 0)
+	bDead, _ := c.ReplicaState(0, 1)
+	if aDead == "dead" && bDead == "dead" {
+		t.Fatal("both replicas dead: last-alive guard violated under concurrency")
+	}
+	// Drain to full health and stop cleanly.
+	for r := 0; r < 2; r++ {
+		if state, _ := c.ReplicaState(0, r); state == "dead" {
+			if err := c.RestoreReplica(0, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c.Stop()
+}
+
+// TestRecoveryStatsString smoke-checks the state names.
+func TestRecoveryStatsString(t *testing.T) {
+	cfg := recoveryConfig(t, fig1Static())
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	for _, want := range []string{"live"} {
+		got, err := c.ReplicaState(0, 0)
+		if err != nil || got != want {
+			t.Fatalf("ReplicaState = %q, %v; want %q", got, err, want)
+		}
+	}
+	if _, err := c.ReplicaState(7, 7); err == nil {
+		t.Fatal("out-of-range state query accepted")
+	}
+	_ = fmt.Sprintf("%v", c.Stats())
+}

@@ -1,0 +1,185 @@
+// Package codecutil holds the small helpers shared by the binary
+// checkpoint codecs (dynstore, core, partition): byte-exact read/write
+// counting so nested io.WriterTo/io.ReaderFrom sections compose, and
+// capped preallocation for lengths decoded from untrusted input.
+package codecutil
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// ByteReader is the reader contract varint decoding needs; *bufio.Reader
+// satisfies it.
+type ByteReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// AsByteReader adapts r without double-buffering when it already buffers.
+// Wrapping a raw reader in bufio means read-ahead, so framed container
+// formats must pass a ByteReader down to embedded sections.
+func AsByteReader(r io.Reader) ByteReader {
+	if br, ok := r.(ByteReader); ok {
+		return br
+	}
+	return bufio.NewReader(r)
+}
+
+// CountingReader counts consumed bytes without read-ahead, so a section
+// embedded in a larger stream leaves the reader positioned exactly past
+// its own payload and the reported total is exact.
+type CountingReader struct {
+	R ByteReader
+	N int64
+}
+
+// ReadByte implements io.ByteReader.
+func (c *CountingReader) ReadByte() (byte, error) {
+	b, err := c.R.ReadByte()
+	if err == nil {
+		c.N++
+	}
+	return b, err
+}
+
+// Read implements io.Reader.
+func (c *CountingReader) Read(p []byte) (int, error) {
+	n, err := c.R.Read(p)
+	c.N += int64(n)
+	return n, err
+}
+
+// CountingWriter counts bytes written for the io.WriterTo contract.
+type CountingWriter struct {
+	W io.Writer
+	N int64
+}
+
+// Write implements io.Writer.
+func (c *CountingWriter) Write(p []byte) (int, error) {
+	n, err := c.W.Write(p)
+	c.N += int64(n)
+	return n, err
+}
+
+// Writer is an error-latching varint writer: after the first failure
+// every Put becomes a no-op and the error is reported once via Err.
+type Writer struct {
+	BW  *bufio.Writer
+	Err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+// PutU writes v as a uvarint.
+func (w *Writer) PutU(v uint64) {
+	if w.Err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.buf[:], v)
+	_, w.Err = w.BW.Write(w.buf[:n])
+}
+
+// PutI writes v as a zigzag varint.
+func (w *Writer) PutI(v int64) {
+	if w.Err != nil {
+		return
+	}
+	n := binary.PutVarint(w.buf[:], v)
+	_, w.Err = w.BW.Write(w.buf[:n])
+}
+
+// PutBytes writes b raw.
+func (w *Writer) PutBytes(b []byte) {
+	if w.Err != nil {
+		return
+	}
+	_, w.Err = w.BW.Write(b)
+}
+
+// PutString writes a length-prefixed string.
+func (w *Writer) PutString(s string) {
+	w.PutU(uint64(len(s)))
+	w.PutBytes([]byte(s))
+}
+
+// Flush latches any flush error and returns the first error seen.
+func (w *Writer) Flush() error {
+	if w.Err == nil {
+		w.Err = w.BW.Flush()
+	}
+	return w.Err
+}
+
+// Reader is an error-latching varint reader: after the first failure
+// every get returns zero values and the error is reported once via Err.
+// Prefix names the decoding layer in error messages.
+type Reader struct {
+	BR     *CountingReader
+	Prefix string
+	Err    error
+}
+
+// Fail latches err with the given field context.
+func (r *Reader) Fail(context string, err error) {
+	if r.Err == nil {
+		r.Err = fmt.Errorf("%s: %s: %w", r.Prefix, context, err)
+	}
+}
+
+// U reads a uvarint.
+func (r *Reader) U(context string) uint64 {
+	if r.Err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.BR)
+	if err != nil {
+		r.Fail(context, err)
+	}
+	return v
+}
+
+// I reads a zigzag varint.
+func (r *Reader) I(context string) int64 {
+	if r.Err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(r.BR)
+	if err != nil {
+		r.Fail(context, err)
+	}
+	return v
+}
+
+// String reads a length-prefixed string, rejecting lengths above max.
+func (r *Reader) String(context string, max uint64) string {
+	n := r.U(context)
+	if r.Err != nil {
+		return ""
+	}
+	if n > max {
+		r.Fail(context, fmt.Errorf("implausible length %d", n))
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.BR, b); err != nil {
+		r.Fail(context, err)
+		return ""
+	}
+	return string(b)
+}
+
+// maxPreallocHint caps capacity hints taken from untrusted length fields:
+// a corrupt length under a format's plausibility bound must fail with a
+// decode error when the data runs out, not allocate gigabytes up front.
+const maxPreallocHint = 4096
+
+// PreallocHint returns n clamped to the preallocation cap.
+func PreallocHint(n uint64) int {
+	if n > maxPreallocHint {
+		return maxPreallocHint
+	}
+	return int(n)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"motifstream/internal/codecutil"
+)
+
+// The engine checkpoint format wraps the D-store snapshot with the
+// engine's own stream-time state: a magic header, the format version, the
+// last-sweep stream timestamp, then the embedded dynstore snapshot.
+// Restoring the sweep clock matters for fault equivalence: pruning is
+// driven by stream time, so a recovered replica that replays the firehose
+// from its checkpoint offset must sweep on exactly the cadence the
+// original would have, or its D store diverges from the no-fault run.
+
+// engineMagic identifies the engine checkpoint format, version 1.
+var engineMagic = [8]byte{'M', 'S', 'E', 'N', 'G', 'S', 0, 1}
+
+const engineSnapVersion = 1
+
+// WriteTo serializes the engine's recoverable state — the sweep clock and
+// the full D store — implementing io.WriterTo. The caller must not run
+// Apply concurrently (the replica checkpoint loop serializes them).
+func (e *Engine) WriteTo(w io.Writer) (int64, error) {
+	cw := &codecutil.CountingWriter{W: w}
+	var buf [8 + 2*binary.MaxVarintLen64]byte
+	copy(buf[:8], engineMagic[:])
+	n := 8
+	n += binary.PutUvarint(buf[n:], engineSnapVersion)
+	e.mu.Lock()
+	lastSweep := e.lastSweep
+	e.mu.Unlock()
+	n += binary.PutVarint(buf[n:], lastSweep)
+	if _, err := cw.Write(buf[:n]); err != nil {
+		return cw.N, err
+	}
+	_, err := e.dynamic.WriteTo(cw)
+	return cw.N, err
+}
+
+// ReadFrom restores engine state written by WriteTo, implementing
+// io.ReaderFrom: the sweep clock and the D store are replaced. Malformed
+// input returns an error, never panics.
+func (e *Engine) ReadFrom(r io.Reader) (int64, error) {
+	br := &codecutil.CountingReader{R: codecutil.AsByteReader(r)}
+	dec := &codecutil.Reader{BR: br, Prefix: "core"}
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return br.N, fmt.Errorf("core: reading engine checkpoint magic: %w", err)
+	}
+	if magic != engineMagic {
+		return br.N, fmt.Errorf("core: bad engine checkpoint magic %q", magic[:])
+	}
+	if v := dec.U("engine checkpoint version"); dec.Err == nil && v != engineSnapVersion {
+		return br.N, fmt.Errorf("core: unsupported engine checkpoint version %d", v)
+	}
+	lastSweep := dec.I("sweep clock")
+	if dec.Err != nil {
+		return br.N, dec.Err
+	}
+	// The store reads through br, so its bytes are already counted.
+	if _, err := e.dynamic.ReadFrom(br); err != nil {
+		return br.N, err
+	}
+	e.mu.Lock()
+	e.lastSweep = lastSweep
+	e.mu.Unlock()
+	return br.N, nil
+}
+
+// Reset drops the engine's recoverable state — D contents and the sweep
+// clock — modeling a crashed detection server. S is rebuilt from the
+// offline pipeline, not checkpointed, so it is left in place.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	e.lastSweep = 0
+	e.mu.Unlock()
+	e.dynamic.Reset()
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"motifstream/internal/dynstore"
+	"motifstream/internal/graph"
+	"motifstream/internal/motif"
+	"motifstream/internal/statstore"
+)
+
+func newCheckpointEngine(t *testing.T) *Engine {
+	t.Helper()
+	b := &statstore.Builder{}
+	snap := b.Build([]graph.Edge{{Src: 1, Dst: 10}, {Src: 2, Dst: 10}})
+	e, err := NewEngine(Config{
+		Static:        statstore.New(snap),
+		Dynamic:       dynstore.New(dynstore.Options{Retention: time.Hour}),
+		Programs:      []motif.Program{motif.NewDiamond(motif.DiamondConfig{K: 2, Window: time.Hour})},
+		SweepInterval: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineCheckpointRoundTrip(t *testing.T) {
+	orig := newCheckpointEngine(t)
+	t0 := int64(10_000_000)
+	for i := 0; i < 200; i++ {
+		orig.Apply(graph.Edge{
+			Src: graph.VertexID(10 + i%5),
+			Dst: graph.VertexID(500 + i%7),
+			TS:  t0 + int64(i)*1_000,
+		})
+	}
+
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	restored := newCheckpointEngine(t)
+	m, err := restored.ReadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != n {
+		t.Fatalf("ReadFrom consumed %d bytes, checkpoint is %d", m, n)
+	}
+	if got, want := restored.Dynamic().Stats(), orig.Dynamic().Stats(); got != want {
+		t.Fatalf("restored D stats %+v != %+v", got, want)
+	}
+	restored.mu.Lock()
+	gotSweep := restored.lastSweep
+	restored.mu.Unlock()
+	orig.mu.Lock()
+	wantSweep := orig.lastSweep
+	orig.mu.Unlock()
+	if gotSweep != wantSweep {
+		t.Fatalf("restored sweep clock %d != %d", gotSweep, wantSweep)
+	}
+}
+
+// TestEngineCheckpointSweepEquivalence is the sweep-cadence property the
+// oracle suite depends on: continuing a restored engine over the stream
+// suffix yields the same D store as the uninterrupted engine, because the
+// sweep clock survives the checkpoint.
+func TestEngineCheckpointSweepEquivalence(t *testing.T) {
+	stream := make([]graph.Edge, 3_000)
+	t0 := int64(10_000_000)
+	for i := range stream {
+		stream[i] = graph.Edge{
+			Src: graph.VertexID(10 + i%13),
+			Dst: graph.VertexID(500 + i%31),
+			TS:  t0 + int64(i)*2_500, // crosses many sweep intervals
+		}
+	}
+	cut := len(stream) / 3
+
+	straight := newCheckpointEngine(t)
+	for _, e := range stream {
+		straight.Apply(e)
+	}
+
+	first := newCheckpointEngine(t)
+	for _, e := range stream[:cut] {
+		first.Apply(e)
+	}
+	var buf bytes.Buffer
+	if _, err := first.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed := newCheckpointEngine(t)
+	if _, err := resumed.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range stream[cut:] {
+		resumed.Apply(e)
+	}
+
+	if got, want := resumed.Dynamic().Stats(), straight.Dynamic().Stats(); got != want {
+		t.Fatalf("resumed D stats %+v != straight %+v", got, want)
+	}
+}
+
+func TestEngineCheckpointRejectsCorruptInput(t *testing.T) {
+	e := newCheckpointEngine(t)
+	e.Apply(graph.Edge{Src: 10, Dst: 500, TS: 1_000_000})
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for _, bad := range [][]byte{
+		{},
+		[]byte("NOTMAGIC"),
+		good[:5],
+		good[:len(good)-3],
+	} {
+		fresh := newCheckpointEngine(t)
+		if _, err := fresh.ReadFrom(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corrupt input of len %d decoded without error", len(bad))
+		}
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	e := newCheckpointEngine(t)
+	e.Apply(graph.Edge{Src: 10, Dst: 500, TS: 10_000_000})
+	e.Reset()
+	if st := e.Dynamic().Stats(); st.Edges != 0 {
+		t.Fatalf("Reset left D with %+v", st)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.lastSweep != 0 {
+		t.Fatalf("Reset left sweep clock at %d", e.lastSweep)
+	}
+}

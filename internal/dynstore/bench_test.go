@@ -1,6 +1,7 @@
 package dynstore
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -64,6 +65,50 @@ func BenchmarkRecentLimit(b *testing.B) {
 				s.RecentLimit(7, 0, limit)
 			}
 		})
+	}
+}
+
+// BenchmarkSnapshotEncode measures the cost of cutting one replica
+// checkpoint's D payload — the stop-the-world window a replica pays per
+// checkpoint interval.
+func BenchmarkSnapshotEncode(b *testing.B) {
+	edges := benchEdges(100_000)
+	s := New(Options{Retention: time.Hour, MaxPerTarget: 1024})
+	for _, e := range edges {
+		s.Insert(e)
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if _, err := s.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+// BenchmarkSnapshotDecode measures the restore half of recovery: how fast
+// a rejoining replica rebuilds D from its checkpoint before replay starts.
+func BenchmarkSnapshotDecode(b *testing.B) {
+	edges := benchEdges(100_000)
+	s := New(Options{Retention: time.Hour, MaxPerTarget: 1024})
+	for _, e := range edges {
+		s.Insert(e)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		restored := New(Options{Retention: time.Hour, MaxPerTarget: 1024})
+		if _, err := restored.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

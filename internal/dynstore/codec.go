@@ -1,0 +1,160 @@
+package dynstore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"motifstream/internal/codecutil"
+	"motifstream/internal/graph"
+)
+
+// The binary snapshot format is the durable half of a partition replica's
+// checkpoint: a magic header, the format version, then per query vertex C
+// its retained in-edge list in arrival order — B as a uvarint and the
+// timestamp as a zigzag delta from the previous entry (the stream is
+// near-ordered, so deltas stay small). Targets are written in ascending C
+// order so equal stores serialize identically. The layout is independent
+// of the shard count, so a snapshot restores into a store configured with
+// any Shards value.
+
+// snapMagic identifies the dynstore snapshot format, version 1.
+var snapMagic = [8]byte{'M', 'S', 'D', 'S', 'N', 'P', 0, 1}
+
+const snapVersion = 1
+
+// Plausibility bounds for decoding; inputs beyond them are corrupt.
+const (
+	maxSnapTargets = 1 << 30
+	maxSnapList    = 1 << 28
+)
+
+// WriteTo serializes the store's full contents in the versioned binary
+// snapshot format, implementing io.WriterTo. Each shard is copied under
+// its read lock; for a point-in-time-consistent snapshot across shards the
+// caller must quiesce writers (the replica checkpoint loop serializes
+// WriteTo with Apply, so this holds there).
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	cw := &codecutil.CountingWriter{W: w}
+	enc := &codecutil.Writer{BW: bufio.NewWriter(cw)}
+	enc.PutBytes(snapMagic[:])
+	enc.PutU(snapVersion)
+
+	// Gather and sort only the target IDs for deterministic output, then
+	// copy one list at a time under its shard lock while encoding —
+	// peak extra memory stays at a single list rather than a full
+	// duplicate of D. Lists must be copied because Insert reuses backing
+	// arrays in place.
+	var ids []graph.VertexID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for c := range sh.targets {
+			ids = append(ids, c)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	enc.PutU(uint64(len(ids)))
+	var list []InEdge
+	for _, c := range ids {
+		sh := s.shardFor(c)
+		sh.mu.RLock()
+		list = append(list[:0], sh.targets[c]...)
+		sh.mu.RUnlock()
+		// A target removed since gathering (only possible if the caller
+		// broke the quiescence contract) encodes as an empty list,
+		// keeping the frame count consistent.
+		enc.PutU(uint64(c))
+		enc.PutU(uint64(len(list)))
+		prev := int64(0)
+		for _, in := range list {
+			enc.PutU(uint64(in.B))
+			enc.PutI(in.TS - prev)
+			prev = in.TS
+		}
+	}
+	return cw.N, enc.Flush()
+}
+
+// ReadFrom replaces the store's contents with a snapshot previously
+// produced by WriteTo, implementing io.ReaderFrom. The store's own options
+// (retention, caps, shard count) are kept; only the data is restored.
+// Malformed or truncated input returns an error and leaves the store
+// emptied, never panics. When r is an io.ByteReader (e.g. *bufio.Reader)
+// no read-ahead happens, so framed container formats can embed snapshots.
+func (s *Store) ReadFrom(r io.Reader) (int64, error) {
+	br := &codecutil.CountingReader{R: codecutil.AsByteReader(r)}
+	n, err := s.decodeFrom(br)
+	if err != nil {
+		// Honor the contract: a failed restore leaves the store emptied,
+		// not half-populated.
+		s.Reset()
+	}
+	return n, err
+}
+
+// decodeFrom parses the snapshot payload into the store.
+func (s *Store) decodeFrom(br *codecutil.CountingReader) (int64, error) {
+	s.Reset()
+	r := &codecutil.Reader{BR: br, Prefix: "dynstore"}
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return br.N, fmt.Errorf("dynstore: reading magic: %w", err)
+	}
+	if magic != snapMagic {
+		return br.N, fmt.Errorf("dynstore: bad snapshot magic %q", magic[:])
+	}
+	if v := r.U("version"); r.Err == nil && v != snapVersion {
+		return br.N, fmt.Errorf("dynstore: unsupported snapshot version %d", v)
+	}
+	count := r.U("target count")
+	if r.Err == nil && count > maxSnapTargets {
+		return br.N, fmt.Errorf("dynstore: implausible target count %d", count)
+	}
+	for i := uint64(0); i < count && r.Err == nil; i++ {
+		c := r.U("target id")
+		n := r.U("target length")
+		if r.Err != nil {
+			break
+		}
+		if n > maxSnapList {
+			return br.N, fmt.Errorf("dynstore: implausible list length %d", n)
+		}
+		list := make([]InEdge, 0, codecutil.PreallocHint(n))
+		prev := int64(0)
+		for j := uint64(0); j < n && r.Err == nil; j++ {
+			b := r.U("entry source")
+			prev += r.I("entry timestamp")
+			list = append(list, InEdge{B: graph.VertexID(b), TS: prev})
+		}
+		if r.Err != nil {
+			break
+		}
+		cid := graph.VertexID(c)
+		sh := s.shardFor(cid)
+		sh.mu.Lock()
+		if _, dup := sh.targets[cid]; dup {
+			sh.mu.Unlock()
+			return br.N, fmt.Errorf("dynstore: duplicate target %d in snapshot", cid)
+		}
+		sh.targets[cid] = list
+		sh.edges += int64(len(list))
+		sh.mu.Unlock()
+	}
+	return br.N, r.Err
+}
+
+// Reset drops every retained edge, modeling the state loss of a crashed
+// replica; options are kept.
+func (s *Store) Reset() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.targets = make(map[graph.VertexID][]InEdge)
+		sh.edges = 0
+		sh.mu.Unlock()
+	}
+}

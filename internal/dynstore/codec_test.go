@@ -1,0 +1,277 @@
+package dynstore
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"motifstream/internal/graph"
+)
+
+// randomStore builds a store from a random near-ordered stream, mirroring
+// how D is populated in production: arrival-ordered inserts with lazy
+// pruning and per-target caps.
+func randomStore(r *rand.Rand, opts Options, events int) *Store {
+	s := New(opts)
+	ts := int64(1_000_000)
+	for i := 0; i < events; i++ {
+		ts += int64(r.Intn(50))
+		e := graph.Edge{
+			Src: graph.VertexID(r.Intn(200)),
+			Dst: graph.VertexID(r.Intn(80)),
+			TS:  ts - int64(r.Intn(20)), // occasional out-of-order straggler
+		}
+		s.Insert(e)
+	}
+	return s
+}
+
+// storeContents extracts every retained target list for deep comparison.
+func storeContents(s *Store) map[graph.VertexID][]InEdge {
+	out := map[graph.VertexID][]InEdge{}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for c, list := range sh.targets {
+			cp := make([]InEdge, len(list))
+			copy(cp, list)
+			out[c] = cp
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		opts := Options{
+			Retention:    time.Duration(1+r.Intn(600)) * time.Second,
+			MaxPerTarget: []int{0, 4, 64}[r.Intn(3)],
+			Shards:       []int{0, 1, 8}[r.Intn(3)],
+		}
+		orig := randomStore(r, opts, 1+r.Intn(3_000))
+
+		var buf bytes.Buffer
+		n, err := orig.WriteTo(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: WriteTo: %v", trial, err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("trial %d: WriteTo reported %d bytes, wrote %d", trial, n, buf.Len())
+		}
+
+		// Restore into a store with a different shard layout: the format
+		// must be layout-independent.
+		restored := New(Options{
+			Retention:    opts.Retention,
+			MaxPerTarget: opts.MaxPerTarget,
+			Shards:       16,
+		})
+		m, err := restored.ReadFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: ReadFrom: %v", trial, err)
+		}
+		if m != n {
+			t.Fatalf("trial %d: ReadFrom consumed %d bytes, snapshot is %d", trial, m, n)
+		}
+
+		// Stats deep-equal.
+		if got, want := restored.Stats(), orig.Stats(); got != want {
+			t.Fatalf("trial %d: stats %+v != %+v", trial, got, want)
+		}
+		// Full contents deep-equal, including per-target arrival order.
+		if got, want := storeContents(restored), storeContents(orig); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: contents diverge", trial)
+		}
+		// Query results deep-equal at a few probe points.
+		for c := graph.VertexID(0); c < 80; c += 7 {
+			for _, since := range []int64{0, 1_000_000, 1_030_000} {
+				got := restored.Recent(c, since)
+				want := orig.Recent(c, since)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d: Recent(%d,%d) = %v, want %v", trial, c, since, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotRoundTripEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := New(Options{}).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(Options{})
+	if _, err := restored.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if st := restored.Stats(); st.Edges != 0 || st.Targets != 0 {
+		t.Fatalf("restored empty store has %+v", st)
+	}
+}
+
+func TestSnapshotReadFromReplacesContents(t *testing.T) {
+	a := New(Options{})
+	a.Insert(graph.Edge{Src: 1, Dst: 2, TS: 10})
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := New(Options{})
+	b.Insert(graph.Edge{Src: 9, Dst: 9, TS: 99}) // pre-existing junk
+	if _, err := b.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Recent(9, 0); got != nil {
+		t.Fatalf("pre-restore contents survived: %v", got)
+	}
+	if got := b.Recent(2, 0); len(got) != 1 || got[0].B != 1 {
+		t.Fatalf("restored contents wrong: %v", got)
+	}
+}
+
+func TestSnapshotDecodeRejectsCorruptInput(t *testing.T) {
+	s := New(Options{})
+	for i := 0; i < 100; i++ {
+		s.Insert(graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i % 5), TS: int64(i)})
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XXXXXXXX"), good[8:]...),
+		"bad version": func() []byte {
+			b := append([]byte(nil), good...)
+			b[8] = 0x7f // version 127
+			return b
+		}(),
+		"huge target count": append(append([]byte(nil), good[:9]...),
+			0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01),
+	}
+	// Every truncation of the valid snapshot must error, not panic.
+	for cut := 0; cut < len(good); cut += 1 + len(good)/37 {
+		cases["truncated"] = good[:cut]
+		for name, in := range cases {
+			fresh := New(Options{})
+			if _, err := fresh.ReadFrom(bytes.NewReader(in)); err == nil {
+				t.Fatalf("%s input (len %d) decoded without error", name, len(in))
+			}
+			// The contract: a failed restore leaves the store emptied,
+			// never half-populated.
+			if st := fresh.Stats(); st.Edges != 0 || st.Targets != 0 {
+				t.Fatalf("%s input left partial contents: %+v", name, st)
+			}
+		}
+	}
+}
+
+func TestSnapshotDecodeRejectsDuplicateTarget(t *testing.T) {
+	// Hand-assemble a snapshot with the same target twice.
+	var buf bytes.Buffer
+	buf.Write(snapMagic[:])
+	buf.WriteByte(snapVersion)
+	buf.WriteByte(2) // two targets
+	for i := 0; i < 2; i++ {
+		buf.WriteByte(7) // target C=7
+		buf.WriteByte(1) // one entry
+		buf.WriteByte(3) // B=3
+		buf.WriteByte(2) // TS delta zigzag(1)
+	}
+	s := New(Options{})
+	if _, err := s.ReadFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("duplicate target decoded without error")
+	}
+}
+
+func TestSnapshotEmbeddedInLargerStream(t *testing.T) {
+	// A snapshot followed by trailing bytes: ReadFrom must stop exactly at
+	// the snapshot boundary, leaving the trailer for the caller — the
+	// contract the engine and partition checkpoint containers rely on.
+	s := New(Options{})
+	s.Insert(graph.Edge{Src: 1, Dst: 2, TS: 5})
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snapLen := buf.Len()
+	buf.WriteString("TRAILER")
+
+	br := bytes.NewReader(buf.Bytes())
+	restored := New(Options{})
+	n, err := restored.ReadFrom(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(snapLen) {
+		t.Fatalf("consumed %d bytes, snapshot is %d", n, snapLen)
+	}
+	rest := make([]byte, 7)
+	if _, err := br.Read(rest); err != nil || string(rest) != "TRAILER" {
+		t.Fatalf("trailer = %q, %v", rest, err)
+	}
+}
+
+func TestResetDropsEverything(t *testing.T) {
+	s := New(Options{})
+	for i := 0; i < 50; i++ {
+		s.Insert(graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i % 3), TS: int64(i)})
+	}
+	s.Reset()
+	if st := s.Stats(); st.Edges != 0 || st.Targets != 0 {
+		t.Fatalf("Reset left %+v", st)
+	}
+	// The store stays usable.
+	s.Insert(graph.Edge{Src: 1, Dst: 2, TS: 100})
+	if s.CountRecent(2, 0) != 1 {
+		t.Fatal("store unusable after Reset")
+	}
+}
+
+// FuzzSnapshotDecode throws arbitrary bytes at the decoder; the only
+// acceptable outcomes are a clean error or a successful decode that
+// re-encodes losslessly.
+func FuzzSnapshotDecode(f *testing.F) {
+	seed := New(Options{})
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		seed.Insert(graph.Edge{
+			Src: graph.VertexID(r.Intn(100)),
+			Dst: graph.VertexID(r.Intn(30)),
+			TS:  int64(i),
+		})
+	}
+	var valid bytes.Buffer
+	if _, err := seed.WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add(snapMagic[:])
+	f.Add(valid.Bytes()[:valid.Len()/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := New(Options{})
+		if _, err := s.ReadFrom(bytes.NewReader(data)); err != nil {
+			return
+		}
+		// Decoded successfully: encoding the result must round-trip.
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			t.Fatalf("re-encode of decoded store failed: %v", err)
+		}
+		again := New(Options{})
+		if _, err := again.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("decode of re-encoded store failed: %v", err)
+		}
+		if again.Stats() != s.Stats() {
+			t.Fatalf("re-encode changed stats: %+v != %+v", again.Stats(), s.Stats())
+		}
+	})
+}

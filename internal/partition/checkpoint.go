@@ -1,0 +1,213 @@
+package partition
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"motifstream/internal/codecutil"
+	"motifstream/internal/graph"
+	"motifstream/internal/motif"
+)
+
+// The partition checkpoint is the durable unit of replica recovery: the
+// engine section (sweep clock + D snapshot) followed by the read-path
+// state the broker serves — the per-user candidate log and the per-item
+// recommendation counters. S is deliberately absent: it is the offline
+// pipeline's product and is rebuilt from the static edge set on restore,
+// exactly as a production replica reloads the latest S snapshot on boot.
+
+// partMagic identifies the partition checkpoint format, version 1.
+var partMagic = [8]byte{'M', 'S', 'P', 'A', 'R', 'T', 0, 1}
+
+const partSnapVersion = 1
+
+// Plausibility bounds for decoding.
+const (
+	maxSnapUsers   = 1 << 30
+	maxSnapPerUser = 1 << 20
+	maxSnapVia     = 1 << 16
+	maxSnapProgram = 1 << 12
+	maxSnapItems   = 1 << 30
+)
+
+func putCandidate(w *codecutil.Writer, c motif.Candidate) {
+	w.PutU(uint64(c.User))
+	w.PutU(uint64(c.Item))
+	w.PutU(uint64(len(c.Via)))
+	for _, b := range c.Via {
+		w.PutU(uint64(b))
+	}
+	w.PutU(uint64(c.Trigger.Src))
+	w.PutU(uint64(c.Trigger.Dst))
+	w.PutU(uint64(c.Trigger.Type))
+	w.PutI(c.Trigger.TS)
+	w.PutI(c.DetectedAtMS)
+	w.PutString(c.Program)
+	w.PutU(math.Float64bits(c.Score))
+}
+
+// WriteTo serializes the partition's recoverable state, implementing
+// io.WriterTo. The caller must not run Apply concurrently; concurrent
+// reads are fine.
+func (p *Partition) WriteTo(w io.Writer) (int64, error) {
+	cw := &codecutil.CountingWriter{W: w}
+	// Header.
+	cp := &codecutil.Writer{BW: bufio.NewWriter(cw)}
+	cp.PutBytes(partMagic[:])
+	cp.PutU(partSnapVersion)
+
+	// Candidate log, users ascending for deterministic output.
+	p.log.mu.RLock()
+	users := make([]graph.VertexID, 0, len(p.log.byA))
+	for a := range p.log.byA {
+		users = append(users, a)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	cp.PutU(uint64(len(users)))
+	for _, a := range users {
+		list := p.log.byA[a]
+		cp.PutU(uint64(a))
+		cp.PutU(uint64(len(list)))
+		for _, c := range list {
+			putCandidate(cp, c)
+		}
+	}
+	p.log.mu.RUnlock()
+
+	// Item counters, items ascending.
+	p.items.mu.RLock()
+	items := make([]graph.VertexID, 0, len(p.items.counts))
+	for it := range p.items.counts {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	cp.PutU(uint64(len(items)))
+	for _, it := range items {
+		cp.PutU(uint64(it))
+		cp.PutU(p.items.counts[it])
+	}
+	p.items.mu.RUnlock()
+
+	if err := cp.Flush(); err != nil {
+		return cw.N, err
+	}
+	// Engine section last: its D snapshot dominates the payload and the
+	// embedded codec leaves the stream positioned exactly past itself.
+	if _, err := p.engine.WriteTo(cw); err != nil {
+		return cw.N, err
+	}
+	return cw.N, nil
+}
+
+func getCandidate(r *codecutil.Reader) motif.Candidate {
+	var c motif.Candidate
+	c.User = graph.VertexID(r.U("candidate user"))
+	c.Item = graph.VertexID(r.U("candidate item"))
+	nVia := r.U("candidate via count")
+	if r.Err != nil {
+		return c
+	}
+	if nVia > maxSnapVia {
+		r.Fail("candidate via count", fmt.Errorf("implausible count %d", nVia))
+		return c
+	}
+	if nVia > 0 {
+		c.Via = make([]graph.VertexID, 0, codecutil.PreallocHint(nVia))
+		for i := uint64(0); i < nVia; i++ {
+			c.Via = append(c.Via, graph.VertexID(r.U("candidate via")))
+		}
+	}
+	c.Trigger.Src = graph.VertexID(r.U("trigger src"))
+	c.Trigger.Dst = graph.VertexID(r.U("trigger dst"))
+	c.Trigger.Type = graph.EdgeType(r.U("trigger type"))
+	c.Trigger.TS = r.I("trigger ts")
+	c.DetectedAtMS = r.I("candidate detected-at")
+	c.Program = r.String("candidate program", maxSnapProgram)
+	c.Score = math.Float64frombits(r.U("candidate score"))
+	return c
+}
+
+// ReadFrom restores state written by WriteTo, implementing io.ReaderFrom.
+// Existing recoverable state is dropped first, so a failed restore leaves
+// the partition empty (crash-fresh) rather than half-merged. Malformed
+// input returns an error, never panics.
+func (p *Partition) ReadFrom(rd io.Reader) (int64, error) {
+	br := &codecutil.CountingReader{R: codecutil.AsByteReader(rd)}
+	p.Reset()
+	r := &codecutil.Reader{BR: br, Prefix: "partition"}
+
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return br.N, fmt.Errorf("partition: reading checkpoint magic: %w", err)
+	}
+	if magic != partMagic {
+		return br.N, fmt.Errorf("partition: bad checkpoint magic %q", magic[:])
+	}
+	if v := r.U("checkpoint version"); r.Err == nil && v != partSnapVersion {
+		return br.N, fmt.Errorf("partition: unsupported checkpoint version %d", v)
+	}
+
+	nUsers := r.U("user count")
+	if r.Err == nil && nUsers > maxSnapUsers {
+		return br.N, fmt.Errorf("partition: implausible user count %d", nUsers)
+	}
+	byA := make(map[graph.VertexID][]motif.Candidate, codecutil.PreallocHint(nUsers))
+	for i := uint64(0); i < nUsers && r.Err == nil; i++ {
+		a := graph.VertexID(r.U("log user"))
+		n := r.U("log length")
+		if r.Err != nil {
+			break
+		}
+		if n > maxSnapPerUser {
+			return br.N, fmt.Errorf("partition: implausible log length %d for user %d", n, a)
+		}
+		list := make([]motif.Candidate, 0, codecutil.PreallocHint(n))
+		for j := uint64(0); j < n && r.Err == nil; j++ {
+			list = append(list, getCandidate(r))
+		}
+		byA[a] = list
+	}
+
+	nItems := r.U("item count")
+	if r.Err == nil && nItems > maxSnapItems {
+		return br.N, fmt.Errorf("partition: implausible item count %d", nItems)
+	}
+	counts := make(map[graph.VertexID]uint64, codecutil.PreallocHint(nItems))
+	for i := uint64(0); i < nItems && r.Err == nil; i++ {
+		it := graph.VertexID(r.U("item id"))
+		counts[it] = r.U("item counter")
+	}
+	if r.Err != nil {
+		return br.N, r.Err
+	}
+
+	if _, err := p.engine.ReadFrom(br); err != nil {
+		p.Reset()
+		return br.N, err
+	}
+
+	p.log.mu.Lock()
+	p.log.byA = byA
+	p.log.mu.Unlock()
+	p.items.mu.Lock()
+	p.items.counts = counts
+	p.items.mu.Unlock()
+	return br.N, nil
+}
+
+// Reset drops all recoverable state — D contents, the sweep clock, the
+// candidate log, and item counters — modeling a crashed replica. The
+// partition-filtered S and the programs stay: they are rebuilt from
+// configuration, not from the stream.
+func (p *Partition) Reset() {
+	p.engine.Reset()
+	p.log.mu.Lock()
+	p.log.byA = make(map[graph.VertexID][]motif.Candidate)
+	p.log.mu.Unlock()
+	p.items.mu.Lock()
+	p.items.counts = make(map[graph.VertexID]uint64)
+	p.items.mu.Unlock()
+}

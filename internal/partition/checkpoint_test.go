@@ -1,0 +1,134 @@
+package partition
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"motifstream/internal/dynstore"
+	"motifstream/internal/graph"
+	"motifstream/internal/motif"
+)
+
+func checkpointTestPartition(t *testing.T) *Partition {
+	t.Helper()
+	static := []graph.Edge{
+		{Src: 1, Dst: 10}, {Src: 2, Dst: 10},
+		{Src: 2, Dst: 11}, {Src: 3, Dst: 11},
+		{Src: 1, Dst: 11},
+	}
+	p, err := New(Config{
+		ID:          0,
+		StaticEdges: static,
+		Partitioner: NewHashPartitioner(1),
+		Dynamic:     dynstore.Options{Retention: time.Hour},
+		Programs: []motif.Program{
+			motif.NewDiamond(motif.DiamondConfig{K: 2, Window: time.Hour}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPartitionCheckpointRoundTrip(t *testing.T) {
+	orig := checkpointTestPartition(t)
+	t0 := int64(10_000_000)
+	for i := 0; i < 40; i++ {
+		item := graph.VertexID(900 + i)
+		orig.Apply(graph.Edge{Src: 10, Dst: item, Type: graph.Follow, TS: t0 + int64(i)*10})
+		orig.Apply(graph.Edge{Src: 11, Dst: item, Type: graph.Follow, TS: t0 + int64(i)*10 + 1})
+	}
+	if len(orig.RecommendationsFor(2)) == 0 {
+		t.Fatal("vacuous: no candidates logged before checkpoint")
+	}
+
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	restored := checkpointTestPartition(t)
+	m, err := restored.ReadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != n {
+		t.Fatalf("ReadFrom consumed %d bytes, checkpoint is %d", m, n)
+	}
+
+	// Read path state survives: candidate log...
+	for _, a := range []graph.VertexID{1, 2, 3} {
+		if got, want := restored.RecommendationsFor(a), orig.RecommendationsFor(a); !reflect.DeepEqual(got, want) {
+			t.Fatalf("RecommendationsFor(%d): %v != %v", a, got, want)
+		}
+	}
+	// ...item counters...
+	if got, want := restored.TopItems(10), orig.TopItems(10); !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopItems: %v != %v", got, want)
+	}
+	// ...and the engine's D store.
+	if got, want := restored.Engine().Dynamic().Stats(), orig.Engine().Dynamic().Stats(); got != want {
+		t.Fatalf("D stats %+v != %+v", got, want)
+	}
+
+	// The restored partition keeps detecting: a fresh motif completes.
+	cands := restored.Apply(graph.Edge{Src: 10, Dst: 5_000, Type: graph.Follow, TS: t0 + 10_000})
+	_ = cands
+	cands = restored.Apply(graph.Edge{Src: 11, Dst: 5_000, Type: graph.Follow, TS: t0 + 10_001})
+	if len(cands) == 0 {
+		t.Fatal("restored partition detects nothing")
+	}
+}
+
+func TestPartitionCheckpointRejectsCorruptInput(t *testing.T) {
+	p := checkpointTestPartition(t)
+	t0 := int64(10_000_000)
+	p.Apply(graph.Edge{Src: 10, Dst: 900, Type: graph.Follow, TS: t0})
+	p.Apply(graph.Edge{Src: 11, Dst: 900, Type: graph.Follow, TS: t0 + 1})
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for cut := 0; cut < len(good); cut += 1 + len(good)/23 {
+		fresh := checkpointTestPartition(t)
+		if _, err := fresh.ReadFrom(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+	fresh := checkpointTestPartition(t)
+	if _, err := fresh.ReadFrom(bytes.NewReader([]byte("BOGUSMAGIC+++"))); err == nil {
+		t.Fatal("bogus magic decoded without error")
+	}
+}
+
+func TestPartitionResetDropsRecoverableState(t *testing.T) {
+	p := checkpointTestPartition(t)
+	t0 := int64(10_000_000)
+	p.Apply(graph.Edge{Src: 10, Dst: 900, Type: graph.Follow, TS: t0})
+	p.Apply(graph.Edge{Src: 11, Dst: 900, Type: graph.Follow, TS: t0 + 1})
+	p.Reset()
+	if got := p.RecommendationsFor(2); got != nil {
+		t.Fatalf("candidate log survived Reset: %v", got)
+	}
+	if got := p.TopItems(5); len(got) != 0 {
+		t.Fatalf("item counters survived Reset: %v", got)
+	}
+	if st := p.Engine().Dynamic().Stats(); st.Edges != 0 {
+		t.Fatalf("D survived Reset: %+v", st)
+	}
+	// S is configuration, not stream state: detection still works after
+	// the same edges are replayed.
+	p.Apply(graph.Edge{Src: 10, Dst: 900, Type: graph.Follow, TS: t0})
+	cands := p.Apply(graph.Edge{Src: 11, Dst: 900, Type: graph.Follow, TS: t0 + 1})
+	if len(cands) == 0 {
+		t.Fatal("replayed motif not re-detected after Reset")
+	}
+}

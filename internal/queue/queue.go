@@ -2,6 +2,7 @@ package queue
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -9,27 +10,68 @@ import (
 // Envelope wraps a message crossing a queue. VirtualDelay accumulates the
 // simulated propagation delay of every hop the message has crossed so far;
 // downstream stages add it to processing time to compute end-to-end latency
-// without sleeping.
+// without sleeping. Offset is the message's position in the topic's publish
+// sequence; consumers that checkpoint their progress record it so a
+// restarted consumer can resume with SubscribeFrom.
 type Envelope[T any] struct {
 	Msg          T
 	VirtualDelay time.Duration
+	Offset       uint64
 }
 
 // ErrClosed is returned by Publish after Close.
 var ErrClosed = errors.New("queue: closed")
 
+// ErrNotRetained is returned by SubscribeFrom on a topic built without
+// Retain: replay needs the log.
+var ErrNotRetained = errors.New("queue: topic does not retain its log")
+
+// subscriber is one consumer endpoint. done is closed by Unsubscribe; a
+// publisher blocked sending into a full ch selects on done so tearing down
+// a dead consumer can never wedge the topic.
+type subscriber[T any] struct {
+	ch   chan Envelope[T]
+	done chan struct{}
+}
+
+// retained is one log entry of a Retain topic. The carried delay is stored
+// so a replayed copy accumulates the same upstream delay as the original;
+// the per-hop delay is re-sampled at replay time, as a real redelivery
+// would incur a fresh propagation delay.
+type retained[T any] struct {
+	msg     T
+	carried time.Duration
+}
+
 // Topic is a fan-out pub/sub queue: every subscriber receives every
 // message, matching the paper's design in which "every partition needs to
 // handle the entire stream of edge creation events". Publish blocks when a
-// subscriber's buffer is full (backpressure). Safe for concurrent use.
+// subscriber's buffer is full (backpressure). With Retain set, the topic
+// additionally keeps every published message in an offset-addressable
+// in-memory log so a recovering consumer can replay from a checkpointed
+// offset via SubscribeFrom. Safe for concurrent use.
 type Topic[T any] struct {
-	name  string
-	delay DelayModel
-	rng   *lockedRand
-	buf   int
+	name    string
+	delay   DelayModel
+	rng     *lockedRand
+	buf     int
+	retain  bool
+	ordered bool
 
-	mu     sync.Mutex
-	subs   []chan Envelope[T]
+	// pubMu serializes publishers on ordered (and all retained) topics so
+	// offset order equals every subscriber's delivery order — the
+	// invariant both replay and any consumer-side offset sequencing
+	// depend on. Unordered topics skip it: their consumers only need
+	// per-publisher FIFO, which channel sends already give, and keeping
+	// publishers independent avoids head-of-line blocking when one
+	// subscriber's buffer is full. mu guards the mutable state below and
+	// is never held across a channel send.
+	pubMu sync.Mutex
+	mu    sync.Mutex
+
+	subs   []*subscriber[T]
+	byCh   map[<-chan Envelope[T]]*subscriber[T]
+	log    []retained[T]
 	closed bool
 
 	published uint64
@@ -45,6 +87,16 @@ type Options struct {
 	Buffer int
 	// Seed seeds the delay sampler for reproducibility.
 	Seed int64
+	// Retain keeps every published message in an in-memory log,
+	// addressable by offset, enabling SubscribeFrom replay. The log is
+	// unbounded; deployments that checkpoint consumers should eventually
+	// truncate it (an open roadmap item). Retain implies Ordered.
+	Retain bool
+	// Ordered serializes concurrent publishers so every subscriber
+	// observes envelopes in offset order. Required when consumers
+	// sequence on Envelope.Offset across publishers; costs head-of-line
+	// blocking under backpressure.
+	Ordered bool
 }
 
 // NewTopic creates a Topic.
@@ -58,61 +110,207 @@ func NewTopic[T any](opts Options) *Topic[T] {
 		b = 1024
 	}
 	return &Topic[T]{
-		name:  opts.Name,
-		delay: d,
-		rng:   newLockedRand(opts.Seed),
-		buf:   b,
+		name:    opts.Name,
+		delay:   d,
+		rng:     newLockedRand(opts.Seed),
+		buf:     b,
+		retain:  opts.Retain,
+		ordered: opts.Ordered || opts.Retain,
+		byCh:    map[<-chan Envelope[T]]*subscriber[T]{},
 	}
 }
 
 // Subscribe registers a new consumer and returns its channel. The channel
 // is closed when the topic closes. Subscriptions made after publishing
-// begins miss earlier messages, as with any broker.
+// begins miss earlier messages, as with any broker; use SubscribeFrom to
+// replay retained history.
 func (t *Topic[T]) Subscribe() <-chan Envelope[T] {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	ch := make(chan Envelope[T], t.buf)
-	if t.closed {
-		close(ch)
-		return ch
+	sub := &subscriber[T]{
+		ch:   make(chan Envelope[T], t.buf),
+		done: make(chan struct{}),
 	}
-	t.subs = append(t.subs, ch)
-	return ch
+	if t.closed {
+		close(sub.ch)
+		return sub.ch
+	}
+	t.subs = append(t.subs, sub)
+	t.byCh[sub.ch] = sub
+	return sub.ch
 }
 
-// Publish delivers msg to every subscriber, stamping each copy with an
-// independently sampled hop delay added to carried (the delay already
-// accumulated upstream). Returns ErrClosed after Close.
+// SubscribeFrom registers a consumer that first replays the retained log
+// starting at offset and then, once caught up with the head, seamlessly
+// switches to live delivery with no gap and no duplicate: the replay
+// goroutine registers the live subscription under the same lock that
+// checks it has drained the log, so a concurrent Publish either lands in
+// the log before the check or fans out to the new subscription after it.
+// On a closed topic the retained suffix is still replayed, then the
+// channel closes. Returns ErrNotRetained if the topic keeps no log and an
+// error if offset is beyond the current head.
+func (t *Topic[T]) SubscribeFrom(offset uint64) (<-chan Envelope[T], error) {
+	if !t.retain {
+		return nil, ErrNotRetained
+	}
+	t.mu.Lock()
+	if offset > uint64(len(t.log)) {
+		head := uint64(len(t.log))
+		t.mu.Unlock()
+		return nil, fmt.Errorf("queue: replay offset %d beyond head %d", offset, head)
+	}
+	sub := &subscriber[T]{
+		ch:   make(chan Envelope[T], t.buf),
+		done: make(chan struct{}),
+	}
+	t.byCh[sub.ch] = sub
+	t.mu.Unlock()
+
+	go t.replay(sub, offset)
+	return sub.ch, nil
+}
+
+// replay streams log entries from next to the head, then promotes sub to a
+// live subscriber (or closes it if the topic closed meanwhile).
+func (t *Topic[T]) replay(sub *subscriber[T], next uint64) {
+	const chunk = 256
+	var batch []retained[T]
+	for {
+		t.mu.Lock()
+		if t.unsubscribedLocked(sub) {
+			t.mu.Unlock()
+			return
+		}
+		if next >= uint64(len(t.log)) {
+			// Caught up. Anything published from here on fans out to the
+			// registered subscription, so the hand-off loses nothing.
+			if t.closed {
+				delete(t.byCh, sub.ch)
+				t.mu.Unlock()
+				close(sub.ch)
+				return
+			}
+			t.subs = append(t.subs, sub)
+			t.mu.Unlock()
+			return
+		}
+		end := uint64(len(t.log))
+		if end > next+chunk {
+			end = next + chunk
+		}
+		batch = append(batch[:0], t.log[next:end]...)
+		t.mu.Unlock()
+		for i, r := range batch {
+			env := Envelope[T]{
+				Msg:          r.msg,
+				VirtualDelay: r.carried + t.rng.sample(t.delay),
+				Offset:       next + uint64(i),
+			}
+			select {
+			case sub.ch <- env:
+			case <-sub.done:
+				return
+			}
+		}
+		next = end
+	}
+}
+
+// unsubscribedLocked reports whether Unsubscribe has already detached sub.
+func (t *Topic[T]) unsubscribedLocked(sub *subscriber[T]) bool {
+	select {
+	case <-sub.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Publish delivers msg to every subscriber, stamping each copy with the
+// publish offset and an independently sampled hop delay added to carried
+// (the delay already accumulated upstream). Returns ErrClosed after Close.
 func (t *Topic[T]) Publish(msg T, carried time.Duration) error {
+	if t.ordered {
+		t.pubMu.Lock()
+		defer t.pubMu.Unlock()
+	}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return ErrClosed
 	}
-	subs := t.subs
+	off := t.published
 	t.published++
+	if t.retain {
+		t.log = append(t.log, retained[T]{msg: msg, carried: carried})
+	}
+	subs := t.subs
 	t.mu.Unlock()
-	for _, ch := range subs {
-		ch <- Envelope[T]{Msg: msg, VirtualDelay: carried + t.rng.sample(t.delay)}
+	for _, s := range subs {
+		env := Envelope[T]{
+			Msg:          msg,
+			VirtualDelay: carried + t.rng.sample(t.delay),
+			Offset:       off,
+		}
+		select {
+		case s.ch <- env:
+		case <-s.done:
+		}
 	}
 	return nil
 }
 
-// Close closes all subscriber channels. Publish afterwards fails.
+// Unsubscribe detaches the given subscription without closing its channel:
+// the topic stops feeding it and any publisher blocked on its full buffer
+// is released immediately. This is how a crashed consumer is torn down —
+// messages still buffered in the channel are simply lost, as they would be
+// with a dead process. No-op for channels the topic does not know.
+func (t *Topic[T]) Unsubscribe(ch <-chan Envelope[T]) {
+	t.mu.Lock()
+	sub, ok := t.byCh[ch]
+	if !ok {
+		t.mu.Unlock()
+		return
+	}
+	delete(t.byCh, ch)
+	// Copy-on-write: Publish iterates a snapshot of t.subs outside the
+	// lock, so removal must build a fresh slice rather than shift in place.
+	keep := make([]*subscriber[T], 0, len(t.subs))
+	for _, s := range t.subs {
+		if s != sub {
+			keep = append(keep, s)
+		}
+	}
+	t.subs = keep
+	t.mu.Unlock()
+	close(sub.done)
+}
+
+// Close closes all subscriber channels. Publish afterwards fails. Taking
+// pubMu first waits out any in-flight Publish fan-out on ordered topics
+// so no send can race the channel close; for unordered topics the
+// caller must stop publishers before closing (the cluster closes each
+// topic only after the goroutines feeding it have drained).
 func (t *Topic[T]) Close() {
+	t.pubMu.Lock()
+	defer t.pubMu.Unlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
 		return
 	}
 	t.closed = true
-	for _, ch := range t.subs {
-		close(ch)
+	for _, s := range t.subs {
+		delete(t.byCh, s.ch)
+		close(s.ch)
 	}
 	t.subs = nil
 }
 
-// Published returns the number of accepted Publish calls.
+// Published returns the number of accepted Publish calls — equivalently,
+// the offset the next published message will receive, one past the newest
+// retained entry. A recovering consumer that has applied every envelope
+// with Offset < Published() is caught up.
 func (t *Topic[T]) Published() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
