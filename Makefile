@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-race bench fuzz
+.PHONY: check build vet test test-race bench bench-smoke fuzz
 
 # check is the CI gate: formatting, static analysis, and the full test
 # suite under the race detector.
@@ -26,6 +26,12 @@ test-race:
 # not a measurement run).
 bench:
 	$(GO) test -run=NONE -bench . -benchtime=1x ./...
+
+# bench-smoke runs just the checkpoint/recovery benchmarks once each, so
+# the durability perf path keeps compiling and running in CI without a
+# full measurement run.
+bench-smoke:
+	$(GO) test -run=NONE -bench 'Checkpoint|Recovery|Snapshot' -benchtime=1x ./...
 
 # fuzz gives each fuzz target a short budget.
 fuzz:

@@ -15,6 +15,7 @@ import (
 	"motifstream/internal/dynstore"
 	"motifstream/internal/graph"
 	"motifstream/internal/motif"
+	"motifstream/internal/partition"
 	"motifstream/internal/statstore"
 	"motifstream/internal/workload"
 )
@@ -352,6 +353,59 @@ func BenchmarkE11RecoveryReplay(b *testing.B) {
 	}
 	perOp := b.Elapsed().Seconds() / float64(b.N)
 	b.ReportMetric(float64(events)/perOp, "replayed-events/s")
+}
+
+// BenchmarkCheckpointPause measures the apply-loop pause of a checkpoint
+// cut — the synchronous capture only; encode and fsync run on the async
+// writer. "full" is the old pipeline's cost (capture the entire partition
+// state), "delta" the incremental pipeline's (capture only what a
+// checkpoint interval's worth of traffic dirtied). The acceptance bar is
+// delta ≥5x cheaper; in practice it is orders of magnitude.
+func BenchmarkCheckpointPause(b *testing.B) {
+	static, stream := benchWorkload(b)
+	newPart := func(b *testing.B) *partition.Partition {
+		p, err := partition.New(partition.Config{
+			ID:          0,
+			StaticEdges: static,
+			Partitioner: partition.NewHashPartitioner(1),
+			Dynamic:     dynstore.Options{Retention: time.Hour, MaxPerTarget: 1024},
+			Programs: []motif.Program{
+				motif.NewDiamond(motif.DiamondConfig{K: 3, Window: 10 * time.Minute, MaxFanout: 64}),
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range stream {
+			p.Apply(e)
+		}
+		return p
+	}
+	b.Run("full", func(b *testing.B) {
+		p := newPart(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.CaptureState()
+		}
+	})
+	b.Run("delta", func(b *testing.B) {
+		p := newPart(b)
+		p.CaptureDelta() // drain the setup's dirt so cuts measure steady state
+		j := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			// Dirty a checkpoint interval's worth of traffic between cuts.
+			for k := 0; k < 64; k++ {
+				p.Apply(stream[j%len(stream)])
+				j++
+			}
+			b.StartTimer()
+			p.CaptureDelta()
+		}
+	})
 }
 
 // BenchmarkF1Figure1 measures the minimal end-to-end detection: the

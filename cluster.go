@@ -55,6 +55,18 @@ type ClusterOptions struct {
 	// CheckpointInterval is the stream-time interval between per-replica
 	// checkpoints; zero selects one minute. Ignored without CheckpointDir.
 	CheckpointInterval time.Duration
+	// CheckpointCompactEvery is how many incremental delta segments a
+	// replica's checkpoint chain accumulates before the background
+	// compactor folds it into a fresh base; zero selects 8. Compaction
+	// bounds restore time and advances the firehose log's truncation
+	// horizon. Ignored without CheckpointDir.
+	CheckpointCompactEvery int
+	// StaticSnapshotDir, when non-empty, is where the offline pipeline
+	// publishes per-partition S builds (statstore snapshot files named
+	// s-p%03d.snap). A replica restored through RestoreReplica reloads
+	// its partition's file if present, serving the newest offline build
+	// instead of the S it was constructed with.
+	StaticSnapshotDir string
 }
 
 // Cluster is the running multi-partition deployment.
@@ -143,6 +155,8 @@ func NewCluster(staticEdges []Edge, opts ClusterOptions) (*Cluster, error) {
 		OnNotify:           onNotify,
 		CheckpointDir:      opts.CheckpointDir,
 		CheckpointInterval: opts.CheckpointInterval,
+		CompactEvery:       opts.CheckpointCompactEvery,
+		StaticSnapshotDir:  opts.StaticSnapshotDir,
 	})
 	if err != nil {
 		return nil, err
@@ -174,22 +188,35 @@ type ClusterStats struct {
 	LatencyP50, LatencyP99 time.Duration
 	// Funnel breaks down candidate drops by pipeline stage.
 	Funnel FunnelStats
-	// Checkpoints counts durable replica checkpoints written; Restores
-	// counts replicas rejoined through checkpoint + replay.
+	// Checkpoints counts durable replica checkpoint segments written;
+	// Restores counts replicas rejoined through checkpoint + replay.
 	Checkpoints, Restores uint64
+	// Compactions counts delta chains folded into fresh bases by the
+	// background checkpoint writers.
+	Compactions uint64
+	// LogTruncatedBelow is the firehose log's compaction horizon: every
+	// retained offset is at or above it. Zero until the first truncation.
+	LogTruncatedBelow uint64
+	// CheckpointPauseP99 is the 99th-percentile apply-loop pause taken by
+	// a checkpoint cut: delta capture plus any backpressure wait on the
+	// async writer (encode and fsync themselves run off-loop).
+	CheckpointPauseP99 time.Duration
 }
 
 // Stats returns current cluster totals.
 func (c *Cluster) Stats() ClusterStats {
 	s := c.inner.Stats()
 	return ClusterStats{
-		Events:      s.Events,
-		Delivered:   s.Delivered,
-		LatencyP50:  s.E2ELatency.P50,
-		LatencyP99:  s.E2ELatency.P99,
-		Funnel:      s.Funnel,
-		Checkpoints: s.Checkpoints,
-		Restores:    s.Restores,
+		Events:             s.Events,
+		Delivered:          s.Delivered,
+		LatencyP50:         s.E2ELatency.P50,
+		LatencyP99:         s.E2ELatency.P99,
+		Funnel:             s.Funnel,
+		Checkpoints:        s.Checkpoints,
+		Restores:           s.Restores,
+		Compactions:        s.Compactions,
+		LogTruncatedBelow:  s.LogTruncatedBelow,
+		CheckpointPauseP99: s.CutPause.P99,
 	}
 }
 

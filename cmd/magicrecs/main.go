@@ -44,6 +44,8 @@ func main() {
 		progress   = flag.Int("progress", 50_000, "print progress every N events (0 disables)")
 		ckptDir    = flag.String("checkpointdir", "", "directory for durable replica checkpoints (enables crash recovery; empty disables)")
 		ckptEvery  = flag.Duration("checkpointinterval", time.Minute, "stream-time interval between replica checkpoints")
+		compactN   = flag.Int("compactevery", 8, "delta checkpoint segments per chain before the background compactor folds a new base")
+		staticSnap = flag.String("staticsnapdir", "", "directory of offline-built S snapshots (s-p%03d.snap) reloaded on replica restore")
 	)
 	flag.Parse()
 
@@ -54,17 +56,19 @@ func main() {
 	fmt.Printf("workload: %d static follow edges, %d stream events\n", len(static), len(events))
 
 	clu, err := motifstream.NewCluster(static, motifstream.ClusterOptions{
-		Partitions:         *partitions,
-		Replicas:           *replicas,
-		K:                  *k,
-		Window:             *window,
-		MaxInfluencers:     *maxInfl,
-		MaxFanout:          *maxFanout,
-		QueueDelayMedian:   *queueMed,
-		QueueDelayP99:      *queueP99,
-		Seed:               1,
-		CheckpointDir:      *ckptDir,
-		CheckpointInterval: *ckptEvery,
+		Partitions:             *partitions,
+		Replicas:               *replicas,
+		K:                      *k,
+		Window:                 *window,
+		MaxInfluencers:         *maxInfl,
+		MaxFanout:              *maxFanout,
+		QueueDelayMedian:       *queueMed,
+		QueueDelayP99:          *queueP99,
+		Seed:                   1,
+		CheckpointDir:          *ckptDir,
+		CheckpointInterval:     *ckptEvery,
+		CheckpointCompactEvery: *compactN,
+		StaticSnapshotDir:      *staticSnap,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -95,7 +99,8 @@ func main() {
 		s.Funnel.Raw, s.Funnel.DroppedDuplicate, s.Funnel.DroppedAsleep,
 		s.Funnel.DroppedFatigue, s.Funnel.Delivered, 100*s.Funnel.DeliveryRate())
 	if *ckptDir != "" {
-		fmt.Printf("recovery:    %d checkpoints written to %s\n", s.Checkpoints, *ckptDir)
+		fmt.Printf("recovery:    %d checkpoint segments (%d compactions) in %s; cut pause p99=%v; firehose log truncated below offset %d\n",
+			s.Checkpoints, s.Compactions, *ckptDir, s.CheckpointPauseP99, s.LogTruncatedBelow)
 	}
 
 	// The broker fan-out read path: globally hottest recommendations.

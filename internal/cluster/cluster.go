@@ -16,12 +16,32 @@
 // store, sweep clock, candidate log, item counters) is dropped.
 //
 // A killed replica rejoins through RestoreReplica, which runs the
-// catch-up state machine restoring → replaying → live: it loads the
-// newest durable checkpoint (written periodically per replica when
-// Config.CheckpointDir is set), then replays the retained firehose log
-// from the checkpoint's offset via SubscribeFrom until it reaches the
-// offset that was the head when recovery began. Until then the broker
-// keeps the replica marked down, so a stale replica never serves reads.
+// catch-up state machine restoring → replaying → live: it composes the
+// newest durable checkpoint chain (a compacted base plus incremental
+// delta segments, written per replica when Config.CheckpointDir is set),
+// then replays the retained firehose log from the chain's offset via
+// SubscribeFrom until it reaches the offset that was the head when
+// recovery began. Until then the broker keeps the replica marked down, so
+// a stale replica never serves reads.
+//
+// # Incremental checkpoint pipeline
+//
+// Checkpointing is split into a cheap synchronous cut and asynchronous
+// persistence. On the apply loop, a cut only captures the entries dirtied
+// since the previous cut (partition.CaptureDelta — cost proportional to
+// recent write activity, not store size). Encoding, fsync, and manifest
+// publication run on a per-replica writer goroutine fed through a small
+// bounded queue, so a slow disk back-pressures the replica instead of
+// growing unbounded memory. The writer folds long delta chains back into
+// a fresh base (compaction), which bounds restore composition time and
+// advances the replica's restore floor. The cluster truncates the
+// retained firehose log below the minimum floor across replicas — log
+// compaction — so retained-log memory is bounded by checkpoint cadence
+// rather than stream length. The delivery consumer's per-group high-water
+// offsets are persisted alongside the checkpoints, closing the
+// promoted-replica gap (a sole-coverage restore clamps its chain back to
+// the group's delivered offset). docs/DURABILITY.md states the full
+// contract and its safety arguments.
 //
 // # Exactly-once candidate delivery
 //
@@ -98,6 +118,16 @@ type Config struct {
 	// CheckpointInterval is the stream-time interval between per-replica
 	// checkpoints; zero selects one minute. Ignored without CheckpointDir.
 	CheckpointInterval time.Duration
+	// CompactEvery is the number of delta segments a replica's chain
+	// accumulates before the async writer folds it into a fresh base;
+	// zero selects 8. Ignored without CheckpointDir.
+	CompactEvery int
+	// StaticSnapshotDir, when non-empty, is where the offline pipeline
+	// publishes per-partition S builds (statstore.WriteSnapshot files
+	// named s-p%03d.snap). RestoreReplica reloads the partition's file if
+	// present, so a rejoining replica serves the newest offline build
+	// rather than the S it was constructed with.
+	StaticSnapshotDir string
 }
 
 // Replica catch-up states. A replica is born live; KillReplica moves it to
@@ -128,8 +158,19 @@ type replicaSlot struct {
 	// target is the firehose offset the replica must reach to leave
 	// replaying; meaningful only while state == replicaReplaying.
 	target uint64
-	// lastCkptTS is the stream time of the newest checkpoint.
+	// lastCkptTS is the stream time of the newest checkpoint cut.
 	lastCkptTS int64
+
+	// writer is the replica's async checkpoint persistence goroutine; nil
+	// before Start, while dead, and on clusters without recovery. Only
+	// the consume goroutine reads it, and it is only rewritten while no
+	// consumer is running.
+	writer *ckptWriter
+	// floor is the offset of the replica's oldest durable restore point
+	// (its base segment's cut offset; zero until the first compaction).
+	// The firehose log is only ever truncated below the minimum floor
+	// across replicas.
+	floor atomic.Uint64
 }
 
 // Cluster is a running deployment.
@@ -143,26 +184,38 @@ type Cluster struct {
 	candidates *queue.Topic[candidateMsg]
 	pipeline   *delivery.Pipeline
 
-	ckptEveryMS int64
+	ckptEveryMS  int64
+	compactEvery int
 	// runID stamps this cluster instance's checkpoint files. The retained
 	// firehose log dies with the process, so a checkpoint from a previous
-	// run names offsets in a log that no longer exists; restore treats
-	// foreign-run checkpoints as absent rather than resurrecting them.
+	// run names offsets in a log that no longer exists; construction
+	// wipes foreign-run files rather than resurrecting them.
 	runID uint64
 
-	reg         *metrics.Registry
-	e2eLatency  *metrics.Histogram
-	ingested    *metrics.Counter
-	delivered   *metrics.Counter
-	checkpoints *metrics.Counter
-	ckptErrors  *metrics.Counter
-	restores    *metrics.Counter
+	reg           *metrics.Registry
+	e2eLatency    *metrics.Histogram
+	cutPause      *metrics.Histogram
+	ingested      *metrics.Counter
+	delivered     *metrics.Counter
+	checkpoints   *metrics.Counter
+	ckptErrors    *metrics.Counter
+	restores      *metrics.Counter
+	compactions   *metrics.Counter
+	truncated     *metrics.Counter
+	staticReloads *metrics.Counter
 
 	// ctl serializes the replica lifecycle operations (KillReplica,
 	// RestoreReplica) and guards the slot fields they rewrite, so
 	// concurrent chaos injection cannot double-close a quit channel or
 	// race the last-alive-replica guard.
 	ctl sync.Mutex
+	// truncMu makes a writer's floor-scan-plus-truncate atomic against a
+	// restore lowering its replica's floor and subscribing: without it, a
+	// writer could read a stale (higher) floor, then truncate the log out
+	// from under a replay the restore just started. Writers take only
+	// truncMu (never ctl — stopWriterLocked waits on them while holding
+	// ctl); RestoreReplica takes ctl then truncMu, so the order is acyclic.
+	truncMu sync.Mutex
 
 	wg        sync.WaitGroup
 	deliverWG sync.WaitGroup
@@ -230,16 +283,24 @@ func New(cfg Config) (*Cluster, error) {
 			Buffer: cfg.Buffer,
 			Seed:   cfg.Seed + 1,
 		}),
-		pipeline:    delivery.NewPipeline(cfg.Delivery),
-		e2eLatency:  reg.Histogram("cluster.e2e_latency"),
-		ingested:    reg.Counter("cluster.events"),
-		delivered:   reg.Counter("cluster.delivered"),
-		checkpoints: reg.Counter("cluster.checkpoints"),
-		ckptErrors:  reg.Counter("cluster.checkpoint_errors"),
-		restores:    reg.Counter("cluster.restores"),
+		pipeline:      delivery.NewPipeline(cfg.Delivery),
+		e2eLatency:    reg.Histogram("cluster.e2e_latency"),
+		cutPause:      reg.Histogram("cluster.checkpoint_cut_pause"),
+		ingested:      reg.Counter("cluster.events"),
+		delivered:     reg.Counter("cluster.delivered"),
+		checkpoints:   reg.Counter("cluster.checkpoints"),
+		ckptErrors:    reg.Counter("cluster.checkpoint_errors"),
+		restores:      reg.Counter("cluster.restores"),
+		compactions:   reg.Counter("cluster.compactions"),
+		truncated:     reg.Counter("cluster.log_truncated_events"),
+		staticReloads: reg.Counter("cluster.static_reloads"),
 	}
 	if recovery {
 		c.ckptEveryMS = cfg.CheckpointInterval.Milliseconds()
+		c.compactEvery = cfg.CompactEvery
+		if c.compactEvery <= 0 {
+			c.compactEvery = 8
+		}
 		var id [8]byte
 		if _, err := rand.Read(id[:]); err != nil {
 			return nil, fmt.Errorf("cluster: run id: %w", err)
@@ -257,6 +318,18 @@ func New(cfg Config) (*Cluster, error) {
 			}
 			slot := &replicaSlot{pid: pid, idx: r, p: p, live: make(chan struct{})}
 			close(slot.live) // replicas are born live
+			if recovery {
+				// Fresh per-replica checkpoint directory: any leftover
+				// chain belongs to a previous run whose firehose log is
+				// gone, so it is wiped rather than resurrected.
+				dir := replicaCkptDir(cfg.CheckpointDir, pid, r)
+				if err := os.RemoveAll(dir); err != nil {
+					return nil, fmt.Errorf("cluster: checkpoint dir: %w", err)
+				}
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					return nil, fmt.Errorf("cluster: checkpoint dir: %w", err)
+				}
+			}
 			slots[pid] = append(slots[pid], slot)
 			replicaGroups[pid] = append(replicaGroups[pid], p)
 		}
@@ -292,6 +365,9 @@ func (c *Cluster) Start() {
 				slot.quit = make(chan struct{})
 				slot.stopped = make(chan struct{})
 				slot.sub = c.firehose.Subscribe()
+				if c.ckptEveryMS > 0 {
+					slot.writer = c.startWriter(slot, manifest{})
+				}
 				c.wg.Add(1)
 				go c.runReplica(slot)
 			}
@@ -324,24 +400,37 @@ func (c *Cluster) runReplica(slot *replicaSlot) {
 }
 
 // applyEnvelope runs one firehose envelope through the replica: detection,
-// checkpointing, the replaying→live transition, and candidate forwarding.
-// Every alive replica forwards its batches; the delivery consumer's
-// per-group offset filter collapses the redundancy to exactly one batch
-// per event. Returns false only when the candidates topic has closed
-// (shutdown race).
+// candidate forwarding, the checkpoint cut, and the replaying→live
+// transition. Every alive replica forwards its batches; the delivery
+// consumer's per-group offset filter collapses the redundancy to exactly
+// one batch per event. Returns false only when the candidates topic has
+// closed (shutdown race).
 func (c *Cluster) applyEnvelope(slot *replicaSlot, env queue.Envelope[graph.Edge]) bool {
 	cands := slot.p.Apply(env.Msg)
+
+	// Candidates are published before any checkpoint cut covering this
+	// offset: a cut at Offset+1 must never claim durability for an event
+	// whose candidates were not yet handed to the delivery tier, or a
+	// restore from that cut would skip re-emitting them. Publishing to a
+	// closed candidates topic only happens during shutdown races; drop
+	// silently then.
+	if len(cands) > 0 && slot.state.Load() != replicaDead {
+		msg := candidateMsg{pid: slot.pid, offset: env.Offset, cands: cands}
+		if c.candidates.Publish(msg, env.VirtualDelay) != nil {
+			return false
+		}
+	}
 
 	if c.ckptEveryMS > 0 {
 		if slot.lastCkptTS == 0 {
 			// First envelope after Start or a restore: seed the clock so a
-			// full checkpoint interval elapses before the first write —
+			// full checkpoint interval elapses before the first cut —
 			// stream timestamps are absolute, and `TS - 0` would otherwise
-			// trip an immediate (and, after a restore, redundant) encode.
+			// trip an immediate (and, after a restore, redundant) cut.
 			slot.lastCkptTS = env.Msg.TS
 		} else if env.Msg.TS-slot.lastCkptTS >= c.ckptEveryMS {
 			slot.lastCkptTS = env.Msg.TS
-			c.writeCheckpoint(slot, env.Offset+1)
+			c.cutCheckpoint(slot, env.Offset+1)
 		}
 	}
 
@@ -357,14 +446,28 @@ func (c *Cluster) applyEnvelope(slot *replicaSlot, env queue.Envelope[graph.Edge
 			close(slot.live)
 		}
 	}
+	return true
+}
 
-	if len(cands) == 0 || slot.state.Load() == replicaDead {
-		return true
+// cutCheckpoint is the synchronous half of an incremental checkpoint: it
+// captures the state dirtied since the last cut — cost proportional to
+// recent write activity, not store size — and hands it to the replica's
+// async writer for encoding, fsync, and manifest publication. The send
+// blocks when the writer's small queue is full, back-pressuring the apply
+// loop instead of letting pending checkpoint memory grow without bound.
+func (c *Cluster) cutCheckpoint(slot *replicaSlot, nextOffset uint64) {
+	w := slot.writer
+	if w == nil {
+		return
 	}
-	// Publishing to a closed candidates topic only happens during
-	// shutdown races; drop silently then.
-	msg := candidateMsg{pid: slot.pid, offset: env.Offset, cands: cands}
-	return c.candidates.Publish(msg, env.VirtualDelay) == nil
+	start := time.Now()
+	delta := slot.p.CaptureDelta()
+	w.jobs <- ckptJob{delta: delta, offset: nextOffset}
+	// Observed after the send so the metric is the apply loop's whole
+	// checkpoint stall: capture plus any backpressure wait on a slow
+	// writer — the honest number an operator watches to confirm
+	// checkpointing is not pausing ingest.
+	c.cutPause.Observe(time.Since(start))
 }
 
 // runDelivery consumes candidate batches and runs the push pipeline.
@@ -375,6 +478,8 @@ func (c *Cluster) applyEnvelope(slot *replicaSlot, env queue.Envelope[graph.Edge
 func (c *Cluster) runDelivery(sub <-chan queue.Envelope[candidateMsg]) {
 	defer c.deliverWG.Done()
 	nextOffset := make([]uint64, c.cfg.Partitions)
+	persist := c.cfg.CheckpointDir != ""
+	batches := 0
 	for env := range sub {
 		if env.Msg.offset < nextOffset[env.Msg.pid] {
 			continue // another replica's copy already covered this event
@@ -391,6 +496,17 @@ func (c *Cluster) runDelivery(sub <-chan queue.Envelope[candidateMsg]) {
 				c.cfg.OnNotify(*note)
 			}
 		}
+		if persist {
+			// Periodically persist the per-group high-water offsets next
+			// to the checkpoints: RestoreReplica reads them to clamp a
+			// sole-coverage rejoin back to the delivered point.
+			if batches++; batches%deliveryPersistEvery == 0 {
+				c.persistDeliveryOffsets(nextOffset)
+			}
+		}
+	}
+	if persist && batches > 0 {
+		c.persistDeliveryOffsets(nextOffset)
 	}
 }
 
@@ -405,13 +521,21 @@ func (c *Cluster) Publish(e graph.Edge) error {
 }
 
 // Stop closes the firehose, waits for partitions to drain — a replica
-// mid-catch-up finishes its replay first — then closes the candidate queue
-// and waits for delivery. Safe to call multiple times; must not be called
+// mid-catch-up finishes its replay first — then stops the checkpoint
+// writers (pending cuts land on disk), closes the candidate queue, and
+// waits for delivery. Safe to call multiple times; must not be called
 // concurrently with RestoreReplica.
 func (c *Cluster) Stop() {
 	c.stopOnce.Do(func() {
 		c.firehose.Close()
 		c.wg.Wait()
+		c.ctl.Lock()
+		for _, group := range c.slots {
+			for _, slot := range group {
+				stopWriterLocked(slot)
+			}
+		}
+		c.ctl.Unlock()
 		c.candidates.Close()
 		c.deliverWG.Wait()
 	})
@@ -477,19 +601,32 @@ type Stats struct {
 	Delivered   uint64
 	Checkpoints uint64
 	Restores    uint64
-	E2ELatency  metrics.Snapshot
-	Funnel      delivery.FunnelStats
+	// Compactions counts delta chains folded into fresh bases by the
+	// async writers.
+	Compactions uint64
+	// LogTruncatedBelow is the firehose log's compaction horizon: every
+	// retained offset is at or above it. Zero until the first truncation.
+	LogTruncatedBelow uint64
+	// CutPause is the distribution of apply-loop pauses taken by
+	// checkpoint cuts: delta capture plus any backpressure wait on the
+	// async writer (encode and fsync themselves happen off-loop).
+	CutPause   metrics.Snapshot
+	E2ELatency metrics.Snapshot
+	Funnel     delivery.FunnelStats
 }
 
 // Stats returns current cluster totals.
 func (c *Cluster) Stats() Stats {
 	return Stats{
-		Events:      c.ingested.Value(),
-		Delivered:   c.delivered.Value(),
-		Checkpoints: c.checkpoints.Value(),
-		Restores:    c.restores.Value(),
-		E2ELatency:  c.e2eLatency.Snapshot(),
-		Funnel:      c.pipeline.Stats(),
+		Events:            c.ingested.Value(),
+		Delivered:         c.delivered.Value(),
+		Checkpoints:       c.checkpoints.Value(),
+		Restores:          c.restores.Value(),
+		Compactions:       c.compactions.Value(),
+		LogTruncatedBelow: c.firehose.LogStart(),
+		CutPause:          c.cutPause.Snapshot(),
+		E2ELatency:        c.e2eLatency.Snapshot(),
+		Funnel:            c.pipeline.Stats(),
 	}
 }
 

@@ -1,0 +1,330 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"motifstream/internal/dynstore"
+	"motifstream/internal/graph"
+	"motifstream/internal/motif"
+	"motifstream/internal/partition"
+	"motifstream/internal/statstore"
+)
+
+// TestCompactionUnderLoadChaos is the incremental pipeline's
+// fault-equivalence check: with aggressive checkpoint cadence, a tiny
+// compaction threshold (chains fold constantly), firehose truncation
+// active, and a replica crash/restore mid-stream, the delivered
+// notification set must exactly match a no-fault oracle run.
+func TestCompactionUnderLoadChaos(t *testing.T) {
+	static := ringStatic(50)
+	stream := motifWorkload(77, 50, 700)
+
+	run := func(chaos bool) (map[noteKey]int, Stats) {
+		cfg := recoveryConfig(t, static)
+		cfg.CheckpointInterval = 3 * time.Second // stream time: cuts constantly
+		cfg.CompactEvery = 2                     // fold chains constantly
+		notes := collectNotes(&cfg)
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Start()
+		killAt := len(stream) / 4
+		restoreAt := len(stream) / 2
+		for i, e := range stream {
+			if chaos {
+				if i == killAt {
+					for pid := 0; pid < cfg.Partitions; pid++ {
+						if err := c.KillReplica(pid, 1); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if i == restoreAt {
+					for pid := 0; pid < cfg.Partitions; pid++ {
+						if err := c.RestoreReplica(pid, 1); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+			if err := c.Publish(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Stop()
+		if chaos {
+			for pid := 0; pid < cfg.Partitions; pid++ {
+				if state, _ := c.ReplicaState(pid, 1); state != "live" {
+					t.Fatalf("partition %d replica 1 state = %q after drain", pid, state)
+				}
+			}
+			// Recovered replicas converge to their surviving peers.
+			for pid := 0; pid < cfg.Partitions; pid++ {
+				restored, _ := c.Replica(pid, 1)
+				peer, _ := c.Replica(pid, 0)
+				got := restored.Engine().Dynamic().Stats()
+				want := peer.Engine().Dynamic().Stats()
+				if got != want {
+					t.Fatalf("partition %d recovered D stats %+v != peer %+v", pid, got, want)
+				}
+			}
+		}
+		return notes(), c.Stats()
+	}
+
+	want, _ := run(false)
+	got, st := run(true)
+	if len(want) == 0 {
+		t.Fatal("vacuous: oracle delivered nothing")
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("notification %v: chaos run delivered %d, oracle %d (lost or duplicated)", k, got[k], n)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Fatalf("chaos run delivered %v, oracle did not", k)
+		}
+	}
+	if st.Compactions == 0 {
+		t.Fatal("vacuous: no compactions ran under load")
+	}
+	if st.LogTruncatedBelow == 0 {
+		t.Fatal("vacuous: firehose log never truncated")
+	}
+	t.Logf("compaction chaos: %d notifications identical, %d checkpoints, %d compactions, log truncated below %d",
+		len(want), st.Checkpoints, st.Compactions, st.LogTruncatedBelow)
+}
+
+// TestLogTruncationBoundedByDurableFloor checks the compaction safety
+// invariant end to end: the firehose log is only truncated below every
+// replica's durable restore floor, so a kill/restore after truncation
+// still replays cleanly and converges.
+func TestLogTruncationBoundedByDurableFloor(t *testing.T) {
+	cfg := recoveryConfig(t, ringStatic(40))
+	cfg.CheckpointInterval = 3 * time.Second
+	cfg.CompactEvery = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	stream := motifWorkload(55, 40, 500)
+	half := len(stream) / 2
+	for _, e := range stream[:half] {
+		c.Publish(e)
+	}
+	if err := c.KillReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestoreReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range stream[half:] {
+		c.Publish(e)
+	}
+	c.Stop()
+	st := c.Stats()
+	if st.LogTruncatedBelow == 0 {
+		t.Fatal("vacuous: log never truncated")
+	}
+	// The truncation horizon never exceeds any replica's floor.
+	for _, group := range c.slots {
+		for _, s := range group {
+			if f := s.floor.Load(); f < st.LogTruncatedBelow {
+				t.Fatalf("log truncated below %d but replica %d/%d floor is %d",
+					st.LogTruncatedBelow, s.pid, s.idx, f)
+			}
+		}
+	}
+	restored, _ := c.Replica(0, 1)
+	peer, _ := c.Replica(0, 0)
+	if got, want := restored.Engine().Dynamic().Stats(), peer.Engine().Dynamic().Stats(); got != want {
+		t.Fatalf("post-truncation restore diverged: %+v != %+v", got, want)
+	}
+}
+
+// TestFailedSegmentWriteCarriesDirtForward pins the chain's hole-freedom
+// under persistence failures: CaptureDelta drains the dirty sets, so a
+// cut whose segment write fails must be merged into the next cut rather
+// than dropped, or later restores would silently miss its keys.
+func TestFailedSegmentWriteCarriesDirtForward(t *testing.T) {
+	cfg := recoveryConfig(t, fig1Static())
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := c.slots[0][0]
+	goodDir := replicaCkptDir(cfg.CheckpointDir, 0, 0)
+	w := &ckptWriter{
+		c:    c,
+		slot: slot,
+		dir:  filepath.Join(cfg.CheckpointDir, "no-such-parent", "dir"),
+	}
+	mkDelta := func(sweep int64, target graph.VertexID) *partition.Delta {
+		return &partition.Delta{
+			SweepClock: sweep,
+			Users:      map[graph.VertexID][]motif.Candidate{},
+			Items:      map[graph.VertexID]uint64{},
+			Dynamic: dynstore.Delta{Targets: map[graph.VertexID][]dynstore.InEdge{
+				target: {{B: 1, TS: 100 + sweep}},
+			}},
+		}
+	}
+	// First cut fails to persist (unwritable directory): the dirt parks.
+	w.appendSegment(ckptJob{delta: mkDelta(1, 7), offset: 10})
+	if w.pending == nil {
+		t.Fatal("failed cut not parked in pending")
+	}
+	if len(w.man.segs) != 0 {
+		t.Fatalf("failed cut still entered the manifest: %v", w.man.segs)
+	}
+	// Second cut persists and must carry the first cut's keys.
+	w.dir = goodDir
+	w.appendSegment(ckptJob{delta: mkDelta(2, 9), offset: 20})
+	if w.pending != nil {
+		t.Fatal("pending not cleared after successful segment")
+	}
+	if len(w.man.segs) != 1 {
+		t.Fatalf("manifest has %d segments, want 1", len(w.man.segs))
+	}
+	st, used, offset := composeChain(goodDir, w.man.segs)
+	if used != 1 || offset != 20 {
+		t.Fatalf("composeChain = used %d offset %d", used, offset)
+	}
+	if _, ok := st.Targets[7]; !ok {
+		t.Fatal("failed cut's target 7 missing from the chain (hole)")
+	}
+	if _, ok := st.Targets[9]; !ok {
+		t.Fatal("second cut's target 9 missing from the chain")
+	}
+}
+
+func TestClampChainPrefix(t *testing.T) {
+	segs := []segmentRef{
+		{kind: segKindBase, seq: 1, offset: 3},
+		{kind: segKindDelta, seq: 2, offset: 7},
+		{kind: segKindDelta, seq: 3, offset: 12},
+	}
+	for _, tc := range []struct {
+		limit uint64
+		want  int
+	}{
+		{0, 0}, {2, 0}, {3, 1}, {7, 2}, {11, 2}, {12, 3}, {100, 3},
+	} {
+		if got := clampChainPrefix(segs, tc.limit); got != tc.want {
+			t.Fatalf("clampChainPrefix(limit=%d) = %d, want %d", tc.limit, got, tc.want)
+		}
+	}
+	if got := clampChainPrefix(nil, 5); got != 0 {
+		t.Fatalf("clampChainPrefix(nil) = %d", got)
+	}
+}
+
+// TestDeliveryOffsetsPersistence covers the file the promoted-replica
+// clamp reads: round trip, out-of-range groups, and the run-id gate that
+// keeps a new cluster from trusting a previous run's offsets.
+func TestDeliveryOffsetsPersistence(t *testing.T) {
+	dir := t.TempDir()
+	newCluster := func() *Cluster {
+		cfg := recoveryConfig(t, fig1Static())
+		cfg.CheckpointDir = dir
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c := newCluster()
+	c.persistDeliveryOffsets([]uint64{5, 9})
+	if got, ok := c.loadDeliveryOffset(0); !ok || got != 5 {
+		t.Fatalf("loadDeliveryOffset(0) = %d, %v", got, ok)
+	}
+	if got, ok := c.loadDeliveryOffset(1); !ok || got != 9 {
+		t.Fatalf("loadDeliveryOffset(1) = %d, %v", got, ok)
+	}
+	if _, ok := c.loadDeliveryOffset(2); ok {
+		t.Fatal("out-of-range group reported ok")
+	}
+	// A different run must not trust this run's offsets.
+	c2 := newCluster()
+	if _, ok := c2.loadDeliveryOffset(0); ok {
+		t.Fatal("foreign-run delivery offsets accepted")
+	}
+	// Absent file.
+	os.Remove(deliveryOffsetsPath(dir))
+	if _, ok := c.loadDeliveryOffset(0); ok {
+		t.Fatal("absent delivery offsets reported ok")
+	}
+}
+
+// TestRestoreReloadsOfflineStaticBuild is the wiring of
+// statstore.ReadSnapshot into RestoreReplica: a replaying replica picks
+// up the newer offline S build published for its partition instead of
+// keeping the S it was constructed with.
+func TestRestoreReloadsOfflineStaticBuild(t *testing.T) {
+	static := ringStatic(40)
+	cfg := recoveryConfig(t, static)
+	snapDir := t.TempDir()
+	cfg.StaticSnapshotDir = snapDir
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	stream := motifWorkload(61, 40, 200)
+	half := len(stream) / 2
+	for _, e := range stream[:half] {
+		c.Publish(e)
+	}
+
+	// The offline pipeline publishes a richer build for partition 0:
+	// the original edges plus a fresh follower per user, filtered to the
+	// partition exactly as a production S shipment would be.
+	richer := append([]graph.Edge{}, static...)
+	for a := graph.VertexID(0); a < 40; a++ {
+		richer = append(richer, graph.Edge{Src: a, Dst: (a + 3) % 40})
+	}
+	builder := &statstore.Builder{
+		Keep: func(a graph.VertexID) bool { return c.part.PartitionOf(a) == 0 },
+	}
+	offline := builder.Build(richer)
+	f, err := os.Create(staticSnapshotPath(snapDir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := statstore.WriteSnapshot(f, offline); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := c.KillReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestoreReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range stream[half:] {
+		c.Publish(e)
+	}
+	c.Stop()
+
+	restored, _ := c.Replica(0, 1)
+	got := restored.Engine().Static().Snapshot()
+	if got.NumEdges() != offline.NumEdges() {
+		t.Fatalf("restored replica serves S with %d edges, offline build has %d", got.NumEdges(), offline.NumEdges())
+	}
+	// Its peer — never restored — still serves the construction-time S.
+	peer, _ := c.Replica(0, 0)
+	if peerSnap := peer.Engine().Static().Snapshot(); peerSnap.NumEdges() == offline.NumEdges() {
+		t.Fatal("vacuous: offline build indistinguishable from construction-time S")
+	}
+	if c.staticReloads.Value() != 1 {
+		t.Fatalf("staticReloads = %d, want 1", c.staticReloads.Value())
+	}
+}

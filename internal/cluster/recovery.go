@@ -5,115 +5,590 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"motifstream/internal/codecutil"
 	"os"
 	"path/filepath"
 	"time"
+
+	"motifstream/internal/codecutil"
+	"motifstream/internal/partition"
+	"motifstream/internal/statstore"
 )
 
-// Checkpoint files frame a partition checkpoint with the firehose offset
-// it corresponds to: magic, format version, the writing cluster's run id,
-// the offset as a uvarint, then the partition payload. One file per
-// replica, replaced atomically (write-temp-then-rename) so a crash
-// mid-write leaves the previous checkpoint intact. The run id ties a
-// checkpoint to the in-memory firehose log its offset indexes: a file
-// left behind by a previous process run names positions in a log that no
-// longer exists, so restore ignores it and replays from scratch instead
-// of resurrecting foreign state.
-
-// ckptMagic identifies the replica checkpoint file format, version 1.
-var ckptMagic = [8]byte{'M', 'S', 'C', 'K', 'P', 'T', 0, 1}
-
-const ckptVersion = 1
+// On-disk layout of the incremental checkpoint pipeline (see
+// docs/DURABILITY.md for the full contract):
+//
+//	<CheckpointDir>/
+//	  delivery.off              per-group delivery high-water offsets
+//	  p000-r00/                 one directory per replica
+//	    MANIFEST                ordered segment list (atomic rename)
+//	    base-00000007.seg       compacted base checkpoint
+//	    delta-00000008.seg      delta segments cut since the base
+//	    delta-00000009.seg
+//
+// Every segment is recorded in the MANIFEST together with the firehose
+// offset its cut corresponds to (all envelopes below it are included).
+// The ordering is crash-safe: a segment file is written and fsynced
+// before the manifest that references it is renamed into place, so the
+// manifest never names a missing or partial segment; conversely a crash
+// between the two leaves an orphan segment that the next cluster
+// construction removes with the rest of the foreign-run files.
+// The run id gates everything: checkpoints index the in-memory firehose
+// log, which dies with the process, so foreign-run files are wiped at
+// construction rather than resurrected.
 
 // ErrRecoveryDisabled is returned by KillReplica/RestoreReplica when the
 // cluster was built without Config.CheckpointDir.
 var ErrRecoveryDisabled = errors.New("cluster: recovery requires Config.CheckpointDir")
 
-// checkpointPath names the checkpoint file for one replica.
-func checkpointPath(dir string, pid, r int) string {
-	return filepath.Join(dir, fmt.Sprintf("p%03d-r%02d.ckpt", pid, r))
+// manifestMagic identifies the checkpoint manifest format, version 1.
+var manifestMagic = [8]byte{'M', 'S', 'M', 'A', 'N', 'F', 0, 1}
+
+// deliveryMagic identifies the delivery offsets file format, version 1.
+var deliveryMagic = [8]byte{'M', 'S', 'D', 'L', 'V', 'O', 0, 1}
+
+const (
+	manifestVersion = 1
+	deliveryVersion = 1
+
+	segKindBase  = 0
+	segKindDelta = 1
+
+	// maxManifestSegs bounds manifest decoding against corruption.
+	maxManifestSegs = 1 << 20
+
+	// ckptQueueDepth is the async writer's job buffer: cuts beyond it
+	// block the apply loop (backpressure) until the writer drains.
+	ckptQueueDepth = 2
+
+	// deliveryPersistEvery is how many processed candidate batches elapse
+	// between persisted snapshots of the per-group high-water offsets.
+	deliveryPersistEvery = 64
+)
+
+// segmentRef names one durable checkpoint segment: its kind, the
+// monotonic sequence number its file name derives from, and the firehose
+// offset its cut corresponds to (every envelope with Offset < offset is
+// folded in).
+type segmentRef struct {
+	kind   uint8
+	seq    uint64
+	offset uint64
 }
 
-// writeCheckpoint durably persists the replica's state as of nextOffset:
-// every envelope with Offset < nextOffset has been applied. Runs inline in
-// the replica's consume loop, so the partition state is quiescent. Errors
-// are counted, the temp file removed, and the previous checkpoint kept —
-// a replica with a stale checkpoint just replays more.
-func (c *Cluster) writeCheckpoint(slot *replicaSlot, nextOffset uint64) {
-	path := checkpointPath(c.cfg.CheckpointDir, slot.pid, slot.idx)
+// manifest is a replica's durable chain: at most one leading base
+// followed by delta segments in cut order (ascending offsets). nextSeq
+// stays monotonic across compactions so file names never collide.
+type manifest struct {
+	segs    []segmentRef
+	nextSeq uint64
+}
+
+// floorOffset returns the oldest offset this chain can restore to — the
+// base's offset, or zero while the chain still composes from the implicit
+// empty base (no compaction yet). Log truncation must stay below the
+// minimum floor across replicas.
+func (m *manifest) floorOffset() uint64 {
+	if len(m.segs) > 0 && m.segs[0].kind == segKindBase {
+		return m.segs[0].offset
+	}
+	return 0
+}
+
+func (m *manifest) deltaCount() int {
+	n := 0
+	for _, s := range m.segs {
+		if s.kind == segKindDelta {
+			n++
+		}
+	}
+	return n
+}
+
+// replicaCkptDir names the per-replica checkpoint directory.
+func replicaCkptDir(dir string, pid, r int) string {
+	return filepath.Join(dir, fmt.Sprintf("p%03d-r%02d", pid, r))
+}
+
+func manifestPath(dir string) string { return filepath.Join(dir, "MANIFEST") }
+
+func segmentPath(dir string, ref segmentRef) string {
+	kind := "delta"
+	if ref.kind == segKindBase {
+		kind = "base"
+	}
+	return filepath.Join(dir, fmt.Sprintf("%s-%08d.seg", kind, ref.seq))
+}
+
+func deliveryOffsetsPath(dir string) string { return filepath.Join(dir, "delivery.off") }
+
+func staticSnapshotPath(dir string, pid int) string {
+	return filepath.Join(dir, fmt.Sprintf("s-p%03d.snap", pid))
+}
+
+// syncDir best-effort fsyncs a directory so a rename within it is
+// durable before we rely on it.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// atomicWriteFile writes via a temp file, fsyncs, and renames into place
+// so readers only ever observe complete content.
+func atomicWriteFile(path string, write func(io.Writer) error) error {
+	return atomicWrite(path, write, true)
+}
+
+// atomicReplaceFile is atomicWriteFile without the fsyncs: readers still
+// only ever observe complete content (the rename is atomic), but an OS
+// crash may lose the newest version. For advisory data written on a hot
+// path, skipping the two fsyncs is the point.
+func atomicReplaceFile(path string, write func(io.Writer) error) error {
+	return atomicWrite(path, write, false)
+}
+
+func atomicWrite(path string, write func(io.Writer) error, durable bool) error {
 	tmp := path + ".tmp"
-	err := func() error {
-		f, err := os.Create(tmp)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w := &codecutil.Writer{BW: bufio.NewWriter(f)}
-		w.PutBytes(ckptMagic[:])
-		w.PutU(ckptVersion)
-		w.PutU(c.runID)
-		w.PutU(nextOffset)
-		if err := w.Flush(); err != nil {
-			return err
-		}
-		if _, err := slot.p.WriteTo(f); err != nil {
-			return err
-		}
-		return f.Sync()
-	}()
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if err == nil && durable {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
 	if err != nil {
 		os.Remove(tmp)
-		c.ckptErrors.Inc()
-		return
+		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		c.ckptErrors.Inc()
-		return
+	if durable {
+		syncDir(filepath.Dir(path))
 	}
-	c.checkpoints.Inc()
+	return nil
 }
 
-// loadCheckpoint restores the newest durable checkpoint for slot into its
-// partition and returns the firehose offset replay must start from.
-// found is false when no checkpoint exists or the file belongs to a
-// different cluster run (recover from scratch in both cases).
-func (c *Cluster) loadCheckpoint(dir string, slot *replicaSlot) (offset uint64, found bool, err error) {
-	f, err := os.Open(checkpointPath(dir, slot.pid, slot.idx))
+// writeFileSync writes a file directly and fsyncs it. Segment files use
+// this rather than the atomic dance: their names are fresh and only the
+// manifest makes them reachable.
+func writeFileSync(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+	}
+	return err
+}
+
+// writeManifest durably replaces the manifest file.
+func (m *manifest) write(path string, runID uint64) error {
+	return atomicWriteFile(path, func(w io.Writer) error {
+		enc := &codecutil.Writer{BW: bufio.NewWriter(w)}
+		enc.PutBytes(manifestMagic[:])
+		enc.PutU(manifestVersion)
+		enc.PutU(runID)
+		enc.PutU(m.nextSeq)
+		enc.PutU(uint64(len(m.segs)))
+		for _, s := range m.segs {
+			enc.PutU(uint64(s.kind))
+			enc.PutU(s.seq)
+			enc.PutU(s.offset)
+		}
+		return enc.Flush()
+	})
+}
+
+// loadManifest reads a manifest, returning an empty one when the file is
+// absent or belongs to a different cluster run (recover from scratch in
+// both cases). Malformed content returns an error.
+func loadManifest(path string, runID uint64) (manifest, error) {
+	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return 0, false, nil
+			return manifest{}, nil
 		}
-		return 0, false, err
+		return manifest{}, err
 	}
 	defer f.Close()
-	br := bufio.NewReader(f)
+	br := &codecutil.CountingReader{R: bufio.NewReader(f)}
+	r := &codecutil.Reader{BR: br, Prefix: "manifest"}
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return 0, false, fmt.Errorf("checkpoint magic: %w", err)
+		return manifest{}, fmt.Errorf("manifest magic: %w", err)
 	}
-	if magic != ckptMagic {
-		return 0, false, fmt.Errorf("bad checkpoint magic %q", magic[:])
+	if magic != manifestMagic {
+		return manifest{}, fmt.Errorf("bad manifest magic %q", magic[:])
 	}
-	r := &codecutil.Reader{BR: &codecutil.CountingReader{R: br}, Prefix: "checkpoint"}
-	if v := r.U("version"); r.Err == nil && v != ckptVersion {
-		return 0, false, fmt.Errorf("unsupported checkpoint version %d", v)
+	if v := r.U("version"); r.Err == nil && v != manifestVersion {
+		return manifest{}, fmt.Errorf("unsupported manifest version %d", v)
 	}
-	runID := r.U("run id")
-	offset = r.U("offset")
+	fileRun := r.U("run id")
+	nextSeq := r.U("next seq")
+	count := r.U("segment count")
+	if r.Err == nil && count > maxManifestSegs {
+		return manifest{}, fmt.Errorf("implausible segment count %d", count)
+	}
+	m := manifest{nextSeq: nextSeq}
+	for i := uint64(0); i < count && r.Err == nil; i++ {
+		kind := r.U("segment kind")
+		seq := r.U("segment seq")
+		off := r.U("segment offset")
+		m.segs = append(m.segs, segmentRef{kind: uint8(kind), seq: seq, offset: off})
+	}
 	if r.Err != nil {
-		return 0, false, r.Err
+		return manifest{}, r.Err
 	}
-	if runID != c.runID {
-		// A previous run's checkpoint: its offset indexes a firehose log
-		// that died with that process. Recover from scratch instead.
-		return 0, false, nil
+	if fileRun != runID {
+		// A previous run's chain: its offsets index a firehose log that
+		// died with that process.
+		return manifest{}, nil
 	}
-	if _, err := slot.p.ReadFrom(br); err != nil {
-		return 0, false, err
+	return m, nil
+}
+
+// ckptJob is one cut handed from the apply loop to the async writer: the
+// captured delta and the firehose offset it corresponds to.
+type ckptJob struct {
+	delta  *partition.Delta
+	offset uint64
+}
+
+// ckptWriter is a replica's asynchronous persistence stage: it owns the
+// replica's checkpoint directory, encodes and fsyncs delta segments off
+// the apply loop, maintains the manifest, and folds long chains back into
+// a fresh base (compaction). Exactly one writer runs per live replica;
+// the consume loop is the only sender and lifecycle transitions
+// (kill/restore/stop) close jobs only after the consumer has exited.
+type ckptWriter struct {
+	c      *Cluster
+	slot   *replicaSlot
+	dir    string
+	jobs   chan ckptJob
+	done   chan struct{}
+	man    manifest
+	deltas int // delta segments since the last base
+	// pending holds a cut whose persistence failed. CaptureDelta drains
+	// the partition's dirty sets, so the failed cut's keys exist nowhere
+	// else — they are merged into the next cut rather than dropped, or
+	// the chain would silently compose a hole. A writer stopped with
+	// pending set is still consistent: the chain simply ends at the last
+	// durable segment's offset and replay rebuilds the lost window.
+	pending *partition.Delta
+}
+
+// startWriter launches the async persistence goroutine for slot,
+// continuing the given manifest chain.
+func (c *Cluster) startWriter(slot *replicaSlot, man manifest) *ckptWriter {
+	w := &ckptWriter{
+		c:    c,
+		slot: slot,
+		dir:  replicaCkptDir(c.cfg.CheckpointDir, slot.pid, slot.idx),
+		jobs: make(chan ckptJob, ckptQueueDepth),
+		done: make(chan struct{}),
+		man:  man,
 	}
-	return offset, true, nil
+	w.deltas = man.deltaCount()
+	slot.floor.Store(man.floorOffset())
+	go w.run()
+	return w
+}
+
+func (w *ckptWriter) run() {
+	defer close(w.done)
+	for job := range w.jobs {
+		w.appendSegment(job)
+	}
+}
+
+// stopWriterLocked drains and stops a slot's writer. The caller holds ctl
+// and has already observed the consumer goroutine stopped, so no further
+// jobs can arrive.
+func stopWriterLocked(slot *replicaSlot) {
+	if slot.writer == nil {
+		return
+	}
+	close(slot.writer.jobs)
+	<-slot.writer.done
+	slot.writer = nil
+}
+
+// appendSegment encodes one cut as a delta segment, fsyncs it, and
+// publishes it through the manifest. On failure the cut is parked in
+// pending and carried into the next segment (its keys were already
+// drained from the dirty sets), so the durable chain stays hole-free — a
+// replica with a stale chain just replays more.
+func (w *ckptWriter) appendSegment(job ckptJob) {
+	if w.pending != nil {
+		job.delta.MergeOlder(w.pending)
+		w.pending = nil
+	}
+	ref := segmentRef{kind: segKindDelta, seq: w.man.nextSeq, offset: job.offset}
+	path := segmentPath(w.dir, ref)
+	if err := writeFileSync(path, func(f io.Writer) error {
+		_, err := job.delta.WriteTo(f)
+		return err
+	}); err != nil {
+		w.pending = job.delta
+		w.c.ckptErrors.Inc()
+		return
+	}
+	w.man.segs = append(w.man.segs, ref)
+	w.man.nextSeq++
+	if err := w.man.write(manifestPath(w.dir), w.c.runID); err != nil {
+		// The manifest on disk still describes the old chain; keep the
+		// in-memory view consistent with it.
+		w.man.segs = w.man.segs[:len(w.man.segs)-1]
+		w.man.nextSeq--
+		os.Remove(path)
+		w.pending = job.delta
+		w.c.ckptErrors.Inc()
+		return
+	}
+	w.c.checkpoints.Inc()
+	w.deltas++
+	if w.deltas >= w.c.compactEvery {
+		w.compact()
+	}
+	w.c.maybeTruncateLog()
+}
+
+// compact folds the whole chain into a single fresh base whose offset is
+// the newest segment's, then drops the old files. Compaction is what
+// advances the replica's restore floor — and with it the cluster-wide
+// firehose truncation horizon — and what bounds restore composition time.
+func (w *ckptWriter) compact() {
+	if len(w.man.segs) < 2 {
+		return
+	}
+	st, used, offset := composeChain(w.dir, w.man.segs)
+	if used < len(w.man.segs) {
+		// A corrupt segment mid-chain: leave it for restore-time fallback
+		// rather than compacting a prefix and silently losing the rest.
+		w.c.ckptErrors.Inc()
+		return
+	}
+	ref := segmentRef{kind: segKindBase, seq: w.man.nextSeq, offset: offset}
+	path := segmentPath(w.dir, ref)
+	if err := writeFileSync(path, func(f io.Writer) error {
+		_, err := st.WriteBaseTo(f)
+		return err
+	}); err != nil {
+		w.c.ckptErrors.Inc()
+		return
+	}
+	old := w.man.segs
+	w.man.segs = []segmentRef{ref}
+	w.man.nextSeq++
+	if err := w.man.write(manifestPath(w.dir), w.c.runID); err != nil {
+		w.man.segs = old
+		w.man.nextSeq--
+		os.Remove(path)
+		w.c.ckptErrors.Inc()
+		return
+	}
+	for _, s := range old {
+		os.Remove(segmentPath(w.dir, s))
+	}
+	w.deltas = 0
+	w.slot.floor.Store(offset)
+	w.c.compactions.Inc()
+}
+
+// composeChain reads segments in order into a neutral checkpoint state,
+// stopping at the first unreadable or corrupt segment — the
+// segment-at-a-time fallback. Returns the composed state, how many
+// segments were used, and the offset of the last used segment (zero when
+// none were).
+func composeChain(dir string, segs []segmentRef) (*partition.CheckpointState, int, uint64) {
+	st := partition.NewCheckpointState()
+	offset := uint64(0)
+	used := 0
+	for _, ref := range segs {
+		f, err := os.Open(segmentPath(dir, ref))
+		if err != nil {
+			break
+		}
+		br := bufio.NewReader(f)
+		if ref.kind == segKindBase {
+			fresh := partition.NewCheckpointState()
+			if _, err := fresh.ReadBaseFrom(br); err != nil {
+				f.Close()
+				break
+			}
+			st = fresh
+		} else if _, err := st.ApplyDeltaFrom(br); err != nil {
+			f.Close()
+			break
+		}
+		f.Close()
+		offset = ref.offset
+		used++
+	}
+	return st, used, offset
+}
+
+// clampChainPrefix returns how many leading segments have cut offsets at
+// or below limit — the prefix a restore falls back to when the group's
+// delivered high-water lags the newest checkpoint.
+func clampChainPrefix(segs []segmentRef, limit uint64) int {
+	keep := 0
+	for i, ref := range segs {
+		if ref.offset > limit {
+			break
+		}
+		keep = i + 1
+	}
+	return keep
+}
+
+// truncateManifest drops segments beyond keep, rewrites the manifest, and
+// removes the dropped files. Used by restore for corruption fallback and
+// the delivered-offset clamp. A failed rewrite is counted and the trim
+// abandoned — in-memory chain and files stay exactly as the on-disk
+// manifest describes them, so nothing leaks unreferenced and a later
+// restore retries the same fallback.
+func (c *Cluster) truncateManifest(dir string, man *manifest, keep int) {
+	if keep >= len(man.segs) {
+		return
+	}
+	dropped := man.segs[keep:]
+	trimmed := man.segs[:keep:keep]
+	old := man.segs
+	man.segs = trimmed
+	if err := man.write(manifestPath(dir), c.runID); err != nil {
+		man.segs = old
+		c.ckptErrors.Inc()
+		return
+	}
+	for _, s := range dropped {
+		os.Remove(segmentPath(dir, s))
+	}
+}
+
+// persistDeliveryOffsets snapshots the delivery consumer's per-group
+// high-water offsets. Called only from the delivery goroutine — and the
+// offsets are advisory (the restore clamp tolerates staleness by
+// design), so the write is atomic-by-rename but deliberately unsynced:
+// fsyncing inline every persistence interval would stall the entire
+// delivery tier on disk I/O, the exact hot-path blocking this PR moves
+// checkpoint encoding off of.
+func (c *Cluster) persistDeliveryOffsets(next []uint64) {
+	err := atomicReplaceFile(deliveryOffsetsPath(c.cfg.CheckpointDir), func(w io.Writer) error {
+		enc := &codecutil.Writer{BW: bufio.NewWriter(w)}
+		enc.PutBytes(deliveryMagic[:])
+		enc.PutU(deliveryVersion)
+		enc.PutU(c.runID)
+		enc.PutU(uint64(len(next)))
+		for _, off := range next {
+			enc.PutU(off)
+		}
+		return enc.Flush()
+	})
+	if err != nil {
+		c.ckptErrors.Inc()
+	}
+}
+
+// loadDeliveryOffset reads the persisted delivery high-water offset for a
+// group. ok is false when the file is absent, unreadable, foreign-run, or
+// does not cover pid.
+func (c *Cluster) loadDeliveryOffset(pid int) (uint64, bool) {
+	f, err := os.Open(deliveryOffsetsPath(c.cfg.CheckpointDir))
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	br := &codecutil.CountingReader{R: bufio.NewReader(f)}
+	r := &codecutil.Reader{BR: br, Prefix: "delivery offsets"}
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != deliveryMagic {
+		return 0, false
+	}
+	if v := r.U("version"); r.Err != nil || v != deliveryVersion {
+		return 0, false
+	}
+	if run := r.U("run id"); r.Err != nil || run != c.runID {
+		return 0, false
+	}
+	n := r.U("group count")
+	if r.Err != nil || uint64(pid) >= n || n > maxManifestSegs {
+		return 0, false
+	}
+	var off uint64
+	for i := uint64(0); i <= uint64(pid); i++ {
+		off = r.U("group offset")
+	}
+	if r.Err != nil {
+		return 0, false
+	}
+	return off, true
+}
+
+// maybeTruncateLog compacts the retained firehose log below the minimum
+// restore floor across all replicas: every offset below it is covered by
+// a durable base checkpoint on every replica, so no restore — including
+// segment-at-a-time corruption fallback — can ever need to replay it.
+// Called from writer goroutines after durable progress. The scan and the
+// truncation are one atomic step under truncMu so a restore lowering a
+// replica's floor (corrupt chain → scratch) cannot interleave between
+// them and have its just-started replay truncated out from under it.
+func (c *Cluster) maybeTruncateLog() {
+	c.truncMu.Lock()
+	defer c.truncMu.Unlock()
+	floor := ^uint64(0)
+	for _, group := range c.slots {
+		for _, s := range group {
+			if f := s.floor.Load(); f < floor {
+				floor = f
+			}
+		}
+	}
+	if floor == 0 || floor == ^uint64(0) {
+		return
+	}
+	if n := c.firehose.TruncateBelow(floor); n > 0 {
+		c.truncated.Add(uint64(n))
+	}
+}
+
+// reloadStatic picks up a newer offline S build for the replica, if the
+// configured snapshot directory holds one for its partition — the
+// production behavior of a rejoining detection server loading the latest
+// published S rather than keeping the build it crashed with. Absent files
+// are fine (no newer build); unreadable ones are counted and the current
+// S kept.
+func (c *Cluster) reloadStatic(slot *replicaSlot) {
+	dir := c.cfg.StaticSnapshotDir
+	if dir == "" {
+		return
+	}
+	f, err := os.Open(staticSnapshotPath(dir, slot.pid))
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	snap, err := statstore.ReadSnapshot(f)
+	if err != nil {
+		c.ckptErrors.Inc()
+		return
+	}
+	slot.p.Engine().ReloadStatic(snap)
+	c.staticReloads.Inc()
 }
 
 // KillReplica crashes a replica for real: it stops consuming the firehose
@@ -155,10 +630,14 @@ func (c *Cluster) KillReplica(pid, r int) error {
 	// MarkDown happens only after the goroutine has stopped: a consumer
 	// mid-way through its replaying→live transition may still issue a
 	// MarkUp, and ordering ours after <-slot.stopped guarantees the dead
-	// replica ends broker-down.
+	// replica ends broker-down. The async writer stops after the consumer
+	// (its only sender): pending segments drain to disk first, like a
+	// kernel flushing a dying process's page cache — the durable chain
+	// stays valid for the future restore.
 	close(slot.quit)
 	c.firehose.Unsubscribe(slot.sub)
 	<-slot.stopped
+	stopWriterLocked(slot)
 	if err := c.broker.MarkDown(pid, r); err != nil {
 		return err
 	}
@@ -170,12 +649,18 @@ func (c *Cluster) KillReplica(pid, r int) error {
 }
 
 // RestoreReplica rejoins a killed replica through the catch-up state
-// machine: restore the newest durable checkpoint (or start empty if none
-// exists or it is unreadable), then replay the retained firehose log from
-// the checkpoint's offset. The replica stays broker-down while replaying,
-// and the delivery tier's offset filter absorbs its replayed candidate
-// batches; it turns live once it has applied every offset that existed
-// when recovery began. Must not be called concurrently with Stop.
+// machine: compose the durable chain (base plus delta segments, falling
+// back a segment at a time on corruption), install the result, then
+// replay the retained firehose log from the chain's offset. When the
+// replica would rejoin as its group's only coverage and the persisted
+// delivery high-water lags the chain head, the chain is clamped back to
+// the delivered offset so the replayed span re-emits the candidates the
+// group may never have delivered (the promoted-replica gap). The replica
+// stays broker-down while replaying, and the delivery tier's offset
+// filter absorbs its replayed candidate batches; it turns live once it
+// has applied every offset that existed when recovery began. A restore
+// also picks up a newer offline S build when Config.StaticSnapshotDir
+// provides one. Must not be called concurrently with Stop.
 func (c *Cluster) RestoreReplica(pid, r int) error {
 	if c.cfg.CheckpointDir == "" {
 		return ErrRecoveryDisabled
@@ -189,26 +674,86 @@ func (c *Cluster) RestoreReplica(pid, r int) error {
 	if slot.state.Load() != replicaDead {
 		return fmt.Errorf("cluster: replica %d/%d is not dead; only killed replicas restore", pid, r)
 	}
-	offset, found, err := c.loadCheckpoint(c.cfg.CheckpointDir, slot)
-	if err != nil || !found {
-		// Unreadable or absent checkpoint: recover from scratch. A failed
-		// ReadFrom leaves the partition reset, so replaying the full log
-		// rebuilds identical state, just more slowly.
-		slot.p.Reset()
-		offset = 0
-		if err != nil {
-			c.ckptErrors.Inc()
+	dir := replicaCkptDir(c.cfg.CheckpointDir, pid, r)
+	man, err := loadManifest(manifestPath(dir), c.runID)
+	if err != nil {
+		// Unreadable manifest: recover from scratch; replaying the full
+		// log rebuilds identical state, just more slowly.
+		c.ckptErrors.Inc()
+		man = manifest{}
+	}
+	st, used, offset := composeChain(dir, man.segs)
+	if used < len(man.segs) {
+		c.ckptErrors.Inc()
+		c.truncateManifest(dir, &man, used)
+	}
+	// The promoted-replica clamp (defense-in-depth: the last-alive guard
+	// makes sole-coverage rejoins unreachable through the public API):
+	// rejoining as sole coverage with a chain cut ahead of what the group
+	// has delivered would skip the span between them, so fall the chain
+	// back to the delivered offset. Two safety bounds: never fall below
+	// the durable floor (the log may already be truncated up to it — the
+	// residual span is the documented truncation-vs-gap tradeoff), and
+	// never destroy segments unless the clamped replay point is actually
+	// still retained.
+	if used > 0 {
+		alivePeer := false
+		for _, s := range c.slots[pid] {
+			if s != slot && s.state.Load() != replicaDead {
+				alivePeer = true
+				break
+			}
+		}
+		if !alivePeer {
+			if y, ok := c.loadDeliveryOffset(pid); ok && y < offset {
+				keep := clampChainPrefix(man.segs, y)
+				if man.segs[0].kind == segKindBase && keep < 1 {
+					keep = 1
+				}
+				replayFrom := uint64(0)
+				if keep > 0 {
+					replayFrom = man.segs[keep-1].offset
+				}
+				if keep < used && replayFrom >= c.firehose.LogStart() {
+					c.truncateManifest(dir, &man, keep)
+					st, used, offset = composeChain(dir, man.segs)
+				}
+			}
 		}
 	}
+	if used == 0 {
+		slot.p.Reset()
+		offset = 0
+	} else {
+		slot.p.LoadState(st)
+	}
+	c.reloadStatic(slot)
+	// Publish the restore floor and subscribe as one atomic step against
+	// the writers' floor-scan-plus-truncate: a stale floor from this
+	// replica's previous incarnation could otherwise let a concurrent peer
+	// compaction truncate the log out from under the replay we are about
+	// to start. The floor is derived from the chain prefix actually
+	// installed — not the manifest, which can retain extra segments when a
+	// fallback trim failed — so a scratch restore always advertises zero.
+	floor := uint64(0)
+	if used > 0 && man.segs[0].kind == segKindBase {
+		floor = man.segs[0].offset
+	}
+	c.truncMu.Lock()
+	slot.floor.Store(floor)
 	target := c.firehose.Published()
 	sub, err := c.firehose.SubscribeFrom(offset)
+	c.truncMu.Unlock()
 	if err != nil {
+		// Only reachable when the chain was lost (corrupt base) after the
+		// log below it was truncated; surface rather than silently diverge.
 		return fmt.Errorf("cluster: replay from %d: %w", offset, err)
 	}
 	slot.sub = sub
 	slot.quit = make(chan struct{})
 	slot.stopped = make(chan struct{})
 	slot.lastCkptTS = 0
+	slot.writer = c.startWriter(slot, man)
 	if offset >= target {
 		// Nothing to replay: the checkpoint is already at the head.
 		slot.state.Store(replicaLive)

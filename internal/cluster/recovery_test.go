@@ -327,12 +327,19 @@ func TestRestoreWithoutCheckpointReplaysFromZero(t *testing.T) {
 	}
 }
 
-// TestRestoreFromCorruptCheckpointFallsBack truncates the checkpoint file
-// on disk: restore must not fail or panic — it replays from offset zero
-// and still converges.
+// TestRestoreFromCorruptCheckpointFallsBack truncates the newest durable
+// segment on disk: restore must not fail or panic — it falls the chain
+// back a segment (replaying the difference from the firehose) and still
+// converges.
 func TestRestoreFromCorruptCheckpointFallsBack(t *testing.T) {
 	cfg := recoveryConfig(t, ringStatic(40))
 	cfg.CheckpointInterval = time.Second // checkpoint densely (stream time)
+	// Disable compaction so the chain stays all-delta: the newest segment
+	// is then never the base, and fallback — even all the way to scratch —
+	// always has the full retained log to replay (truncation only begins
+	// once bases exist). A corrupt *base* above a truncated log is the
+	// documented unrecoverable case (docs/DURABILITY.md), not this test's.
+	cfg.CompactEvery = 1 << 20
 	c, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -343,23 +350,28 @@ func TestRestoreFromCorruptCheckpointFallsBack(t *testing.T) {
 	for _, e := range stream[:half] {
 		c.Publish(e)
 	}
-	// Publishing is asynchronous: wait for the replica to have written at
-	// least one checkpoint before crashing it.
-	path := checkpointPath(cfg.CheckpointDir, 0, 0)
+	// Publishing and persistence are asynchronous: wait for the replica to
+	// have at least one durable segment before crashing it.
+	dir := replicaCkptDir(cfg.CheckpointDir, 0, 0)
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		if _, err := os.Stat(path); err == nil {
+		if man, err := loadManifest(manifestPath(dir), c.runID); err == nil && len(man.segs) > 0 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("no checkpoint appeared within 10s")
+			t.Fatal("no checkpoint segment appeared within 10s")
 		}
 		time.Sleep(time.Millisecond)
 	}
 	if err := c.KillReplica(0, 0); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt the replica's checkpoint.
+	// Corrupt the newest segment of the (now quiescent) chain.
+	man, err := loadManifest(manifestPath(dir), c.runID)
+	if err != nil || len(man.segs) == 0 {
+		t.Fatalf("manifest unreadable after kill: %v (%d segs)", err, len(man.segs))
+	}
+	path := segmentPath(dir, man.segs[len(man.segs)-1])
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -369,6 +381,10 @@ func TestRestoreFromCorruptCheckpointFallsBack(t *testing.T) {
 	}
 	if err := c.RestoreReplica(0, 0); err != nil {
 		t.Fatal(err)
+	}
+	// The fallback trimmed the corrupt segment out of the durable chain.
+	if after, err := loadManifest(manifestPath(dir), c.runID); err != nil || len(after.segs) >= len(man.segs) {
+		t.Fatalf("corrupt segment not trimmed: %v (%d -> %d segs)", err, len(man.segs), len(after.segs))
 	}
 	for _, e := range stream[half:] {
 		c.Publish(e)
@@ -382,10 +398,12 @@ func TestRestoreFromCorruptCheckpointFallsBack(t *testing.T) {
 }
 
 // TestCheckpointFilesAreWrittenAtomically checks the on-disk layout: one
-// file per replica, no leftover temp files.
+// directory per replica whose manifest names only existing segment files,
+// no leftover temp files, no orphan segments outside the manifest.
 func TestCheckpointFilesAreWrittenAtomically(t *testing.T) {
 	cfg := recoveryConfig(t, ringStatic(40))
 	cfg.CheckpointInterval = time.Second
+	cfg.CompactEvery = 4 // force at least one compaction
 	c, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -397,20 +415,46 @@ func TestCheckpointFilesAreWrittenAtomically(t *testing.T) {
 	c.Stop()
 	for pid := 0; pid < cfg.Partitions; pid++ {
 		for r := 0; r < cfg.Replicas; r++ {
-			if _, err := os.Stat(checkpointPath(cfg.CheckpointDir, pid, r)); err != nil {
-				t.Fatalf("missing checkpoint for %d/%d: %v", pid, r, err)
+			dir := replicaCkptDir(cfg.CheckpointDir, pid, r)
+			man, err := loadManifest(manifestPath(dir), c.runID)
+			if err != nil {
+				t.Fatalf("manifest for %d/%d: %v", pid, r, err)
+			}
+			if len(man.segs) == 0 {
+				t.Fatalf("empty chain for %d/%d", pid, r)
+			}
+			named := map[string]bool{"MANIFEST": true}
+			for _, seg := range man.segs {
+				path := segmentPath(dir, seg)
+				if _, err := os.Stat(path); err != nil {
+					t.Fatalf("manifest names missing segment %s: %v", path, err)
+				}
+				named[filepath.Base(path)] = true
+			}
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if !named[e.Name()] {
+					t.Fatalf("orphan file %s in %s", e.Name(), dir)
+				}
 			}
 		}
 	}
-	tmps, err := filepath.Glob(filepath.Join(cfg.CheckpointDir, "*.tmp"))
+	tmps, err := filepath.Glob(filepath.Join(cfg.CheckpointDir, "*", "*.tmp"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tmps) != 0 {
 		t.Fatalf("leftover temp files: %v", tmps)
 	}
-	if st := c.Stats(); st.Checkpoints == 0 {
+	st := c.Stats()
+	if st.Checkpoints == 0 {
 		t.Fatal("no checkpoints recorded")
+	}
+	if st.Compactions == 0 {
+		t.Fatal("no compactions recorded despite CompactEvery=4")
 	}
 }
 

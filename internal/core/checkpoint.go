@@ -6,6 +6,8 @@ import (
 	"io"
 
 	"motifstream/internal/codecutil"
+	"motifstream/internal/dynstore"
+	"motifstream/internal/graph"
 )
 
 // The engine checkpoint format wraps the D-store snapshot with the
@@ -21,20 +23,68 @@ var engineMagic = [8]byte{'M', 'S', 'E', 'N', 'G', 'S', 0, 1}
 
 const engineSnapVersion = 1
 
-// WriteTo serializes the engine's recoverable state — the sweep clock and
-// the full D store — implementing io.WriterTo. The caller must not run
-// Apply concurrently (the replica checkpoint loop serializes them).
-func (e *Engine) WriteTo(w io.Writer) (int64, error) {
-	cw := &codecutil.CountingWriter{W: w}
+// writeEngineHeader emits the magic, version, and sweep clock.
+func writeEngineHeader(w io.Writer, sweepClock int64) (int64, error) {
 	var buf [8 + 2*binary.MaxVarintLen64]byte
 	copy(buf[:8], engineMagic[:])
 	n := 8
 	n += binary.PutUvarint(buf[n:], engineSnapVersion)
-	e.mu.Lock()
-	lastSweep := e.lastSweep
-	e.mu.Unlock()
-	n += binary.PutVarint(buf[n:], lastSweep)
-	if _, err := cw.Write(buf[:n]); err != nil {
+	n += binary.PutVarint(buf[n:], sweepClock)
+	m, err := w.Write(buf[:n])
+	return int64(m), err
+}
+
+// readEngineHeader parses the magic, version, and sweep clock, leaving br
+// positioned at the embedded dynstore snapshot.
+func readEngineHeader(br *codecutil.CountingReader) (int64, error) {
+	dec := &codecutil.Reader{BR: br, Prefix: "core"}
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return 0, fmt.Errorf("core: reading engine checkpoint magic: %w", err)
+	}
+	if magic != engineMagic {
+		return 0, fmt.Errorf("core: bad engine checkpoint magic %q", magic[:])
+	}
+	if v := dec.U("engine checkpoint version"); dec.Err == nil && v != engineSnapVersion {
+		return 0, fmt.Errorf("core: unsupported engine checkpoint version %d", v)
+	}
+	sweepClock := dec.I("sweep clock")
+	return sweepClock, dec.Err
+}
+
+// EncodeEngineState serializes a captured engine state — sweep clock plus
+// target map — in the engine checkpoint format. This is the compactor's
+// path for writing a composed base without touching a live Engine; the
+// bytes are identical to Engine.WriteTo of an engine holding that state.
+func EncodeEngineState(w io.Writer, sweepClock int64, targets map[graph.VertexID][]dynstore.InEdge) (int64, error) {
+	cw := &codecutil.CountingWriter{W: w}
+	if _, err := writeEngineHeader(cw, sweepClock); err != nil {
+		return cw.N, err
+	}
+	_, err := dynstore.EncodeSnapshot(cw, targets)
+	return cw.N, err
+}
+
+// DecodeEngineState parses an engine checkpoint section into its neutral
+// representation (sweep clock + target map) without touching any Engine,
+// so delta segments can be composed on top before installation. When r is
+// an io.ByteReader no read-ahead happens past the section.
+func DecodeEngineState(r io.Reader) (sweepClock int64, targets map[graph.VertexID][]dynstore.InEdge, n int64, err error) {
+	br := &codecutil.CountingReader{R: codecutil.AsByteReader(r)}
+	sweepClock, err = readEngineHeader(br)
+	if err != nil {
+		return 0, nil, br.N, err
+	}
+	targets, _, err = dynstore.DecodeSnapshot(br)
+	return sweepClock, targets, br.N, err
+}
+
+// WriteTo serializes the engine's recoverable state — the sweep clock and
+// the full D store — implementing io.WriterTo. The caller must not run
+// Apply concurrently (the replica checkpoint pipeline serializes them).
+func (e *Engine) WriteTo(w io.Writer) (int64, error) {
+	cw := &codecutil.CountingWriter{W: w}
+	if _, err := writeEngineHeader(cw, e.SweepClock()); err != nil {
 		return cw.N, err
 	}
 	_, err := e.dynamic.WriteTo(cw)
@@ -46,20 +96,9 @@ func (e *Engine) WriteTo(w io.Writer) (int64, error) {
 // input returns an error, never panics.
 func (e *Engine) ReadFrom(r io.Reader) (int64, error) {
 	br := &codecutil.CountingReader{R: codecutil.AsByteReader(r)}
-	dec := &codecutil.Reader{BR: br, Prefix: "core"}
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return br.N, fmt.Errorf("core: reading engine checkpoint magic: %w", err)
-	}
-	if magic != engineMagic {
-		return br.N, fmt.Errorf("core: bad engine checkpoint magic %q", magic[:])
-	}
-	if v := dec.U("engine checkpoint version"); dec.Err == nil && v != engineSnapVersion {
-		return br.N, fmt.Errorf("core: unsupported engine checkpoint version %d", v)
-	}
-	lastSweep := dec.I("sweep clock")
-	if dec.Err != nil {
-		return br.N, dec.Err
+	lastSweep, err := readEngineHeader(br)
+	if err != nil {
+		return br.N, err
 	}
 	// The store reads through br, so its bytes are already counted.
 	if _, err := e.dynamic.ReadFrom(br); err != nil {
@@ -69,6 +108,24 @@ func (e *Engine) ReadFrom(r io.Reader) (int64, error) {
 	e.lastSweep = lastSweep
 	e.mu.Unlock()
 	return br.N, nil
+}
+
+// SweepClock returns the stream time of the last D prune — the engine
+// half of a checkpoint cut.
+func (e *Engine) SweepClock() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastSweep
+}
+
+// LoadState installs a composed checkpoint state: the sweep clock and the
+// D contents are replaced, taking ownership of targets. The recovery path
+// composes base + delta segments into the map first and installs once.
+func (e *Engine) LoadState(sweepClock int64, targets map[graph.VertexID][]dynstore.InEdge) {
+	e.dynamic.LoadSnapshot(targets)
+	e.mu.Lock()
+	e.lastSweep = sweepClock
+	e.mu.Unlock()
 }
 
 // Reset drops the engine's recoverable state — D contents and the sweep

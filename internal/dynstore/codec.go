@@ -18,6 +18,10 @@ import (
 // order so equal stores serialize identically. The layout is independent
 // of the shard count, so a snapshot restores into a store configured with
 // any Shards value.
+//
+// The same frame encoding, under a different magic, carries delta
+// checkpoint segments (see delta.go): a delta frame is a full replacement
+// of one target's list, with an empty list meaning the target was deleted.
 
 // snapMagic identifies the dynstore snapshot format, version 1.
 var snapMagic = [8]byte{'M', 'S', 'D', 'S', 'N', 'P', 0, 1}
@@ -30,43 +34,17 @@ const (
 	maxSnapList    = 1 << 28
 )
 
-// WriteTo serializes the store's full contents in the versioned binary
-// snapshot format, implementing io.WriterTo. Each shard is copied under
-// its read lock; for a point-in-time-consistent snapshot across shards the
-// caller must quiesce writers (the replica checkpoint loop serializes
-// WriteTo with Apply, so this holds there).
-func (s *Store) WriteTo(w io.Writer) (int64, error) {
+// encodeFrames writes the shared container: magic, version, target count,
+// then one frame per id in the given order. get returns the list for an
+// id; it may lock per call, so peak extra memory stays at one list.
+func encodeFrames(w io.Writer, magic [8]byte, ids []graph.VertexID, get func(graph.VertexID) []InEdge) (int64, error) {
 	cw := &codecutil.CountingWriter{W: w}
 	enc := &codecutil.Writer{BW: bufio.NewWriter(cw)}
-	enc.PutBytes(snapMagic[:])
+	enc.PutBytes(magic[:])
 	enc.PutU(snapVersion)
-
-	// Gather and sort only the target IDs for deterministic output, then
-	// copy one list at a time under its shard lock while encoding —
-	// peak extra memory stays at a single list rather than a full
-	// duplicate of D. Lists must be copied because Insert reuses backing
-	// arrays in place.
-	var ids []graph.VertexID
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for c := range sh.targets {
-			ids = append(ids, c)
-		}
-		sh.mu.RUnlock()
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-
 	enc.PutU(uint64(len(ids)))
-	var list []InEdge
 	for _, c := range ids {
-		sh := s.shardFor(c)
-		sh.mu.RLock()
-		list = append(list[:0], sh.targets[c]...)
-		sh.mu.RUnlock()
-		// A target removed since gathering (only possible if the caller
-		// broke the quiescence contract) encodes as an empty list,
-		// keeping the frame count consistent.
+		list := get(c)
 		enc.PutU(uint64(c))
 		enc.PutU(uint64(len(list)))
 		prev := int64(0)
@@ -79,41 +57,25 @@ func (s *Store) WriteTo(w io.Writer) (int64, error) {
 	return cw.N, enc.Flush()
 }
 
-// ReadFrom replaces the store's contents with a snapshot previously
-// produced by WriteTo, implementing io.ReaderFrom. The store's own options
-// (retention, caps, shard count) are kept; only the data is restored.
-// Malformed or truncated input returns an error and leaves the store
-// emptied, never panics. When r is an io.ByteReader (e.g. *bufio.Reader)
-// no read-ahead happens, so framed container formats can embed snapshots.
-func (s *Store) ReadFrom(r io.Reader) (int64, error) {
-	br := &codecutil.CountingReader{R: codecutil.AsByteReader(r)}
-	n, err := s.decodeFrom(br)
-	if err != nil {
-		// Honor the contract: a failed restore leaves the store emptied,
-		// not half-populated.
-		s.Reset()
+// decodeFrames parses the shared container written by encodeFrames into a
+// fresh map. Malformed input returns an error, never panics.
+func decodeFrames(br *codecutil.CountingReader, magic [8]byte, name string) (map[graph.VertexID][]InEdge, error) {
+	r := &codecutil.Reader{BR: br, Prefix: name}
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("%s: reading magic: %w", name, err)
 	}
-	return n, err
-}
-
-// decodeFrom parses the snapshot payload into the store.
-func (s *Store) decodeFrom(br *codecutil.CountingReader) (int64, error) {
-	s.Reset()
-	r := &codecutil.Reader{BR: br, Prefix: "dynstore"}
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return br.N, fmt.Errorf("dynstore: reading magic: %w", err)
-	}
-	if magic != snapMagic {
-		return br.N, fmt.Errorf("dynstore: bad snapshot magic %q", magic[:])
+	if got != magic {
+		return nil, fmt.Errorf("%s: bad magic %q", name, got[:])
 	}
 	if v := r.U("version"); r.Err == nil && v != snapVersion {
-		return br.N, fmt.Errorf("dynstore: unsupported snapshot version %d", v)
+		return nil, fmt.Errorf("%s: unsupported version %d", name, v)
 	}
 	count := r.U("target count")
 	if r.Err == nil && count > maxSnapTargets {
-		return br.N, fmt.Errorf("dynstore: implausible target count %d", count)
+		return nil, fmt.Errorf("%s: implausible target count %d", name, count)
 	}
+	out := make(map[graph.VertexID][]InEdge, codecutil.PreallocHint(count))
 	for i := uint64(0); i < count && r.Err == nil; i++ {
 		c := r.U("target id")
 		n := r.U("target length")
@@ -121,9 +83,12 @@ func (s *Store) decodeFrom(br *codecutil.CountingReader) (int64, error) {
 			break
 		}
 		if n > maxSnapList {
-			return br.N, fmt.Errorf("dynstore: implausible list length %d", n)
+			return nil, fmt.Errorf("%s: implausible list length %d", name, n)
 		}
-		list := make([]InEdge, 0, codecutil.PreallocHint(n))
+		var list []InEdge
+		if n > 0 {
+			list = make([]InEdge, 0, codecutil.PreallocHint(n))
+		}
 		prev := int64(0)
 		for j := uint64(0); j < n && r.Err == nil; j++ {
 			b := r.U("entry source")
@@ -134,17 +99,134 @@ func (s *Store) decodeFrom(br *codecutil.CountingReader) (int64, error) {
 			break
 		}
 		cid := graph.VertexID(c)
-		sh := s.shardFor(cid)
-		sh.mu.Lock()
-		if _, dup := sh.targets[cid]; dup {
-			sh.mu.Unlock()
-			return br.N, fmt.Errorf("dynstore: duplicate target %d in snapshot", cid)
+		if _, dup := out[cid]; dup {
+			return nil, fmt.Errorf("%s: duplicate target %d", name, cid)
 		}
-		sh.targets[cid] = list
+		out[cid] = list
+	}
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	return out, nil
+}
+
+// sortedIDs returns the map's keys in ascending order for deterministic
+// output.
+func sortedIDs(targets map[graph.VertexID][]InEdge) []graph.VertexID {
+	ids := make([]graph.VertexID, 0, len(targets))
+	for c := range targets {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// EncodeSnapshot serializes a captured target map in the snapshot format —
+// the checkpoint compactor's path for writing a composed base without
+// instantiating a Store.
+func EncodeSnapshot(w io.Writer, targets map[graph.VertexID][]InEdge) (int64, error) {
+	return encodeFrames(w, snapMagic, sortedIDs(targets), func(c graph.VertexID) []InEdge {
+		return targets[c]
+	})
+}
+
+// DecodeSnapshot parses a snapshot into a target map without touching any
+// Store — the restore path decodes into a neutral representation first so
+// delta segments can be composed on top before installation. When r is an
+// io.ByteReader no read-ahead happens, so framed container formats can
+// embed snapshots.
+func DecodeSnapshot(r io.Reader) (map[graph.VertexID][]InEdge, int64, error) {
+	br := &codecutil.CountingReader{R: codecutil.AsByteReader(r)}
+	targets, err := decodeFrames(br, snapMagic, "dynstore")
+	return targets, br.N, err
+}
+
+// WriteTo serializes the store's full contents in the versioned binary
+// snapshot format, implementing io.WriterTo. Each target list is copied
+// under its shard's read lock; for a point-in-time-consistent snapshot
+// across shards the caller must quiesce writers (the replica checkpoint
+// pipeline serializes cuts with Apply, so this holds there).
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	// Gather and sort only the target IDs for deterministic output, then
+	// copy one list at a time under its shard lock while encoding — peak
+	// extra memory stays at a single list rather than a full duplicate of
+	// D. Lists must be copied because Insert reuses backing arrays in
+	// place. A target removed since gathering (only possible if the caller
+	// broke the quiescence contract) encodes as an empty list, keeping the
+	// frame count consistent.
+	var ids []graph.VertexID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for c := range sh.targets {
+			ids = append(ids, c)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var list []InEdge
+	return encodeFrames(w, snapMagic, ids, func(c graph.VertexID) []InEdge {
+		sh := s.shardFor(c)
+		sh.mu.RLock()
+		list = append(list[:0], sh.targets[c]...)
+		sh.mu.RUnlock()
+		return list
+	})
+}
+
+// ReadFrom replaces the store's contents with a snapshot previously
+// produced by WriteTo, implementing io.ReaderFrom. The store's own options
+// (retention, caps, shard count) are kept; only the data is restored.
+// Malformed or truncated input returns an error and leaves the store
+// emptied, never panics. When r is an io.ByteReader (e.g. *bufio.Reader)
+// no read-ahead happens, so framed container formats can embed snapshots.
+func (s *Store) ReadFrom(r io.Reader) (int64, error) {
+	targets, n, err := DecodeSnapshot(r)
+	if err != nil {
+		// Honor the contract: a failed restore leaves the store emptied,
+		// not half-populated.
+		s.Reset()
+		return n, err
+	}
+	s.LoadSnapshot(targets)
+	return n, nil
+}
+
+// LoadSnapshot replaces the store's contents with the given target map,
+// taking ownership of it and its lists. The dirty sets are cleared: the
+// loaded state is by definition what the checkpoint chain already
+// contains, so the next delta cut captures only changes applied after it.
+func (s *Store) LoadSnapshot(targets map[graph.VertexID][]InEdge) {
+	s.Reset()
+	for c, list := range targets {
+		if len(list) == 0 {
+			continue
+		}
+		sh := s.shardFor(c)
+		sh.mu.Lock()
+		sh.targets[c] = list
 		sh.edges += int64(len(list))
 		sh.mu.Unlock()
 	}
-	return br.N, r.Err
+}
+
+// CaptureSnapshot copies the store's full contents into a fresh target
+// map — the "full cut" baseline that delta checkpoints replace. Unlike
+// CaptureDelta it does not drain the dirty sets, so it never perturbs an
+// ongoing incremental chain.
+func (s *Store) CaptureSnapshot() map[graph.VertexID][]InEdge {
+	out := make(map[graph.VertexID][]InEdge)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for c, list := range sh.targets {
+			cp := make([]InEdge, len(list))
+			copy(cp, list)
+			out[c] = cp
+		}
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
 // Reset drops every retained edge, modeling the state loss of a crashed
@@ -155,6 +237,7 @@ func (s *Store) Reset() {
 		sh.mu.Lock()
 		sh.targets = make(map[graph.VertexID][]InEdge)
 		sh.edges = 0
+		sh.dirty = make(map[graph.VertexID]struct{})
 		sh.mu.Unlock()
 	}
 }

@@ -1,0 +1,86 @@
+package dynstore
+
+import (
+	"io"
+
+	"motifstream/internal/codecutil"
+	"motifstream/internal/graph"
+)
+
+// deltaMagic identifies the dynstore delta segment format, version 1. A
+// delta reuses the snapshot frame encoding: per dirtied target the full
+// replacement list, with an empty list meaning the target was deleted
+// (swept or fully pruned) since the previous cut.
+var deltaMagic = [8]byte{'M', 'S', 'D', 'S', 'D', 'L', 0, 1}
+
+// Delta is the dirtied-since-last-cut slice of a Store: for every target
+// touched since the previous capture, its complete current list. Full
+// replacement (rather than an operation log) makes deltas idempotent and
+// trivially composable — applying segments in cut order, last write wins
+// per target, reconstructs the store exactly.
+type Delta struct {
+	// Targets maps each dirtied C to a copy of its current list; an empty
+	// or nil list records a deletion.
+	Targets map[graph.VertexID][]InEdge
+}
+
+// Len returns the number of dirtied targets carried by the delta.
+func (d Delta) Len() int { return len(d.Targets) }
+
+// CaptureDelta copies every dirtied target's current list and resets the
+// dirty sets — the synchronous part of an incremental checkpoint cut. Its
+// cost is proportional to the number of targets touched since the last
+// cut, not to the store size, which is what keeps the apply-loop pause
+// bounded. The caller must quiesce writers for a consistent cut (the
+// replica checkpoint pipeline serializes cuts with Apply).
+func (s *Store) CaptureDelta() Delta {
+	out := make(map[graph.VertexID][]InEdge)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for c := range sh.dirty {
+			list := sh.targets[c] // absent => deletion, encoded as empty
+			cp := make([]InEdge, len(list))
+			copy(cp, list)
+			out[c] = cp
+		}
+		if len(sh.dirty) > 0 {
+			sh.dirty = make(map[graph.VertexID]struct{})
+		}
+		sh.mu.Unlock()
+	}
+	return Delta{Targets: out}
+}
+
+// WriteTo serializes the delta segment, implementing io.WriterTo. Targets
+// are written in ascending order so equal deltas serialize identically.
+func (d Delta) WriteTo(w io.Writer) (int64, error) {
+	return encodeFrames(w, deltaMagic, sortedIDs(d.Targets), func(c graph.VertexID) []InEdge {
+		return d.Targets[c]
+	})
+}
+
+// DecodeDelta parses a delta segment written by WriteTo. When r is an
+// io.ByteReader no read-ahead happens, so container formats can embed
+// delta sections.
+func DecodeDelta(r io.Reader) (Delta, int64, error) {
+	br := &codecutil.CountingReader{R: codecutil.AsByteReader(r)}
+	targets, err := decodeFrames(br, deltaMagic, "dynstore delta")
+	if err != nil {
+		return Delta{}, br.N, err
+	}
+	return Delta{Targets: targets}, br.N, nil
+}
+
+// ApplyTo folds the delta into a composed target map (base-plus-chain
+// restore composition): each carried target replaces the map's entry, and
+// an empty list deletes it.
+func (d Delta) ApplyTo(targets map[graph.VertexID][]InEdge) {
+	for c, list := range d.Targets {
+		if len(list) == 0 {
+			delete(targets, c)
+		} else {
+			targets[c] = list
+		}
+	}
+}

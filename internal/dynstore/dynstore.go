@@ -53,6 +53,11 @@ type shard struct {
 	mu      sync.RWMutex
 	targets map[graph.VertexID][]InEdge
 	edges   int64 // retained edge count in this shard
+	// dirty is the set of targets modified since the last CaptureDelta —
+	// inserts, prunes, and sweep deletions all mark it. It is what makes
+	// incremental checkpoints possible: a cut copies only these lists
+	// instead of the whole shard.
+	dirty map[graph.VertexID]struct{}
 }
 
 // New creates a Store with the given options.
@@ -74,6 +79,7 @@ func New(opts Options) *Store {
 	}
 	for i := range s.shards {
 		s.shards[i].targets = make(map[graph.VertexID][]InEdge)
+		s.shards[i].dirty = make(map[graph.VertexID]struct{})
 	}
 	return s
 }
@@ -100,6 +106,7 @@ func (s *Store) Insert(e graph.Edge) int {
 	}
 	sh.targets[e.Dst] = list
 	sh.edges += int64(len(list) - before)
+	sh.dirty[e.Dst] = struct{}{}
 	return len(list)
 }
 
@@ -213,6 +220,9 @@ func (s *Store) Sweep(nowMS int64) int {
 			}
 			removed += len(list) - len(keep)
 			sh.edges -= int64(len(list) - len(keep))
+			if len(keep) < len(list) {
+				sh.dirty[c] = struct{}{}
+			}
 			if len(keep) == 0 {
 				delete(sh.targets, c)
 			} else {

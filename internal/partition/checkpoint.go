@@ -8,16 +8,24 @@ import (
 	"sort"
 
 	"motifstream/internal/codecutil"
+	"motifstream/internal/core"
+	"motifstream/internal/dynstore"
 	"motifstream/internal/graph"
 	"motifstream/internal/motif"
 )
 
-// The partition checkpoint is the durable unit of replica recovery: the
-// engine section (sweep clock + D snapshot) followed by the read-path
-// state the broker serves — the per-user candidate log and the per-item
-// recommendation counters. S is deliberately absent: it is the offline
-// pipeline's product and is rebuilt from the static edge set on restore,
-// exactly as a production replica reloads the latest S snapshot on boot.
+// A partition base checkpoint is the durable unit of replica recovery: the
+// read-path state the broker serves — the per-user candidate log and the
+// per-item recommendation counters — followed by the engine section (sweep
+// clock + D snapshot). S is deliberately absent: it is the offline
+// pipeline's product and is rebuilt from the static edge set (or reloaded
+// from a newer offline build) on restore, exactly as a production replica
+// reloads the latest S snapshot on boot.
+//
+// Checkpoints are decoded into a CheckpointState — a neutral map
+// representation — rather than straight into a live Partition, so the
+// recovery path can compose a base with a chain of delta segments (see
+// delta.go) before installing the result once.
 
 // partMagic identifies the partition checkpoint format, version 1.
 var partMagic = [8]byte{'M', 'S', 'P', 'A', 'R', 'T', 0, 1}
@@ -33,6 +41,31 @@ const (
 	maxSnapItems   = 1 << 30
 )
 
+// CheckpointState is the neutral, fully-decoded form of a partition
+// checkpoint: plain maps, no locks, no live structures. It is what the
+// recovery path composes (base plus delta segments, last write wins per
+// key) and what the background compactor folds chains into.
+type CheckpointState struct {
+	// SweepClock is the engine's last D-prune stream time at the cut.
+	SweepClock int64
+	// Users is the per-user candidate log.
+	Users map[graph.VertexID][]motif.Candidate
+	// Items is the per-item recommendation counter set.
+	Items map[graph.VertexID]uint64
+	// Targets is the D store's contents.
+	Targets map[graph.VertexID][]dynstore.InEdge
+}
+
+// NewCheckpointState returns an empty state — the implicit base a delta
+// chain with no compacted base yet composes on top of.
+func NewCheckpointState() *CheckpointState {
+	return &CheckpointState{
+		Users:   make(map[graph.VertexID][]motif.Candidate),
+		Items:   make(map[graph.VertexID]uint64),
+		Targets: make(map[graph.VertexID][]dynstore.InEdge),
+	}
+}
+
 func putCandidate(w *codecutil.Writer, c motif.Candidate) {
 	w.PutU(uint64(c.User))
 	w.PutU(uint64(c.Item))
@@ -47,59 +80,6 @@ func putCandidate(w *codecutil.Writer, c motif.Candidate) {
 	w.PutI(c.DetectedAtMS)
 	w.PutString(c.Program)
 	w.PutU(math.Float64bits(c.Score))
-}
-
-// WriteTo serializes the partition's recoverable state, implementing
-// io.WriterTo. The caller must not run Apply concurrently; concurrent
-// reads are fine.
-func (p *Partition) WriteTo(w io.Writer) (int64, error) {
-	cw := &codecutil.CountingWriter{W: w}
-	// Header.
-	cp := &codecutil.Writer{BW: bufio.NewWriter(cw)}
-	cp.PutBytes(partMagic[:])
-	cp.PutU(partSnapVersion)
-
-	// Candidate log, users ascending for deterministic output.
-	p.log.mu.RLock()
-	users := make([]graph.VertexID, 0, len(p.log.byA))
-	for a := range p.log.byA {
-		users = append(users, a)
-	}
-	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
-	cp.PutU(uint64(len(users)))
-	for _, a := range users {
-		list := p.log.byA[a]
-		cp.PutU(uint64(a))
-		cp.PutU(uint64(len(list)))
-		for _, c := range list {
-			putCandidate(cp, c)
-		}
-	}
-	p.log.mu.RUnlock()
-
-	// Item counters, items ascending.
-	p.items.mu.RLock()
-	items := make([]graph.VertexID, 0, len(p.items.counts))
-	for it := range p.items.counts {
-		items = append(items, it)
-	}
-	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
-	cp.PutU(uint64(len(items)))
-	for _, it := range items {
-		cp.PutU(uint64(it))
-		cp.PutU(p.items.counts[it])
-	}
-	p.items.mu.RUnlock()
-
-	if err := cp.Flush(); err != nil {
-		return cw.N, err
-	}
-	// Engine section last: its D snapshot dominates the payload and the
-	// embedded codec leaves the stream positioned exactly past itself.
-	if _, err := p.engine.WriteTo(cw); err != nil {
-		return cw.N, err
-	}
-	return cw.N, nil
 }
 
 func getCandidate(r *codecutil.Reader) motif.Candidate {
@@ -130,13 +110,102 @@ func getCandidate(r *codecutil.Reader) motif.Candidate {
 	return c
 }
 
-// ReadFrom restores state written by WriteTo, implementing io.ReaderFrom.
-// Existing recoverable state is dropped first, so a failed restore leaves
-// the partition empty (crash-fresh) rather than half-merged. Malformed
-// input returns an error, never panics.
-func (p *Partition) ReadFrom(rd io.Reader) (int64, error) {
+// sortedVertexKeys returns m's keys ascending for deterministic encoding.
+func sortedVertexKeys[V any](m map[graph.VertexID]V) []graph.VertexID {
+	keys := make([]graph.VertexID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// writeUsersSection and writeItemsSection encode the candidate-log and
+// item-counter halves shared by the base and delta formats. They are
+// separate so Partition.WriteTo can stream each directly from the live
+// map under its own lock.
+func writeUsersSection(cp *codecutil.Writer, users map[graph.VertexID][]motif.Candidate) {
+	cp.PutU(uint64(len(users)))
+	for _, a := range sortedVertexKeys(users) {
+		list := users[a]
+		cp.PutU(uint64(a))
+		cp.PutU(uint64(len(list)))
+		for _, c := range list {
+			putCandidate(cp, c)
+		}
+	}
+}
+
+func writeItemsSection(cp *codecutil.Writer, items map[graph.VertexID]uint64) {
+	cp.PutU(uint64(len(items)))
+	for _, it := range sortedVertexKeys(items) {
+		cp.PutU(uint64(it))
+		cp.PutU(items[it])
+	}
+}
+
+// readUserItemSections decodes the candidate-log and item-counter halves.
+func readUserItemSections(r *codecutil.Reader) (map[graph.VertexID][]motif.Candidate, map[graph.VertexID]uint64, error) {
+	nUsers := r.U("user count")
+	if r.Err == nil && nUsers > maxSnapUsers {
+		return nil, nil, fmt.Errorf("partition: implausible user count %d", nUsers)
+	}
+	byA := make(map[graph.VertexID][]motif.Candidate, codecutil.PreallocHint(nUsers))
+	for i := uint64(0); i < nUsers && r.Err == nil; i++ {
+		a := graph.VertexID(r.U("log user"))
+		n := r.U("log length")
+		if r.Err != nil {
+			break
+		}
+		if n > maxSnapPerUser {
+			return nil, nil, fmt.Errorf("partition: implausible log length %d for user %d", n, a)
+		}
+		list := make([]motif.Candidate, 0, codecutil.PreallocHint(n))
+		for j := uint64(0); j < n && r.Err == nil; j++ {
+			list = append(list, getCandidate(r))
+		}
+		byA[a] = list
+	}
+	nItems := r.U("item count")
+	if r.Err == nil && nItems > maxSnapItems {
+		return nil, nil, fmt.Errorf("partition: implausible item count %d", nItems)
+	}
+	counts := make(map[graph.VertexID]uint64, codecutil.PreallocHint(nItems))
+	for i := uint64(0); i < nItems && r.Err == nil; i++ {
+		it := graph.VertexID(r.U("item id"))
+		counts[it] = r.U("item counter")
+	}
+	if r.Err != nil {
+		return nil, nil, r.Err
+	}
+	return byA, counts, nil
+}
+
+// WriteBaseTo serializes the state as a base checkpoint, implementing the
+// same byte format Partition.WriteTo produces.
+func (st *CheckpointState) WriteBaseTo(w io.Writer) (int64, error) {
+	cw := &codecutil.CountingWriter{W: w}
+	cp := &codecutil.Writer{BW: bufio.NewWriter(cw)}
+	cp.PutBytes(partMagic[:])
+	cp.PutU(partSnapVersion)
+	writeUsersSection(cp, st.Users)
+	writeItemsSection(cp, st.Items)
+	if err := cp.Flush(); err != nil {
+		return cw.N, err
+	}
+	// Engine section last: its D snapshot dominates the payload and the
+	// embedded codec leaves the stream positioned exactly past itself.
+	if _, err := core.EncodeEngineState(cw, st.SweepClock, st.Targets); err != nil {
+		return cw.N, err
+	}
+	return cw.N, nil
+}
+
+// ReadBaseFrom replaces the state with a base checkpoint written by
+// WriteBaseTo (or Partition.WriteTo). Malformed input returns an error,
+// never panics; the state is unspecified after an error.
+func (st *CheckpointState) ReadBaseFrom(rd io.Reader) (int64, error) {
 	br := &codecutil.CountingReader{R: codecutil.AsByteReader(rd)}
-	p.Reset()
 	r := &codecutil.Reader{BR: br, Prefix: "partition"}
 
 	var magic [8]byte
@@ -149,53 +218,102 @@ func (p *Partition) ReadFrom(rd io.Reader) (int64, error) {
 	if v := r.U("checkpoint version"); r.Err == nil && v != partSnapVersion {
 		return br.N, fmt.Errorf("partition: unsupported checkpoint version %d", v)
 	}
-
-	nUsers := r.U("user count")
-	if r.Err == nil && nUsers > maxSnapUsers {
-		return br.N, fmt.Errorf("partition: implausible user count %d", nUsers)
-	}
-	byA := make(map[graph.VertexID][]motif.Candidate, codecutil.PreallocHint(nUsers))
-	for i := uint64(0); i < nUsers && r.Err == nil; i++ {
-		a := graph.VertexID(r.U("log user"))
-		n := r.U("log length")
-		if r.Err != nil {
-			break
-		}
-		if n > maxSnapPerUser {
-			return br.N, fmt.Errorf("partition: implausible log length %d for user %d", n, a)
-		}
-		list := make([]motif.Candidate, 0, codecutil.PreallocHint(n))
-		for j := uint64(0); j < n && r.Err == nil; j++ {
-			list = append(list, getCandidate(r))
-		}
-		byA[a] = list
-	}
-
-	nItems := r.U("item count")
-	if r.Err == nil && nItems > maxSnapItems {
-		return br.N, fmt.Errorf("partition: implausible item count %d", nItems)
-	}
-	counts := make(map[graph.VertexID]uint64, codecutil.PreallocHint(nItems))
-	for i := uint64(0); i < nItems && r.Err == nil; i++ {
-		it := graph.VertexID(r.U("item id"))
-		counts[it] = r.U("item counter")
-	}
-	if r.Err != nil {
-		return br.N, r.Err
-	}
-
-	if _, err := p.engine.ReadFrom(br); err != nil {
-		p.Reset()
+	users, items, err := readUserItemSections(r)
+	if err != nil {
 		return br.N, err
 	}
+	sweep, targets, _, err := core.DecodeEngineState(br)
+	if err != nil {
+		return br.N, err
+	}
+	st.SweepClock, st.Users, st.Items, st.Targets = sweep, users, items, targets
+	return br.N, nil
+}
 
+// CaptureState copies the partition's complete recoverable state — the
+// full-snapshot cut that the delta pipeline replaces, kept as the
+// compaction seed and as the measured baseline for the checkpoint-pause
+// benchmarks. The caller must not run Apply concurrently.
+func (p *Partition) CaptureState() *CheckpointState {
+	st := &CheckpointState{SweepClock: p.engine.SweepClock()}
+
+	p.log.mu.RLock()
+	st.Users = make(map[graph.VertexID][]motif.Candidate, len(p.log.byA))
+	for a, list := range p.log.byA {
+		cp := make([]motif.Candidate, len(list))
+		copy(cp, list)
+		st.Users[a] = cp
+	}
+	p.log.mu.RUnlock()
+
+	p.items.mu.RLock()
+	st.Items = make(map[graph.VertexID]uint64, len(p.items.counts))
+	for it, n := range p.items.counts {
+		st.Items[it] = n
+	}
+	p.items.mu.RUnlock()
+
+	st.Targets = p.engine.Dynamic().CaptureSnapshot()
+	return st
+}
+
+// LoadState installs a composed checkpoint state, replacing all
+// recoverable state and taking ownership of the maps. Dirty sets clear:
+// the installed state is what the durable chain already contains, so the
+// next delta cut captures only changes applied after it.
+func (p *Partition) LoadState(st *CheckpointState) {
+	p.engine.LoadState(st.SweepClock, st.Targets)
 	p.log.mu.Lock()
-	p.log.byA = byA
+	p.log.byA = st.Users
+	p.log.dirty = make(map[graph.VertexID]struct{})
 	p.log.mu.Unlock()
 	p.items.mu.Lock()
-	p.items.counts = counts
+	p.items.counts = st.Items
+	p.items.dirty = make(map[graph.VertexID]struct{})
 	p.items.mu.Unlock()
-	return br.N, nil
+}
+
+// WriteTo serializes the partition's recoverable state, implementing
+// io.WriterTo. Sections stream directly from the live structures — the
+// candidate log and item counters under their read locks, the engine's D
+// store one target list at a time — so peak extra memory stays far below
+// a full copy of the partition (CaptureState is the copying path). The
+// caller must not run Apply concurrently; concurrent reads are fine.
+func (p *Partition) WriteTo(w io.Writer) (int64, error) {
+	cw := &codecutil.CountingWriter{W: w}
+	cp := &codecutil.Writer{BW: bufio.NewWriter(cw)}
+	cp.PutBytes(partMagic[:])
+	cp.PutU(partSnapVersion)
+	p.log.mu.RLock()
+	writeUsersSection(cp, p.log.byA)
+	p.log.mu.RUnlock()
+	p.items.mu.RLock()
+	writeItemsSection(cp, p.items.counts)
+	p.items.mu.RUnlock()
+	if err := cp.Flush(); err != nil {
+		return cw.N, err
+	}
+	// Engine section last: its D snapshot dominates the payload and the
+	// embedded codec leaves the stream positioned exactly past itself.
+	if _, err := p.engine.WriteTo(cw); err != nil {
+		return cw.N, err
+	}
+	return cw.N, nil
+}
+
+// ReadFrom restores state written by WriteTo, implementing io.ReaderFrom.
+// Existing recoverable state is dropped first, so a failed restore leaves
+// the partition empty (crash-fresh) rather than half-merged. Malformed
+// input returns an error, never panics.
+func (p *Partition) ReadFrom(rd io.Reader) (int64, error) {
+	p.Reset()
+	st := NewCheckpointState()
+	n, err := st.ReadBaseFrom(rd)
+	if err != nil {
+		return n, err
+	}
+	p.LoadState(st)
+	return n, nil
 }
 
 // Reset drops all recoverable state — D contents, the sweep clock, the
@@ -206,8 +324,10 @@ func (p *Partition) Reset() {
 	p.engine.Reset()
 	p.log.mu.Lock()
 	p.log.byA = make(map[graph.VertexID][]motif.Candidate)
+	p.log.dirty = make(map[graph.VertexID]struct{})
 	p.log.mu.Unlock()
 	p.items.mu.Lock()
 	p.items.counts = make(map[graph.VertexID]uint64)
+	p.items.dirty = make(map[graph.VertexID]struct{})
 	p.items.mu.Unlock()
 }

@@ -172,15 +172,21 @@ func (p *Partition) Owns(a graph.VertexID) bool {
 }
 
 // candidateLog retains the last depth candidates per user, serving the
-// broker read path.
+// broker read path. dirty tracks users whose lists changed since the last
+// delta checkpoint cut.
 type candidateLog struct {
 	depth int
 	mu    sync.RWMutex
 	byA   map[graph.VertexID][]motif.Candidate
+	dirty map[graph.VertexID]struct{}
 }
 
 func newCandidateLog(depth int) *candidateLog {
-	return &candidateLog{depth: depth, byA: make(map[graph.VertexID][]motif.Candidate)}
+	return &candidateLog{
+		depth: depth,
+		byA:   make(map[graph.VertexID][]motif.Candidate),
+		dirty: make(map[graph.VertexID]struct{}),
+	}
 }
 
 func (l *candidateLog) add(c motif.Candidate) {
@@ -191,6 +197,7 @@ func (l *candidateLog) add(c motif.Candidate) {
 		list = list[len(list)-l.depth:]
 	}
 	l.byA[c.User] = list
+	l.dirty[c.User] = struct{}{}
 }
 
 func (l *candidateLog) get(a graph.VertexID) []motif.Candidate {
@@ -216,6 +223,9 @@ func (p *Partition) SweepBefore(cutoffMS int64) {
 			if c.DetectedAtMS >= cutoffMS {
 				keep = append(keep, c)
 			}
+		}
+		if len(keep) < len(list) {
+			p.log.dirty[a] = struct{}{}
 		}
 		if len(keep) == 0 {
 			delete(p.log.byA, a)

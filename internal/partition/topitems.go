@@ -16,19 +16,25 @@ type ItemCount struct {
 
 // itemCounter tracks per-item recommendation totals for the fan-out read
 // path ("what's trending"). Counts are partition-local; the broker merges
-// them across partitions.
+// them across partitions. dirty tracks items whose counts changed since
+// the last delta checkpoint cut.
 type itemCounter struct {
 	mu     sync.RWMutex
 	counts map[graph.VertexID]uint64
+	dirty  map[graph.VertexID]struct{}
 }
 
 func newItemCounter() *itemCounter {
-	return &itemCounter{counts: make(map[graph.VertexID]uint64)}
+	return &itemCounter{
+		counts: make(map[graph.VertexID]uint64),
+		dirty:  make(map[graph.VertexID]struct{}),
+	}
 }
 
 func (c *itemCounter) add(item graph.VertexID) {
 	c.mu.Lock()
 	c.counts[item]++
+	c.dirty[item] = struct{}{}
 	c.mu.Unlock()
 }
 

@@ -1,10 +1,3 @@
-// Package queue provides the in-process message queues that connect the
-// pipeline stages, with configurable per-hop propagation-delay models.
-// The paper reports that "nearly all the latency comes from event
-// propagation delays in various message queues" (7s median, 15s p99
-// end-to-end) "while the actual graph queries take only a few
-// milliseconds"; modeling queue delay explicitly is what lets experiment
-// E2 reproduce that split deterministically and in virtual time.
 package queue
 
 import (

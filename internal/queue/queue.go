@@ -1,3 +1,24 @@
+// Package queue provides the in-process message fabric the cluster runs
+// on: fan-out pub/sub Topics with simulated propagation-delay models,
+// per-subscriber backpressure, and — for topics built with Retain — an
+// offset-addressable retained log supporting replay.
+//
+// The paper reports that "nearly all the latency comes from event
+// propagation delays in various message queues" (7s median, 15s p99
+// end-to-end) "while the actual graph queries take only a few
+// milliseconds"; modeling queue delay explicitly (see DelayModel) is
+// what lets experiment E2 reproduce that split deterministically and in
+// virtual time.
+//
+// Offsets are the durability currency of the whole system: every
+// published message is stamped with its position in the topic's publish
+// sequence, consumers checkpoint the offsets they have applied, and a
+// recovering consumer resumes with SubscribeFrom(offset), which replays
+// the retained log and hands off to live delivery with no gap and no
+// duplicate. TruncateBelow implements log compaction: once every consumer
+// has a durable checkpoint at or above an offset, the prefix below it can
+// be dropped, bounding the retained log's memory. See docs/DURABILITY.md
+// for the full offset-semantics contract.
 package queue
 
 import (
@@ -25,6 +46,11 @@ var ErrClosed = errors.New("queue: closed")
 // ErrNotRetained is returned by SubscribeFrom on a topic built without
 // Retain: replay needs the log.
 var ErrNotRetained = errors.New("queue: topic does not retain its log")
+
+// ErrTruncated is wrapped by SubscribeFrom errors when the requested
+// offset has been compacted away by TruncateBelow: the caller's
+// checkpoint predates the retained log and cannot be replayed.
+var ErrTruncated = errors.New("queue: offset below truncated log start")
 
 // subscriber is one consumer endpoint. done is closed by Unsubscribe; a
 // publisher blocked sending into a full ch selects on done so tearing down
@@ -74,6 +100,9 @@ type Topic[T any] struct {
 	log    []retained[T]
 	closed bool
 
+	// logStart is the offset of log[0]: TruncateBelow compacts the
+	// retained prefix, so log is indexed by offset - logStart.
+	logStart  uint64
 	published uint64
 }
 
@@ -88,9 +117,9 @@ type Options struct {
 	// Seed seeds the delay sampler for reproducibility.
 	Seed int64
 	// Retain keeps every published message in an in-memory log,
-	// addressable by offset, enabling SubscribeFrom replay. The log is
-	// unbounded; deployments that checkpoint consumers should eventually
-	// truncate it (an open roadmap item). Retain implies Ordered.
+	// addressable by offset, enabling SubscribeFrom replay. Deployments
+	// that checkpoint consumers bound the log with TruncateBelow once a
+	// prefix can no longer be replayed from. Retain implies Ordered.
 	Retain bool
 	// Ordered serializes concurrent publishers so every subscriber
 	// observes envelopes in offset order. Required when consumers
@@ -154,10 +183,15 @@ func (t *Topic[T]) SubscribeFrom(offset uint64) (<-chan Envelope[T], error) {
 		return nil, ErrNotRetained
 	}
 	t.mu.Lock()
-	if offset > uint64(len(t.log)) {
-		head := uint64(len(t.log))
+	if offset > t.published {
+		head := t.published
 		t.mu.Unlock()
 		return nil, fmt.Errorf("queue: replay offset %d beyond head %d", offset, head)
+	}
+	if offset < t.logStart {
+		start := t.logStart
+		t.mu.Unlock()
+		return nil, fmt.Errorf("queue: replay offset %d below log start %d: %w", offset, start, ErrTruncated)
 	}
 	sub := &subscriber[T]{
 		ch:   make(chan Envelope[T], t.buf),
@@ -181,7 +215,19 @@ func (t *Topic[T]) replay(sub *subscriber[T], next uint64) {
 			t.mu.Unlock()
 			return
 		}
-		if next >= uint64(len(t.log)) {
+		if next < t.logStart {
+			// The prefix this replayer still needed was truncated out from
+			// under it. The cluster's compaction floor (minimum durable
+			// checkpoint offset) makes this unreachable there; if a caller
+			// breaks that contract, fail loudly by closing the channel
+			// rather than silently skipping events.
+			delete(t.byCh, sub.ch)
+			t.mu.Unlock()
+			close(sub.ch)
+			return
+		}
+		head := t.logStart + uint64(len(t.log))
+		if next >= head {
 			// Caught up. Anything published from here on fans out to the
 			// registered subscription, so the hand-off loses nothing.
 			if t.closed {
@@ -194,11 +240,11 @@ func (t *Topic[T]) replay(sub *subscriber[T], next uint64) {
 			t.mu.Unlock()
 			return
 		}
-		end := uint64(len(t.log))
+		end := head
 		if end > next+chunk {
 			end = next + chunk
 		}
-		batch = append(batch[:0], t.log[next:end]...)
+		batch = append(batch[:0], t.log[next-t.logStart:end-t.logStart]...)
 		t.mu.Unlock()
 		for i, r := range batch {
 			env := Envelope[T]{
@@ -315,6 +361,42 @@ func (t *Topic[T]) Published() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.published
+}
+
+// TruncateBelow drops every retained log entry with an offset below the
+// given one — log compaction. The caller is responsible for the safety
+// argument: no consumer may ever need to replay from below the new start
+// (the cluster truncates below the minimum durable checkpoint offset
+// across replicas, which every possible restore point is at or above).
+// Offsets beyond the head are clamped; calls at or below the current
+// start are no-ops. Returns the number of entries dropped.
+func (t *Topic[T]) TruncateBelow(offset uint64) int {
+	if !t.retain {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if offset > t.published {
+		offset = t.published
+	}
+	if offset <= t.logStart {
+		return 0
+	}
+	dropped := int(offset - t.logStart)
+	kept := t.log[dropped:]
+	// Reallocate rather than reslice so the dropped prefix's memory is
+	// actually reclaimable.
+	t.log = append(make([]retained[T], 0, len(kept)), kept...)
+	t.logStart = offset
+	return dropped
+}
+
+// LogStart returns the offset of the oldest retained log entry — the
+// replay horizon after compaction. Zero until the first TruncateBelow.
+func (t *Topic[T]) LogStart() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.logStart
 }
 
 // Name returns the topic label.
