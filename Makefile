@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test test-race bench bench-smoke fuzz
+.PHONY: check build vet test test-race test-crashmatrix bench bench-smoke fuzz fuzz-smoke
 
-# check is the CI gate: formatting, static analysis, and the full test
-# suite under the race detector.
-check: fmt-check vet test-race
+# check is the CI gate: formatting, static analysis, the full test suite
+# under the race detector, and short fuzz smoke runs of the durability
+# codecs.
+check: fmt-check vet test-race fuzz-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
@@ -22,6 +23,13 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# test-crashmatrix runs just the fault-injection matrix (kill / restore /
+# whole-cluster restart at every pipeline stage, oracle-asserted) under
+# the race detector — the quick loop while working on the durability
+# subsystem.
+test-crashmatrix:
+	$(GO) test -race -run 'TestCrashMatrix|TestReopen' ./internal/cluster
+
 # bench runs the experiment-index benchmarks briefly (regression smoke,
 # not a measurement run).
 bench:
@@ -33,6 +41,13 @@ bench:
 bench-smoke:
 	$(GO) test -run=NONE -bench 'Checkpoint|Recovery|Snapshot' -benchtime=1x ./...
 
-# fuzz gives each fuzz target a short budget.
+# fuzz gives each fuzz target a longer budget (manual runs).
 fuzz:
 	$(GO) test -run=NONE -fuzz FuzzSnapshotDecode -fuzztime 30s ./internal/dynstore
+	$(GO) test -run=NONE -fuzz FuzzWALReadRecord -fuzztime 30s ./internal/queue
+
+# fuzz-smoke is the CI-budget version: 10s per target keeps the decoders
+# and the WAL record framing continuously fuzzed without stalling checks.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/dynstore
+	$(GO) test -run=NONE -fuzz FuzzWALReadRecord -fuzztime 10s ./internal/queue

@@ -1,6 +1,7 @@
 package motifstream
 
 import (
+	"fmt"
 	"time"
 
 	"motifstream/internal/cluster"
@@ -67,6 +68,17 @@ type ClusterOptions struct {
 	// its partition's file if present, serving the newest offline build
 	// instead of the S it was constructed with.
 	StaticSnapshotDir string
+	// LogDir, when non-empty, stores the firehose log as a durable
+	// segmented WAL on disk, making whole-cluster restarts recoverable:
+	// NewCluster (or ReopenCluster) over an existing LogDir plus
+	// CheckpointDir restores every replica from its checkpoint chain and
+	// replays the durable log from its floor offset. Requires
+	// CheckpointDir. See docs/DURABILITY.md for the durable-log contract.
+	LogDir string
+	// LogSyncEvery is the durable log's fsync batch in records — the
+	// bound on the torn tail an OS crash can lose; zero selects 256.
+	// Ignored without LogDir.
+	LogSyncEvery int
 }
 
 // Cluster is the running multi-partition deployment.
@@ -157,6 +169,8 @@ func NewCluster(staticEdges []Edge, opts ClusterOptions) (*Cluster, error) {
 		CheckpointInterval: opts.CheckpointInterval,
 		CompactEvery:       opts.CheckpointCompactEvery,
 		StaticSnapshotDir:  opts.StaticSnapshotDir,
+		LogDir:             opts.LogDir,
+		LogSyncEvery:       opts.LogSyncEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -165,11 +179,31 @@ func NewCluster(staticEdges []Edge, opts ClusterOptions) (*Cluster, error) {
 	return &Cluster{inner: inner}, nil
 }
 
+// ReopenCluster restarts a previously shut-down durable deployment: a
+// brand-new cluster over the same LogDir and CheckpointDir restores every
+// replica from its durable checkpoint chain and replays the on-disk
+// firehose log until caught up. After a clean Shutdown the reopened
+// cluster delivers exactly the notification set an uninterrupted run
+// would have. staticEdges and opts must describe the same deployment the
+// directories were written by.
+func ReopenCluster(staticEdges []Edge, opts ClusterOptions) (*Cluster, error) {
+	if opts.LogDir == "" {
+		return nil, fmt.Errorf("motifstream: ReopenCluster requires ClusterOptions.LogDir")
+	}
+	return NewCluster(staticEdges, opts)
+}
+
 // Publish feeds one edge into the cluster firehose. Blocks on backpressure.
 func (c *Cluster) Publish(e Edge) error { return c.inner.Publish(e) }
 
 // Stop drains and shuts down the cluster. Safe to call multiple times.
 func (c *Cluster) Stop() { c.inner.Stop() }
+
+// Shutdown gracefully stops a durable-log cluster: everything drained, a
+// final checkpoint cut per replica, and the on-disk log fsynced — the
+// state a later ReopenCluster resumes from losslessly. Equivalent to Stop
+// on clusters without LogDir.
+func (c *Cluster) Shutdown() { c.inner.Shutdown() }
 
 // RecommendationsFor reads the most recent recommendations for a user
 // through the broker tier.

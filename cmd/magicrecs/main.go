@@ -46,8 +46,14 @@ func main() {
 		ckptEvery  = flag.Duration("checkpointinterval", time.Minute, "stream-time interval between replica checkpoints")
 		compactN   = flag.Int("compactevery", 8, "delta checkpoint segments per chain before the background compactor folds a new base")
 		staticSnap = flag.String("staticsnapdir", "", "directory of offline-built S snapshots (s-p%03d.snap) reloaded on replica restore")
+		logDir     = flag.String("logdir", "", "directory for the durable firehose log (WAL); with -checkpointdir, whole-cluster restarts recover from disk")
+		restarts   = flag.Int("restarts", 0, "restart the whole cluster N times mid-stream (Shutdown + Reopen over the same dirs; requires -logdir)")
 	)
 	flag.Parse()
+
+	if *restarts > 0 && (*logDir == "" || *ckptDir == "") {
+		log.Fatal("-restarts requires -logdir and -checkpointdir")
+	}
 
 	static, events, err := loadWorkload(*scenario, *staticPath, *streamPath)
 	if err != nil {
@@ -55,7 +61,7 @@ func main() {
 	}
 	fmt.Printf("workload: %d static follow edges, %d stream events\n", len(static), len(events))
 
-	clu, err := motifstream.NewCluster(static, motifstream.ClusterOptions{
+	opts := motifstream.ClusterOptions{
 		Partitions:             *partitions,
 		Replicas:               *replicas,
 		K:                      *k,
@@ -69,26 +75,57 @@ func main() {
 		CheckpointInterval:     *ckptEvery,
 		CheckpointCompactEvery: *compactN,
 		StaticSnapshotDir:      *staticSnap,
-	})
+		LogDir:                 *logDir,
+	}
+	clu, err := motifstream.NewCluster(static, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// With -restarts N the stream is split into N+1 runs; between runs the
+	// whole cluster shuts down and a brand-new one reopens over the same
+	// durable log and checkpoint directories — the cross-process restart
+	// path, driven end to end.
+	boundaries := map[int]bool{}
+	for r := 1; r <= *restarts; r++ {
+		boundaries[r*len(events)/(*restarts+1)] = true
+	}
+
 	start := time.Now()
+	var delivered, ingested uint64
 	for i, e := range events {
+		if boundaries[i] {
+			// Shut down before reading stats: the drain delivers whatever
+			// is still in flight in the firehose and delivery queues, and
+			// those pushes belong in this run's totals.
+			clu.Shutdown()
+			s := clu.Stats()
+			delivered += s.Delivered
+			ingested += s.Events
+			fmt.Printf("  --- restart at event %d: shut down (%d pushed this run), reopening from %s + %s ---\n",
+				i, s.Delivered, *logDir, *ckptDir)
+			clu, err = motifstream.ReopenCluster(static, opts)
+			if err != nil {
+				log.Fatalf("reopen: %v", err)
+			}
+		}
 		if err := clu.Publish(e); err != nil {
 			log.Fatal(err)
 		}
 		if *progress > 0 && (i+1)%*progress == 0 {
 			s := clu.Stats()
 			fmt.Printf("  %8d events published | %8d pushed | wall %v\n",
-				i+1, s.Delivered, time.Since(start).Round(time.Millisecond))
+				i+1, delivered+s.Delivered, time.Since(start).Round(time.Millisecond))
 		}
 	}
-	clu.Stop()
+	clu.Shutdown()
 	wall := time.Since(start)
 
+	// Counters reset at each restart boundary; fold the earlier runs back
+	// in (latency quantiles and the funnel describe the final run).
 	s := clu.Stats()
+	s.Delivered += delivered
+	s.Events += ingested
 	fmt.Printf("\n=== run complete ===\n")
 	fmt.Printf("events:      %d in %v (%.0f events/s; paper design target 10^4/s)\n",
 		s.Events, wall.Round(time.Millisecond), float64(s.Events)/wall.Seconds())

@@ -24,6 +24,15 @@
 // recovery began. Until then the broker keeps the replica marked down, so
 // a stale replica never serves reads.
 //
+// With Config.LogDir the firehose log itself is durable (a segmented
+// on-disk WAL), and the failure model extends from replicas to the whole
+// process: Shutdown drains, cuts a final checkpoint per replica, and
+// fsyncs the log; Reopen constructs a brand-new Cluster over the same
+// directories, restoring every replica from its chain — gated by the
+// log's persistent identity and the segments' checksums rather than a
+// per-process run id — and replaying the durable log from each floor
+// offset.
+//
 // # Incremental checkpoint pipeline
 //
 // Checkpointing is split into a cheap synchronous cut and asynchronous
@@ -115,6 +124,25 @@ type Config struct {
 	// periodic durable checkpoints here, and KillReplica/RestoreReplica
 	// become available. The directory is created if missing.
 	CheckpointDir string
+	// LogDir, when non-empty, stores the retained firehose log as a
+	// durable segmented WAL on disk instead of in memory. The log — and
+	// therefore every checkpoint offset — then outlives the process:
+	// checkpoints are gated by the log's persistent identity (plus their
+	// own checksums) rather than a per-process run id, and constructing a
+	// cluster over an existing LogDir+CheckpointDir restores every
+	// replica from its chain and replays the log from its floor (see
+	// Reopen). Requires CheckpointDir: the restart path needs the
+	// delivery high-water offsets persisted there to keep replayed
+	// candidate batches exactly-once.
+	LogDir string
+	// LogSyncEvery is the WAL's fsync batch in records (the bound on the
+	// torn tail an OS crash can lose); zero selects 256. Ignored without
+	// LogDir.
+	LogSyncEvery int
+	// LogSegmentBytes is the WAL's segment rotation threshold — also the
+	// granularity of firehose log compaction, which deletes whole
+	// segments. Zero selects 4 MiB. Ignored without LogDir.
+	LogSegmentBytes int64
 	// CheckpointInterval is the stream-time interval between per-replica
 	// checkpoints; zero selects one minute. Ignored without CheckpointDir.
 	CheckpointInterval time.Duration
@@ -166,6 +194,12 @@ type replicaSlot struct {
 	// the consume goroutine reads it, and it is only rewritten while no
 	// consumer is running.
 	writer *ckptWriter
+	// restoreMan and restoreOffset are the startup-restore plan of a
+	// durable-log cluster, computed by New (chain composed and installed)
+	// and consumed by Start (subscribe at the offset, continue the
+	// manifest). Unused without Config.LogDir.
+	restoreMan    manifest
+	restoreOffset uint64
 	// floor is the offset of the replica's oldest durable restore point
 	// (its base segment's cut offset; zero until the first compaction).
 	// The firehose log is only ever truncated below the minimum floor
@@ -184,13 +218,26 @@ type Cluster struct {
 	candidates *queue.Topic[candidateMsg]
 	pipeline   *delivery.Pipeline
 
+	// wal is the durable firehose log backend when Config.LogDir is set;
+	// the cluster owns it and closes it after the last drain in stop.
+	wal     *queue.WAL[graph.Edge]
+	durable bool
+
 	ckptEveryMS  int64
 	compactEvery int
-	// runID stamps this cluster instance's checkpoint files. The retained
-	// firehose log dies with the process, so a checkpoint from a previous
-	// run names offsets in a log that no longer exists; construction
-	// wipes foreign-run files rather than resurrecting them.
+	// runID stamps this cluster instance's checkpoint files. With an
+	// in-memory firehose log the log dies with the process, so the id is
+	// random per construction and foreign-run files are wiped rather than
+	// resurrected. With a durable log (Config.LogDir) the id is the WAL's
+	// persistent identity: checkpoints stay valid across restarts exactly
+	// as long as they index the same on-disk log, and are validated by
+	// their checksums instead of the run gate.
 	runID uint64
+
+	// initialDelivery seeds runDelivery's per-group high-water offsets on
+	// a durable-log restart, so replicas replaying their tail spans do
+	// not re-deliver batches the previous run already pushed.
+	initialDelivery []uint64
 
 	reg           *metrics.Registry
 	e2eLatency    *metrics.Histogram
@@ -234,8 +281,13 @@ type candidateMsg struct {
 }
 
 // New validates cfg and builds all partitions and replicas. The cluster is
-// idle until Start.
-func New(cfg Config) (*Cluster, error) {
+// idle until Start. With Config.LogDir the construction is also the
+// recovery path: an existing durable log is reopened (its identity gates
+// the checkpoints), every replica's chain is composed — checksums
+// verified, corrupt tails trimmed — and installed, and Start replays the
+// log from each replica's restore point. A fresh LogDir degenerates to a
+// normal cold start.
+func New(cfg Config) (c *Cluster, err error) {
 	if cfg.Partitions < 1 {
 		return nil, fmt.Errorf("cluster: need at least one partition")
 	}
@@ -249,6 +301,13 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.Buffer = 4096
 	}
 	recovery := cfg.CheckpointDir != ""
+	durable := cfg.LogDir != ""
+	if durable && !recovery {
+		// The restart path leans on the delivery high-water offsets and
+		// replica chains stored under CheckpointDir; a durable log alone
+		// would replay the world and re-push the previous run's tail.
+		return nil, fmt.Errorf("cluster: LogDir requires CheckpointDir")
+	}
 	if recovery {
 		if cfg.CheckpointInterval <= 0 {
 			cfg.CheckpointInterval = time.Minute
@@ -257,26 +316,53 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: checkpoint dir: %w", err)
 		}
 	}
+	var wal *queue.WAL[graph.Edge]
+	if durable {
+		wal, err = queue.OpenWAL(queue.WALOptions[graph.Edge]{
+			Dir:          cfg.LogDir,
+			Marshal:      marshalEdge,
+			Unmarshal:    unmarshalEdge,
+			SyncEvery:    cfg.LogSyncEvery,
+			SegmentBytes: cfg.LogSegmentBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: durable log: %w", err)
+		}
+		defer func() {
+			if err != nil {
+				wal.Close()
+			}
+		}()
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
 	part := partition.NewHashPartitioner(cfg.Partitions)
-	c := &Cluster{
-		cfg:  cfg,
-		part: part,
-		reg:  reg,
-		firehose: queue.NewTopic[graph.Edge](queue.Options{
-			Name:   "firehose",
-			Delay:  cfg.IngestDelay,
-			Buffer: cfg.Buffer,
-			Seed:   cfg.Seed,
-			Retain: recovery,
-			// The delivery tier sequences on firehose offsets, so offset
-			// order must equal every replica's delivery order even when
-			// Publish is called from multiple goroutines.
-			Ordered: true,
-		}),
+	firehoseOpts := queue.Options{
+		Name:   "firehose",
+		Delay:  cfg.IngestDelay,
+		Buffer: cfg.Buffer,
+		Seed:   cfg.Seed,
+		Retain: recovery,
+		// The delivery tier sequences on firehose offsets, so offset
+		// order must equal every replica's delivery order even when
+		// Publish is called from multiple goroutines.
+		Ordered: true,
+	}
+	var firehose *queue.Topic[graph.Edge]
+	if durable {
+		firehose = queue.NewTopicWithLog[graph.Edge](firehoseOpts, wal)
+	} else {
+		firehose = queue.NewTopic[graph.Edge](firehoseOpts)
+	}
+	c = &Cluster{
+		cfg:      cfg,
+		part:     part,
+		reg:      reg,
+		wal:      wal,
+		durable:  durable,
+		firehose: firehose,
 		candidates: queue.NewTopic[candidateMsg](queue.Options{
 			Name:   "candidates",
 			Delay:  cfg.DeliveryDelay,
@@ -301,11 +387,18 @@ func New(cfg Config) (*Cluster, error) {
 		if c.compactEvery <= 0 {
 			c.compactEvery = 8
 		}
-		var id [8]byte
-		if _, err := rand.Read(id[:]); err != nil {
-			return nil, fmt.Errorf("cluster: run id: %w", err)
+		if durable {
+			// Checkpoint offsets index the durable log, so its persistent
+			// identity is the gate: a chain survives exactly as long as
+			// the log that assigned its offsets.
+			c.runID = wal.ID()
+		} else {
+			var id [8]byte
+			if _, err := rand.Read(id[:]); err != nil {
+				return nil, fmt.Errorf("cluster: run id: %w", err)
+			}
+			c.runID = binary.LittleEndian.Uint64(id[:])
 		}
-		c.runID = binary.LittleEndian.Uint64(id[:])
 	}
 
 	slots := make([][]*replicaSlot, cfg.Partitions)
@@ -319,12 +412,17 @@ func New(cfg Config) (*Cluster, error) {
 			slot := &replicaSlot{pid: pid, idx: r, p: p, live: make(chan struct{})}
 			close(slot.live) // replicas are born live
 			if recovery {
-				// Fresh per-replica checkpoint directory: any leftover
-				// chain belongs to a previous run whose firehose log is
-				// gone, so it is wiped rather than resurrected.
 				dir := replicaCkptDir(cfg.CheckpointDir, pid, r)
-				if err := os.RemoveAll(dir); err != nil {
-					return nil, fmt.Errorf("cluster: checkpoint dir: %w", err)
+				if !durable {
+					// In-memory log: any leftover chain belongs to a
+					// previous run whose firehose log is gone, so it is
+					// wiped rather than resurrected. A durable-log cluster
+					// keeps the directory — restoring it is the point —
+					// and relies on the log-identity gate plus segment
+					// checksums instead.
+					if err := os.RemoveAll(dir); err != nil {
+						return nil, fmt.Errorf("cluster: checkpoint dir: %w", err)
+					}
 				}
 				if err := os.MkdirAll(dir, 0o755); err != nil {
 					return nil, fmt.Errorf("cluster: checkpoint dir: %w", err)
@@ -335,12 +433,82 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	c.slots = slots
+	if durable {
+		// Compose and install every replica's durable chain now, so Start
+		// only has to subscribe at the planned offsets. Also seed the
+		// delivery tier's exactly-once filter from the persisted
+		// high-water offsets: the replicas are about to replay their tail
+		// spans, and those batches were already pushed by a previous run.
+		for _, group := range c.slots {
+			for _, slot := range group {
+				if err := c.planStartupRestore(slot); err != nil {
+					return nil, err
+				}
+			}
+		}
+		c.initialDelivery = c.loadDeliveryOffsets()
+		// Clamp the seeds to the recovered log head: after a torn-tail
+		// crash the log may have lost a suffix whose offsets the delivery
+		// filter already covered — those offsets are about to be REUSED by
+		// brand-new events, and a seed beyond the head would drop their
+		// notifications forever. Clamping down only risks re-delivering
+		// the lost span's pushes, the documented duplicate tolerance;
+		// never loss.
+		head := c.firehose.Published()
+		for i, off := range c.initialDelivery {
+			if off > head {
+				c.initialDelivery[i] = head
+			}
+		}
+	}
 	b, err := broker.New(part, replicaGroups)
 	if err != nil {
 		return nil, err
 	}
 	c.broker = b
 	return c, nil
+}
+
+// marshalEdge and unmarshalEdge are the WAL's record codec for firehose
+// events: varint fields, no framing (the WAL frames and checksums).
+func marshalEdge(e graph.Edge) ([]byte, error) {
+	b := make([]byte, 0, 2*binary.MaxVarintLen64+binary.MaxVarintLen64+1)
+	b = binary.AppendUvarint(b, uint64(e.Src))
+	b = binary.AppendUvarint(b, uint64(e.Dst))
+	b = append(b, byte(e.Type))
+	b = binary.AppendVarint(b, e.TS)
+	return b, nil
+}
+
+func unmarshalEdge(b []byte) (graph.Edge, error) {
+	var e graph.Edge
+	src, n := binary.Uvarint(b)
+	if n <= 0 {
+		return e, fmt.Errorf("cluster: edge src: short payload")
+	}
+	b = b[n:]
+	dst, n := binary.Uvarint(b)
+	if n <= 0 {
+		return e, fmt.Errorf("cluster: edge dst: short payload")
+	}
+	b = b[n:]
+	if len(b) < 1 {
+		return e, fmt.Errorf("cluster: edge type: short payload")
+	}
+	typ := b[0]
+	b = b[1:]
+	ts, n := binary.Varint(b)
+	if n <= 0 {
+		return e, fmt.Errorf("cluster: edge ts: short payload")
+	}
+	if len(b) != n {
+		return e, fmt.Errorf("cluster: edge payload has %d trailing bytes", len(b)-n)
+	}
+	e.Src = graph.VertexID(src)
+	e.Dst = graph.VertexID(dst)
+	e.Type = graph.EdgeType(typ)
+	e.TS = ts
+	return e, nil
 }
 
 // buildPartition constructs one replica's partition from configuration.
@@ -357,16 +525,47 @@ func (c *Cluster) buildPartition(pid int) (*partition.Partition, error) {
 }
 
 // Start launches one consumer goroutine per replica plus the delivery
-// consumer. It may be called once; later calls are no-ops.
+// consumer. It may be called once; later calls are no-ops. On a
+// durable-log cluster each replica subscribes at its startup-restore
+// offset (computed by New) and runs the replaying→live catch-up state
+// machine exactly as a RestoreReplica rejoin would: broker-down until it
+// has applied every offset that was durable when the cluster opened.
 func (c *Cluster) Start() {
 	c.startOnce.Do(func() {
+		head := c.firehose.Published()
 		for _, group := range c.slots {
 			for _, slot := range group {
 				slot.quit = make(chan struct{})
 				slot.stopped = make(chan struct{})
-				slot.sub = c.firehose.Subscribe()
+				if c.durable {
+					sub, err := c.firehose.SubscribeFrom(slot.restoreOffset)
+					if err != nil {
+						// Unreachable: New validated the restore point
+						// against the log's bounds and nothing can publish
+						// or truncate before Start. Leave the replica dead
+						// rather than crash.
+						c.ckptErrors.Inc()
+						slot.state.Store(replicaDead)
+						slot.live = make(chan struct{})
+						c.broker.MarkDown(slot.pid, slot.idx)
+						close(slot.stopped)
+						continue
+					}
+					slot.sub = sub
+					if slot.restoreOffset < head {
+						slot.target = head
+						slot.state.Store(replicaReplaying)
+						slot.live = make(chan struct{})
+						c.broker.MarkDown(slot.pid, slot.idx)
+					}
+					if slot.restoreOffset > 0 || head > 0 {
+						c.restores.Inc()
+					}
+				} else {
+					slot.sub = c.firehose.Subscribe()
+				}
 				if c.ckptEveryMS > 0 {
-					slot.writer = c.startWriter(slot, manifest{})
+					slot.writer = c.startWriter(slot, slot.restoreMan)
 				}
 				c.wg.Add(1)
 				go c.runReplica(slot)
@@ -478,6 +677,10 @@ func (c *Cluster) cutCheckpoint(slot *replicaSlot, nextOffset uint64) {
 func (c *Cluster) runDelivery(sub <-chan queue.Envelope[candidateMsg]) {
 	defer c.deliverWG.Done()
 	nextOffset := make([]uint64, c.cfg.Partitions)
+	// A durable-log restart seeds the filter from the persisted offsets:
+	// every replica is about to replay its tail span, and the previous
+	// run already delivered those batches.
+	copy(nextOffset, c.initialDelivery)
 	persist := c.cfg.CheckpointDir != ""
 	batches := 0
 	for env := range sub {
@@ -501,12 +704,12 @@ func (c *Cluster) runDelivery(sub <-chan queue.Envelope[candidateMsg]) {
 			// to the checkpoints: RestoreReplica reads them to clamp a
 			// sole-coverage rejoin back to the delivered point.
 			if batches++; batches%deliveryPersistEvery == 0 {
-				c.persistDeliveryOffsets(nextOffset)
+				c.persistDeliveryOffsets(nextOffset, false)
 			}
 		}
 	}
 	if persist && batches > 0 {
-		c.persistDeliveryOffsets(nextOffset)
+		c.persistDeliveryOffsets(nextOffset, true)
 	}
 }
 
@@ -525,19 +728,49 @@ func (c *Cluster) Publish(e graph.Edge) error {
 // writers (pending cuts land on disk), closes the candidate queue, and
 // waits for delivery. Safe to call multiple times; must not be called
 // concurrently with RestoreReplica.
-func (c *Cluster) Stop() {
+func (c *Cluster) Stop() { c.stop(false) }
+
+// Shutdown is the graceful durable stop: Stop plus one final checkpoint
+// cut per alive replica at the drained head — so a subsequent Reopen
+// composes straight to the end of the log instead of replaying the whole
+// last checkpoint interval — and a hard fsync barrier on the durable log
+// before it closes. On a cluster without Config.LogDir it behaves exactly
+// like Stop (the final cuts would be wiped at the next construction
+// anyway).
+func (c *Cluster) Shutdown() { c.stop(c.durable) }
+
+func (c *Cluster) stop(finalCut bool) {
 	c.stopOnce.Do(func() {
 		c.firehose.Close()
 		c.wg.Wait()
 		c.ctl.Lock()
 		for _, group := range c.slots {
 			for _, slot := range group {
+				if finalCut && slot.writer != nil && slot.state.Load() != replicaDead {
+					// The consumers have drained: every retained envelope
+					// is applied and its candidates are in the delivery
+					// queue, so a cut claiming the full head is sound. An
+					// empty delta means the chain head already covers the
+					// log (nothing applied since the last cut) — skip the
+					// no-op segment.
+					if delta := slot.p.CaptureDelta(); delta.Len() > 0 {
+						slot.writer.jobs <- ckptJob{delta: delta, offset: c.firehose.Published()}
+					}
+				}
 				stopWriterLocked(slot)
 			}
 		}
 		c.ctl.Unlock()
 		c.candidates.Close()
 		c.deliverWG.Wait()
+		if c.wal != nil {
+			// Consumers and replayers have drained; everything appended is
+			// fsynced by the close, so the checkpoints written above never
+			// claim offsets the log could lose.
+			if err := c.wal.Close(); err != nil {
+				c.ckptErrors.Inc()
+			}
+		}
 	})
 }
 

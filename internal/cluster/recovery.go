@@ -11,6 +11,7 @@ import (
 
 	"motifstream/internal/codecutil"
 	"motifstream/internal/partition"
+	"motifstream/internal/queue"
 	"motifstream/internal/statstore"
 )
 
@@ -32,13 +33,42 @@ import (
 // manifest never names a missing or partial segment; conversely a crash
 // between the two leaves an orphan segment that the next cluster
 // construction removes with the rest of the foreign-run files.
-// The run id gates everything: checkpoints index the in-memory firehose
-// log, which dies with the process, so foreign-run files are wiped at
-// construction rather than resurrected.
+// The gating id protects offset integrity: with the in-memory firehose
+// log it is a random per-process run id — the log dies with the process,
+// so foreign-run files are wiped at construction rather than resurrected.
+// With a durable log (Config.LogDir) it is the log's persistent identity,
+// and chains survive process restarts exactly as long as the log that
+// assigned their offsets; integrity within a segment is the CRC32C
+// trailer's job (verified at every compose).
 
 // ErrRecoveryDisabled is returned by KillReplica/RestoreReplica when the
 // cluster was built without Config.CheckpointDir.
 var ErrRecoveryDisabled = errors.New("cluster: recovery requires Config.CheckpointDir")
+
+// Reopen constructs and starts a brand-new Cluster over an existing
+// durable deployment — the whole-cluster restart path. cfg must name the
+// same LogDir and CheckpointDir a previous cluster ran with (and a
+// workload-compatible configuration); every replica is restored from its
+// durable checkpoint chain and replays the durable log from its floor
+// offset, with the delivery tier's exactly-once filter seeded from the
+// persisted high-water offsets so nothing already pushed repeats. After a
+// clean Shutdown the reopened cluster delivers exactly the notification
+// set an uninterrupted run would have; after a hard crash, at most the
+// un-fsynced log tail (bounded by Config.LogSyncEvery) and the last
+// delivery-offset persistence interval are re-exposed, the paper's
+// product-level dedup tolerance. Reopen over a fresh pair of directories
+// is simply a cold start.
+func Reopen(cfg Config) (*Cluster, error) {
+	if cfg.LogDir == "" {
+		return nil, fmt.Errorf("cluster: Reopen requires Config.LogDir")
+	}
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.Start()
+	return c, nil
+}
 
 // manifestMagic identifies the checkpoint manifest format, version 1.
 var manifestMagic = [8]byte{'M', 'S', 'M', 'A', 'N', 'F', 0, 1}
@@ -457,14 +487,14 @@ func clampChainPrefix(segs []segmentRef, limit uint64) int {
 }
 
 // truncateManifest drops segments beyond keep, rewrites the manifest, and
-// removes the dropped files. Used by restore for corruption fallback and
-// the delivered-offset clamp. A failed rewrite is counted and the trim
-// abandoned — in-memory chain and files stay exactly as the on-disk
-// manifest describes them, so nothing leaks unreferenced and a later
-// restore retries the same fallback.
-func (c *Cluster) truncateManifest(dir string, man *manifest, keep int) {
+// removes the dropped files, reporting whether the trim stuck. Used by
+// restore for corruption fallback and the delivered-offset clamp. A
+// failed rewrite is counted and the trim abandoned — in-memory chain and
+// files stay exactly as the on-disk manifest describes them, so nothing
+// leaks unreferenced and a later restore retries the same fallback.
+func (c *Cluster) truncateManifest(dir string, man *manifest, keep int) bool {
 	if keep >= len(man.segs) {
-		return
+		return true
 	}
 	dropped := man.segs[keep:]
 	trimmed := man.segs[:keep:keep]
@@ -473,22 +503,30 @@ func (c *Cluster) truncateManifest(dir string, man *manifest, keep int) {
 	if err := man.write(manifestPath(dir), c.runID); err != nil {
 		man.segs = old
 		c.ckptErrors.Inc()
-		return
+		return false
 	}
 	for _, s := range dropped {
 		os.Remove(segmentPath(dir, s))
 	}
+	return true
 }
 
 // persistDeliveryOffsets snapshots the delivery consumer's per-group
-// high-water offsets. Called only from the delivery goroutine — and the
-// offsets are advisory (the restore clamp tolerates staleness by
-// design), so the write is atomic-by-rename but deliberately unsynced:
-// fsyncing inline every persistence interval would stall the entire
-// delivery tier on disk I/O, the exact hot-path blocking this PR moves
-// checkpoint encoding off of.
-func (c *Cluster) persistDeliveryOffsets(next []uint64) {
-	err := atomicReplaceFile(deliveryOffsetsPath(c.cfg.CheckpointDir), func(w io.Writer) error {
+// high-water offsets. Called only from the delivery goroutine. The
+// periodic hot-path persists are atomic-by-rename but deliberately
+// unsynced (durable=false): mid-run the offsets are advisory — the
+// restore clamp tolerates staleness by design — and fsyncing inline
+// every interval would stall the entire delivery tier on disk I/O. The
+// final persist at drain passes durable=true: on a durable-log cluster
+// that file is load-bearing for the restart contract (the reopened
+// filter seeds from it), so it must survive a power loss after a clean
+// Shutdown just like the WAL and the checkpoint manifests do.
+func (c *Cluster) persistDeliveryOffsets(next []uint64, durable bool) {
+	write := atomicReplaceFile
+	if durable {
+		write = atomicWriteFile
+	}
+	err := write(deliveryOffsetsPath(c.cfg.CheckpointDir), func(w io.Writer) error {
 		enc := &codecutil.Writer{BW: bufio.NewWriter(w)}
 		enc.PutBytes(deliveryMagic[:])
 		enc.PutU(deliveryVersion)
@@ -537,6 +575,69 @@ func (c *Cluster) loadDeliveryOffset(pid int) (uint64, bool) {
 		return 0, false
 	}
 	return off, true
+}
+
+// planStartupRestore is New's half of a durable-log restart for one
+// replica: load the chain manifest (gated by the log's identity), trim
+// any segments the durable log cannot back — a cut past the log head
+// means a torn tail lost the suffix the chain claims, so fall back to the
+// newest segment at or below it — compose the chain with every segment's
+// checksum verified (corrupt tails trimmed, a corrupt base treated like a
+// corrupt delta: the chain falls all the way back to scratch), and
+// install the result. Start subscribes at the computed offset. The one
+// unrecoverable case is a restore point below the log's truncation
+// horizon — scratch recovery above a compacted log — which surfaces as
+// the documented ErrTruncated error instead of composing garbage.
+func (c *Cluster) planStartupRestore(slot *replicaSlot) error {
+	dir := replicaCkptDir(c.cfg.CheckpointDir, slot.pid, slot.idx)
+	man, err := loadManifest(manifestPath(dir), c.runID)
+	if err != nil {
+		// Unreadable manifest: recover from scratch; replaying the full
+		// log rebuilds identical state, just more slowly.
+		c.ckptErrors.Inc()
+		man = manifest{}
+	}
+	head := c.firehose.Published()
+	if keep := clampChainPrefix(man.segs, head); keep < len(man.segs) {
+		c.ckptErrors.Inc()
+		if !c.truncateManifest(dir, &man, keep) {
+			return fmt.Errorf("cluster: replica %d/%d: cannot trim chain past durable log head %d", slot.pid, slot.idx, head)
+		}
+	}
+	st, used, offset := composeChain(dir, man.segs)
+	if used < len(man.segs) {
+		c.ckptErrors.Inc()
+		if !c.truncateManifest(dir, &man, used) {
+			return fmt.Errorf("cluster: replica %d/%d: cannot trim corrupt chain tail", slot.pid, slot.idx)
+		}
+	}
+	if used == 0 {
+		offset = 0
+	}
+	if start := c.firehose.LogStart(); offset < start {
+		return fmt.Errorf("cluster: replica %d/%d: restore point %d below durable log start %d (chain lost above a compacted log): %w",
+			slot.pid, slot.idx, offset, start, queue.ErrTruncated)
+	}
+	if used > 0 {
+		slot.p.LoadState(st)
+	}
+	c.reloadStatic(slot)
+	slot.restoreMan = man
+	slot.restoreOffset = offset
+	slot.floor.Store(man.floorOffset())
+	return nil
+}
+
+// loadDeliveryOffsets reads every group's persisted delivery high-water
+// offset, zero-filled when the file is absent, unreadable, or gated away.
+func (c *Cluster) loadDeliveryOffsets() []uint64 {
+	out := make([]uint64, c.cfg.Partitions)
+	for pid := range out {
+		if off, ok := c.loadDeliveryOffset(pid); ok {
+			out[pid] = off
+		}
+	}
+	return out
 }
 
 // maybeTruncateLog compacts the retained firehose log below the minimum

@@ -23,10 +23,12 @@ import (
 // checkpoint segments (see delta.go): a delta frame is a full replacement
 // of one target's list, with an empty list meaning the target was deleted.
 
-// snapMagic identifies the dynstore snapshot format, version 1.
+// snapMagic identifies the dynstore snapshot format. Version 2 appends a
+// CRC32C trailer over the whole frame (magic through payload), so silent
+// media corruption is detected at decode instead of composing garbage.
 var snapMagic = [8]byte{'M', 'S', 'D', 'S', 'N', 'P', 0, 1}
 
-const snapVersion = 1
+const snapVersion = 2
 
 // Plausibility bounds for decoding; inputs beyond them are corrupt.
 const (
@@ -35,11 +37,13 @@ const (
 )
 
 // encodeFrames writes the shared container: magic, version, target count,
-// then one frame per id in the given order. get returns the list for an
-// id; it may lock per call, so peak extra memory stays at one list.
+// then one frame per id in the given order, closed by a CRC32C trailer
+// over everything before it. get returns the list for an id; it may lock
+// per call, so peak extra memory stays at one list.
 func encodeFrames(w io.Writer, magic [8]byte, ids []graph.VertexID, get func(graph.VertexID) []InEdge) (int64, error) {
 	cw := &codecutil.CountingWriter{W: w}
-	enc := &codecutil.Writer{BW: bufio.NewWriter(cw)}
+	hw := &codecutil.HashWriter{W: cw}
+	enc := &codecutil.Writer{BW: bufio.NewWriter(hw)}
 	enc.PutBytes(magic[:])
 	enc.PutU(snapVersion)
 	enc.PutU(uint64(len(ids)))
@@ -54,26 +58,32 @@ func encodeFrames(w io.Writer, magic [8]byte, ids []graph.VertexID, get func(gra
 			prev = in.TS
 		}
 	}
-	return cw.N, enc.Flush()
+	if err := enc.Flush(); err != nil {
+		return cw.N, err
+	}
+	return cw.N, codecutil.WriteChecksum(cw, hw.Sum())
 }
 
 // decodeFrames parses the shared container written by encodeFrames into a
-// fresh map. Malformed input returns an error, never panics.
-func decodeFrames(br *codecutil.CountingReader, magic [8]byte, name string) (map[graph.VertexID][]InEdge, error) {
+// fresh map and verifies the CRC32C trailer. Malformed or corrupted input
+// returns an error, never panics.
+func decodeFrames(rd io.Reader, magic [8]byte, name string) (map[graph.VertexID][]InEdge, int64, error) {
+	hr := &codecutil.HashReader{R: codecutil.AsByteReader(rd)}
+	br := &codecutil.CountingReader{R: hr}
 	r := &codecutil.Reader{BR: br, Prefix: name}
 	var got [8]byte
 	if _, err := io.ReadFull(br, got[:]); err != nil {
-		return nil, fmt.Errorf("%s: reading magic: %w", name, err)
+		return nil, br.N, fmt.Errorf("%s: reading magic: %w", name, err)
 	}
 	if got != magic {
-		return nil, fmt.Errorf("%s: bad magic %q", name, got[:])
+		return nil, br.N, fmt.Errorf("%s: bad magic %q", name, got[:])
 	}
 	if v := r.U("version"); r.Err == nil && v != snapVersion {
-		return nil, fmt.Errorf("%s: unsupported version %d", name, v)
+		return nil, br.N, fmt.Errorf("%s: unsupported version %d", name, v)
 	}
 	count := r.U("target count")
 	if r.Err == nil && count > maxSnapTargets {
-		return nil, fmt.Errorf("%s: implausible target count %d", name, count)
+		return nil, br.N, fmt.Errorf("%s: implausible target count %d", name, count)
 	}
 	out := make(map[graph.VertexID][]InEdge, codecutil.PreallocHint(count))
 	for i := uint64(0); i < count && r.Err == nil; i++ {
@@ -83,7 +93,7 @@ func decodeFrames(br *codecutil.CountingReader, magic [8]byte, name string) (map
 			break
 		}
 		if n > maxSnapList {
-			return nil, fmt.Errorf("%s: implausible list length %d", name, n)
+			return nil, br.N, fmt.Errorf("%s: implausible list length %d", name, n)
 		}
 		var list []InEdge
 		if n > 0 {
@@ -100,14 +110,20 @@ func decodeFrames(br *codecutil.CountingReader, magic [8]byte, name string) (map
 		}
 		cid := graph.VertexID(c)
 		if _, dup := out[cid]; dup {
-			return nil, fmt.Errorf("%s: duplicate target %d", name, cid)
+			return nil, br.N, fmt.Errorf("%s: duplicate target %d", name, cid)
 		}
 		out[cid] = list
 	}
 	if r.Err != nil {
-		return nil, r.Err
+		return nil, br.N, r.Err
 	}
-	return out, nil
+	// The payload hash must be captured before the trailer bytes pass
+	// through the hashing reader.
+	sum := hr.Sum()
+	if err := codecutil.VerifyChecksum(br, sum, name); err != nil {
+		return nil, br.N, err
+	}
+	return out, br.N, nil
 }
 
 // sortedIDs returns the map's keys in ascending order for deterministic
@@ -136,9 +152,7 @@ func EncodeSnapshot(w io.Writer, targets map[graph.VertexID][]InEdge) (int64, er
 // io.ByteReader no read-ahead happens, so framed container formats can
 // embed snapshots.
 func DecodeSnapshot(r io.Reader) (map[graph.VertexID][]InEdge, int64, error) {
-	br := &codecutil.CountingReader{R: codecutil.AsByteReader(r)}
-	targets, err := decodeFrames(br, snapMagic, "dynstore")
-	return targets, br.N, err
+	return decodeFrames(r, snapMagic, "dynstore")
 }
 
 // WriteTo serializes the store's full contents in the versioned binary

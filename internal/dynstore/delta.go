@@ -3,14 +3,14 @@ package dynstore
 import (
 	"io"
 
-	"motifstream/internal/codecutil"
 	"motifstream/internal/graph"
 )
 
-// deltaMagic identifies the dynstore delta segment format, version 1. A
-// delta reuses the snapshot frame encoding: per dirtied target the full
-// replacement list, with an empty list meaning the target was deleted
-// (swept or fully pruned) since the previous cut.
+// deltaMagic identifies the dynstore delta segment format (same version
+// and CRC32C framing as the snapshot format). A delta reuses the snapshot
+// frame encoding: per dirtied target the full replacement list, with an
+// empty list meaning the target was deleted (swept or fully pruned) since
+// the previous cut.
 var deltaMagic = [8]byte{'M', 'S', 'D', 'S', 'D', 'L', 0, 1}
 
 // Delta is the dirtied-since-last-cut slice of a Store: for every target
@@ -64,12 +64,11 @@ func (d Delta) WriteTo(w io.Writer) (int64, error) {
 // io.ByteReader no read-ahead happens, so container formats can embed
 // delta sections.
 func DecodeDelta(r io.Reader) (Delta, int64, error) {
-	br := &codecutil.CountingReader{R: codecutil.AsByteReader(r)}
-	targets, err := decodeFrames(br, deltaMagic, "dynstore delta")
+	targets, n, err := decodeFrames(r, deltaMagic, "dynstore delta")
 	if err != nil {
-		return Delta{}, br.N, err
+		return Delta{}, n, err
 	}
-	return Delta{Targets: targets}, br.N, nil
+	return Delta{Targets: targets}, n, nil
 }
 
 // ApplyTo folds the delta into a composed target map (base-plus-chain

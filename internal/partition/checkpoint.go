@@ -27,10 +27,15 @@ import (
 // recovery path can compose a base with a chain of delta segments (see
 // delta.go) before installing the result once.
 
-// partMagic identifies the partition checkpoint format, version 1.
+// partMagic identifies the partition checkpoint format. Version 2 closes
+// every base segment with a CRC32C trailer over the whole file (magic
+// through the embedded engine section), so a corrupted base is detected
+// at compose time and treated like a corrupt delta — fall back, or
+// surface the documented error when the log below it is gone — instead
+// of composing garbage state.
 var partMagic = [8]byte{'M', 'S', 'P', 'A', 'R', 'T', 0, 1}
 
-const partSnapVersion = 1
+const partSnapVersion = 2
 
 // Plausibility bounds for decoding.
 const (
@@ -185,7 +190,8 @@ func readUserItemSections(r *codecutil.Reader) (map[graph.VertexID][]motif.Candi
 // same byte format Partition.WriteTo produces.
 func (st *CheckpointState) WriteBaseTo(w io.Writer) (int64, error) {
 	cw := &codecutil.CountingWriter{W: w}
-	cp := &codecutil.Writer{BW: bufio.NewWriter(cw)}
+	hw := &codecutil.HashWriter{W: cw}
+	cp := &codecutil.Writer{BW: bufio.NewWriter(hw)}
 	cp.PutBytes(partMagic[:])
 	cp.PutU(partSnapVersion)
 	writeUsersSection(cp, st.Users)
@@ -195,17 +201,20 @@ func (st *CheckpointState) WriteBaseTo(w io.Writer) (int64, error) {
 	}
 	// Engine section last: its D snapshot dominates the payload and the
 	// embedded codec leaves the stream positioned exactly past itself.
-	if _, err := core.EncodeEngineState(cw, st.SweepClock, st.Targets); err != nil {
+	if _, err := core.EncodeEngineState(hw, st.SweepClock, st.Targets); err != nil {
 		return cw.N, err
 	}
-	return cw.N, nil
+	// File-level CRC32C trailer over everything above, written outside the
+	// hash so the trailer verifies the payload, not itself.
+	return cw.N, codecutil.WriteChecksum(cw, hw.Sum())
 }
 
 // ReadBaseFrom replaces the state with a base checkpoint written by
 // WriteBaseTo (or Partition.WriteTo). Malformed input returns an error,
 // never panics; the state is unspecified after an error.
 func (st *CheckpointState) ReadBaseFrom(rd io.Reader) (int64, error) {
-	br := &codecutil.CountingReader{R: codecutil.AsByteReader(rd)}
+	hr := &codecutil.HashReader{R: codecutil.AsByteReader(rd)}
+	br := &codecutil.CountingReader{R: hr}
 	r := &codecutil.Reader{BR: br, Prefix: "partition"}
 
 	var magic [8]byte
@@ -224,6 +233,12 @@ func (st *CheckpointState) ReadBaseFrom(rd io.Reader) (int64, error) {
 	}
 	sweep, targets, _, err := core.DecodeEngineState(br)
 	if err != nil {
+		return br.N, err
+	}
+	// Payload hash captured before the trailer bytes pass through the
+	// hashing reader.
+	sum := hr.Sum()
+	if err := codecutil.VerifyChecksum(br, sum, "partition checkpoint"); err != nil {
 		return br.N, err
 	}
 	st.SweepClock, st.Users, st.Items, st.Targets = sweep, users, items, targets
@@ -281,7 +296,8 @@ func (p *Partition) LoadState(st *CheckpointState) {
 // caller must not run Apply concurrently; concurrent reads are fine.
 func (p *Partition) WriteTo(w io.Writer) (int64, error) {
 	cw := &codecutil.CountingWriter{W: w}
-	cp := &codecutil.Writer{BW: bufio.NewWriter(cw)}
+	hw := &codecutil.HashWriter{W: cw}
+	cp := &codecutil.Writer{BW: bufio.NewWriter(hw)}
 	cp.PutBytes(partMagic[:])
 	cp.PutU(partSnapVersion)
 	p.log.mu.RLock()
@@ -295,10 +311,10 @@ func (p *Partition) WriteTo(w io.Writer) (int64, error) {
 	}
 	// Engine section last: its D snapshot dominates the payload and the
 	// embedded codec leaves the stream positioned exactly past itself.
-	if _, err := p.engine.WriteTo(cw); err != nil {
+	if _, err := p.engine.WriteTo(hw); err != nil {
 		return cw.N, err
 	}
-	return cw.N, nil
+	return cw.N, codecutil.WriteChecksum(cw, hw.Sum())
 }
 
 // ReadFrom restores state written by WriteTo, implementing io.ReaderFrom.

@@ -109,6 +109,58 @@ func TestPartitionCheckpointRejectsCorruptInput(t *testing.T) {
 	}
 }
 
+// TestCheckpointChecksumDetectsEveryBitFlip flips one byte at every
+// position of an encoded base and delta segment: the CRC32C trailer must
+// reject each mutation (or the structural decode must), so a corrupted
+// base can never silently compose garbage state. This is the unit half of
+// the docs/DURABILITY.md base-checksum clause; the cluster-level half
+// (restore surfacing the error) lives in internal/cluster.
+func TestCheckpointChecksumDetectsEveryBitFlip(t *testing.T) {
+	p := checkpointTestPartition(t)
+	t0 := int64(10_000_000)
+	for i := 0; i < 10; i++ {
+		item := graph.VertexID(900 + i)
+		p.Apply(graph.Edge{Src: 10, Dst: item, Type: graph.Follow, TS: t0 + int64(i)*10})
+		p.Apply(graph.Edge{Src: 11, Dst: item, Type: graph.Follow, TS: t0 + int64(i)*10 + 1})
+	}
+
+	var base bytes.Buffer
+	if _, err := p.WriteTo(&base); err != nil {
+		t.Fatal(err)
+	}
+	delta := p.CaptureDelta()
+	var dbuf bytes.Buffer
+	if _, err := delta.WriteTo(&dbuf); err != nil {
+		t.Fatal(err)
+	}
+
+	for pos := 0; pos < base.Len(); pos++ {
+		mut := append([]byte(nil), base.Bytes()...)
+		mut[pos] ^= 0x40
+		fresh := checkpointTestPartition(t)
+		if _, err := fresh.ReadFrom(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("base byte flip at %d/%d decoded without error", pos, base.Len())
+		}
+	}
+	for pos := 0; pos < dbuf.Len(); pos++ {
+		mut := append([]byte(nil), dbuf.Bytes()...)
+		mut[pos] ^= 0x40
+		if _, _, err := DecodeDelta(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("delta byte flip at %d/%d decoded without error", pos, dbuf.Len())
+		}
+	}
+
+	// The pristine bytes still round-trip (the trailer is not rejecting
+	// everything).
+	fresh := checkpointTestPartition(t)
+	if _, err := fresh.ReadFrom(bytes.NewReader(base.Bytes())); err != nil {
+		t.Fatalf("pristine base rejected: %v", err)
+	}
+	if _, _, err := DecodeDelta(bytes.NewReader(dbuf.Bytes())); err != nil {
+		t.Fatalf("pristine delta rejected: %v", err)
+	}
+}
+
 func TestPartitionResetDropsRecoverableState(t *testing.T) {
 	p := checkpointTestPartition(t)
 	t0 := int64(10_000_000)

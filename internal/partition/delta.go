@@ -19,10 +19,13 @@ import (
 // reconstructs the base-format state exactly. An empty user list records a
 // deletion (SweepBefore dropped the user).
 
-// deltaMagic identifies the partition delta segment format, version 1.
+// deltaMagic identifies the partition delta segment format. Version 2
+// closes every delta segment with a CRC32C trailer over the whole file,
+// matching the base format: corruption is detected at compose time rather
+// than trusted into the chain.
 var deltaMagic = [8]byte{'M', 'S', 'P', 'D', 'L', 'T', 0, 1}
 
-const deltaVersion = 1
+const deltaVersion = 2
 
 // Delta is one cut's worth of dirtied partition state, captured cheaply
 // on the apply loop and encoded off it by the async checkpoint writer.
@@ -108,7 +111,8 @@ func (d *Delta) MergeOlder(old *Delta) {
 // written in ascending order so equal deltas serialize identically.
 func (d *Delta) WriteTo(w io.Writer) (int64, error) {
 	cw := &codecutil.CountingWriter{W: w}
-	cp := &codecutil.Writer{BW: bufio.NewWriter(cw)}
+	hw := &codecutil.HashWriter{W: cw}
+	cp := &codecutil.Writer{BW: bufio.NewWriter(hw)}
 	cp.PutBytes(deltaMagic[:])
 	cp.PutU(deltaVersion)
 	cp.PutI(d.SweepClock)
@@ -117,16 +121,17 @@ func (d *Delta) WriteTo(w io.Writer) (int64, error) {
 	if err := cp.Flush(); err != nil {
 		return cw.N, err
 	}
-	if _, err := d.Dynamic.WriteTo(cw); err != nil {
+	if _, err := d.Dynamic.WriteTo(hw); err != nil {
 		return cw.N, err
 	}
-	return cw.N, nil
+	return cw.N, codecutil.WriteChecksum(cw, hw.Sum())
 }
 
 // DecodeDelta parses a delta segment written by WriteTo. When rd is an
 // io.ByteReader no read-ahead happens past the segment.
 func DecodeDelta(rd io.Reader) (*Delta, int64, error) {
-	br := &codecutil.CountingReader{R: codecutil.AsByteReader(rd)}
+	hr := &codecutil.HashReader{R: codecutil.AsByteReader(rd)}
+	br := &codecutil.CountingReader{R: hr}
 	r := &codecutil.Reader{BR: br, Prefix: "partition delta"}
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -148,6 +153,10 @@ func DecodeDelta(rd io.Reader) (*Delta, int64, error) {
 	}
 	dyn, _, err := dynstore.DecodeDelta(br)
 	if err != nil {
+		return nil, br.N, err
+	}
+	sum := hr.Sum()
+	if err := codecutil.VerifyChecksum(br, sum, "partition delta"); err != nil {
 		return nil, br.N, err
 	}
 	return &Delta{SweepClock: sweep, Users: users, Items: items, Dynamic: dyn}, br.N, nil

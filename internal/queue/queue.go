@@ -60,14 +60,106 @@ type subscriber[T any] struct {
 	done chan struct{}
 }
 
-// retained is one log entry of a Retain topic. The carried delay is stored
-// so a replayed copy accumulates the same upstream delay as the original;
-// the per-hop delay is re-sampled at replay time, as a real redelivery
-// would incur a fresh propagation delay.
-type retained[T any] struct {
-	msg     T
-	carried time.Duration
+// Record is one retained log entry of a Retain topic. The carried delay is
+// stored so a replayed copy accumulates the same upstream delay as the
+// original; the per-hop delay is re-sampled at replay time, as a real
+// redelivery would incur a fresh propagation delay.
+type Record[T any] struct {
+	Msg     T
+	Carried time.Duration
 }
+
+// LogBackend is the storage engine behind a Retain topic's
+// offset-addressable log. The built-in in-memory backend dies with the
+// process (checkpoint offsets are then only meaningful within one run);
+// the disk-backed WAL survives it, which is what makes whole-cluster
+// restarts recoverable. Implementations are safe for concurrent use; the
+// topic guarantees Append calls are serialized (its publish lock) and
+// always at offset End().
+type LogBackend[T any] interface {
+	// Append stores rec at offset End(), advancing End by one.
+	Append(rec Record[T]) error
+	// Read copies up to len(dst) records starting at offset from into dst,
+	// returning how many it copied: zero at or beyond End. Reading below
+	// Start returns an error wrapping ErrTruncated.
+	Read(from uint64, dst []Record[T]) (int, error)
+	// Start is the oldest retained offset (the replay horizon).
+	Start() uint64
+	// End is the offset one past the newest record — the next Append's.
+	End() uint64
+	// TruncateBelow drops retained records below the offset, as far as the
+	// backend's granularity allows (the WAL deletes whole segments, so it
+	// may retain a little extra), and returns the new Start.
+	TruncateBelow(offset uint64) uint64
+	// Close releases the backend, flushing anything buffered durably.
+	Close() error
+}
+
+// memLog is the in-memory LogBackend: a slice indexed by offset - start.
+// It preserves the exact pre-backend Topic semantics, including
+// byte-granular truncation.
+type memLog[T any] struct {
+	mu    sync.Mutex
+	log   []Record[T]
+	start uint64
+}
+
+// NewMemLog returns a fresh in-memory log backend — what a Retain topic
+// uses when Options.Log is nil.
+func NewMemLog[T any]() LogBackend[T] { return &memLog[T]{} }
+
+func (m *memLog[T]) Append(rec Record[T]) error {
+	m.mu.Lock()
+	m.log = append(m.log, rec)
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *memLog[T]) Read(from uint64, dst []Record[T]) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if from < m.start {
+		return 0, fmt.Errorf("queue: read offset %d below log start %d: %w", from, m.start, ErrTruncated)
+	}
+	end := m.start + uint64(len(m.log))
+	if from >= end {
+		return 0, nil
+	}
+	n := copy(dst, m.log[from-m.start:])
+	return n, nil
+}
+
+func (m *memLog[T]) Start() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.start
+}
+
+func (m *memLog[T]) End() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.start + uint64(len(m.log))
+}
+
+func (m *memLog[T]) TruncateBelow(offset uint64) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	end := m.start + uint64(len(m.log))
+	if offset > end {
+		offset = end
+	}
+	if offset <= m.start {
+		return m.start
+	}
+	kept := m.log[offset-m.start:]
+	// Reallocate rather than reslice so the dropped prefix's memory is
+	// actually reclaimable.
+	m.log = append(make([]Record[T], 0, len(kept)), kept...)
+	m.start = offset
+	return m.start
+}
+
+func (m *memLog[T]) Close() error { return nil }
 
 // Topic is a fan-out pub/sub queue: every subscriber receives every
 // message, matching the paper's design in which "every partition needs to
@@ -90,19 +182,26 @@ type Topic[T any] struct {
 	// depend on. Unordered topics skip it: their consumers only need
 	// per-publisher FIFO, which channel sends already give, and keeping
 	// publishers independent avoids head-of-line blocking when one
-	// subscriber's buffer is full. mu guards the mutable state below and
-	// is never held across a channel send.
+	// subscriber's buffer is full. mu guards the mutable state below; it
+	// is never held across a channel send, and — so a disk-backed log
+	// cannot stall subscribes and replay hand-offs behind an fsync — never
+	// across a backend call either: the retained append happens under
+	// pubMu alone, before the publish becomes visible via published.
 	pubMu sync.Mutex
 	mu    sync.Mutex
 
 	subs   []*subscriber[T]
 	byCh   map[<-chan Envelope[T]]*subscriber[T]
-	log    []retained[T]
 	closed bool
 
-	// logStart is the offset of log[0]: TruncateBelow compacts the
-	// retained prefix, so log is indexed by offset - logStart.
-	logStart  uint64
+	// backend stores the retained log of a Retain topic (nil otherwise).
+	// Appends are ordered by pubMu; the backend synchronizes its own reads
+	// against them.
+	backend LogBackend[T]
+
+	// published is the next offset to assign. On retained topics it
+	// resumes from the backend's durable end at construction, so offsets
+	// stay meaningful across a process restart.
 	published uint64
 }
 
@@ -128,8 +227,23 @@ type Options struct {
 	Ordered bool
 }
 
-// NewTopic creates a Topic.
+// NewTopic creates a Topic. With Retain set the log lives in the built-in
+// in-memory backend; use NewTopicWithLog to supply a durable one.
 func NewTopic[T any](opts Options) *Topic[T] {
+	var backend LogBackend[T]
+	if opts.Retain {
+		backend = NewMemLog[T]()
+	}
+	return NewTopicWithLog[T](opts, backend)
+}
+
+// NewTopicWithLog creates a Topic whose retained log is stored in the
+// given backend; non-nil implies Retain (and therefore Ordered). Pass an
+// opened WAL to make the log durable: offsets then survive the process,
+// and the topic resumes publishing from the backend's end. The topic does
+// not take ownership — the caller closes a durable backend itself, after
+// the topic's consumers (including replayers) have drained.
+func NewTopicWithLog[T any](opts Options, backend LogBackend[T]) *Topic[T] {
 	d := opts.Delay
 	if d == nil {
 		d = NoDelay{}
@@ -138,15 +252,26 @@ func NewTopic[T any](opts Options) *Topic[T] {
 	if b <= 0 {
 		b = 1024
 	}
-	return &Topic[T]{
+	retain := opts.Retain || backend != nil
+	if retain && backend == nil {
+		backend = NewMemLog[T]()
+	}
+	t := &Topic[T]{
 		name:    opts.Name,
 		delay:   d,
 		rng:     newLockedRand(opts.Seed),
 		buf:     b,
-		retain:  opts.Retain,
-		ordered: opts.Ordered || opts.Retain,
+		retain:  retain,
+		ordered: opts.Ordered || retain,
+		backend: backend,
 		byCh:    map[<-chan Envelope[T]]*subscriber[T]{},
 	}
+	if backend != nil {
+		// A durable backend may already hold a previous run's log: resume
+		// the offset sequence where it left off.
+		t.published = backend.End()
+	}
+	return t
 }
 
 // Subscribe registers a new consumer and returns its channel. The channel
@@ -182,16 +307,17 @@ func (t *Topic[T]) SubscribeFrom(offset uint64) (<-chan Envelope[T], error) {
 	if !t.retain {
 		return nil, ErrNotRetained
 	}
+	// Validate against the replay horizon before registering. The check is
+	// made outside mu (the backend synchronizes itself); a truncation
+	// racing past it is caught again inside the replay loop.
+	if start := t.backend.Start(); offset < start {
+		return nil, fmt.Errorf("queue: replay offset %d below log start %d: %w", offset, start, ErrTruncated)
+	}
 	t.mu.Lock()
 	if offset > t.published {
 		head := t.published
 		t.mu.Unlock()
 		return nil, fmt.Errorf("queue: replay offset %d beyond head %d", offset, head)
-	}
-	if offset < t.logStart {
-		start := t.logStart
-		t.mu.Unlock()
-		return nil, fmt.Errorf("queue: replay offset %d below log start %d: %w", offset, start, ErrTruncated)
 	}
 	sub := &subscriber[T]{
 		ch:   make(chan Envelope[T], t.buf),
@@ -205,31 +331,26 @@ func (t *Topic[T]) SubscribeFrom(offset uint64) (<-chan Envelope[T], error) {
 }
 
 // replay streams log entries from next to the head, then promotes sub to a
-// live subscriber (or closes it if the topic closed meanwhile).
+// live subscriber (or closes it if the topic closed meanwhile). Backend
+// reads happen outside mu: the head check and the live registration are
+// the only steps that need it, so a disk-backed log never stalls other
+// subscribers behind replay I/O.
 func (t *Topic[T]) replay(sub *subscriber[T], next uint64) {
 	const chunk = 256
-	var batch []retained[T]
+	buf := make([]Record[T], chunk)
 	for {
 		t.mu.Lock()
 		if t.unsubscribedLocked(sub) {
 			t.mu.Unlock()
 			return
 		}
-		if next < t.logStart {
-			// The prefix this replayer still needed was truncated out from
-			// under it. The cluster's compaction floor (minimum durable
-			// checkpoint offset) makes this unreachable there; if a caller
-			// breaks that contract, fail loudly by closing the channel
-			// rather than silently skipping events.
-			delete(t.byCh, sub.ch)
-			t.mu.Unlock()
-			close(sub.ch)
-			return
-		}
-		head := t.logStart + uint64(len(t.log))
+		head := t.published
 		if next >= head {
 			// Caught up. Anything published from here on fans out to the
-			// registered subscription, so the hand-off loses nothing.
+			// registered subscription, so the hand-off loses nothing: a
+			// concurrent Publish either advanced published before the
+			// check (and is read from the backend next loop) or registers
+			// after it and sends to the live subscription.
 			if t.closed {
 				delete(t.byCh, sub.ch)
 				t.mu.Unlock()
@@ -240,16 +361,29 @@ func (t *Topic[T]) replay(sub *subscriber[T], next uint64) {
 			t.mu.Unlock()
 			return
 		}
-		end := head
-		if end > next+chunk {
-			end = next + chunk
-		}
-		batch = append(batch[:0], t.log[next-t.logStart:end-t.logStart]...)
 		t.mu.Unlock()
-		for i, r := range batch {
+		want := head - next
+		if want > chunk {
+			want = chunk
+		}
+		n, err := t.backend.Read(next, buf[:want])
+		if err != nil || n == 0 {
+			// The prefix this replayer still needed was truncated out from
+			// under it (or the backend failed). The cluster's compaction
+			// floor (minimum durable checkpoint offset) makes truncation
+			// unreachable here; if a caller breaks that contract, fail
+			// loudly by closing the channel rather than silently skipping
+			// events.
+			t.mu.Lock()
+			delete(t.byCh, sub.ch)
+			t.mu.Unlock()
+			close(sub.ch)
+			return
+		}
+		for i, r := range buf[:n] {
 			env := Envelope[T]{
-				Msg:          r.msg,
-				VirtualDelay: r.carried + t.rng.sample(t.delay),
+				Msg:          r.Msg,
+				VirtualDelay: r.Carried + t.rng.sample(t.delay),
 				Offset:       next + uint64(i),
 			}
 			select {
@@ -258,7 +392,7 @@ func (t *Topic[T]) replay(sub *subscriber[T], next uint64) {
 				return
 			}
 		}
-		next = end
+		next += uint64(n)
 	}
 }
 
@@ -274,11 +408,36 @@ func (t *Topic[T]) unsubscribedLocked(sub *subscriber[T]) bool {
 
 // Publish delivers msg to every subscriber, stamping each copy with the
 // publish offset and an independently sampled hop delay added to carried
-// (the delay already accumulated upstream). Returns ErrClosed after Close.
+// (the delay already accumulated upstream). Returns ErrClosed after Close,
+// and surfaces retained-append failures from a durable log backend.
 func (t *Topic[T]) Publish(msg T, carried time.Duration) error {
 	if t.ordered {
 		t.pubMu.Lock()
 		defer t.pubMu.Unlock()
+	}
+	if t.backend != nil {
+		// Retained path. The append runs under pubMu alone — mu is held
+		// only for the brief bookkeeping on either side — so a slow disk
+		// (a WAL fsync batch) back-pressures publishers without stalling
+		// Subscribe, replay hand-offs, or stats reads behind file I/O.
+		// Ordering: the record lands in the backend before published
+		// advances, so any replayer that observes the offset can read it.
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return ErrClosed
+		}
+		off := t.published
+		t.mu.Unlock()
+		if err := t.backend.Append(Record[T]{Msg: msg, Carried: carried}); err != nil {
+			return fmt.Errorf("queue: %s: retained append: %w", t.name, err)
+		}
+		t.mu.Lock()
+		t.published++
+		subs := t.subs
+		t.mu.Unlock()
+		t.fanOut(subs, msg, carried, off)
+		return nil
 	}
 	t.mu.Lock()
 	if t.closed {
@@ -287,11 +446,15 @@ func (t *Topic[T]) Publish(msg T, carried time.Duration) error {
 	}
 	off := t.published
 	t.published++
-	if t.retain {
-		t.log = append(t.log, retained[T]{msg: msg, carried: carried})
-	}
 	subs := t.subs
 	t.mu.Unlock()
+	t.fanOut(subs, msg, carried, off)
+	return nil
+}
+
+// fanOut sends one envelope per subscriber, each with an independently
+// sampled hop delay; a subscriber mid-Unsubscribe is skipped via done.
+func (t *Topic[T]) fanOut(subs []*subscriber[T], msg T, carried time.Duration, off uint64) {
 	for _, s := range subs {
 		env := Envelope[T]{
 			Msg:          msg,
@@ -303,7 +466,6 @@ func (t *Topic[T]) Publish(msg T, carried time.Duration) error {
 		case <-s.done:
 		}
 	}
-	return nil
 }
 
 // Unsubscribe detaches the given subscription without closing its channel:
@@ -363,40 +525,37 @@ func (t *Topic[T]) Published() uint64 {
 	return t.published
 }
 
-// TruncateBelow drops every retained log entry with an offset below the
-// given one — log compaction. The caller is responsible for the safety
+// TruncateBelow drops retained log entries below the given offset — log
+// compaction — as far as the backend's granularity allows (the in-memory
+// backend is entry-exact; the disk WAL deletes whole segments and may
+// retain a little extra). The caller is responsible for the safety
 // argument: no consumer may ever need to replay from below the new start
 // (the cluster truncates below the minimum durable checkpoint offset
 // across replicas, which every possible restore point is at or above).
 // Offsets beyond the head are clamped; calls at or below the current
 // start are no-ops. Returns the number of entries dropped.
 func (t *Topic[T]) TruncateBelow(offset uint64) int {
-	if !t.retain {
+	if t.backend == nil {
 		return 0
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if offset > t.published {
 		offset = t.published
 	}
-	if offset <= t.logStart {
-		return 0
-	}
-	dropped := int(offset - t.logStart)
-	kept := t.log[dropped:]
-	// Reallocate rather than reslice so the dropped prefix's memory is
-	// actually reclaimable.
-	t.log = append(make([]retained[T], 0, len(kept)), kept...)
-	t.logStart = offset
-	return dropped
+	t.mu.Unlock()
+	before := t.backend.Start()
+	after := t.backend.TruncateBelow(offset)
+	return int(after - before)
 }
 
 // LogStart returns the offset of the oldest retained log entry — the
-// replay horizon after compaction. Zero until the first TruncateBelow.
+// replay horizon after compaction. Zero until the first TruncateBelow
+// (or, for a reopened durable log, whatever a previous run truncated to).
 func (t *Topic[T]) LogStart() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.logStart
+	if t.backend == nil {
+		return 0
+	}
+	return t.backend.Start()
 }
 
 // Name returns the topic label.

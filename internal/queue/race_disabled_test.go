@@ -1,0 +1,8 @@
+//go:build !race
+
+package queue
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions skip themselves under it (instrumentation skews the ratio
+// and the non-race sweep still enforces the budget).
+const raceEnabled = false
