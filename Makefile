@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test test-race test-crashmatrix bench bench-smoke fuzz fuzz-smoke
+.PHONY: check build vet test test-race test-crashmatrix test-elasticity bench bench-smoke fuzz fuzz-smoke
 
 # check is the CI gate: formatting, static analysis, the full test suite
-# under the race detector, and short fuzz smoke runs of the durability
-# codecs.
-check: fmt-check vet test-race fuzz-smoke
+# under the race detector (test-elasticity's cases run within it, and are
+# also kept as a named target for the quick loop), and short fuzz smoke
+# runs of the durability codecs.
+check: fmt-check vet test-race test-elasticity fuzz-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
@@ -30,6 +31,12 @@ test-race:
 test-crashmatrix:
 	$(GO) test -race -run 'TestCrashMatrix|TestReopen' ./internal/cluster
 
+# test-elasticity runs the elastic placement suite (node replacement,
+# base replication, live scale-out/in, auto-healer, placement table)
+# under the race detector — the quick loop for the placement subsystem.
+test-elasticity:
+	$(GO) test -race -run 'TestElastic|TestAddReplica|TestReprovision|TestHealer|TestReopenRebuilds|TestReopenAllBases|TestReopenRecoversDespite|TestCrashMatrix/(reprovision|scale)' ./internal/cluster ./internal/placement
+
 # bench runs the experiment-index benchmarks briefly (regression smoke,
 # not a measurement run).
 bench:
@@ -39,7 +46,7 @@ bench:
 # the durability perf path keeps compiling and running in CI without a
 # full measurement run.
 bench-smoke:
-	$(GO) test -run=NONE -bench 'Checkpoint|Recovery|Snapshot' -benchtime=1x ./...
+	$(GO) test -run=NONE -bench 'Checkpoint|Recovery|Snapshot|Reprovision' -benchtime=1x ./...
 
 # fuzz gives each fuzz target a longer budget (manual runs).
 fuzz:

@@ -9,6 +9,7 @@ import (
 	"motifstream/internal/dynstore"
 	"motifstream/internal/motif"
 	"motifstream/internal/partition"
+	"motifstream/internal/placement"
 	"motifstream/internal/queue"
 )
 
@@ -79,11 +80,23 @@ type ClusterOptions struct {
 	// bound on the torn tail an OS crash can lose; zero selects 256.
 	// Ignored without LogDir.
 	LogSyncEvery int
+	// MirrorBases is the base replication factor: every compacted base
+	// checkpoint is mirrored (CRC-verified) to up to this many peer
+	// replica directories of the same partition. Mirrors make a corrupt
+	// base above a truncated firehose log recoverable and feed the
+	// re-provisioning path (see docs/OPERATIONS.md). Zero disables.
+	// Ignored without CheckpointDir.
+	MirrorBases int
+	// HealAfter enables the placement auto-healer: a replica that stays
+	// dead longer than this is automatically re-provisioned onto a fresh
+	// node (ReprovisionReplica). Zero disables. Requires CheckpointDir.
+	HealAfter time.Duration
 }
 
 // Cluster is the running multi-partition deployment.
 type Cluster struct {
-	inner *cluster.Cluster
+	inner  *cluster.Cluster
+	healer *placement.Healer
 }
 
 // NewCluster builds and starts the deployment with the given static follow
@@ -171,12 +184,18 @@ func NewCluster(staticEdges []Edge, opts ClusterOptions) (*Cluster, error) {
 		StaticSnapshotDir:  opts.StaticSnapshotDir,
 		LogDir:             opts.LogDir,
 		LogSyncEvery:       opts.LogSyncEvery,
+		MirrorBases:        opts.MirrorBases,
 	})
 	if err != nil {
 		return nil, err
 	}
 	inner.Start()
-	return &Cluster{inner: inner}, nil
+	c := &Cluster{inner: inner}
+	if opts.HealAfter > 0 && opts.CheckpointDir != "" {
+		c.healer = placement.NewHealer(inner, placement.HealerOptions{After: opts.HealAfter})
+		c.healer.Start()
+	}
+	return c, nil
 }
 
 // ReopenCluster restarts a previously shut-down durable deployment: a
@@ -196,14 +215,27 @@ func ReopenCluster(staticEdges []Edge, opts ClusterOptions) (*Cluster, error) {
 // Publish feeds one edge into the cluster firehose. Blocks on backpressure.
 func (c *Cluster) Publish(e Edge) error { return c.inner.Publish(e) }
 
-// Stop drains and shuts down the cluster. Safe to call multiple times.
-func (c *Cluster) Stop() { c.inner.Stop() }
+// Stop drains and shuts down the cluster (the auto-healer first, so no
+// re-provision can race the teardown). Safe to call multiple times.
+func (c *Cluster) Stop() {
+	c.stopHealer()
+	c.inner.Stop()
+}
 
 // Shutdown gracefully stops a durable-log cluster: everything drained, a
 // final checkpoint cut per replica, and the on-disk log fsynced — the
 // state a later ReopenCluster resumes from losslessly. Equivalent to Stop
 // on clusters without LogDir.
-func (c *Cluster) Shutdown() { c.inner.Shutdown() }
+func (c *Cluster) Shutdown() {
+	c.stopHealer()
+	c.inner.Shutdown()
+}
+
+func (c *Cluster) stopHealer() {
+	if c.healer != nil {
+		c.healer.Stop()
+	}
+}
 
 // RecommendationsFor reads the most recent recommendations for a user
 // through the broker tier.
@@ -235,12 +267,25 @@ type ClusterStats struct {
 	// a checkpoint cut: delta capture plus any backpressure wait on the
 	// async writer (encode and fsync themselves run off-loop).
 	CheckpointPauseP99 time.Duration
+	// Reprovisions counts node replacements (ReprovisionReplica, operator
+	// or auto-healer driven); Healed is the auto-healer's share.
+	Reprovisions, Healed uint64
+	// BaseMirrors counts base checkpoints replicated to peer replica
+	// directories; BasePoolRestores counts restores recovered from the
+	// partition base pool (a mirror or a peer's base) rather than the
+	// replica's own chain.
+	BaseMirrors, BasePoolRestores uint64
+	// FsyncsSaved counts fsyncs elided by the async writers' cut
+	// coalescing.
+	FsyncsSaved uint64
+	// ScaleOuts and ScaleIns count live membership changes.
+	ScaleOuts, ScaleIns uint64
 }
 
 // Stats returns current cluster totals.
 func (c *Cluster) Stats() ClusterStats {
 	s := c.inner.Stats()
-	return ClusterStats{
+	st := ClusterStats{
 		Events:             s.Events,
 		Delivered:          s.Delivered,
 		LatencyP50:         s.E2ELatency.P50,
@@ -251,7 +296,17 @@ func (c *Cluster) Stats() ClusterStats {
 		Compactions:        s.Compactions,
 		LogTruncatedBelow:  s.LogTruncatedBelow,
 		CheckpointPauseP99: s.CutPause.P99,
+		Reprovisions:       s.Reprovisions,
+		BaseMirrors:        s.BaseMirrors,
+		BasePoolRestores:   s.BasePoolRestores,
+		FsyncsSaved:        s.FsyncsSaved,
+		ScaleOuts:          s.ScaleOuts,
+		ScaleIns:           s.ScaleIns,
 	}
+	if c.healer != nil {
+		st.Healed = c.healer.Healed()
+	}
+	return st
 }
 
 // ItemCount pairs a recommended item with its recommendation count.
@@ -288,7 +343,39 @@ func (c *Cluster) RestoreReplica(partition, replica int) error {
 	return c.inner.RestoreReplica(partition, replica)
 }
 
-// ReplicaState reports "live", "replaying", or "dead" for a replica.
+// ReprovisionReplica replaces a replica's node — the elastic placement
+// path for machines that die and are replaced rather than resurrected:
+// the old slot's state and directory are discarded entirely, and a fresh
+// replica (fresh S, new generation directory) is rebuilt from the
+// partition's replicated base pool plus log replay, catching up through
+// the standard replaying→live machine. Requires CheckpointDir.
+func (c *Cluster) ReprovisionReplica(partition, replica int) error {
+	return c.inner.ReprovisionReplica(partition, replica)
+}
+
+// AddReplica grows a partition by one replica while the stream is flowing
+// (live scale-out); the newcomer catches up from the partition's base
+// pool plus log replay and then serves reads. Returns the new replica's
+// index. Requires CheckpointDir.
+func (c *Cluster) AddReplica(partition int) (int, error) {
+	return c.inner.AddReplica(partition)
+}
+
+// DecommissionReplica removes a replica permanently (live scale-in); its
+// index becomes a stable tombstone and is never reused. The last alive
+// replica of a partition cannot be removed. Requires CheckpointDir.
+func (c *Cluster) DecommissionReplica(partition, replica int) error {
+	return c.inner.DecommissionReplica(partition, replica)
+}
+
+// ReplicaCount reports a partition's current replica count, including
+// decommissioned tombstones (indices are stable).
+func (c *Cluster) ReplicaCount(partition int) int {
+	return c.inner.Replicas(partition)
+}
+
+// ReplicaState reports "live", "replaying", "dead", or "removed" for a
+// replica.
 func (c *Cluster) ReplicaState(partition, replica int) (string, error) {
 	return c.inner.ReplicaState(partition, replica)
 }

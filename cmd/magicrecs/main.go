@@ -48,11 +48,21 @@ func main() {
 		staticSnap = flag.String("staticsnapdir", "", "directory of offline-built S snapshots (s-p%03d.snap) reloaded on replica restore")
 		logDir     = flag.String("logdir", "", "directory for the durable firehose log (WAL); with -checkpointdir, whole-cluster restarts recover from disk")
 		restarts   = flag.Int("restarts", 0, "restart the whole cluster N times mid-stream (Shutdown + Reopen over the same dirs; requires -logdir)")
+		mirrorN    = flag.Int("mirrorbases", 0, "replicate each compacted base checkpoint to N peer replica directories (base replication; 0 disables)")
+		reprovN    = flag.Int("reprovision", 0, "N times mid-stream, kill replica 1 of every partition and reprovision it onto a fresh node (requires -checkpointdir and -replicas >= 2)")
+		scaleN     = flag.Int("scale-events", 0, "perform N live scale events mid-stream, alternating AddReplica and DecommissionReplica on every partition (requires -checkpointdir)")
+		healAfter  = flag.Duration("healafter", 0, "auto-reprovision replicas dead longer than this (auto-healer; 0 disables)")
 	)
 	flag.Parse()
 
 	if *restarts > 0 && (*logDir == "" || *ckptDir == "") {
 		log.Fatal("-restarts requires -logdir and -checkpointdir")
+	}
+	if (*reprovN > 0 || *scaleN > 0 || *healAfter > 0) && *ckptDir == "" {
+		log.Fatal("-reprovision, -scale-events, and -healafter require -checkpointdir")
+	}
+	if *reprovN > 0 && *replicas < 2 {
+		log.Fatal("-reprovision requires -replicas >= 2 (the last alive replica cannot be replaced)")
 	}
 
 	static, events, err := loadWorkload(*scenario, *staticPath, *streamPath)
@@ -76,6 +86,8 @@ func main() {
 		CheckpointCompactEvery: *compactN,
 		StaticSnapshotDir:      *staticSnap,
 		LogDir:                 *logDir,
+		MirrorBases:            *mirrorN,
+		HealAfter:              *healAfter,
 	}
 	clu, err := motifstream.NewCluster(static, opts)
 	if err != nil {
@@ -90,10 +102,53 @@ func main() {
 	for r := 1; r <= *restarts; r++ {
 		boundaries[r*len(events)/(*restarts+1)] = true
 	}
+	// Elastic placement events are spread the same way: -reprovision
+	// replaces replica 1 of every partition mid-stream (node death +
+	// replacement), -scale-events alternates a live scale-out with a
+	// scale-in of the replica it added.
+	reprovAt := map[int]bool{}
+	for r := 1; r <= *reprovN; r++ {
+		reprovAt[r*len(events)/(*reprovN+1)] = true
+	}
+	scaleAt := map[int]int{}
+	for s := 1; s <= *scaleN; s++ {
+		scaleAt[s*len(events)/(*scaleN+1)] = s
+	}
+	scaledIdx := -1
 
 	start := time.Now()
 	var delivered, ingested uint64
 	for i, e := range events {
+		if reprovAt[i] {
+			for pid := 0; pid < *partitions; pid++ {
+				if err := clu.KillReplica(pid, 1); err != nil {
+					log.Fatalf("kill %d/1: %v", pid, err)
+				}
+				if err := clu.ReprovisionReplica(pid, 1); err != nil {
+					log.Fatalf("reprovision %d/1: %v", pid, err)
+				}
+			}
+			fmt.Printf("  --- event %d: replaced the node of replica 1 in all %d partitions ---\n", i, *partitions)
+		}
+		if s, ok := scaleAt[i]; ok {
+			if s%2 == 1 {
+				for pid := 0; pid < *partitions; pid++ {
+					idx, err := clu.AddReplica(pid)
+					if err != nil {
+						log.Fatalf("add replica to %d: %v", pid, err)
+					}
+					scaledIdx = idx
+				}
+				fmt.Printf("  --- event %d: scaled out to replica %d in all partitions ---\n", i, scaledIdx)
+			} else if scaledIdx >= 0 {
+				for pid := 0; pid < *partitions; pid++ {
+					if err := clu.DecommissionReplica(pid, scaledIdx); err != nil {
+						log.Fatalf("decommission %d/%d: %v", pid, scaledIdx, err)
+					}
+				}
+				fmt.Printf("  --- event %d: decommissioned replica %d in all partitions ---\n", i, scaledIdx)
+			}
+		}
 		if boundaries[i] {
 			// Shut down before reading stats: the drain delivers whatever
 			// is still in flight in the firehose and delivery queues, and
@@ -138,6 +193,8 @@ func main() {
 	if *ckptDir != "" {
 		fmt.Printf("recovery:    %d checkpoint segments (%d compactions) in %s; cut pause p99=%v; firehose log truncated below offset %d\n",
 			s.Checkpoints, s.Compactions, *ckptDir, s.CheckpointPauseP99, s.LogTruncatedBelow)
+		fmt.Printf("placement:   %d reprovisions (%d auto-healed), %d base mirrors, %d pool restores, %d scale-outs, %d scale-ins, %d fsyncs saved\n",
+			s.Reprovisions, s.Healed, s.BaseMirrors, s.BasePoolRestores, s.ScaleOuts, s.ScaleIns, s.FsyncsSaved)
 	}
 
 	// The broker fan-out read path: globally hottest recommendations.

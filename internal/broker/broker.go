@@ -3,6 +3,13 @@
 // brokers that fan-out queries and gather results" (§2). A Broker routes
 // user-keyed reads to the replica group that owns the user, load-balances
 // across healthy replicas, and fans out non-keyed queries to every group.
+//
+// Replica groups are dynamic: the elastic placement subsystem grows a
+// group on live scale-out (AddReplica), swaps a member's backing state on
+// node replacement (ReplaceReplica), and permanently downs a member on
+// decommission — member indices stay stable for the life of a partition,
+// so health flags and the cluster's slot bookkeeping always agree on who
+// is who.
 package broker
 
 import (
@@ -30,11 +37,29 @@ type Replica interface {
 // marked down.
 var ErrNoReplica = errors.New("broker: no healthy replica for partition")
 
-// group is one partition's replica set with health flags.
+// member is one replica slot of a group. The slot itself is stable;
+// ReplaceReplica swaps rep under the group's write lock when a node is
+// replaced.
+type member struct {
+	rep  Replica
+	down atomic.Bool
+}
+
+// group is one partition's replica set with health flags. The members
+// slice is guarded by mu (it grows on scale-out); the down flags are
+// atomic so the health fast path never writes under the read lock.
 type group struct {
-	replicas []Replica
-	down     []atomic.Bool
-	next     atomic.Uint64 // round-robin cursor
+	mu      sync.RWMutex
+	members []*member
+	next    atomic.Uint64 // round-robin cursor
+}
+
+// snapshot returns the current member list; the slice is never mutated in
+// place (growth appends under mu), so holding it beyond the lock is safe.
+func (g *group) snapshot() []*member {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.members
 }
 
 // Broker fronts all replica groups.
@@ -60,12 +85,64 @@ func New(part partition.Partitioner, groups [][]Replica) (*Broker, error) {
 		if len(rs) == 0 {
 			return nil, fmt.Errorf("broker: partition %d has no replicas", i)
 		}
-		b.groups = append(b.groups, &group{
-			replicas: rs,
-			down:     make([]atomic.Bool, len(rs)),
-		})
+		g := &group{}
+		for _, r := range rs {
+			g.members = append(g.members, &member{rep: r})
+		}
+		b.groups = append(b.groups, g)
 	}
 	return b, nil
+}
+
+// AddReplica appends a new member to partitionID's group — the read-path
+// half of live scale-out. The member starts marked down; the cluster
+// marks it up once its catch-up completes. Returns the new member's
+// index.
+func (b *Broker) AddReplica(partitionID int, rep Replica) (int, error) {
+	if partitionID < 0 || partitionID >= len(b.groups) {
+		return 0, fmt.Errorf("broker: partition %d out of range", partitionID)
+	}
+	if rep == nil {
+		return 0, fmt.Errorf("broker: nil replica")
+	}
+	g := b.groups[partitionID]
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m := &member{rep: rep}
+	m.down.Store(true)
+	// Append to a fresh slice so snapshots taken before the growth stay
+	// immutable.
+	members := make([]*member, len(g.members), len(g.members)+1)
+	copy(members, g.members)
+	g.members = append(members, m)
+	return len(g.members) - 1, nil
+}
+
+// ReplaceReplica swaps the backing replica of an existing member — node
+// replacement: same slot, new machine. Health is unchanged (the cluster
+// downs the slot before replacing and ups it after catch-up).
+func (b *Broker) ReplaceReplica(partitionID, idx int, rep Replica) error {
+	if partitionID < 0 || partitionID >= len(b.groups) {
+		return fmt.Errorf("broker: partition %d out of range", partitionID)
+	}
+	if rep == nil {
+		return fmt.Errorf("broker: nil replica")
+	}
+	g := b.groups[partitionID]
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if idx < 0 || idx >= len(g.members) {
+		return fmt.Errorf("broker: replica %d out of range for partition %d", idx, partitionID)
+	}
+	// Swap inside a fresh member so readers holding an old snapshot keep a
+	// consistent (rep, down) pair.
+	m := &member{rep: rep}
+	m.down.Store(g.members[idx].down.Load())
+	members := make([]*member, len(g.members))
+	copy(members, g.members)
+	members[idx] = m
+	g.members = members
+	return nil
 }
 
 // RecommendationsFor routes the read to a healthy replica of the partition
@@ -73,15 +150,16 @@ func New(part partition.Partitioner, groups [][]Replica) (*Broker, error) {
 // if the whole group is down.
 func (b *Broker) RecommendationsFor(a graph.VertexID) ([]motif.Candidate, error) {
 	g := b.groups[b.part.PartitionOf(a)]
-	n := len(g.replicas)
+	members := g.snapshot()
+	n := len(members)
 	start := int(g.next.Add(1)) % n
 	for i := 0; i < n; i++ {
-		idx := (start + i) % n
-		if g.down[idx].Load() {
+		m := members[(start+i)%n]
+		if m.down.Load() {
 			continue
 		}
 		b.queries.Add(1)
-		return g.replicas[idx].RecommendationsFor(a), nil
+		return m.rep.RecommendationsFor(a), nil
 	}
 	b.failures.Add(1)
 	return nil, ErrNoReplica
@@ -98,14 +176,15 @@ func FanOut[T any](b *Broker, fn func(r Replica) T) ([]T, error) {
 		wg.Add(1)
 		go func(i int, g *group) {
 			defer wg.Done()
-			n := len(g.replicas)
+			members := g.snapshot()
+			n := len(members)
 			start := int(g.next.Add(1)) % n
 			for j := 0; j < n; j++ {
-				idx := (start + j) % n
-				if g.down[idx].Load() {
+				m := members[(start+j)%n]
+				if m.down.Load() {
 					continue
 				}
-				out[i] = fn(g.replicas[idx])
+				out[i] = fn(m.rep)
 				return
 			}
 			errs[i] = fmt.Errorf("partition %d: %w", i, ErrNoReplica)
@@ -130,11 +209,11 @@ func (b *Broker) setHealth(partitionID, idx int, down bool) error {
 	if partitionID < 0 || partitionID >= len(b.groups) {
 		return fmt.Errorf("broker: partition %d out of range", partitionID)
 	}
-	g := b.groups[partitionID]
-	if idx < 0 || idx >= len(g.replicas) {
+	members := b.groups[partitionID].snapshot()
+	if idx < 0 || idx >= len(members) {
 		return fmt.Errorf("broker: replica %d out of range for partition %d", idx, partitionID)
 	}
-	g.down[idx].Store(down)
+	members[idx].down.Store(down)
 	return nil
 }
 
@@ -144,11 +223,11 @@ func (b *Broker) ReplicaHealthy(partitionID, idx int) bool {
 	if partitionID < 0 || partitionID >= len(b.groups) {
 		return false
 	}
-	g := b.groups[partitionID]
-	if idx < 0 || idx >= len(g.replicas) {
+	members := b.groups[partitionID].snapshot()
+	if idx < 0 || idx >= len(members) {
 		return false
 	}
-	return !g.down[idx].Load()
+	return !members[idx].down.Load()
 }
 
 // HealthyReplicas returns the number of healthy replicas for partitionID.
@@ -156,10 +235,9 @@ func (b *Broker) HealthyReplicas(partitionID int) int {
 	if partitionID < 0 || partitionID >= len(b.groups) {
 		return 0
 	}
-	g := b.groups[partitionID]
 	n := 0
-	for i := range g.down {
-		if !g.down[i].Load() {
+	for _, m := range b.groups[partitionID].snapshot() {
+		if !m.down.Load() {
 			n++
 		}
 	}

@@ -52,6 +52,21 @@
 // the group's delivered offset). docs/DURABILITY.md states the full
 // contract and its safety arguments.
 //
+// # Elastic placement
+//
+// Replica membership is dynamic (see elastic.go and internal/placement):
+// each replica is a *placement* on a virtual node, with a generation that
+// advances on node replacement. ReprovisionReplica discards a dead (or
+// planned-out live) replica's slot entirely — new directory, fresh S —
+// and rebuilds its state from the partition's replicated base pool plus
+// durable-log replay; AddReplica/DecommissionReplica grow and shrink a
+// group while the stream is flowing; and with Config.MirrorBases > 0 the
+// checkpoint compactor replicates every fresh base to peer replica
+// directories, which is what turns "corrupt base above a truncated log"
+// from the documented unrecoverable corner into a recoverable one. The
+// delivery tier's per-group offset filter is membership-independent, so
+// exactly-once survives every one of these transitions.
+//
 // # Exactly-once candidate delivery
 //
 // Detection is deterministic and idempotent, so every alive replica of a
@@ -84,6 +99,7 @@ import (
 	"motifstream/internal/metrics"
 	"motifstream/internal/motif"
 	"motifstream/internal/partition"
+	"motifstream/internal/placement"
 	"motifstream/internal/queue"
 )
 
@@ -154,18 +170,28 @@ type Config struct {
 	// publishes per-partition S builds (statstore.WriteSnapshot files
 	// named s-p%03d.snap). RestoreReplica reloads the partition's file if
 	// present, so a rejoining replica serves the newest offline build
-	// rather than the S it was constructed with.
+	// rather than the S it was constructed with; re-provisioned and
+	// scaled-out replicas build their fresh S straight from it.
 	StaticSnapshotDir string
+	// MirrorBases is the base replication factor: every base the
+	// checkpoint compactor publishes is also mirrored (CRC-verified) to
+	// up to this many peer replica directories of the same partition.
+	// Mirrors are what make a corrupt base above a truncated firehose log
+	// recoverable, and what a re-provisioned replica's state is rebuilt
+	// from. Zero disables mirroring. Ignored without CheckpointDir.
+	MirrorBases int
 }
 
 // Replica catch-up states. A replica is born live; KillReplica moves it to
 // dead; RestoreReplica moves it to replaying (or straight to live when
 // already at the head); applying the catch-up target offset moves
-// replaying to live.
+// replaying to live. DecommissionReplica moves any state to removed — a
+// terminal tombstone that keeps the group's indices stable.
 const (
 	replicaLive int32 = iota
 	replicaReplaying
 	replicaDead
+	replicaRemoved
 )
 
 // replicaSlot is the cluster-side handle for one running replica: the
@@ -174,7 +200,16 @@ const (
 // written while no consumer goroutine is running.
 type replicaSlot struct {
 	pid, idx int
-	p        *partition.Partition
+	// gen is the placement generation (bumped by ReprovisionReplica) and
+	// dir the generation's checkpoint directory ("" without recovery).
+	// Both are rewritten only under ctl+topoMu; read them under either.
+	gen int
+	dir string
+	// p is the backing partition. It is an atomic pointer because node
+	// replacement swaps in a brand-new partition while observers (tests,
+	// the broker's owner) may be reading; nil only on a tombstone slot
+	// rebuilt from a persisted decommission.
+	p atomic.Pointer[partition.Partition]
 
 	state atomic.Int32
 
@@ -225,6 +260,10 @@ type Cluster struct {
 
 	ckptEveryMS  int64
 	compactEvery int
+	mirrorBases  int
+	// table is the durable placement assignment (generations, scale-out
+	// membership, decommission tombstones); nil without CheckpointDir.
+	table *placement.Table
 	// runID stamps this cluster instance's checkpoint files. With an
 	// in-memory firehose log the log dies with the process, so the id is
 	// random per construction and foreign-run files are wiped rather than
@@ -250,6 +289,12 @@ type Cluster struct {
 	compactions   *metrics.Counter
 	truncated     *metrics.Counter
 	staticReloads *metrics.Counter
+	reprovisions  *metrics.Counter
+	mirrorsOut    *metrics.Counter
+	poolRestores  *metrics.Counter
+	fsyncsSaved   *metrics.Counter
+	scaleOuts     *metrics.Counter
+	scaleIns      *metrics.Counter
 
 	// ctl serializes the replica lifecycle operations (KillReplica,
 	// RestoreReplica) and guards the slot fields they rewrite, so
@@ -263,11 +308,20 @@ type Cluster struct {
 	// truncMu (never ctl — stopWriterLocked waits on them while holding
 	// ctl); RestoreReplica takes ctl then truncMu, so the order is acyclic.
 	truncMu sync.Mutex
+	// topoMu guards the topology itself — the per-partition slot slices,
+	// which grow on AddReplica, and each slot's dir/gen/p, which node
+	// replacement rewrites. Mutations additionally hold ctl; lock order
+	// is ctl → truncMu → topoMu (topoMu is always innermost), so readers
+	// on any path can take the read lock without ordering worries.
+	topoMu sync.RWMutex
 
 	wg        sync.WaitGroup
 	deliverWG sync.WaitGroup
 	startOnce sync.Once
 	stopOnce  sync.Once
+	// started gates the elastic lifecycle calls that must attach to a
+	// running delivery pipeline (AddReplica, ReprovisionReplica).
+	started atomic.Bool
 }
 
 // candidateMsg is one event's worth of candidates from one replica: the
@@ -380,6 +434,12 @@ func New(cfg Config) (c *Cluster, err error) {
 		compactions:   reg.Counter("cluster.compactions"),
 		truncated:     reg.Counter("cluster.log_truncated_events"),
 		staticReloads: reg.Counter("cluster.static_reloads"),
+		reprovisions:  reg.Counter("cluster.reprovisions"),
+		mirrorsOut:    reg.Counter("cluster.base_mirrors"),
+		poolRestores:  reg.Counter("cluster.base_pool_restores"),
+		fsyncsSaved:   reg.Counter("cluster.fsyncs_saved"),
+		scaleOuts:     reg.Counter("cluster.scale_outs"),
+		scaleIns:      reg.Counter("cluster.scale_ins"),
 	}
 	if recovery {
 		c.ckptEveryMS = cfg.CheckpointInterval.Milliseconds()
@@ -399,20 +459,57 @@ func New(cfg Config) (c *Cluster, err error) {
 			}
 			c.runID = binary.LittleEndian.Uint64(id[:])
 		}
+		c.mirrorBases = cfg.MirrorBases
+		// Load the durable placement assignment — generations chosen by
+		// past re-provisions, membership changed by past scale events —
+		// gated by the run/log identity like every other durable artifact
+		// (a foreign table loads empty, a malformed one is counted and
+		// replaced at the next mutation).
+		tbl, err := placement.Load(placement.TablePath(cfg.CheckpointDir), c.runID)
+		if err != nil {
+			c.ckptErrors.Inc()
+		}
+		c.table = tbl
 	}
 
 	slots := make([][]*replicaSlot, cfg.Partitions)
 	replicaGroups := make([][]broker.Replica, cfg.Partitions)
+	var tombstones [][2]int
 	for pid := 0; pid < cfg.Partitions; pid++ {
-		for r := 0; r < cfg.Replicas; r++ {
+		// The persisted placement table can widen a partition beyond the
+		// configured replica count (live scale-out survives restarts) and
+		// mark indices decommissioned (tombstones keep peers' indices
+		// stable).
+		replicas := cfg.Replicas
+		if c.table != nil {
+			if n := c.table.Replicas(pid); n > replicas {
+				replicas = n
+			}
+		}
+		for r := 0; r < replicas; r++ {
+			var pl placement.Placement
+			if c.table != nil {
+				pl = c.table.Get(pid, r)
+			}
+			slot := &replicaSlot{pid: pid, idx: r, gen: pl.Gen, live: make(chan struct{})}
+			if pl.Removed {
+				// A decommissioned placement: no partition, no directory,
+				// never consumes; permanently broker-down (marked after
+				// broker construction below).
+				slot.state.Store(replicaRemoved)
+				slots[pid] = append(slots[pid], slot)
+				replicaGroups[pid] = append(replicaGroups[pid], tombstone{pid: pid})
+				tombstones = append(tombstones, [2]int{pid, r})
+				continue
+			}
 			p, err := c.buildPartition(pid)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: partition %d replica %d: %w", pid, r, err)
 			}
-			slot := &replicaSlot{pid: pid, idx: r, p: p, live: make(chan struct{})}
+			slot.p.Store(p)
 			close(slot.live) // replicas are born live
 			if recovery {
-				dir := replicaCkptDir(cfg.CheckpointDir, pid, r)
+				slot.dir = placement.Dir(cfg.CheckpointDir, pid, r, pl.Gen)
 				if !durable {
 					// In-memory log: any leftover chain belongs to a
 					// previous run whose firehose log is gone, so it is
@@ -420,11 +517,11 @@ func New(cfg Config) (c *Cluster, err error) {
 					// keeps the directory — restoring it is the point —
 					// and relies on the log-identity gate plus segment
 					// checksums instead.
-					if err := os.RemoveAll(dir); err != nil {
+					if err := os.RemoveAll(slot.dir); err != nil {
 						return nil, fmt.Errorf("cluster: checkpoint dir: %w", err)
 					}
 				}
-				if err := os.MkdirAll(dir, 0o755); err != nil {
+				if err := os.MkdirAll(slot.dir, 0o755); err != nil {
 					return nil, fmt.Errorf("cluster: checkpoint dir: %w", err)
 				}
 			}
@@ -441,6 +538,9 @@ func New(cfg Config) (c *Cluster, err error) {
 		// spans, and those batches were already pushed by a previous run.
 		for _, group := range c.slots {
 			for _, slot := range group {
+				if slot.state.Load() == replicaRemoved {
+					continue
+				}
 				if err := c.planStartupRestore(slot); err != nil {
 					return nil, err
 				}
@@ -466,6 +566,9 @@ func New(cfg Config) (c *Cluster, err error) {
 		return nil, err
 	}
 	c.broker = b
+	for _, ts := range tombstones {
+		c.broker.MarkDown(ts[0], ts[1])
+	}
 	return c, nil
 }
 
@@ -535,6 +638,9 @@ func (c *Cluster) Start() {
 		head := c.firehose.Published()
 		for _, group := range c.slots {
 			for _, slot := range group {
+				if slot.state.Load() == replicaRemoved {
+					continue
+				}
 				slot.quit = make(chan struct{})
 				slot.stopped = make(chan struct{})
 				if c.durable {
@@ -574,6 +680,7 @@ func (c *Cluster) Start() {
 		deliverSub := c.candidates.Subscribe()
 		c.deliverWG.Add(1)
 		go c.runDelivery(deliverSub)
+		c.started.Store(true)
 	})
 }
 
@@ -605,7 +712,7 @@ func (c *Cluster) runReplica(slot *replicaSlot) {
 // one batch per event. Returns false only when the candidates topic has
 // closed (shutdown race).
 func (c *Cluster) applyEnvelope(slot *replicaSlot, env queue.Envelope[graph.Edge]) bool {
-	cands := slot.p.Apply(env.Msg)
+	cands := slot.p.Load().Apply(env.Msg)
 
 	// Candidates are published before any checkpoint cut covering this
 	// offset: a cut at Offset+1 must never claim durability for an event
@@ -660,7 +767,7 @@ func (c *Cluster) cutCheckpoint(slot *replicaSlot, nextOffset uint64) {
 		return
 	}
 	start := time.Now()
-	delta := slot.p.CaptureDelta()
+	delta := slot.p.Load().CaptureDelta()
 	w.jobs <- ckptJob{delta: delta, offset: nextOffset}
 	// Observed after the send so the metric is the apply loop's whole
 	// checkpoint stall: capture plus any backpressure wait on a slow
@@ -746,14 +853,14 @@ func (c *Cluster) stop(finalCut bool) {
 		c.ctl.Lock()
 		for _, group := range c.slots {
 			for _, slot := range group {
-				if finalCut && slot.writer != nil && slot.state.Load() != replicaDead {
+				if st := slot.state.Load(); finalCut && slot.writer != nil && st != replicaDead && st != replicaRemoved {
 					// The consumers have drained: every retained envelope
 					// is applied and its candidates are in the delivery
 					// queue, so a cut claiming the full head is sound. An
 					// empty delta means the chain head already covers the
 					// log (nothing applied since the last cut) — skip the
 					// no-op segment.
-					if delta := slot.p.CaptureDelta(); delta.Len() > 0 {
+					if delta := slot.p.Load().CaptureDelta(); delta.Len() > 0 {
 						slot.writer.jobs <- ckptJob{delta: delta, offset: c.firehose.Published()}
 					}
 				}
@@ -786,8 +893,11 @@ func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
 // Partitioner returns the cluster's A-space partitioner.
 func (c *Cluster) Partitioner() partition.Partitioner { return c.part }
 
-// slot validates indices and returns the slot.
+// slot validates indices and returns the slot. The topology read lock
+// covers the group slice, which AddReplica grows mid-run.
 func (c *Cluster) slot(pid, r int) (*replicaSlot, error) {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
 	if pid < 0 || pid >= len(c.slots) {
 		return nil, fmt.Errorf("cluster: partition %d out of range", pid)
 	}
@@ -798,12 +908,16 @@ func (c *Cluster) slot(pid, r int) (*replicaSlot, error) {
 }
 
 // Replica returns the given replica, for tests and failure injection.
+// Decommissioned slots have no partition and return an error.
 func (c *Cluster) Replica(pid, r int) (*partition.Partition, error) {
 	slot, err := c.slot(pid, r)
 	if err != nil {
 		return nil, err
 	}
-	return slot.p, nil
+	if slot.state.Load() == replicaRemoved {
+		return nil, fmt.Errorf("cluster: replica %d/%d is decommissioned", pid, r)
+	}
+	return slot.p.Load(), nil
 }
 
 // FailReplica marks a replica down for reads — experiment E9's failover
@@ -837,6 +951,20 @@ type Stats struct {
 	// Compactions counts delta chains folded into fresh bases by the
 	// async writers.
 	Compactions uint64
+	// Reprovisions counts node replacements (ReprovisionReplica).
+	Reprovisions uint64
+	// BaseMirrors counts base checkpoints replicated to peer replica
+	// directories; BasePoolRestores counts restores that recovered state
+	// from the partition's base pool (a mirror or a peer's base) rather
+	// than the replica's own chain.
+	BaseMirrors      uint64
+	BasePoolRestores uint64
+	// FsyncsSaved counts fsyncs the async writers elided by coalescing
+	// queued checkpoint cuts into one segment per drain.
+	FsyncsSaved uint64
+	// ScaleOuts and ScaleIns count live membership changes (AddReplica /
+	// DecommissionReplica).
+	ScaleOuts, ScaleIns uint64
 	// LogTruncatedBelow is the firehose log's compaction horizon: every
 	// retained offset is at or above it. Zero until the first truncation.
 	LogTruncatedBelow uint64
@@ -856,6 +984,12 @@ func (c *Cluster) Stats() Stats {
 		Checkpoints:       c.checkpoints.Value(),
 		Restores:          c.restores.Value(),
 		Compactions:       c.compactions.Value(),
+		Reprovisions:      c.reprovisions.Value(),
+		BaseMirrors:       c.mirrorsOut.Value(),
+		BasePoolRestores:  c.poolRestores.Value(),
+		FsyncsSaved:       c.fsyncsSaved.Value(),
+		ScaleOuts:         c.scaleOuts.Value(),
+		ScaleIns:          c.scaleIns.Value(),
 		LogTruncatedBelow: c.firehose.LogStart(),
 		CutPause:          c.cutPause.Snapshot(),
 		E2ELatency:        c.e2eLatency.Snapshot(),

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -21,7 +22,7 @@ import (
 
 // durableConfig is recoveryConfig plus a durable firehose log with tiny
 // segments, so restarts exercise WAL rotation and segment truncation.
-func durableConfig(t *testing.T, static []graph.Edge) Config {
+func durableConfig(t testing.TB, static []graph.Edge) Config {
 	t.Helper()
 	cfg := recoveryConfig(t, static)
 	cfg.LogDir = t.TempDir()
@@ -91,6 +92,136 @@ func (h *crashHarness) awaitAll(idx int) {
 	}
 }
 
+// reprovisionAll replaces the node of replica idx of every partition.
+func (h *crashHarness) reprovisionAll(idx int) {
+	h.t.Helper()
+	for pid := 0; pid < h.cfg.Partitions; pid++ {
+		if err := h.c.ReprovisionReplica(pid, idx); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+}
+
+// addAll scales every partition out by one replica; all partitions must
+// land on the same new index, which is returned.
+func (h *crashHarness) addAll() int {
+	h.t.Helper()
+	idx := -1
+	for pid := 0; pid < h.cfg.Partitions; pid++ {
+		got, err := h.c.AddReplica(pid)
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		if idx == -1 {
+			idx = got
+		} else if got != idx {
+			h.t.Fatalf("AddReplica returned index %d for partition %d, %d for earlier ones", got, pid, idx)
+		}
+	}
+	return idx
+}
+
+// decommissionAll scales replica idx of every partition in.
+func (h *crashHarness) decommissionAll(idx int) {
+	h.t.Helper()
+	for pid := 0; pid < h.cfg.Partitions; pid++ {
+		if err := h.c.DecommissionReplica(pid, idx); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+}
+
+// waitForBases waits until replica idx of every partition has a compacted
+// base at the head of its durable chain (floor > 0) — the precondition
+// for log truncation to advance and for the base pool to be non-empty.
+func (h *crashHarness) waitForBases(idx int) {
+	h.t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for pid := 0; pid < h.cfg.Partitions; pid++ {
+		slot, err := h.c.slot(pid, idx)
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		for {
+			man, err := loadManifest(manifestPath(slot.dir), h.c.runID)
+			if err == nil && len(man.segs) > 0 && man.segs[0].kind == segKindBase {
+				break
+			}
+			if time.Now().After(deadline) {
+				h.t.Fatalf("replica %d/%d never compacted a base", pid, idx)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// waitForTruncation waits until the firehose log's compaction horizon has
+// advanced past zero. The async writers drive truncation, so this only
+// converges once every replica's floor is positive (waitForBases).
+func (h *crashHarness) waitForTruncation() {
+	h.t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for h.c.Stats().LogTruncatedBelow == 0 {
+		if time.Now().After(deadline) {
+			var floors []uint64
+			for _, group := range h.c.slots {
+				for _, s := range group {
+					floors = append(floors, s.floor.Load())
+				}
+			}
+			h.t.Fatalf("firehose log never truncated (floors %v, published %d)",
+				floors, h.c.firehose.Published())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// corruptBases flips a byte in every base segment of replica idx's chain
+// and in every mirror file stored in its directory — "all local bases
+// corrupt", the state of a machine whose disk went bad.
+func (h *crashHarness) corruptBases(idx int) {
+	h.t.Helper()
+	corrupted := 0
+	for pid := 0; pid < h.cfg.Partitions; pid++ {
+		slot, err := h.c.slot(pid, idx)
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		man, err := loadManifest(manifestPath(slot.dir), h.c.runID)
+		if err == nil {
+			for _, seg := range man.segs {
+				if seg.kind != segKindBase {
+					continue
+				}
+				flipByte(h.t, segmentPath(slot.dir, seg))
+				corrupted++
+			}
+		}
+		mdir := filepath.Join(slot.dir, mirrorSubdir)
+		if entries, err := os.ReadDir(mdir); err == nil {
+			for _, e := range entries {
+				flipByte(h.t, filepath.Join(mdir, e.Name()))
+				corrupted++
+			}
+		}
+	}
+	if corrupted == 0 {
+		h.t.Fatal("vacuous: no base files to corrupt")
+	}
+}
+
+func flipByte(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // restart is the cross-process boundary: gracefully shut the current
 // cluster down, then reopen a brand-new Cluster value over the same
 // durable log and checkpoint directories.
@@ -108,12 +239,14 @@ func (h *crashHarness) restart() {
 }
 
 // finish publishes the remainder of the stream, restores any replica the
-// scenario left dead, and drains the cluster.
+// scenario left dead, and drains the cluster. Membership may have changed
+// mid-scenario, so the scans cover the live topology, and decommissioned
+// tombstones are exempt from the all-live drain invariant.
 func (h *crashHarness) finish() {
 	h.t.Helper()
 	h.publishTo(1.0)
 	for pid := 0; pid < h.cfg.Partitions; pid++ {
-		for r := 0; r < h.cfg.Replicas; r++ {
+		for r := 0; r < h.c.Replicas(pid); r++ {
 			if state, _ := h.c.ReplicaState(pid, r); state == "dead" {
 				if err := h.c.RestoreReplica(pid, r); err != nil {
 					h.t.Fatal(err)
@@ -123,8 +256,8 @@ func (h *crashHarness) finish() {
 	}
 	h.c.Shutdown()
 	for pid := 0; pid < h.cfg.Partitions; pid++ {
-		for r := 0; r < h.cfg.Replicas; r++ {
-			if state, _ := h.c.ReplicaState(pid, r); state != "live" {
+		for r := 0; r < h.c.Replicas(pid); r++ {
+			if state, _ := h.c.ReplicaState(pid, r); state != "live" && state != "removed" {
 				h.t.Fatalf("replica %d/%d state %q after drain, want live", pid, r, state)
 			}
 		}
@@ -150,15 +283,27 @@ func assertSameNotes(t *testing.T, want, got map[noteKey]int) {
 	}
 }
 
-// assertConverged compares every replica's D store against the oracle's.
+// assertConverged compares every (non-decommissioned) replica's D store
+// against the oracle's. Oracle replicas are deterministic clones, so
+// replica 0 stands for the whole group — which also covers fault-side
+// replicas added by scale-out, which have no oracle counterpart by index.
 func assertConverged(t *testing.T, fault, oracle *Cluster, cfg Config) {
 	t.Helper()
 	for pid := 0; pid < cfg.Partitions; pid++ {
-		for r := 0; r < cfg.Replicas; r++ {
-			got, _ := fault.Replica(pid, r)
-			want, _ := oracle.Replica(pid, r)
+		want, err := oracle.Replica(pid, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := want.Engine().Dynamic().Stats()
+		for r := 0; r < fault.Replicas(pid); r++ {
+			if state, _ := fault.ReplicaState(pid, r); state == "removed" {
+				continue
+			}
+			got, err := fault.Replica(pid, r)
+			if err != nil {
+				t.Fatalf("replica %d/%d: %v", pid, r, err)
+			}
 			g := got.Engine().Dynamic().Stats()
-			w := want.Engine().Dynamic().Stats()
 			if g != w {
 				t.Fatalf("partition %d replica %d D stats %+v != oracle %+v", pid, r, g, w)
 			}
@@ -331,6 +476,142 @@ func TestCrashMatrix(t *testing.T) {
 				h.publishTo(0.55)
 				h.restoreAll(1)
 				h.restart() // no await: replay may be in flight
+			},
+		},
+		{
+			// Node replacement mid-stream: replica 1 of every partition
+			// dies and is replaced entirely — new generation directory,
+			// fresh S, state rebuilt from the partition's base pool plus
+			// log replay — while the survivors keep compacting and
+			// truncating underneath.
+			name:    "reprovision-mid-stream",
+			durable: true,
+			tune: func(cfg *Config) {
+				cfg.CheckpointInterval = time.Second
+				cfg.CompactEvery = 2
+				cfg.MirrorBases = 1
+			},
+			fault: func(h *crashHarness) {
+				h.publishTo(0.4)
+				h.killAll(1)
+				h.publishTo(0.7)
+				h.reprovisionAll(1)
+			},
+			verify: func(t *testing.T, h *crashHarness) {
+				st := h.c.Stats()
+				if st.Reprovisions == 0 {
+					t.Fatal("vacuous: nothing reprovisioned")
+				}
+				if st.BaseMirrors == 0 {
+					t.Fatal("vacuous: no bases mirrored")
+				}
+				// The replacement lives in a new generation directory.
+				slot, err := h.c.slot(0, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if slot.gen == 0 {
+					t.Fatal("reprovisioned replica kept generation 0")
+				}
+			},
+		},
+		{
+			// The acceptance case: every base file of replica 1 — chain
+			// bases and the mirrors stored on its disk — is corrupted
+			// after its node dies, and the log has been truncated above
+			// its floor, so neither its chain nor a scratch replay can
+			// restore it. ReprovisionReplica must still bring it back via
+			// the peers' base pool, oracle-equivalent.
+			name:    "reprovision-all-local-bases-corrupt",
+			durable: true,
+			tune: func(cfg *Config) {
+				cfg.CheckpointInterval = time.Second
+				cfg.CompactEvery = 2
+				cfg.MirrorBases = 1
+				// Tiny WAL segments: truncation deletes whole segments, and
+				// the dead replica's frozen floor must have whole segments
+				// below it for the log to actually shrink mid-scenario.
+				cfg.LogSegmentBytes = 2 << 10
+			},
+			fault: func(h *crashHarness) {
+				h.publishTo(0.4)
+				// Publishing is asynchronous (the firehose buffers), so let
+				// every replica's compactor catch up far enough for whole
+				// WAL segments to fall below the cluster floor before the
+				// kill freezes replica 1's floors: after it, scratch
+				// recovery (offset 0) is permanently below the log start.
+				h.waitForTruncation()
+				h.killAll(1)
+				h.publishTo(0.7) // survivors keep compacting past the corpses
+				h.corruptBases(1)
+				h.reprovisionAll(1)
+			},
+			verify: func(t *testing.T, h *crashHarness) {
+				st := h.c.Stats()
+				if st.LogTruncatedBelow == 0 {
+					t.Fatal("vacuous: log never truncated; plain replay would have sufficed")
+				}
+				if st.Reprovisions == 0 || st.BasePoolRestores == 0 {
+					t.Fatalf("vacuous: reprovisions=%d pool restores=%d", st.Reprovisions, st.BasePoolRestores)
+				}
+			},
+		},
+		{
+			// Live scale-out, then the original replicas die: the
+			// scaled-out replica carries the group (the kill guard counts
+			// it), and the dead originals restore as usual. Exactly-once
+			// must hold across the membership change.
+			name:    "scale-out-then-kill-original",
+			durable: true,
+			tune: func(cfg *Config) {
+				cfg.CheckpointInterval = time.Second
+				cfg.MirrorBases = 1
+			},
+			fault: func(h *crashHarness) {
+				h.publishTo(0.3)
+				idx := h.addAll()
+				h.awaitAll(idx)
+				h.publishTo(0.5)
+				h.killAll(0)
+				h.killAll(1) // only the scaled-out replica remains
+				h.publishTo(0.8)
+				h.restoreAll(0)
+				h.restoreAll(1)
+			},
+			verify: func(t *testing.T, h *crashHarness) {
+				if st := h.c.Stats(); st.ScaleOuts == 0 {
+					t.Fatal("vacuous: no scale-out happened")
+				}
+				if n := h.c.Replicas(0); n != 3 {
+					t.Fatalf("partition 0 has %d replicas, want 3", n)
+				}
+			},
+		},
+		{
+			// Live scale-in under load: an added replica takes over and an
+			// original is decommissioned for good — no dupes, no losses,
+			// and the tombstone never comes back (finish() asserts the
+			// drain invariant around it).
+			name:    "scale-out-scale-in",
+			durable: true,
+			tune: func(cfg *Config) {
+				cfg.CheckpointInterval = time.Second
+				cfg.MirrorBases = 1
+			},
+			fault: func(h *crashHarness) {
+				h.publishTo(0.3)
+				idx := h.addAll()
+				h.awaitAll(idx)
+				h.publishTo(0.6)
+				h.decommissionAll(1)
+			},
+			verify: func(t *testing.T, h *crashHarness) {
+				if st := h.c.Stats(); st.ScaleIns == 0 {
+					t.Fatal("vacuous: no scale-in happened")
+				}
+				if state, _ := h.c.ReplicaState(0, 1); state != "removed" {
+					t.Fatalf("decommissioned replica state = %q", state)
+				}
 			},
 		},
 	}

@@ -1,0 +1,577 @@
+package cluster
+
+// Elastic placement: the mechanisms behind internal/placement's model of
+// replicas as placements on virtual nodes.
+//
+//   - ReprovisionReplica is node *replacement*: the old slot — its
+//     in-memory state and its on-disk directory — is discarded entirely,
+//     and a fresh replica is built on a new generation directory with a
+//     fresh S, its state recovered from the partition's base pool plus
+//     durable-log replay.
+//   - mirrorBase is base *replication*: every base the compactor
+//     publishes is copied (CRC-verified) into up to Config.MirrorBases
+//     peer replica directories, so the partition keeps restore points
+//     even when a machine or a base is lost.
+//   - AddReplica / DecommissionReplica are live scale-out and scale-in:
+//     membership changes under a flowing stream, with the new replica
+//     catching up from the base pool and the delivery tier's per-group
+//     offset filter keeping exactly-once across the transition.
+//
+// The base pool is the partition-wide set of potential restore points:
+// every non-removed replica directory's own compacted base plus the
+// mirror files pushed into it. Replicas of a partition are deterministic
+// clones, so *any* CRC-valid base of the partition restores *any*
+// replica — what matters is only that the durable log still extends it
+// (base offset within [log start, head]).
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"motifstream/internal/codecutil"
+	"motifstream/internal/graph"
+	"motifstream/internal/motif"
+	"motifstream/internal/partition"
+	"motifstream/internal/placement"
+	"motifstream/internal/queue"
+	"motifstream/internal/statstore"
+)
+
+// tombstone stands in for a decommissioned placement in the broker's
+// replica groups, keeping member indices aligned with slot indices; it is
+// permanently marked down and never serves.
+type tombstone struct{ pid int }
+
+func (t tombstone) RecommendationsFor(graph.VertexID) []motif.Candidate { return nil }
+func (t tombstone) ID() int                                             { return t.pid }
+
+// Partitions returns the number of partitions (placement.Elastic).
+func (c *Cluster) Partitions() int { return len(c.slots) }
+
+// Replicas returns partition pid's current replica count, decommissioned
+// tombstones included — indices stay stable, so this is also the bound
+// for ReplicaState scans (placement.Elastic).
+func (c *Cluster) Replicas(pid int) int {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	if pid < 0 || pid >= len(c.slots) {
+		return 0
+	}
+	return len(c.slots[pid])
+}
+
+// mirrorSubdir is the subdirectory of a replica directory holding base
+// mirrors pushed by peers.
+const mirrorSubdir = "mirror"
+
+// mirrorName formats a mirror file name: the source replica index (so a
+// source's newer push retires only its own older ones) and the base's cut
+// offset, zero-padded so lexical order is offset order.
+func mirrorName(srcIdx int, offset uint64) string {
+	return fmt.Sprintf("mirror-r%02d-%020d.seg", srcIdx, offset)
+}
+
+// parseMirrorName inverts mirrorName.
+func parseMirrorName(name string) (srcIdx int, offset uint64, ok bool) {
+	rest, found := strings.CutPrefix(name, "mirror-r")
+	if !found {
+		return 0, 0, false
+	}
+	rest, found = strings.CutSuffix(rest, ".seg")
+	if !found {
+		return 0, 0, false
+	}
+	idxStr, offStr, found := strings.Cut(rest, "-")
+	if !found {
+		return 0, 0, false
+	}
+	idx, err := strconv.Atoi(idxStr)
+	if err != nil || idx < 0 {
+		return 0, 0, false
+	}
+	off, err := strconv.ParseUint(offStr, 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return idx, off, true
+}
+
+// checksumOK verifies a base file's CRC32C trailer over its payload — the
+// cheap byte-level gate mirror writes use; compose-time reads do the full
+// structural decode.
+func checksumOK(data []byte) bool {
+	if len(data) < 4 {
+		return false
+	}
+	payload, trailer := data[:len(data)-4], data[len(data)-4:]
+	want := uint32(trailer[0]) | uint32(trailer[1])<<8 | uint32(trailer[2])<<16 | uint32(trailer[3])<<24
+	return codecutil.CRC32C(payload) == want
+}
+
+// mirrorBase replicates a freshly compacted base to up to
+// Config.MirrorBases peer replica directories of the same partition.
+// Called from the owning replica's writer goroutine after the base is
+// published. Strictly best-effort: the source is CRC-verified before any
+// push, each push is independent, and a failed one is counted and left
+// where it tore (a crashed pusher would too — readers CRC-gate every
+// mirror, so torn files are inert).
+func (c *Cluster) mirrorBase(slot *replicaSlot, srcPath string, offset uint64) {
+	budget := c.mirrorBases
+	if budget <= 0 {
+		return
+	}
+	data, err := os.ReadFile(srcPath)
+	if err != nil || !checksumOK(data) {
+		c.ckptErrors.Inc()
+		return
+	}
+	// Snapshot peer directories under the topology lock; the writes
+	// happen outside it. A peer decommissioned or reprovisioned between
+	// the snapshot and the push at worst leaves garbage in a directory
+	// about to be (or already) deleted — generation directories are never
+	// reused, so nothing can ever resurrect it.
+	c.topoMu.RLock()
+	var peerDirs []string
+	for _, s := range c.slots[slot.pid] {
+		if s != slot && s.state.Load() != replicaRemoved && s.dir != "" {
+			peerDirs = append(peerDirs, s.dir)
+		}
+	}
+	c.topoMu.RUnlock()
+	for _, peerDir := range peerDirs {
+		if budget == 0 {
+			break
+		}
+		dir := filepath.Join(peerDir, mirrorSubdir)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			c.ckptErrors.Inc()
+			continue
+		}
+		if err := writeMirrorFile(filepath.Join(dir, mirrorName(slot.idx, offset)), data); err != nil {
+			c.ckptErrors.Inc()
+			continue
+		}
+		removeOlderMirrors(dir, slot.idx, offset)
+		c.mirrorsOut.Inc()
+		budget--
+	}
+}
+
+// writeMirrorFile writes one mirror push. Unlike writeFileSync it does
+// NOT remove the file on failure: a crashed pusher leaves a torn file on
+// the peer's disk, and modeling that honestly is the point — readers
+// CRC-gate every mirror before trusting it.
+func writeMirrorFile(path string, data []byte) error {
+	f, err := openSegFile(path)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// removeOlderMirrors retires srcIdx's mirrors older than newest — one
+// live mirror per source bounds pool disk to MirrorBases extra bases per
+// replica.
+func removeOlderMirrors(dir string, srcIdx int, newest uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if idx, off, ok := parseMirrorName(e.Name()); ok && idx == srcIdx && off < newest {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// baseSource is one candidate restore point in a partition's base pool.
+type baseSource struct {
+	path   string
+	offset uint64
+}
+
+// basePool lists every potential restore base for partition pid — each
+// non-removed replica directory's own manifest base plus the mirrors
+// pushed into it — newest offset first. Purely advisory: candidates are
+// fully CRC-verified at compose time, so concurrent compaction retiring a
+// file, a torn mirror push, or plain corruption just moves composition to
+// the next candidate.
+func (c *Cluster) basePool(pid int, exclude *replicaSlot) []baseSource {
+	c.topoMu.RLock()
+	var dirs []string
+	for _, s := range c.slots[pid] {
+		if s == exclude || s.state.Load() == replicaRemoved || s.dir == "" {
+			continue
+		}
+		dirs = append(dirs, s.dir)
+	}
+	c.topoMu.RUnlock()
+	var out []baseSource
+	for _, dir := range dirs {
+		if man, err := loadManifest(manifestPath(dir), c.runID); err == nil &&
+			len(man.segs) > 0 && man.segs[0].kind == segKindBase {
+			out = append(out, baseSource{path: segmentPath(dir, man.segs[0]), offset: man.segs[0].offset})
+		}
+		mdir := filepath.Join(dir, mirrorSubdir)
+		entries, err := os.ReadDir(mdir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if _, off, ok := parseMirrorName(e.Name()); ok {
+				out = append(out, baseSource{path: filepath.Join(mdir, e.Name()), offset: off})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].offset > out[j].offset })
+	return out
+}
+
+// composeFromPool tries pool candidates newest-first and returns the
+// first fully CRC-valid base whose offset the durable log extends
+// (start ≤ offset ≤ head): the decoded state, the raw bytes (for
+// re-seeding a chain), and the offset.
+func composeFromPool(pool []baseSource, start, head uint64) (*partition.CheckpointState, []byte, uint64, bool) {
+	for _, src := range pool {
+		if src.offset < start || src.offset > head {
+			continue
+		}
+		data, err := os.ReadFile(src.path)
+		if err != nil {
+			continue
+		}
+		st := partition.NewCheckpointState()
+		if _, err := st.ReadBaseFrom(bytes.NewReader(data)); err != nil {
+			continue
+		}
+		return st, data, src.offset, true
+	}
+	return nil, nil, 0, false
+}
+
+// seedChain installs a recovered base as a replica directory's entire
+// durable chain: segment file first, then the manifest naming it — the
+// writer's crash-safe order — continuing old's sequence numbers so file
+// names never collide, and retiring old's now-unreferenced segments.
+func (c *Cluster) seedChain(dir string, data []byte, offset uint64, old manifest) (manifest, error) {
+	ref := segmentRef{kind: segKindBase, seq: old.nextSeq, offset: offset}
+	if err := writeFileSync(segmentPath(dir, ref), func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	}); err != nil {
+		return manifest{}, err
+	}
+	man := manifest{segs: []segmentRef{ref}, nextSeq: old.nextSeq + 1}
+	if err := man.write(manifestPath(dir), c.runID); err != nil {
+		os.Remove(segmentPath(dir, ref))
+		return manifest{}, err
+	}
+	for _, s := range old.segs {
+		os.Remove(segmentPath(dir, s))
+	}
+	return man, nil
+}
+
+// buildFreshPartition constructs a replacement (or scale-out) replica's
+// partition: S comes from the newest offline build in StaticSnapshotDir
+// when one exists for the partition — a replacement machine boots the
+// latest published S, it does not recompute history — else fresh from
+// Config.StaticEdges.
+func (c *Cluster) buildFreshPartition(pid int) (*partition.Partition, error) {
+	var snap *statstore.Snapshot
+	if dir := c.cfg.StaticSnapshotDir; dir != "" {
+		s, err := statstore.LoadSnapshotFile(staticSnapshotPath(dir, pid))
+		switch {
+		case err == nil:
+			snap = s
+			c.staticReloads.Inc()
+		case !os.IsNotExist(err):
+			c.ckptErrors.Inc()
+		}
+	}
+	return partition.New(partition.Config{
+		ID:             pid,
+		StaticEdges:    c.cfg.StaticEdges,
+		StaticSnapshot: snap,
+		Partitioner:    c.part,
+		MaxInfluencers: c.cfg.MaxInfluencers,
+		Dynamic:        c.cfg.Dynamic,
+		Programs:       c.cfg.NewPrograms(),
+		Metrics:        c.reg,
+	})
+}
+
+// startPlacement brings a freshly provisioned placement — empty state,
+// empty directory — to live: recover the newest usable base from the
+// partition's base pool, seed the new chain with it, replay the log from
+// its offset, and run the standard replaying → live machine. With no
+// usable base the placement rebuilds from the log's start — sound only
+// when that is offset zero; otherwise the gap is unrecoverable history
+// and the documented ErrTruncated surfaces. The caller holds ctl and has
+// already installed the fresh partition and directory on the slot.
+func (c *Cluster) startPlacement(slot *replicaSlot) error {
+	var (
+		man    manifest
+		offset uint64
+	)
+	start := c.firehose.LogStart()
+	head := c.firehose.Published()
+	st, data, off, ok := composeFromPool(c.basePool(slot.pid, slot), start, head)
+	if ok {
+		man2, err := c.seedChain(slot.dir, data, off, manifest{})
+		if err != nil {
+			// Without a durable seed base the chain would silently
+			// compose a hole (deltas cut after the install describe only
+			// post-install changes); refuse rather than diverge.
+			c.ckptErrors.Inc()
+			return fmt.Errorf("cluster: replica %d/%d: seeding chain from base pool: %w", slot.pid, slot.idx, err)
+		}
+		man = man2
+		offset = off
+		slot.p.Load().LoadState(st)
+		c.poolRestores.Inc()
+	} else if start > 0 {
+		return fmt.Errorf("cluster: replica %d/%d: no usable base in partition pool and log compacted below %d: %w",
+			slot.pid, slot.idx, start, queue.ErrTruncated)
+	}
+	// Publish the floor and subscribe as one atomic step against the
+	// writers' floor-scan-plus-truncate, exactly like RestoreReplica.
+	c.truncMu.Lock()
+	slot.floor.Store(man.floorOffset())
+	target := c.firehose.Published()
+	sub, err := c.firehose.SubscribeFrom(offset)
+	c.truncMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("cluster: replay from %d: %w", offset, err)
+	}
+	slot.sub = sub
+	slot.quit = make(chan struct{})
+	slot.stopped = make(chan struct{})
+	slot.lastCkptTS = 0
+	if c.ckptEveryMS > 0 {
+		slot.writer = c.startWriter(slot, man)
+	}
+	if offset >= target {
+		slot.state.Store(replicaLive)
+		c.broker.MarkUp(slot.pid, slot.idx)
+		close(slot.live)
+	} else {
+		slot.target = target
+		slot.state.Store(replicaReplaying)
+	}
+	c.restores.Inc()
+	c.wg.Add(1)
+	go c.runReplica(slot)
+	return nil
+}
+
+// ReprovisionReplica replaces a replica's node: the old placement — its
+// in-memory state and its directory, chains, mirrors and all — is
+// discarded, and a fresh replica is built on a new generation directory
+// with a fresh S (from Config.StaticEdges, or the newest
+// StaticSnapshotDir build), its state recovered from the partition's base
+// pool plus durable-log replay through the standard replaying → live
+// machine. A dead replica (the auto-healer's case) is replaced in place;
+// a live one is first torn down like KillReplica, guarding the group's
+// last alive copy. Must not be called concurrently with Stop.
+func (c *Cluster) ReprovisionReplica(pid, r int) error {
+	if c.cfg.CheckpointDir == "" {
+		return ErrRecoveryDisabled
+	}
+	slot, err := c.slot(pid, r)
+	if err != nil {
+		return err
+	}
+	c.ctl.Lock()
+	defer c.ctl.Unlock()
+	switch slot.state.Load() {
+	case replicaRemoved:
+		return fmt.Errorf("cluster: replica %d/%d is decommissioned", pid, r)
+	case replicaDead:
+		// The node is already gone; replace it in place.
+	default:
+		if slot.quit == nil {
+			return fmt.Errorf("cluster: replica %d/%d cannot be reprovisioned before Start", pid, r)
+		}
+		// Planned replacement of a running node: tear the consumer down
+		// exactly like KillReplica, with the same last-alive guard.
+		if c.aliveLocked(pid, slot) < 1 {
+			return fmt.Errorf("cluster: cannot reprovision last alive replica of partition %d", pid)
+		}
+		slot.state.Store(replicaDead)
+		close(slot.quit)
+		c.firehose.Unsubscribe(slot.sub)
+		<-slot.stopped
+		stopWriterLocked(slot)
+		c.broker.MarkDown(pid, r)
+		slot.live = make(chan struct{})
+	}
+	if !c.started.Load() {
+		return fmt.Errorf("cluster: replica %d/%d cannot be reprovisioned before Start", pid, r)
+	}
+	// The replacement machine: fresh partition, new generation directory.
+	// The generation bump persists before anything touches disk, so even
+	// a crash mid-provision leaves a restart opening the right (empty)
+	// directory rather than the dead node's.
+	p, err := c.buildFreshPartition(pid)
+	if err != nil {
+		return fmt.Errorf("cluster: reprovision %d/%d: %w", pid, r, err)
+	}
+	pl, err := c.table.Bump(pid, r)
+	if err != nil {
+		c.ckptErrors.Inc()
+		return fmt.Errorf("cluster: reprovision %d/%d: placement table: %w", pid, r, err)
+	}
+	oldDir := slot.dir
+	newDir := placement.Dir(c.cfg.CheckpointDir, pid, r, pl.Gen)
+	if err := os.RemoveAll(newDir); err != nil {
+		return fmt.Errorf("cluster: reprovision %d/%d: %w", pid, r, err)
+	}
+	if err := os.MkdirAll(newDir, 0o755); err != nil {
+		return fmt.Errorf("cluster: reprovision %d/%d: %w", pid, r, err)
+	}
+	c.topoMu.Lock()
+	slot.gen = pl.Gen
+	slot.dir = newDir
+	slot.p.Store(p)
+	c.topoMu.Unlock()
+	// The old machine's disk dies with the machine — including the
+	// mirrors peers pushed onto it.
+	if oldDir != "" {
+		os.RemoveAll(oldDir)
+	}
+	if err := c.broker.ReplaceReplica(pid, r, p); err != nil {
+		return err
+	}
+	c.reprovisions.Inc()
+	return c.startPlacement(slot)
+}
+
+// AddReplica grows partition pid by one replica while the stream is
+// flowing — live scale-out. The new replica is a fresh placement
+// (generation 0 of a brand-new index, persisted in the placement table so
+// restarts rebuild it) that catches up from the partition's base pool
+// plus log replay and turns live exactly like a restored replica; the
+// delivery tier's per-group offset filter makes its re-emitted candidate
+// batches exactly-once by construction. Returns the new replica's index.
+// Requires a started cluster; must not be called concurrently with Stop.
+func (c *Cluster) AddReplica(pid int) (int, error) {
+	if c.cfg.CheckpointDir == "" {
+		return 0, ErrRecoveryDisabled
+	}
+	if pid < 0 || pid >= len(c.slots) {
+		return 0, fmt.Errorf("cluster: partition %d out of range", pid)
+	}
+	c.ctl.Lock()
+	defer c.ctl.Unlock()
+	if !c.started.Load() {
+		return 0, fmt.Errorf("cluster: AddReplica requires a started cluster")
+	}
+	idx := len(c.slots[pid]) // stable: all topology mutations hold ctl
+	// Fallible provisioning first, the table persist last: a failure here
+	// leaves nothing recorded (an orphan directory at worst, wiped by the
+	// next attempt), so a transient error never wedges the index; a crash
+	// between the persist and the in-memory append restarts into a
+	// replica with an empty directory — a scratch catch-up, the intended
+	// end state.
+	dir := placement.Dir(c.cfg.CheckpointDir, pid, idx, 0)
+	if err := os.RemoveAll(dir); err != nil {
+		return 0, fmt.Errorf("cluster: add replica %d/%d: %w", pid, idx, err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("cluster: add replica %d/%d: %w", pid, idx, err)
+	}
+	p, err := c.buildFreshPartition(pid)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: add replica %d/%d: %w", pid, idx, err)
+	}
+	pl, err := c.table.Add(pid, idx)
+	if err != nil {
+		os.RemoveAll(dir)
+		return 0, fmt.Errorf("cluster: add replica %d/%d: placement table: %w", pid, idx, err)
+	}
+	slot := &replicaSlot{pid: pid, idx: idx, gen: pl.Gen, dir: dir, live: make(chan struct{})}
+	slot.p.Store(p)
+	slot.state.Store(replicaDead) // until catch-up wiring below
+	// Membership first, with a floor of zero: from this instant the
+	// truncation scan counts the newcomer, so the log cannot be compacted
+	// out from under the catch-up startPlacement is about to begin.
+	c.topoMu.Lock()
+	c.slots[pid] = append(c.slots[pid], slot)
+	c.topoMu.Unlock()
+	if _, err := c.broker.AddReplica(pid, p); err != nil {
+		return 0, err
+	}
+	c.scaleOuts.Inc()
+	if err := c.startPlacement(slot); err != nil {
+		// The slot stays dead (and its floor pins the log); the operator
+		// can retry via RestoreReplica or ReprovisionReplica.
+		return idx, err
+	}
+	return idx, nil
+}
+
+// DecommissionReplica removes a replica from service permanently — live
+// scale-in. Its consumer is torn down like KillReplica's, its directory
+// (with the mirrors peers pushed there) is deleted, and the placement
+// table records a tombstone so the index is never reused and restarts do
+// not rebuild it. The group's last alive replica cannot be removed. Must
+// not be called concurrently with Stop.
+func (c *Cluster) DecommissionReplica(pid, r int) error {
+	if c.cfg.CheckpointDir == "" {
+		return ErrRecoveryDisabled
+	}
+	slot, err := c.slot(pid, r)
+	if err != nil {
+		return err
+	}
+	c.ctl.Lock()
+	defer c.ctl.Unlock()
+	state := slot.state.Load()
+	if state == replicaRemoved {
+		return fmt.Errorf("cluster: replica %d/%d is already decommissioned", pid, r)
+	}
+	if state != replicaDead && slot.quit == nil {
+		return fmt.Errorf("cluster: replica %d/%d cannot be decommissioned before Start", pid, r)
+	}
+	if c.aliveLocked(pid, slot) < 1 {
+		return fmt.Errorf("cluster: cannot decommission last alive replica of partition %d", pid)
+	}
+	// Persist the tombstone while the replica still runs: a crash after
+	// the save but before the teardown reopens without the replica —
+	// exactly the end state.
+	if err := c.table.Remove(pid, r); err != nil {
+		c.ckptErrors.Inc()
+		return fmt.Errorf("cluster: decommission %d/%d: placement table: %w", pid, r, err)
+	}
+	if state != replicaDead {
+		close(slot.quit)
+		c.firehose.Unsubscribe(slot.sub)
+		<-slot.stopped
+		stopWriterLocked(slot)
+	}
+	c.broker.MarkDown(pid, r)
+	slot.state.Store(replicaRemoved)
+	if p := slot.p.Load(); p != nil {
+		p.Reset() // release the replica's memory; the slot object stays
+	}
+	slot.live = make(chan struct{})
+	if slot.dir != "" {
+		os.RemoveAll(slot.dir)
+	}
+	c.scaleIns.Inc()
+	return nil
+}

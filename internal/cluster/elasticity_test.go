@@ -1,0 +1,574 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"motifstream/internal/codecutil"
+	"motifstream/internal/graph"
+	"motifstream/internal/partition"
+	"motifstream/internal/placement"
+	"motifstream/internal/statstore"
+)
+
+// The elasticity suite covers the placement subsystem's mechanisms
+// directly: lifecycle guards, live scale-out/in, node replacement, base
+// replication (including recovery of the previously documented
+// unrecoverable corner), torn mirror pushes, and the auto-healer driving
+// a real cluster. Oracle-equivalence under these faults lives in
+// crashmatrix_test.go.
+
+func TestElasticValidation(t *testing.T) {
+	plain, err := New(testConfig(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.AddReplica(0); err != ErrRecoveryDisabled {
+		t.Fatalf("AddReplica without CheckpointDir = %v", err)
+	}
+	if err := plain.ReprovisionReplica(0, 0); err != ErrRecoveryDisabled {
+		t.Fatalf("ReprovisionReplica without CheckpointDir = %v", err)
+	}
+	if err := plain.DecommissionReplica(0, 0); err != ErrRecoveryDisabled {
+		t.Fatalf("DecommissionReplica without CheckpointDir = %v", err)
+	}
+
+	cfg := recoveryConfig(t, ringStatic(40))
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddReplica(0); err == nil {
+		t.Fatal("AddReplica before Start accepted")
+	}
+	if err := c.ReprovisionReplica(0, 0); err == nil {
+		t.Fatal("ReprovisionReplica before Start accepted")
+	}
+	c.Start()
+	defer c.Stop()
+
+	if _, err := c.AddReplica(99); err == nil {
+		t.Fatal("out-of-range AddReplica accepted")
+	}
+	if err := c.DecommissionReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if state, _ := c.ReplicaState(0, 1); state != "removed" {
+		t.Fatalf("decommissioned state = %q", state)
+	}
+	if err := c.DecommissionReplica(0, 1); err == nil {
+		t.Fatal("double decommission accepted")
+	}
+	if err := c.KillReplica(0, 1); err == nil {
+		t.Fatal("killing a decommissioned replica accepted")
+	}
+	if err := c.RestoreReplica(0, 1); err == nil {
+		t.Fatal("restoring a decommissioned replica accepted")
+	}
+	if err := c.ReprovisionReplica(0, 1); err == nil {
+		t.Fatal("reprovisioning a decommissioned replica accepted")
+	}
+	if _, err := c.Replica(0, 1); err == nil {
+		t.Fatal("Replica() on a decommissioned slot accepted")
+	}
+	if err := c.DecommissionReplica(0, 0); err == nil {
+		t.Fatal("decommissioning the last alive replica accepted")
+	}
+	if err := c.ReprovisionReplica(0, 0); err == nil {
+		t.Fatal("reprovisioning the last alive replica accepted")
+	}
+	// Scale back out: the tombstone's index is never reused.
+	idx, err := c.AddReplica(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 2 {
+		t.Fatalf("AddReplica reused index %d", idx)
+	}
+	if err := c.AwaitReplicaLive(0, idx, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// With the newcomer alive, the formerly-last replica may be replaced.
+	if err := c.ReprovisionReplica(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AwaitReplicaLive(0, 0, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddReplicaCatchesUpAndServes pins live scale-out end to end: the
+// new replica replays the stream so far, converges with its peers, and
+// the broker serves reads from it.
+func TestAddReplicaCatchesUpAndServes(t *testing.T) {
+	cfg := recoveryConfig(t, ringStatic(40))
+	cfg.CheckpointInterval = time.Second
+	cfg.CompactEvery = 2
+	cfg.MirrorBases = 1
+	notes := collectNotes(&cfg)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	stream := motifWorkload(61, 40, 400)
+	half := len(stream) / 2
+	for _, e := range stream[:half] {
+		c.Publish(e)
+	}
+	idx, err := c.AddReplica(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != cfg.Replicas {
+		t.Fatalf("new replica index %d, want %d", idx, cfg.Replicas)
+	}
+	if err := c.AwaitReplicaLive(0, idx, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Broker().ReplicaHealthy(0, idx) {
+		t.Fatal("scaled-out replica not broker-healthy after catch-up")
+	}
+	for _, e := range stream[half:] {
+		c.Publish(e)
+	}
+	c.Stop()
+	added, err := c.Replica(0, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, _ := c.Replica(0, 0)
+	if got, want := added.Engine().Dynamic().Stats(), peer.Engine().Dynamic().Stats(); got != want {
+		t.Fatalf("scaled-out replica diverged: %+v != %+v", got, want)
+	}
+	if len(notes()) == 0 {
+		t.Fatal("vacuous: nothing delivered")
+	}
+	if st := c.Stats(); st.ScaleOuts != 1 {
+		t.Fatalf("ScaleOuts = %d", st.ScaleOuts)
+	}
+}
+
+// TestReopenRebuildsElasticTopology pins that membership and generations
+// survive a whole-cluster restart: a reopened cluster rebuilds the added
+// replica, keeps the tombstone gone, and opens the reprovisioned
+// replica's generation directory.
+func TestReopenRebuildsElasticTopology(t *testing.T) {
+	static := ringStatic(40)
+	cfg := durableConfig(t, static)
+	cfg.CheckpointInterval = time.Second
+	cfg.CompactEvery = 2
+	cfg.MirrorBases = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	stream := motifWorkload(62, 40, 400)
+	half := len(stream) / 2
+	for _, e := range stream[:half] {
+		c.Publish(e)
+	}
+	idx, err := c.AddReplica(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AwaitReplicaLive(0, idx, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DecommissionReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReprovisionReplica(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AwaitReplicaLive(1, 1, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	reprovHead := c.firehose.Published()
+	threeQ := 3 * len(stream) / 4
+	for _, e := range stream[half:threeQ] {
+		c.Publish(e)
+	}
+	c.Shutdown()
+	// The reprovisioned replica's writer must have followed the slot to
+	// its generation directory: no failed segment writes, and a chain in
+	// the new dir whose head advanced past the reprovision point (cuts
+	// kept landing after the replacement).
+	if n := c.ckptErrors.Value(); n != 0 {
+		t.Fatalf("%d checkpoint errors after reprovision (writer in the wrong directory?)", n)
+	}
+	man, err := loadManifest(manifestPath(placement.Dir(cfg.CheckpointDir, 1, 1, 1)), c.runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.segs) == 0 || man.segs[len(man.segs)-1].offset <= reprovHead {
+		t.Fatalf("reprovisioned replica's chain never advanced past offset %d (%d segments)", reprovHead, len(man.segs))
+	}
+
+	c2, err := Reopen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c2.Replicas(0); n != 3 {
+		t.Fatalf("reopened partition 0 has %d replicas, want 3", n)
+	}
+	if state, _ := c2.ReplicaState(0, 1); state != "removed" {
+		t.Fatalf("tombstone resurrected: state = %q", state)
+	}
+	slot, err := c2.slot(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot.gen != 1 {
+		t.Fatalf("reprovisioned replica reopened at generation %d, want 1", slot.gen)
+	}
+	if want := placement.Dir(cfg.CheckpointDir, 1, 1, 1); slot.dir != want {
+		t.Fatalf("reopened dir %q, want %q", slot.dir, want)
+	}
+	for _, e := range stream[threeQ:] {
+		c2.Publish(e)
+	}
+	c2.Stop()
+	// Every surviving replica of partition 0 converges.
+	ref, err := c2.Replica(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Engine().Dynamic().Stats()
+	for _, r := range []int{2} {
+		p, err := c2.Replica(0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Engine().Dynamic().Stats(); got != want {
+			t.Fatalf("replica 0/%d diverged after reopen: %+v != %+v", r, got, want)
+		}
+	}
+}
+
+// TestReopenAllBasesCorruptRecoversViaMirrors upgrades the documented
+// unrecoverable corner (corrupt base above a truncated log ⇒
+// ErrTruncated): with base replication on, every replica's own chain base
+// can be corrupted — above a truncated log — and the reopen still
+// recovers from the mirrors peers pushed, delivering exactly the oracle
+// set. The mirror-less variant of this scenario is pinned as ErrTruncated
+// by TestReopenCorruptBaseAboveTruncatedLogFails.
+func TestReopenAllBasesCorruptRecoversViaMirrors(t *testing.T) {
+	const users = 40
+	static := ringStatic(users)
+	stream := motifWorkload(63, users, 400)
+
+	newCfg := func() Config {
+		cfg := durableConfig(t, static)
+		cfg.CheckpointInterval = time.Second
+		cfg.CompactEvery = 2
+		cfg.MirrorBases = 1
+		cfg.LogSegmentBytes = 2 << 10
+		return cfg
+	}
+
+	oracleCfg := newCfg()
+	oracleNotes := collectNotes(&oracleCfg)
+	oracle, err := New(oracleCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.Start()
+	for _, e := range stream {
+		oracle.Publish(e)
+	}
+	oracle.Stop()
+
+	faultCfg := newCfg()
+	faultNotes := collectNotes(&faultCfg)
+	h := newCrashHarness(t, faultCfg, stream)
+	h.publishTo(1.0)
+	h.c.Shutdown()
+	if st := h.c.Stats(); st.LogTruncatedBelow == 0 || st.BaseMirrors == 0 {
+		t.Fatalf("vacuous: truncated below %d, mirrors %d", st.LogTruncatedBelow, st.BaseMirrors)
+	}
+
+	// Corrupt every replica's own chain base; leave the mirrors alone.
+	corrupted := 0
+	for pid := 0; pid < faultCfg.Partitions; pid++ {
+		for r := 0; r < faultCfg.Replicas; r++ {
+			dir := replicaCkptDir(faultCfg.CheckpointDir, pid, r)
+			man, err := loadManifest(manifestPath(dir), h.c.runID)
+			if err != nil || len(man.segs) == 0 || man.segs[0].kind != segKindBase {
+				continue
+			}
+			flipByte(t, segmentPath(dir, man.segs[0]))
+			corrupted++
+		}
+	}
+	if corrupted != faultCfg.Partitions*faultCfg.Replicas {
+		t.Fatalf("corrupted %d bases, want %d", corrupted, faultCfg.Partitions*faultCfg.Replicas)
+	}
+
+	c, err := Reopen(faultCfg)
+	if err != nil {
+		t.Fatalf("Reopen over corrupt bases with mirrors available: %v", err)
+	}
+	h.c = c
+	if st := c.Stats(); st.BasePoolRestores == 0 {
+		t.Fatal("vacuous: nothing recovered via the base pool")
+	}
+	h.finish()
+
+	assertSameNotes(t, oracleNotes(), faultNotes())
+	assertConverged(t, h.c, oracle, faultCfg)
+}
+
+// TestReopenRecoversDespiteTornMirrorWrites is the errfs-lite crash case:
+// every mirror push from replica 0 is torn mid-Write (the pusher's
+// machine "crashes" inside the write, leaving a half file on the peer's
+// disk). Recovery must CRC-gate the torn mirrors, recover from the intact
+// ones, and stay oracle-equivalent.
+func TestReopenRecoversDespiteTornMirrorWrites(t *testing.T) {
+	const users = 40
+	static := ringStatic(users)
+	stream := motifWorkload(64, users, 400)
+
+	newCfg := func() Config {
+		cfg := durableConfig(t, static)
+		cfg.CheckpointInterval = time.Second
+		cfg.CompactEvery = 2
+		cfg.MirrorBases = 1
+		cfg.LogSegmentBytes = 2 << 10
+		return cfg
+	}
+
+	// Oracle runs before the fault hook is armed (the hook is package
+	// scoped and writers read it concurrently).
+	oracleCfg := newCfg()
+	oracleNotes := collectNotes(&oracleCfg)
+	oracle, err := New(oracleCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.Start()
+	for _, e := range stream {
+		oracle.Publish(e)
+	}
+	oracle.Stop()
+
+	// Arm the injector: every mirror push sourced from replica 0 fails
+	// inside its first Write, leaving a torn file.
+	orig := openSegFile
+	openSegFile = func(path string) (codecutil.WriteSyncCloser, error) {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasPrefix(filepath.Base(path), "mirror-r00-") {
+			return &codecutil.FailNth{F: f, FailWriteAt: 1}, nil
+		}
+		return f, nil
+	}
+	defer func() { openSegFile = orig }()
+
+	faultCfg := newCfg()
+	faultNotes := collectNotes(&faultCfg)
+	h := newCrashHarness(t, faultCfg, stream)
+	h.publishTo(1.0)
+	h.c.Shutdown()
+	if st := h.c.Stats(); st.LogTruncatedBelow == 0 || st.BaseMirrors == 0 {
+		t.Fatalf("vacuous: truncated below %d, intact mirrors %d", st.LogTruncatedBelow, st.BaseMirrors)
+	}
+
+	// Replica 1's directories hold only replica 0's pushes — every one of
+	// them torn — and the tear really left half files behind.
+	torn := 0
+	for pid := 0; pid < faultCfg.Partitions; pid++ {
+		mdir := filepath.Join(replicaCkptDir(faultCfg.CheckpointDir, pid, 1), mirrorSubdir)
+		entries, err := os.ReadDir(mdir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(mdir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if checksumOK(data) {
+				t.Fatalf("mirror %s survived the injected tear intact", e.Name())
+			}
+			torn++
+		}
+	}
+	if torn == 0 {
+		t.Fatal("vacuous: no torn mirror files on disk")
+	}
+
+	// Corrupt every primary base: recovery must come from the pool, and
+	// the torn mirrors must be skipped for the intact ones.
+	for pid := 0; pid < faultCfg.Partitions; pid++ {
+		for r := 0; r < faultCfg.Replicas; r++ {
+			dir := replicaCkptDir(faultCfg.CheckpointDir, pid, r)
+			man, err := loadManifest(manifestPath(dir), h.c.runID)
+			if err != nil || len(man.segs) == 0 || man.segs[0].kind != segKindBase {
+				t.Fatalf("replica %d/%d has no base to corrupt", pid, r)
+			}
+			flipByte(t, segmentPath(dir, man.segs[0]))
+		}
+	}
+
+	c, err := Reopen(faultCfg)
+	if err != nil {
+		t.Fatalf("Reopen with only torn+intact mirrors: %v", err)
+	}
+	h.c = c
+	if st := c.Stats(); st.BasePoolRestores == 0 {
+		t.Fatal("vacuous: nothing recovered via the base pool")
+	}
+	h.finish()
+
+	assertSameNotes(t, oracleNotes(), faultNotes())
+	assertConverged(t, h.c, oracle, faultCfg)
+}
+
+// TestReprovisionBuildsFreshSFromSnapshotDir pins the fresh-S build path:
+// a replacement node boots the newest offline S build instead of
+// recomputing from the static edge set.
+func TestReprovisionBuildsFreshSFromSnapshotDir(t *testing.T) {
+	static := ringStatic(40)
+	cfg := recoveryConfig(t, static)
+	cfg.StaticSnapshotDir = t.TempDir()
+
+	// Publish an offline build that differs from the configured edges:
+	// every user follows three successors instead of two.
+	var newer []graph.Edge
+	for a := graph.VertexID(0); a < 40; a++ {
+		for d := graph.VertexID(1); d <= 3; d++ {
+			newer = append(newer, graph.Edge{Src: a, Dst: (a + d) % 40})
+		}
+	}
+	part := partition.NewHashPartitioner(cfg.Partitions)
+	for pid := 0; pid < cfg.Partitions; pid++ {
+		builder := &statstore.Builder{Keep: func(a graph.VertexID) bool { return part.PartitionOf(a) == pid }}
+		snap := builder.Build(newer)
+		f, err := os.Create(staticSnapshotPath(cfg.StaticSnapshotDir, pid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := statstore.WriteSnapshot(f, snap); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	for _, e := range motifWorkload(65, 40, 100) {
+		c.Publish(e)
+	}
+	before, _ := c.Replica(0, 1)
+	beforeEdges := before.Engine().Static().Snapshot().NumEdges()
+	if err := c.KillReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReprovisionReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AwaitReplicaLive(0, 1, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Replica(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterEdges := after.Engine().Static().Snapshot().NumEdges()
+	if afterEdges <= beforeEdges {
+		t.Fatalf("replacement S has %d edges, want more than the configured build's %d", afterEdges, beforeEdges)
+	}
+}
+
+// TestHealerReprovisionsOnRealCluster wires the placement auto-healer to
+// a live cluster: a killed replica is re-provisioned and returns to live
+// without any operator call.
+func TestHealerReprovisionsOnRealCluster(t *testing.T) {
+	cfg := recoveryConfig(t, ringStatic(40))
+	cfg.CheckpointInterval = time.Second
+	cfg.CompactEvery = 2
+	cfg.MirrorBases = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	for _, e := range motifWorkload(66, 40, 200) {
+		c.Publish(e)
+	}
+	healer := placement.NewHealer(c, placement.HealerOptions{
+		After:    50 * time.Millisecond,
+		Interval: 10 * time.Millisecond,
+	})
+	healer.Start()
+	if err := c.KillReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if state, _ := c.ReplicaState(0, 1); state == "live" {
+			break
+		}
+		if time.Now().After(deadline) {
+			state, _ := c.ReplicaState(0, 1)
+			t.Fatalf("healer never revived replica 0/1 (state %q)", state)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	healer.Stop() // before Stop: lifecycle calls must not race shutdown
+	c.Stop()
+	if healer.Healed() == 0 {
+		t.Fatal("healer reports zero heals")
+	}
+	if st := c.Stats(); st.Reprovisions == 0 {
+		t.Fatal("no reprovision recorded")
+	}
+	restored, _ := c.Replica(0, 1)
+	peer, _ := c.Replica(0, 0)
+	if got, want := restored.Engine().Dynamic().Stats(), peer.Engine().Dynamic().Stats(); got != want {
+		t.Fatalf("healed replica diverged: %+v != %+v", got, want)
+	}
+}
+
+// BenchmarkReprovision measures a full node replacement round: tear down
+// a live replica, provision a fresh node from the partition's base pool,
+// and replay to live.
+func BenchmarkReprovision(b *testing.B) {
+	static := ringStatic(40)
+	cfg := recoveryConfig(b, static)
+	cfg.CheckpointInterval = time.Second
+	cfg.CompactEvery = 2
+	cfg.MirrorBases = 1
+	c, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Start()
+	for _, e := range motifWorkload(67, 40, 400) {
+		if err := c.Publish(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.ReprovisionReplica(0, 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.AwaitReplicaLive(0, 1, 30*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	c.Stop()
+}

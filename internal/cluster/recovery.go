@@ -11,6 +11,7 @@ import (
 
 	"motifstream/internal/codecutil"
 	"motifstream/internal/partition"
+	"motifstream/internal/placement"
 	"motifstream/internal/queue"
 	"motifstream/internal/statstore"
 )
@@ -134,9 +135,12 @@ func (m *manifest) deltaCount() int {
 	return n
 }
 
-// replicaCkptDir names the per-replica checkpoint directory.
+// replicaCkptDir names a generation-0 replica checkpoint directory — the
+// placement a cluster is constructed with. Re-provisioned replicas live
+// in later-generation directories (placement.Dir); running code always
+// uses slot.dir, which tracks the current generation.
 func replicaCkptDir(dir string, pid, r int) string {
-	return filepath.Join(dir, fmt.Sprintf("p%03d-r%02d", pid, r))
+	return placement.Dir(dir, pid, r, 0)
 }
 
 func manifestPath(dir string) string { return filepath.Join(dir, "MANIFEST") }
@@ -204,11 +208,19 @@ func atomicWrite(path string, write func(io.Writer) error, durable bool) error {
 	return nil
 }
 
+// openSegFile opens the file every checkpoint segment and base mirror is
+// written through. It is a variable so fault-injection tests (errfs-lite,
+// codecutil.FailNth) can fail an individual Write or Sync call inside the
+// pipeline; set it only while no cluster is running.
+var openSegFile = func(path string) (codecutil.WriteSyncCloser, error) {
+	return os.Create(path)
+}
+
 // writeFileSync writes a file directly and fsyncs it. Segment files use
 // this rather than the atomic dance: their names are fresh and only the
 // manifest makes them reachable.
 func writeFileSync(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
+	f, err := openSegFile(path)
 	if err != nil {
 		return err
 	}
@@ -327,7 +339,9 @@ func (c *Cluster) startWriter(slot *replicaSlot, man manifest) *ckptWriter {
 	w := &ckptWriter{
 		c:    c,
 		slot: slot,
-		dir:  replicaCkptDir(c.cfg.CheckpointDir, slot.pid, slot.idx),
+		// The slot's current generation directory — NOT the generation-0
+		// name: a reprovisioned replica's chain lives in its new dir.
+		dir:  slot.dir,
 		jobs: make(chan ckptJob, ckptQueueDepth),
 		done: make(chan struct{}),
 		man:  man,
@@ -340,7 +354,35 @@ func (c *Cluster) startWriter(slot *replicaSlot, man manifest) *ckptWriter {
 
 func (w *ckptWriter) run() {
 	defer close(w.done)
-	for job := range w.jobs {
+	closed := false
+	for !closed {
+		job, ok := <-w.jobs
+		if !ok {
+			return
+		}
+		// Coalesce: fold everything already queued into this cut before
+		// touching the disk, so a backlogged writer pays one segment
+		// fsync and one manifest publication per drain instead of per
+		// cut. Sound because deltas compose with last-write-wins per key
+		// (MergeOlder): the merged delta at the newest cut's offset is
+		// byte-equivalent to the chain of individual segments.
+	drain:
+		for {
+			select {
+			case next, ok := <-w.jobs:
+				if !ok {
+					closed = true
+					break drain
+				}
+				next.delta.MergeOlder(job.delta)
+				job = next
+				// The elided segment would have cost two fsyncs: its own
+				// file and the manifest replacing it.
+				w.c.fsyncsSaved.Add(2)
+			default:
+				break drain
+			}
+		}
 		w.appendSegment(job)
 	}
 }
@@ -437,6 +479,10 @@ func (w *ckptWriter) compact() {
 	w.deltas = 0
 	w.slot.floor.Store(offset)
 	w.c.compactions.Inc()
+	// Base replication: push the fresh base to peer replica directories
+	// so the partition keeps restore points even when this machine — or
+	// this base — is lost.
+	w.c.mirrorBase(w.slot, path, offset)
 }
 
 // composeChain reads segments in order into a neutral checkpoint state,
@@ -589,7 +635,7 @@ func (c *Cluster) loadDeliveryOffset(pid int) (uint64, bool) {
 // horizon — scratch recovery above a compacted log — which surfaces as
 // the documented ErrTruncated error instead of composing garbage.
 func (c *Cluster) planStartupRestore(slot *replicaSlot) error {
-	dir := replicaCkptDir(c.cfg.CheckpointDir, slot.pid, slot.idx)
+	dir := slot.dir
 	man, err := loadManifest(manifestPath(dir), c.runID)
 	if err != nil {
 		// Unreadable manifest: recover from scratch; replaying the full
@@ -615,11 +661,28 @@ func (c *Cluster) planStartupRestore(slot *replicaSlot) error {
 		offset = 0
 	}
 	if start := c.firehose.LogStart(); offset < start {
-		return fmt.Errorf("cluster: replica %d/%d: restore point %d below durable log start %d (chain lost above a compacted log): %w",
-			slot.pid, slot.idx, offset, start, queue.ErrTruncated)
+		// Scratch recovery above a compacted log — the historically
+		// unrecoverable corner. With base replication the partition's
+		// base pool (a mirror pushed into this directory, or a peer's own
+		// compacted base) can still provide a restore point the log
+		// extends; only when the pool too is empty does the documented
+		// ErrTruncated surface.
+		st2, data, off2, ok := composeFromPool(c.basePool(slot.pid, nil), start, head)
+		if !ok {
+			return fmt.Errorf("cluster: replica %d/%d: restore point %d below durable log start %d (chain lost above a compacted log): %w",
+				slot.pid, slot.idx, offset, start, queue.ErrTruncated)
+		}
+		man2, err := c.seedChain(dir, data, off2, man)
+		if err != nil {
+			c.ckptErrors.Inc()
+			return fmt.Errorf("cluster: replica %d/%d: seeding chain from base pool: %w",
+				slot.pid, slot.idx, queue.ErrTruncated)
+		}
+		st, used, offset, man = st2, 1, off2, man2
+		c.poolRestores.Inc()
 	}
 	if used > 0 {
-		slot.p.LoadState(st)
+		slot.p.Load().LoadState(st)
 	}
 	c.reloadStatic(slot)
 	slot.restoreMan = man
@@ -651,14 +714,20 @@ func (c *Cluster) loadDeliveryOffsets() []uint64 {
 func (c *Cluster) maybeTruncateLog() {
 	c.truncMu.Lock()
 	defer c.truncMu.Unlock()
+	c.topoMu.RLock()
 	floor := ^uint64(0)
 	for _, group := range c.slots {
 		for _, s := range group {
+			if s.state.Load() == replicaRemoved {
+				// A tombstone never restores; its floor is irrelevant.
+				continue
+			}
 			if f := s.floor.Load(); f < floor {
 				floor = f
 			}
 		}
 	}
+	c.topoMu.RUnlock()
 	if floor == 0 || floor == ^uint64(0) {
 		return
 	}
@@ -688,7 +757,7 @@ func (c *Cluster) reloadStatic(slot *replicaSlot) {
 		c.ckptErrors.Inc()
 		return
 	}
-	slot.p.Engine().ReloadStatic(snap)
+	slot.p.Load().Engine().ReloadStatic(snap)
 	c.staticReloads.Inc()
 }
 
@@ -712,16 +781,13 @@ func (c *Cluster) KillReplica(pid, r int) error {
 	if slot.quit == nil {
 		return fmt.Errorf("cluster: replica %d/%d cannot be killed before Start", pid, r)
 	}
-	if slot.state.Load() == replicaDead {
+	switch slot.state.Load() {
+	case replicaDead:
 		return fmt.Errorf("cluster: replica %d/%d is already dead", pid, r)
+	case replicaRemoved:
+		return fmt.Errorf("cluster: replica %d/%d is decommissioned", pid, r)
 	}
-	alive := 0
-	for _, s := range c.slots[pid] {
-		if s.state.Load() != replicaDead {
-			alive++
-		}
-	}
-	if alive <= 1 {
+	if c.aliveLocked(pid, slot) < 1 {
 		return fmt.Errorf("cluster: cannot kill last alive replica of partition %d", pid)
 	}
 	slot.state.Store(replicaDead)
@@ -742,11 +808,29 @@ func (c *Cluster) KillReplica(pid, r int) error {
 	if err := c.broker.MarkDown(pid, r); err != nil {
 		return err
 	}
-	slot.p.Reset()
+	slot.p.Load().Reset()
 	// Fresh, open live channel: closed again when a future restore
 	// finishes catch-up.
 	slot.live = make(chan struct{})
 	return nil
+}
+
+// aliveLocked counts partition pid's live-or-replaying replicas,
+// excluding the given slot. Caller holds ctl (so membership and states
+// are stable for the guard's purposes).
+func (c *Cluster) aliveLocked(pid int, except *replicaSlot) int {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	alive := 0
+	for _, s := range c.slots[pid] {
+		if s == except {
+			continue
+		}
+		if st := s.state.Load(); st != replicaDead && st != replicaRemoved {
+			alive++
+		}
+	}
+	return alive
 }
 
 // RestoreReplica rejoins a killed replica through the catch-up state
@@ -772,10 +856,14 @@ func (c *Cluster) RestoreReplica(pid, r int) error {
 	}
 	c.ctl.Lock()
 	defer c.ctl.Unlock()
-	if slot.state.Load() != replicaDead {
+	switch slot.state.Load() {
+	case replicaDead:
+	case replicaRemoved:
+		return fmt.Errorf("cluster: replica %d/%d is decommissioned; use AddReplica for new capacity", pid, r)
+	default:
 		return fmt.Errorf("cluster: replica %d/%d is not dead; only killed replicas restore", pid, r)
 	}
-	dir := replicaCkptDir(c.cfg.CheckpointDir, pid, r)
+	dir := slot.dir
 	man, err := loadManifest(manifestPath(dir), c.runID)
 	if err != nil {
 		// Unreadable manifest: recover from scratch; replaying the full
@@ -798,13 +886,7 @@ func (c *Cluster) RestoreReplica(pid, r int) error {
 	// never destroy segments unless the clamped replay point is actually
 	// still retained.
 	if used > 0 {
-		alivePeer := false
-		for _, s := range c.slots[pid] {
-			if s != slot && s.state.Load() != replicaDead {
-				alivePeer = true
-				break
-			}
-		}
+		alivePeer := c.aliveLocked(pid, slot) > 0
 		if !alivePeer {
 			if y, ok := c.loadDeliveryOffset(pid); ok && y < offset {
 				keep := clampChainPrefix(man.segs, y)
@@ -823,10 +905,29 @@ func (c *Cluster) RestoreReplica(pid, r int) error {
 		}
 	}
 	if used == 0 {
-		slot.p.Reset()
 		offset = 0
+	}
+	if start := c.firehose.LogStart(); offset < start {
+		// Scratch recovery above a compacted log (corrupt base, or a
+		// chain lost entirely): the partition's base pool — mirrors
+		// pushed into this directory by peers, or a peer's own compacted
+		// base — can still provide a restore point the log extends. Only
+		// when it cannot does SubscribeFrom below surface the documented
+		// ErrTruncated.
+		head := c.firehose.Published()
+		if st2, data, off2, ok := composeFromPool(c.basePool(pid, nil), start, head); ok {
+			if man2, serr := c.seedChain(dir, data, off2, man); serr == nil {
+				st, used, offset, man = st2, 1, off2, man2
+				c.poolRestores.Inc()
+			} else {
+				c.ckptErrors.Inc()
+			}
+		}
+	}
+	if used == 0 {
+		slot.p.Load().Reset()
 	} else {
-		slot.p.LoadState(st)
+		slot.p.Load().LoadState(st)
 	}
 	c.reloadStatic(slot)
 	// Publish the restore floor and subscribe as one atomic step against
@@ -871,7 +972,7 @@ func (c *Cluster) RestoreReplica(pid, r int) error {
 }
 
 // ReplicaState reports a replica's position in the catch-up state machine:
-// "live", "replaying", or "dead".
+// "live", "replaying", "dead", or "removed" (decommissioned).
 func (c *Cluster) ReplicaState(pid, r int) (string, error) {
 	slot, err := c.slot(pid, r)
 	if err != nil {
@@ -882,6 +983,8 @@ func (c *Cluster) ReplicaState(pid, r int) (string, error) {
 		return "replaying", nil
 	case replicaDead:
 		return "dead", nil
+	case replicaRemoved:
+		return "removed", nil
 	default:
 		return "live", nil
 	}

@@ -16,7 +16,7 @@ import (
 
 // recoveryConfig is a 2-partition, 2-replica cluster with durable
 // checkpoints and a deterministic, suppression-free delivery pipeline.
-func recoveryConfig(t *testing.T, static []graph.Edge) Config {
+func recoveryConfig(t testing.TB, static []graph.Edge) Config {
 	t.Helper()
 	return Config{
 		Partitions:         2,

@@ -1,0 +1,59 @@
+package codecutil
+
+import (
+	"errors"
+	"io"
+)
+
+// errfs-lite: an injected-failure layer below the checkpoint pipeline's
+// file writes. The crash matrix kills at pipeline *stages*; wrapping the
+// file handle itself lets a test fail (and tear) an individual Write or
+// Sync call — the failure mode of a machine dying mid-push — without a
+// real filesystem shim.
+
+// WriteSyncCloser is the file surface the durability pipeline writes
+// through; *os.File satisfies it.
+type WriteSyncCloser interface {
+	io.Writer
+	Sync() error
+	io.Closer
+}
+
+// ErrInjected is the error every FailNth-injected failure returns.
+var ErrInjected = errors.New("codecutil: injected fault")
+
+// FailNth wraps a WriteSyncCloser and fails the Nth Write and/or the Nth
+// Sync (1-based; zero never fires). A failing Write is *torn*: the first
+// half of the buffer reaches the underlying file before the error, which
+// is exactly what a machine crash mid-write leaves on disk — readers must
+// survive it via their checksums, not via tidy error-path cleanup.
+type FailNth struct {
+	F           WriteSyncCloser
+	FailWriteAt int
+	FailSyncAt  int
+
+	writes, syncs int
+}
+
+// Write implements io.Writer, tearing the armed call.
+func (f *FailNth) Write(p []byte) (int, error) {
+	f.writes++
+	if f.FailWriteAt > 0 && f.writes == f.FailWriteAt {
+		n, _ := f.F.Write(p[:len(p)/2])
+		return n, ErrInjected
+	}
+	return f.F.Write(p)
+}
+
+// Sync fails the armed call without reaching the device.
+func (f *FailNth) Sync() error {
+	f.syncs++
+	if f.FailSyncAt > 0 && f.syncs == f.FailSyncAt {
+		return ErrInjected
+	}
+	return f.F.Sync()
+}
+
+// Close closes the underlying file (never injected: a crashed process's
+// descriptors close either way).
+func (f *FailNth) Close() error { return f.F.Close() }

@@ -1,0 +1,69 @@
+package codecutil
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// memFile is an in-memory WriteSyncCloser.
+type memFile struct {
+	bytes.Buffer
+	syncs int
+}
+
+func (m *memFile) Sync() error  { m.syncs++; return nil }
+func (m *memFile) Close() error { return nil }
+
+func TestFailNthWriteTears(t *testing.T) {
+	m := &memFile{}
+	f := &FailNth{F: m, FailWriteAt: 2}
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("bbbb"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("2nd write err = %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("torn write landed %d bytes, want half (2)", n)
+	}
+	if got := m.String(); got != "aaaabb" {
+		t.Fatalf("file contents %q: the tear must leave a half-written record", got)
+	}
+	// Later writes pass through again (the process, were it real, is gone
+	// anyway — but the wrapper must not latch).
+	if _, err := f.Write([]byte("cc")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailNthSync(t *testing.T) {
+	m := &memFile{}
+	f := &FailNth{F: m, FailSyncAt: 1}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("1st sync err = %v", err)
+	}
+	if m.syncs != 0 {
+		t.Fatal("injected sync reached the device")
+	}
+	if err := f.Sync(); err != nil || m.syncs != 1 {
+		t.Fatalf("2nd sync err=%v device syncs=%d", err, m.syncs)
+	}
+}
+
+func TestFailNthDisarmed(t *testing.T) {
+	m := &memFile{}
+	f := &FailNth{F: m}
+	for i := 0; i < 10; i++ {
+		if _, err := f.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

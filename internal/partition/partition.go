@@ -61,6 +61,12 @@ type Config struct {
 	Partitioner Partitioner
 	// MaxInfluencers caps B's per A in S (0 = unlimited).
 	MaxInfluencers int
+	// StaticSnapshot, when non-nil, is served as S directly instead of
+	// building one from StaticEdges — the node-replacement path hands a
+	// freshly loaded offline build here, exactly as a replacement
+	// detection server boots from the newest published S rather than
+	// recomputing it. StaticEdges is still used for the follows index.
+	StaticSnapshot *statstore.Snapshot
 	// Dynamic configures this partition's D store.
 	Dynamic dynstore.Options
 	// Programs are the motif programs to run. Required.
@@ -92,11 +98,14 @@ func New(cfg Config) (*Partition, error) {
 	if cfg.ID < 0 || cfg.ID >= cfg.Partitioner.N() {
 		return nil, fmt.Errorf("partition: ID %d out of range [0,%d)", cfg.ID, cfg.Partitioner.N())
 	}
-	builder := &statstore.Builder{
-		Keep:           func(a graph.VertexID) bool { return cfg.Partitioner.PartitionOf(a) == cfg.ID },
-		MaxInfluencers: cfg.MaxInfluencers,
+	snap := cfg.StaticSnapshot
+	if snap == nil {
+		builder := &statstore.Builder{
+			Keep:           func(a graph.VertexID) bool { return cfg.Partitioner.PartitionOf(a) == cfg.ID },
+			MaxInfluencers: cfg.MaxInfluencers,
+		}
+		snap = builder.Build(cfg.StaticEdges)
 	}
-	snap := builder.Build(cfg.StaticEdges)
 	static := statstore.New(snap)
 	// Forward index for already-follows suppression, partition-local.
 	follows := buildFollowsIndex(cfg.StaticEdges, cfg.Partitioner, cfg.ID)

@@ -1,0 +1,160 @@
+package placement
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Elastic is the replica-lifecycle surface the auto-healer drives;
+// *cluster.Cluster implements it. Kept as an interface so the policy
+// loop stays decoupled from the mechanism (and trivially testable).
+type Elastic interface {
+	// Partitions returns the number of partitions.
+	Partitions() int
+	// Replicas returns the current replica count of partition pid,
+	// decommissioned tombstones included.
+	Replicas(pid int) int
+	// ReplicaState reports "live", "replaying", "dead", or "removed".
+	ReplicaState(pid, r int) (string, error)
+	// ReprovisionReplica replaces a replica's node: fresh directory,
+	// fresh S, state recovered from the partition's base pool plus log
+	// replay.
+	ReprovisionReplica(pid, r int) error
+}
+
+// HealerOptions configures the auto-healer.
+type HealerOptions struct {
+	// After is how long a replica may stay dead before the healer
+	// re-provisions it. Required > 0.
+	After time.Duration
+	// Interval is the poll cadence; zero selects After/4, floored at
+	// 10ms. Health polling is cheap (a state load per replica), so the
+	// deadline resolution, not the poll cost, picks the cadence.
+	Interval time.Duration
+	// OnHeal, if set, observes every re-provision attempt (err is nil on
+	// success). Called from the healer goroutine.
+	OnHeal func(pid, r int, err error)
+}
+
+// Healer is the optional self-managing policy loop: it watches replica
+// health and re-provisions placements that stay dead past the deadline —
+// the "node died, schedule a replacement" behavior of a production
+// placement controller, without an operator in the loop. It must be
+// stopped before the cluster it drives is stopped (re-provisioning
+// concurrent with Stop is undefined, like every lifecycle call).
+type Healer struct {
+	c    Elastic
+	opts HealerOptions
+
+	quit    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+	started atomic.Bool
+
+	healed   atomic.Uint64
+	failures atomic.Uint64
+
+	// firstDead records when each replica was first observed dead; an
+	// entry is cleared the moment the replica is observed in any other
+	// state, so flapping replicas restart their deadline.
+	firstDead map[[2]int]time.Time
+}
+
+// NewHealer builds a healer over c; call Start to run it.
+func NewHealer(c Elastic, opts HealerOptions) *Healer {
+	if opts.Interval <= 0 {
+		opts.Interval = opts.After / 4
+	}
+	if opts.Interval < 10*time.Millisecond {
+		opts.Interval = 10 * time.Millisecond
+	}
+	return &Healer{
+		c:         c,
+		opts:      opts,
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		firstDead: make(map[[2]int]time.Time),
+	}
+}
+
+// Start launches the policy loop. No-op if After <= 0 or already started.
+func (h *Healer) Start() {
+	if !h.started.CompareAndSwap(false, true) {
+		return
+	}
+	if h.opts.After <= 0 {
+		close(h.done)
+		return
+	}
+	go h.run()
+}
+
+// Stop terminates the policy loop and waits for it to exit. Safe to call
+// multiple times, and safe on a healer that was never started (a Start
+// racing in afterwards sees the closed quit and exits immediately).
+func (h *Healer) Stop() {
+	h.once.Do(func() { close(h.quit) })
+	if !h.started.Load() {
+		return
+	}
+	<-h.done
+}
+
+// Healed returns how many replicas the healer has re-provisioned.
+func (h *Healer) Healed() uint64 { return h.healed.Load() }
+
+// Failures returns how many re-provision attempts failed (the healer
+// retries on the next deadline expiry — the dead entry is cleared so the
+// full After elapses again before another attempt).
+func (h *Healer) Failures() uint64 { return h.failures.Load() }
+
+func (h *Healer) run() {
+	defer close(h.done)
+	ticker := time.NewTicker(h.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-h.quit:
+			return
+		case now := <-ticker.C:
+			h.sweep(now)
+		}
+	}
+}
+
+// sweep polls every replica's state and re-provisions those dead past the
+// deadline.
+func (h *Healer) sweep(now time.Time) {
+	for pid := 0; pid < h.c.Partitions(); pid++ {
+		for r := 0; r < h.c.Replicas(pid); r++ {
+			key := [2]int{pid, r}
+			state, err := h.c.ReplicaState(pid, r)
+			if err != nil || state != "dead" {
+				delete(h.firstDead, key)
+				continue
+			}
+			first, seen := h.firstDead[key]
+			if !seen {
+				h.firstDead[key] = now
+				continue
+			}
+			if now.Sub(first) < h.opts.After {
+				continue
+			}
+			// Deadline expired: replace the node. Clear the entry either
+			// way — success moves the replica out of dead, and a failure
+			// earns a fresh full deadline before the next attempt.
+			delete(h.firstDead, key)
+			err = h.c.ReprovisionReplica(pid, r)
+			if err != nil {
+				h.failures.Add(1)
+			} else {
+				h.healed.Add(1)
+			}
+			if h.opts.OnHeal != nil {
+				h.opts.OnHeal(pid, r, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package placement
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDirNaming(t *testing.T) {
+	if got := Dir("/ckpt", 3, 1, 0); got != filepath.Join("/ckpt", "p003-r01") {
+		t.Fatalf("gen-0 dir = %q", got)
+	}
+	if got := Dir("/ckpt", 3, 1, 2); got != filepath.Join("/ckpt", "p003-r01-g02") {
+		t.Fatalf("gen-2 dir = %q", got)
+	}
+	// Generations must never collide across bumps.
+	seen := map[string]bool{}
+	for gen := 0; gen < 5; gen++ {
+		d := Dir("/ckpt", 0, 0, gen)
+		if seen[d] {
+			t.Fatalf("generation dir %q reused", d)
+		}
+		seen[d] = true
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	path := TablePath(t.TempDir())
+	tbl := NewTable(path, 42)
+	if _, err := tbl.Bump(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Bump(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Add(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Remove(1, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Load(path, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := got.Get(0, 1); p.Gen != 2 || p.Removed {
+		t.Fatalf("Get(0,1) = %+v, want gen 2", p)
+	}
+	if p := got.Get(1, 0); !p.Removed {
+		t.Fatalf("Get(1,0) = %+v, want removed", p)
+	}
+	if p := got.Get(1, 2); p.Gen != 0 || p.Removed {
+		t.Fatalf("Get(1,2) = %+v, want fresh", p)
+	}
+	if n := got.Replicas(1); n != 3 {
+		t.Fatalf("Replicas(1) = %d, want 3", n)
+	}
+	if n := got.Replicas(7); n != 0 {
+		t.Fatalf("Replicas(7) = %d, want 0 (nothing recorded)", n)
+	}
+	// Defaults for untouched slots.
+	if p := got.Get(5, 0); p.Gen != 0 || p.Removed {
+		t.Fatalf("default placement = %+v", p)
+	}
+}
+
+func TestTableForeignRunLoadsEmpty(t *testing.T) {
+	path := TablePath(t.TempDir())
+	tbl := NewTable(path, 1)
+	if _, err := tbl.Bump(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := got.Get(0, 0); p.Gen != 0 {
+		t.Fatalf("foreign-run table resurrected: %+v", p)
+	}
+}
+
+func TestTableAbsentAndMalformed(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(TablePath(dir), 1); err != nil {
+		t.Fatalf("absent table: %v", err)
+	}
+	if err := os.WriteFile(TablePath(dir), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(TablePath(dir), 1); err == nil {
+		t.Fatal("malformed table loaded without error")
+	}
+}
+
+func TestTableGuards(t *testing.T) {
+	tbl := NewTable(TablePath(t.TempDir()), 1)
+	if err := tbl.Remove(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Remove(0, 0); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if _, err := tbl.Bump(0, 0); err == nil {
+		t.Fatal("bump of a decommissioned placement accepted")
+	}
+	if _, err := tbl.Add(0, 0); err == nil {
+		t.Fatal("add over an assigned index accepted")
+	}
+}
+
+// fakeElastic is a scripted cluster for healer policy tests.
+type fakeElastic struct {
+	mu     sync.Mutex
+	states map[[2]int]string
+	healed [][2]int
+	err    error
+}
+
+func newFakeElastic() *fakeElastic {
+	return &fakeElastic{states: map[[2]int]string{
+		{0, 0}: "live", {0, 1}: "live",
+	}}
+}
+
+func (f *fakeElastic) Partitions() int  { return 1 }
+func (f *fakeElastic) Replicas(int) int { return 2 }
+func (f *fakeElastic) set(pid, r int, s string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.states[[2]int{pid, r}] = s
+}
+func (f *fakeElastic) ReplicaState(pid, r int) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.states[[2]int{pid, r}], nil
+}
+func (f *fakeElastic) ReprovisionReplica(pid, r int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return f.err
+	}
+	f.healed = append(f.healed, [2]int{pid, r})
+	f.states[[2]int{pid, r}] = "live"
+	return nil
+}
+
+func TestHealerReprovisionsAfterDeadline(t *testing.T) {
+	fake := newFakeElastic()
+	healedCh := make(chan [2]int, 4)
+	h := NewHealer(fake, HealerOptions{
+		After:    40 * time.Millisecond,
+		Interval: 5 * time.Millisecond,
+		OnHeal: func(pid, r int, err error) {
+			if err == nil {
+				healedCh <- [2]int{pid, r}
+			}
+		},
+	})
+	h.Start()
+	defer h.Stop()
+
+	fake.set(0, 1, "dead")
+	select {
+	case got := <-healedCh:
+		if got != [2]int{0, 1} {
+			t.Fatalf("healed %v, want 0/1", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("healer never re-provisioned the dead replica")
+	}
+	if h.Healed() != 1 {
+		t.Fatalf("Healed = %d", h.Healed())
+	}
+	if s, _ := fake.ReplicaState(0, 1); s != "live" {
+		t.Fatalf("state after heal = %q", s)
+	}
+}
+
+func TestHealerLeavesHealthyReplicasAlone(t *testing.T) {
+	fake := newFakeElastic()
+	fake.set(0, 1, "replaying")
+	h := NewHealer(fake, HealerOptions{After: 10 * time.Millisecond, Interval: 2 * time.Millisecond})
+	h.Start()
+	time.Sleep(60 * time.Millisecond)
+	h.Stop()
+	if n := h.Healed(); n != 0 {
+		t.Fatalf("healer re-provisioned %d healthy replicas", n)
+	}
+}
+
+func TestHealerDisabledWithoutDeadline(t *testing.T) {
+	h := NewHealer(newFakeElastic(), HealerOptions{})
+	h.Start()
+	h.Stop() // must not hang
+}
+
+func TestHealerStopWithoutStart(t *testing.T) {
+	h := NewHealer(newFakeElastic(), HealerOptions{After: time.Second})
+	h.Stop() // never started: must return, not wait on a loop that never ran
+	h.Stop() // and stay idempotent
+}

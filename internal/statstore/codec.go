@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 
 	"motifstream/internal/graph"
@@ -125,4 +126,18 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 		edges += n
 	}
 	return &Snapshot{followers: followers, numEdges: edges, version: version}, nil
+}
+
+// LoadSnapshotFile reads one snapshot file from disk — the convenience
+// the re-provisioning path uses to boot a replacement replica straight
+// from the newest offline S build. The os.Open error is returned
+// unwrapped so callers can distinguish an absent build (fine: fall back
+// to StaticEdges) from an unreadable one.
+func LoadSnapshotFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
 }

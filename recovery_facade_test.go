@@ -78,3 +78,86 @@ func TestClusterFacadeRecoveryDisabled(t *testing.T) {
 		t.Fatal("KillReplica without CheckpointDir accepted")
 	}
 }
+
+// TestClusterFacadeElasticity drives the placement subsystem — scale-out,
+// node replacement with base mirroring, scale-in, and the auto-healer —
+// through the public facade.
+func TestClusterFacadeElasticity(t *testing.T) {
+	static := []motifstream.Edge{
+		{Src: 1, Dst: 10}, {Src: 2, Dst: 10},
+		{Src: 2, Dst: 11}, {Src: 3, Dst: 11},
+	}
+	clu, err := motifstream.NewCluster(static, motifstream.ClusterOptions{
+		Partitions: 2, Replicas: 2, K: 2,
+		Window:             time.Hour,
+		DisableSleepHours:  true,
+		CheckpointDir:      t.TempDir(),
+		CheckpointInterval: time.Second, // stream time
+		MirrorBases:        1,
+		HealAfter:          50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := int64(1_000_000)
+	for i := 0; i < 50; i++ {
+		item := motifstream.VertexID(1_000 + i)
+		ts := t0 + int64(i)*10_000
+		if err := clu.Publish(motifstream.Edge{Src: 10, Dst: item, Type: motifstream.Follow, TS: ts}); err != nil {
+			t.Fatal(err)
+		}
+		if err := clu.Publish(motifstream.Edge{Src: 11, Dst: item, Type: motifstream.Follow, TS: ts + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Scale out, then replace the new node in place (planned replacement).
+	idx, err := clu.AddReplica(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 2 || clu.ReplicaCount(0) != 3 {
+		t.Fatalf("AddReplica -> idx %d, count %d", idx, clu.ReplicaCount(0))
+	}
+	if err := clu.AwaitReplicaLive(0, idx, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := clu.ReprovisionReplica(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := clu.AwaitReplicaLive(0, 1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Scale the added replica back in; the tombstone stays.
+	if err := clu.DecommissionReplica(0, idx); err != nil {
+		t.Fatal(err)
+	}
+	if state, _ := clu.ReplicaState(0, idx); state != "removed" {
+		t.Fatalf("state after decommission = %q", state)
+	}
+	// The auto-healer revives a killed replica without an operator call.
+	if err := clu.KillReplica(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if state, _ := clu.ReplicaState(1, 1); state == "live" {
+			break
+		}
+		if time.Now().After(deadline) {
+			state, _ := clu.ReplicaState(1, 1)
+			t.Fatalf("auto-healer never revived 1/1 (state %q)", state)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	clu.Stop()
+	s := clu.Stats()
+	if s.ScaleOuts != 1 || s.ScaleIns != 1 {
+		t.Fatalf("scale stats = %d out / %d in", s.ScaleOuts, s.ScaleIns)
+	}
+	if s.Reprovisions < 2 || s.Healed < 1 {
+		t.Fatalf("reprovisions = %d (healed %d), want >= 2 (>= 1)", s.Reprovisions, s.Healed)
+	}
+	if _, err := clu.RecommendationsFor(2); err != nil {
+		t.Fatal(err)
+	}
+}
