@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test test-race test-crashmatrix test-elasticity bench bench-smoke fuzz fuzz-smoke
+.PHONY: check build vet test test-race test-crashmatrix test-delivery test-elasticity bench bench-smoke fuzz fuzz-smoke
 
 # check is the CI gate: formatting, static analysis, the full test suite
-# under the race detector (test-elasticity's cases run within it, and are
-# also kept as a named target for the quick loop), and short fuzz smoke
-# runs of the durability codecs.
-check: fmt-check vet test-race test-elasticity fuzz-smoke
+# under the race detector (test-delivery's and test-elasticity's cases
+# run within it, and are also kept as named targets for the quick loop),
+# and short fuzz smoke runs of the durability codecs.
+check: fmt-check vet test-race test-delivery test-elasticity fuzz-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
@@ -25,11 +25,17 @@ test-race:
 	$(GO) test -race ./...
 
 # test-crashmatrix runs just the fault-injection matrix (kill / restore /
-# whole-cluster restart at every pipeline stage, oracle-asserted) under
-# the race detector — the quick loop while working on the durability
-# subsystem.
+# whole-cluster restart at every pipeline stage, oracle-asserted, plus
+# the restart delivery-state scenarios) under the race detector — the
+# quick loop while working on the durability subsystem.
 test-crashmatrix:
-	$(GO) test -race -run 'TestCrashMatrix|TestReopen' ./internal/cluster
+	$(GO) test -race -run 'TestCrashMatrix|TestReopen|TestRestart' ./internal/cluster
+
+# test-delivery runs the push-pipeline suite — funnel policies, the
+# dedup LRU, and the durable state codec — under the race detector: the
+# quick loop for the delivery tier.
+test-delivery:
+	$(GO) test -race ./internal/delivery
 
 # test-elasticity runs the elastic placement suite (node replacement,
 # base replication, live scale-out/in, auto-healer, placement table)
@@ -52,9 +58,12 @@ bench-smoke:
 fuzz:
 	$(GO) test -run=NONE -fuzz FuzzSnapshotDecode -fuzztime 30s ./internal/dynstore
 	$(GO) test -run=NONE -fuzz FuzzWALReadRecord -fuzztime 30s ./internal/queue
+	$(GO) test -run=NONE -fuzz FuzzDeliveryStateReadFrom -fuzztime 30s ./internal/delivery
 
-# fuzz-smoke is the CI-budget version: 10s per target keeps the decoders
-# and the WAL record framing continuously fuzzed without stalling checks.
+# fuzz-smoke is the CI-budget version: 10s per target keeps the decoders,
+# the WAL record framing, and the delivery-state codec continuously
+# fuzzed without stalling checks.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/dynstore
 	$(GO) test -run=NONE -fuzz FuzzWALReadRecord -fuzztime 10s ./internal/queue
+	$(GO) test -run=NONE -fuzz FuzzDeliveryStateReadFrom -fuzztime 10s ./internal/delivery

@@ -156,9 +156,8 @@ func NewCluster(staticEdges []Edge, opts ClusterOptions) (*Cluster, error) {
 		MaxPerUserPerDay: opts.MaxPushesPerUserPerDay,
 	}
 	if opts.DisableSleepHours {
-		// Equal start/end disables the sleep window; pick a non-zero pair
-		// so the pipeline's defaulting leaves it alone.
-		dopts.SleepStartHour, dopts.SleepEndHour = 1, 1
+		dopts.SleepStartHour = delivery.SleepDisabled
+		dopts.SleepEndHour = delivery.SleepDisabled
 	}
 
 	var onNotify func(delivery.Notification)
@@ -280,28 +279,36 @@ type ClusterStats struct {
 	FsyncsSaved uint64
 	// ScaleOuts and ScaleIns count live membership changes.
 	ScaleOuts, ScaleIns uint64
+	// DeliveryStateCuts counts durable snapshots of the delivery
+	// pipeline's suppression state (dedup LRU + fatigue budgets), cut
+	// beside the delivery offsets; DeliveryStateRestores counts restarts
+	// that installed one, keeping a (user, item) pair pushed before the
+	// restart suppressed after it.
+	DeliveryStateCuts, DeliveryStateRestores uint64
 }
 
 // Stats returns current cluster totals.
 func (c *Cluster) Stats() ClusterStats {
 	s := c.inner.Stats()
 	st := ClusterStats{
-		Events:             s.Events,
-		Delivered:          s.Delivered,
-		LatencyP50:         s.E2ELatency.P50,
-		LatencyP99:         s.E2ELatency.P99,
-		Funnel:             s.Funnel,
-		Checkpoints:        s.Checkpoints,
-		Restores:           s.Restores,
-		Compactions:        s.Compactions,
-		LogTruncatedBelow:  s.LogTruncatedBelow,
-		CheckpointPauseP99: s.CutPause.P99,
-		Reprovisions:       s.Reprovisions,
-		BaseMirrors:        s.BaseMirrors,
-		BasePoolRestores:   s.BasePoolRestores,
-		FsyncsSaved:        s.FsyncsSaved,
-		ScaleOuts:          s.ScaleOuts,
-		ScaleIns:           s.ScaleIns,
+		Events:                s.Events,
+		Delivered:             s.Delivered,
+		LatencyP50:            s.E2ELatency.P50,
+		LatencyP99:            s.E2ELatency.P99,
+		Funnel:                s.Funnel,
+		Checkpoints:           s.Checkpoints,
+		Restores:              s.Restores,
+		Compactions:           s.Compactions,
+		LogTruncatedBelow:     s.LogTruncatedBelow,
+		CheckpointPauseP99:    s.CutPause.P99,
+		Reprovisions:          s.Reprovisions,
+		BaseMirrors:           s.BaseMirrors,
+		BasePoolRestores:      s.BasePoolRestores,
+		FsyncsSaved:           s.FsyncsSaved,
+		ScaleOuts:             s.ScaleOuts,
+		ScaleIns:              s.ScaleIns,
+		DeliveryStateCuts:     s.DeliveryStateCuts,
+		DeliveryStateRestores: s.DeliveryStateRestores,
 	}
 	if c.healer != nil {
 		st.Healed = c.healer.Healed()

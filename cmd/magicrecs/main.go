@@ -193,6 +193,8 @@ func main() {
 	if *ckptDir != "" {
 		fmt.Printf("recovery:    %d checkpoint segments (%d compactions) in %s; cut pause p99=%v; firehose log truncated below offset %d\n",
 			s.Checkpoints, s.Compactions, *ckptDir, s.CheckpointPauseP99, s.LogTruncatedBelow)
+		fmt.Printf("delivery:    %d pipeline state cuts (dedup LRU + fatigue budgets), %d restored at restarts\n",
+			s.DeliveryStateCuts, s.DeliveryStateRestores)
 		fmt.Printf("placement:   %d reprovisions (%d auto-healed), %d base mirrors, %d pool restores, %d scale-outs, %d scale-ins, %d fsyncs saved\n",
 			s.Reprovisions, s.Healed, s.BaseMirrors, s.BasePoolRestores, s.ScaleOuts, s.ScaleIns, s.FsyncsSaved)
 	}

@@ -278,23 +278,32 @@ type Cluster struct {
 	// not re-deliver batches the previous run already pushed.
 	initialDelivery []uint64
 
-	reg           *metrics.Registry
-	e2eLatency    *metrics.Histogram
-	cutPause      *metrics.Histogram
-	ingested      *metrics.Counter
-	delivered     *metrics.Counter
-	checkpoints   *metrics.Counter
-	ckptErrors    *metrics.Counter
-	restores      *metrics.Counter
-	compactions   *metrics.Counter
-	truncated     *metrics.Counter
-	staticReloads *metrics.Counter
-	reprovisions  *metrics.Counter
-	mirrorsOut    *metrics.Counter
-	poolRestores  *metrics.Counter
-	fsyncsSaved   *metrics.Counter
-	scaleOuts     *metrics.Counter
-	scaleIns      *metrics.Counter
+	reg                   *metrics.Registry
+	e2eLatency            *metrics.Histogram
+	cutPause              *metrics.Histogram
+	ingested              *metrics.Counter
+	delivered             *metrics.Counter
+	checkpoints           *metrics.Counter
+	ckptErrors            *metrics.Counter
+	restores              *metrics.Counter
+	compactions           *metrics.Counter
+	truncated             *metrics.Counter
+	staticReloads         *metrics.Counter
+	reprovisions          *metrics.Counter
+	mirrorsOut            *metrics.Counter
+	poolRestores          *metrics.Counter
+	fsyncsSaved           *metrics.Counter
+	scaleOuts             *metrics.Counter
+	scaleIns              *metrics.Counter
+	deliveryStateCuts     *metrics.Counter
+	deliveryStateRestores *metrics.Counter
+
+	// stateWG tracks in-flight async delivery-state cuts; stateBusy keeps
+	// at most one in flight (a busy tick is skipped, the next one captures
+	// a strictly newer state). Cuts are only spawned by the delivery
+	// goroutine, which waits for the last one before its final exact cut.
+	stateWG   sync.WaitGroup
+	stateBusy atomic.Bool
 
 	// ctl serializes the replica lifecycle operations (KillReplica,
 	// RestoreReplica) and guards the slot fields they rewrite, so
@@ -423,23 +432,25 @@ func New(cfg Config) (c *Cluster, err error) {
 			Buffer: cfg.Buffer,
 			Seed:   cfg.Seed + 1,
 		}),
-		pipeline:      delivery.NewPipeline(cfg.Delivery),
-		e2eLatency:    reg.Histogram("cluster.e2e_latency"),
-		cutPause:      reg.Histogram("cluster.checkpoint_cut_pause"),
-		ingested:      reg.Counter("cluster.events"),
-		delivered:     reg.Counter("cluster.delivered"),
-		checkpoints:   reg.Counter("cluster.checkpoints"),
-		ckptErrors:    reg.Counter("cluster.checkpoint_errors"),
-		restores:      reg.Counter("cluster.restores"),
-		compactions:   reg.Counter("cluster.compactions"),
-		truncated:     reg.Counter("cluster.log_truncated_events"),
-		staticReloads: reg.Counter("cluster.static_reloads"),
-		reprovisions:  reg.Counter("cluster.reprovisions"),
-		mirrorsOut:    reg.Counter("cluster.base_mirrors"),
-		poolRestores:  reg.Counter("cluster.base_pool_restores"),
-		fsyncsSaved:   reg.Counter("cluster.fsyncs_saved"),
-		scaleOuts:     reg.Counter("cluster.scale_outs"),
-		scaleIns:      reg.Counter("cluster.scale_ins"),
+		pipeline:              delivery.NewPipeline(cfg.Delivery),
+		e2eLatency:            reg.Histogram("cluster.e2e_latency"),
+		cutPause:              reg.Histogram("cluster.checkpoint_cut_pause"),
+		ingested:              reg.Counter("cluster.events"),
+		delivered:             reg.Counter("cluster.delivered"),
+		checkpoints:           reg.Counter("cluster.checkpoints"),
+		ckptErrors:            reg.Counter("cluster.checkpoint_errors"),
+		restores:              reg.Counter("cluster.restores"),
+		compactions:           reg.Counter("cluster.compactions"),
+		truncated:             reg.Counter("cluster.log_truncated_events"),
+		staticReloads:         reg.Counter("cluster.static_reloads"),
+		reprovisions:          reg.Counter("cluster.reprovisions"),
+		mirrorsOut:            reg.Counter("cluster.base_mirrors"),
+		poolRestores:          reg.Counter("cluster.base_pool_restores"),
+		fsyncsSaved:           reg.Counter("cluster.fsyncs_saved"),
+		scaleOuts:             reg.Counter("cluster.scale_outs"),
+		scaleIns:              reg.Counter("cluster.scale_ins"),
+		deliveryStateCuts:     reg.Counter("cluster.delivery_state_cuts"),
+		deliveryStateRestores: reg.Counter("cluster.delivery_state_restores"),
 	}
 	if recovery {
 		c.ckptEveryMS = cfg.CheckpointInterval.Milliseconds()
@@ -546,14 +557,31 @@ func New(cfg Config) (c *Cluster, err error) {
 				}
 			}
 		}
-		c.initialDelivery = c.loadDeliveryOffsets()
+		// Seed the delivery tier's exactly-once filter AND the pipeline's
+		// suppression state (dedup LRU + fatigue budgets) from
+		// delivery.state, which bundles both as one atomic snapshot: a
+		// (user, item) pair pushed before the shutdown stays suppressed
+		// across the restart, daily budgets are not silently reset, and
+		// the filter can never run ahead of the dedup state because they
+		// were captured together. A missing, foreign, or corrupt
+		// delivery.state degrades to the fresher-but-unpaired
+		// delivery.off seeds with a fresh pipeline — the documented
+		// pre-durable-state tolerance (a repeated pair may be re-pushed
+		// once), never a failed reopen.
+		if offs, ok := c.loadDeliveryState(); ok {
+			c.initialDelivery = offs
+		} else {
+			c.initialDelivery = c.loadDeliveryOffsets()
+		}
 		// Clamp the seeds to the recovered log head: after a torn-tail
 		// crash the log may have lost a suffix whose offsets the delivery
 		// filter already covered — those offsets are about to be REUSED by
 		// brand-new events, and a seed beyond the head would drop their
 		// notifications forever. Clamping down only risks re-delivering
 		// the lost span's pushes, the documented duplicate tolerance;
-		// never loss.
+		// never loss (and dedup entries covering the lost span only
+		// suppress re-pushes of pairs the previous run demonstrably
+		// delivered).
 		head := c.firehose.Published()
 		for i, off := range c.initialDelivery {
 			if off > head {
@@ -776,6 +804,11 @@ func (c *Cluster) cutCheckpoint(slot *replicaSlot, nextOffset uint64) {
 	c.cutPause.Observe(time.Since(start))
 }
 
+// deliveryDebug, when non-nil, observes every candidate batch arriving at
+// the delivery filter (before the skip check) with the group's current
+// high-water offset. Test-only instrumentation; set while no cluster runs.
+var deliveryDebug func(msg candidateMsg, next uint64)
+
 // runDelivery consumes candidate batches and runs the push pipeline.
 // nextOffset[g] is group g's exactly-once high-water mark: a batch is
 // processed only when its firehose offset has not been covered yet, so
@@ -791,6 +824,9 @@ func (c *Cluster) runDelivery(sub <-chan queue.Envelope[candidateMsg]) {
 	persist := c.cfg.CheckpointDir != ""
 	batches := 0
 	for env := range sub {
+		if deliveryDebug != nil {
+			deliveryDebug(env.Msg, nextOffset[env.Msg.pid])
+		}
 		if env.Msg.offset < nextOffset[env.Msg.pid] {
 			continue // another replica's copy already covered this event
 		}
@@ -813,9 +849,26 @@ func (c *Cluster) runDelivery(sub <-chan queue.Envelope[candidateMsg]) {
 			if batches++; batches%deliveryPersistEvery == 0 {
 				c.persistDeliveryOffsets(nextOffset, false)
 			}
+			// And, on a coarser cadence, cut the delivery restart state —
+			// the pipeline's suppression state (dedup LRU + fatigue
+			// budgets) bundled with the filter offsets captured right now
+			// — written asynchronously so the encode and fsync never
+			// stall the delivery tier.
+			if batches%deliveryStatePersistEvery == 0 {
+				c.cutDeliveryStateAsync(append([]uint64(nil), nextOffset...))
+			}
 		}
 	}
 	if persist && batches > 0 {
+		// Final exact persists at the drained point: wait out any async
+		// state cut, then write the state+offsets snapshot (one atomic
+		// file — a restart seeded from it can never run its filter ahead
+		// of the dedup state restored with it; docs/DURABILITY.md,
+		// "Durable delivery-pipeline state") and the standalone offsets
+		// file, which remains the mid-run clamp source and the restart
+		// fallback when the snapshot is missing or corrupt.
+		c.stateWG.Wait()
+		c.persistDeliveryState(nextOffset)
 		c.persistDeliveryOffsets(nextOffset, true)
 	}
 }
@@ -962,6 +1015,10 @@ type Stats struct {
 	// FsyncsSaved counts fsyncs the async writers elided by coalescing
 	// queued checkpoint cuts into one segment per drain.
 	FsyncsSaved uint64
+	// DeliveryStateCuts counts durable snapshots of the delivery
+	// pipeline's suppression state (dedup LRU + fatigue budgets);
+	// DeliveryStateRestores counts restarts that installed one.
+	DeliveryStateCuts, DeliveryStateRestores uint64
 	// ScaleOuts and ScaleIns count live membership changes (AddReplica /
 	// DecommissionReplica).
 	ScaleOuts, ScaleIns uint64
@@ -979,21 +1036,23 @@ type Stats struct {
 // Stats returns current cluster totals.
 func (c *Cluster) Stats() Stats {
 	return Stats{
-		Events:            c.ingested.Value(),
-		Delivered:         c.delivered.Value(),
-		Checkpoints:       c.checkpoints.Value(),
-		Restores:          c.restores.Value(),
-		Compactions:       c.compactions.Value(),
-		Reprovisions:      c.reprovisions.Value(),
-		BaseMirrors:       c.mirrorsOut.Value(),
-		BasePoolRestores:  c.poolRestores.Value(),
-		FsyncsSaved:       c.fsyncsSaved.Value(),
-		ScaleOuts:         c.scaleOuts.Value(),
-		ScaleIns:          c.scaleIns.Value(),
-		LogTruncatedBelow: c.firehose.LogStart(),
-		CutPause:          c.cutPause.Snapshot(),
-		E2ELatency:        c.e2eLatency.Snapshot(),
-		Funnel:            c.pipeline.Stats(),
+		Events:                c.ingested.Value(),
+		Delivered:             c.delivered.Value(),
+		Checkpoints:           c.checkpoints.Value(),
+		Restores:              c.restores.Value(),
+		Compactions:           c.compactions.Value(),
+		Reprovisions:          c.reprovisions.Value(),
+		BaseMirrors:           c.mirrorsOut.Value(),
+		BasePoolRestores:      c.poolRestores.Value(),
+		FsyncsSaved:           c.fsyncsSaved.Value(),
+		DeliveryStateCuts:     c.deliveryStateCuts.Value(),
+		DeliveryStateRestores: c.deliveryStateRestores.Value(),
+		ScaleOuts:             c.scaleOuts.Value(),
+		ScaleIns:              c.scaleIns.Value(),
+		LogTruncatedBelow:     c.firehose.LogStart(),
+		CutPause:              c.cutPause.Snapshot(),
+		E2ELatency:            c.e2eLatency.Snapshot(),
+		Funnel:                c.pipeline.Stats(),
 	}
 }
 

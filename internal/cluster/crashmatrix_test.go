@@ -803,6 +803,163 @@ func TestReopenCorruptBaseAboveTruncatedLogFails(t *testing.T) {
 	}
 }
 
+// repushEdges returns one motif completion for (user 0, item) in
+// ringStatic space: users 1 and 2 — both followed by user 0 — acting on
+// the item within the detection window, at the given stream time.
+func repushEdges(item graph.VertexID, ts int64) []graph.Edge {
+	return []graph.Edge{
+		{Src: 1, Dst: item, Type: graph.Follow, TS: ts},
+		{Src: 2, Dst: item, Type: graph.Follow, TS: ts + 1},
+	}
+}
+
+func publishAll(t *testing.T, c *Cluster, edges []graph.Edge) {
+	t.Helper()
+	for _, e := range edges {
+		if err := c.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRestartRepushesSuppressed is the crash matrix's
+// restart-repushes-suppressed scenario: a (user, item) pair pushed before
+// a clean Shutdown must be DroppedDuplicate — not re-pushed — when the
+// stream repeats the pair after Reopen. This is the restart
+// duplicate-push window the durable delivery.state closes; before it the
+// reopened pipeline's empty dedup LRU re-delivered the pair.
+func TestRestartRepushesSuppressed(t *testing.T) {
+	cfg := durableConfig(t, ringStatic(8))
+	notes := collectNotes(&cfg)
+	const item = graph.VertexID(500_000)
+	const ts = int64(10_000_000)
+	key := noteKey{0, item}
+
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	publishAll(t, c, repushEdges(item, ts))
+	c.Shutdown()
+	if got := notes()[key]; got != 1 {
+		t.Fatalf("vacuous: (0,%d) delivered %d times before restart, want 1", item, got)
+	}
+	if st := c.Stats(); st.DeliveryStateCuts == 0 {
+		t.Fatal("Shutdown cut no delivery state")
+	}
+
+	c2, err := Reopen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishAll(t, c2, repushEdges(item, ts+60_000))
+	c2.Shutdown()
+
+	if got := notes()[key]; got != 1 {
+		t.Fatalf("(0,%d) delivered %d times across the restart, want 1 (re-push suppressed)", item, got)
+	}
+	if f := c2.Pipeline().Stats(); f.DroppedDuplicate == 0 {
+		t.Fatalf("reopened funnel saw no duplicate drop: %+v", f)
+	}
+	if st := c2.Stats(); st.DeliveryStateRestores != 1 {
+		t.Fatalf("DeliveryStateRestores = %d, want 1", st.DeliveryStateRestores)
+	}
+}
+
+// TestRestartFatigueBudgetSurvives is the fatigue arm of the scenario: a
+// user's daily push budget spent before Shutdown must still be spent
+// after Reopen within the same stream day, not silently reset.
+func TestRestartFatigueBudgetSurvives(t *testing.T) {
+	cfg := durableConfig(t, ringStatic(8))
+	cfg.Delivery.MaxPerUserPerDay = 1
+	notes := collectNotes(&cfg)
+	const itemA = graph.VertexID(500_000)
+	const itemB = graph.VertexID(500_001)
+	const ts = int64(10_000_000)
+
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	publishAll(t, c, repushEdges(itemA, ts))
+	c.Shutdown()
+	if got := notes()[noteKey{0, itemA}]; got != 1 {
+		t.Fatalf("vacuous: first push delivered %d times, want 1", got)
+	}
+
+	// Same stream day, different item: the restored budget (1/1 spent)
+	// must block it.
+	c2, err := Reopen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishAll(t, c2, repushEdges(itemB, ts+120_000))
+	c2.Shutdown()
+
+	if got := notes()[noteKey{0, itemB}]; got != 0 {
+		t.Fatalf("second push of the day delivered %d times across restart, want 0 (budget restored)", got)
+	}
+	if f := c2.Pipeline().Stats(); f.DroppedFatigue == 0 {
+		t.Fatalf("reopened funnel saw no fatigue drop: %+v", f)
+	}
+}
+
+// TestRestartCorruptDeliveryStateDegrades pins the failure contract: a
+// corrupt (or missing) delivery.state must degrade Reopen to the
+// pre-durable-state tolerance — the repeated pair is re-pushed once, the
+// documented product-level-dedup corner — never fail the reopen.
+func TestRestartCorruptDeliveryStateDegrades(t *testing.T) {
+	cases := []struct {
+		name   string
+		damage func(t *testing.T, path string)
+	}{
+		{"corrupt", func(t *testing.T, path string) { flipByte(t, path) }},
+		{"missing", func(t *testing.T, path string) {
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := durableConfig(t, ringStatic(8))
+			notes := collectNotes(&cfg)
+			const item = graph.VertexID(500_000)
+			const ts = int64(10_000_000)
+			key := noteKey{0, item}
+
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Start()
+			publishAll(t, c, repushEdges(item, ts))
+			c.Shutdown()
+			if got := notes()[key]; got != 1 {
+				t.Fatalf("vacuous: delivered %d times before restart", got)
+			}
+			tc.damage(t, deliveryStatePath(cfg.CheckpointDir))
+
+			c2, err := Reopen(cfg)
+			if err != nil {
+				t.Fatalf("Reopen over %s delivery.state: %v", tc.name, err)
+			}
+			publishAll(t, c2, repushEdges(item, ts+60_000))
+			c2.Shutdown()
+
+			if st := c2.Stats(); st.DeliveryStateRestores != 0 {
+				t.Fatalf("DeliveryStateRestores = %d over %s state", st.DeliveryStateRestores, tc.name)
+			}
+			// Degraded semantics: the pair is re-pushed exactly once more.
+			if got := notes()[key]; got != 2 {
+				t.Fatalf("(0,%d) delivered %d times, want 2 (degraded tolerance)", item, got)
+			}
+		})
+	}
+}
+
 // TestReopenSeedsDeliveryFilter pins the mechanism behind restart
 // exactly-once: the reopened delivery consumer starts from the persisted
 // per-group high-water offsets, not zero.

@@ -21,6 +21,7 @@ import (
 //
 //	<CheckpointDir>/
 //	  delivery.off              per-group delivery high-water offsets
+//	  delivery.state            delivery pipeline dedup LRU + fatigue budgets
 //	  p000-r00/                 one directory per replica
 //	    MANIFEST                ordered segment list (atomic rename)
 //	    base-00000007.seg       compacted base checkpoint
@@ -52,7 +53,10 @@ var ErrRecoveryDisabled = errors.New("cluster: recovery requires Config.Checkpoi
 // workload-compatible configuration); every replica is restored from its
 // durable checkpoint chain and replays the durable log from its floor
 // offset, with the delivery tier's exactly-once filter seeded from the
-// persisted high-water offsets so nothing already pushed repeats. After a
+// persisted high-water offsets so nothing already pushed repeats, and the
+// delivery pipeline's suppression state (dedup LRU + fatigue budgets)
+// restored from delivery.state so a (user, item) pair pushed before the
+// restart stays suppressed and daily budgets are not reset. After a
 // clean Shutdown the reopened cluster delivers exactly the notification
 // set an uninterrupted run would have; after a hard crash, at most the
 // un-fsynced log tail (bounded by Config.LogSyncEvery) and the last
@@ -77,9 +81,15 @@ var manifestMagic = [8]byte{'M', 'S', 'M', 'A', 'N', 'F', 0, 1}
 // deliveryMagic identifies the delivery offsets file format, version 1.
 var deliveryMagic = [8]byte{'M', 'S', 'D', 'L', 'V', 'O', 0, 1}
 
+// deliveryStateMagic identifies the delivery pipeline state file header,
+// version 1. The header (magic + version + gating id) wraps the
+// pipeline's own CRC32C-framed snapshot (delivery.Pipeline.WriteTo).
+var deliveryStateMagic = [8]byte{'M', 'S', 'D', 'L', 'S', 'T', 0, 1}
+
 const (
-	manifestVersion = 1
-	deliveryVersion = 1
+	manifestVersion      = 1
+	deliveryVersion      = 1
+	deliveryStateVersion = 1
 
 	segKindBase  = 0
 	segKindDelta = 1
@@ -94,6 +104,15 @@ const (
 	// deliveryPersistEvery is how many processed candidate batches elapse
 	// between persisted snapshots of the per-group high-water offsets.
 	deliveryPersistEvery = 64
+
+	// deliveryStatePersistEvery is how many processed candidate batches
+	// elapse between cuts of the delivery pipeline's suppression state
+	// (dedup LRU + fatigue budgets). Coarser than the offsets cadence:
+	// a state cut copies the whole LRU, not a vector of counters, and
+	// staleness between cuts only re-exposes the documented repeated-pair
+	// tolerance after a hard crash — a clean Shutdown always cuts a final
+	// exact snapshot.
+	deliveryStatePersistEvery = 256
 )
 
 // segmentRef names one durable checkpoint segment: its kind, the
@@ -154,6 +173,8 @@ func segmentPath(dir string, ref segmentRef) string {
 }
 
 func deliveryOffsetsPath(dir string) string { return filepath.Join(dir, "delivery.off") }
+
+func deliveryStatePath(dir string) string { return filepath.Join(dir, "delivery.state") }
 
 func staticSnapshotPath(dir string, pid int) string {
 	return filepath.Join(dir, fmt.Sprintf("s-p%03d.snap", pid))
@@ -269,12 +290,8 @@ func loadManifest(path string, runID uint64) (manifest, error) {
 	defer f.Close()
 	br := &codecutil.CountingReader{R: bufio.NewReader(f)}
 	r := &codecutil.Reader{BR: br, Prefix: "manifest"}
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return manifest{}, fmt.Errorf("manifest magic: %w", err)
-	}
-	if magic != manifestMagic {
-		return manifest{}, fmt.Errorf("bad manifest magic %q", magic[:])
+	if err := codecutil.ExpectMagic(br, manifestMagic[:], "manifest"); err != nil {
+		return manifest{}, err
 	}
 	if v := r.U("version"); r.Err == nil && v != manifestVersion {
 		return manifest{}, fmt.Errorf("unsupported manifest version %d", v)
@@ -588,6 +605,131 @@ func (c *Cluster) persistDeliveryOffsets(next []uint64, durable bool) {
 	}
 }
 
+// persistDeliveryState cuts the delivery tier's restart state to
+// delivery.state as ONE atomic file: a gating header carrying the
+// per-group high-water offsets passed by the caller (CRC32C-trailed),
+// then the pipeline's own CRC32C-framed suppression snapshot (dedup LRU
+// + fatigue budgets). The pairing invariant — a restored filter seeded
+// from this file never runs ahead of the dedup state restored from it —
+// rests on a one-sided capture order the callers must preserve: `next`
+// is snapshotted AT OR BEFORE the moment WriteTo captures the pipeline
+// state (the async cut copies the offsets at the cadence point, then
+// captures strictly later on this goroutine; the final drain cut takes
+// both at the same quiesced instant). Offsets older than the state only
+// re-process replayed batches the restored dedup entries suppress;
+// offsets newer than the state would skip spans the LRU has never seen
+// — the loss direction this file exists to rule out. delivery.off
+// (which the hot path keeps fresher) is only the fallback when this
+// file is missing or corrupt. Always durable (tmp+rename+fsync): it
+// runs off the delivery goroutine (the periodic async cut) or at drain
+// (the final exact cut), so the fsync stalls nobody.
+func (c *Cluster) persistDeliveryState(next []uint64) error {
+	err := atomicWriteFile(deliveryStatePath(c.cfg.CheckpointDir), func(w io.Writer) error {
+		hw := &codecutil.HashWriter{W: w}
+		enc := &codecutil.Writer{BW: bufio.NewWriter(hw)}
+		enc.PutBytes(deliveryStateMagic[:])
+		enc.PutU(deliveryStateVersion)
+		enc.PutU(c.runID)
+		enc.PutU(uint64(len(next)))
+		for _, off := range next {
+			enc.PutU(off)
+		}
+		if err := enc.Flush(); err != nil {
+			return err
+		}
+		if err := codecutil.WriteChecksum(w, hw.Sum()); err != nil {
+			return err
+		}
+		_, err := c.pipeline.WriteTo(w)
+		return err
+	})
+	if err != nil {
+		c.ckptErrors.Inc()
+		return err
+	}
+	c.deliveryStateCuts.Inc()
+	return nil
+}
+
+// cutDeliveryStateAsync schedules one delivery state cut off the
+// delivery goroutine, with the filter offsets captured at the cadence
+// point. At most one cut is in flight: if the previous one is still
+// writing, this tick is skipped — the next cadence point captures a
+// strictly newer state anyway (latest wins).
+func (c *Cluster) cutDeliveryStateAsync(next []uint64) {
+	if !c.stateBusy.CompareAndSwap(false, true) {
+		return
+	}
+	c.stateWG.Add(1)
+	go func() {
+		defer c.stateWG.Done()
+		defer c.stateBusy.Store(false)
+		c.persistDeliveryState(next)
+	}()
+}
+
+// loadDeliveryState restores the delivery pipeline's dedup LRU and
+// fatigue budgets from delivery.state and returns the filter offsets
+// captured with them. ok is false — and nothing is installed — when the
+// file is missing, foreign-run, shaped for a different partition count,
+// or corrupt: the caller then degrades to delivery.off seeding and a
+// fresh pipeline, the pre-durable-state tolerance (a repeated (user,
+// item) pair may be re-pushed once), never a failed reopen. Only
+// corruption and shape mismatches are counted as errors.
+func (c *Cluster) loadDeliveryState() ([]uint64, bool) {
+	f, err := os.Open(deliveryStatePath(c.cfg.CheckpointDir))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	hr := &codecutil.HashReader{R: bufio.NewReader(f)}
+	br := &codecutil.CountingReader{R: hr}
+	r := &codecutil.Reader{BR: br, Prefix: "delivery state header"}
+	if err := codecutil.ExpectMagic(br, deliveryStateMagic[:], "delivery state header"); err != nil {
+		c.ckptErrors.Inc()
+		return nil, false
+	}
+	if v := r.U("version"); r.Err != nil || v != deliveryStateVersion {
+		c.ckptErrors.Inc()
+		return nil, false
+	}
+	if run := r.U("run id"); r.Err != nil || run != c.runID {
+		// A foreign run's pipeline state indexes a stream this log never
+		// carried; ignoring it is the correct degrade, not an error.
+		return nil, false
+	}
+	n := r.U("group count")
+	if r.Err != nil || n > maxManifestSegs {
+		c.ckptErrors.Inc()
+		return nil, false
+	}
+	offsets := make([]uint64, 0, codecutil.PreallocHint(n))
+	for i := uint64(0); i < n && r.Err == nil; i++ {
+		offsets = append(offsets, r.U("group offset"))
+	}
+	if r.Err != nil {
+		c.ckptErrors.Inc()
+		return nil, false
+	}
+	sum := hr.Sum()
+	if err := codecutil.VerifyChecksum(br, sum, "delivery state header"); err != nil {
+		c.ckptErrors.Inc()
+		return nil, false
+	}
+	if len(offsets) != c.cfg.Partitions {
+		// A different deployment shape under the same log identity; the
+		// offsets cannot seed this filter, so reject the pair whole.
+		c.ckptErrors.Inc()
+		return nil, false
+	}
+	if _, err := c.pipeline.ReadFrom(br); err != nil {
+		c.ckptErrors.Inc()
+		return nil, false
+	}
+	c.deliveryStateRestores.Inc()
+	return offsets, true
+}
+
 // loadDeliveryOffset reads the persisted delivery high-water offset for a
 // group. ok is false when the file is absent, unreadable, foreign-run, or
 // does not cover pid.
@@ -599,8 +741,7 @@ func (c *Cluster) loadDeliveryOffset(pid int) (uint64, bool) {
 	defer f.Close()
 	br := &codecutil.CountingReader{R: bufio.NewReader(f)}
 	r := &codecutil.Reader{BR: br, Prefix: "delivery offsets"}
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != deliveryMagic {
+	if codecutil.ExpectMagic(br, deliveryMagic[:], "delivery offsets") != nil {
 		return 0, false
 	}
 	if v := r.U("version"); r.Err != nil || v != deliveryVersion {

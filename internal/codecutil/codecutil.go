@@ -6,6 +6,7 @@ package codecutil
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -84,6 +85,20 @@ func VerifyChecksum(r io.Reader, want uint32, context string) error {
 	}
 	if got := binary.LittleEndian.Uint32(buf[:]); got != want {
 		return fmt.Errorf("%s: checksum mismatch: stored %08x, computed %08x", context, got, want)
+	}
+	return nil
+}
+
+// ExpectMagic reads len(want) bytes from r and fails unless they match.
+// Context names the file kind in the error. (Newer codecs open their
+// files with it; several older codecs still hand-roll the same check.)
+func ExpectMagic(r io.Reader, want []byte, context string) error {
+	got := make([]byte, len(want))
+	if _, err := io.ReadFull(r, got); err != nil {
+		return fmt.Errorf("%s magic: %w", context, err)
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("%s: bad magic %q", context, got)
 	}
 	return nil
 }

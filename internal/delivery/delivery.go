@@ -8,6 +8,7 @@ package delivery
 
 import (
 	"container/list"
+	"math"
 	"sync"
 	"time"
 
@@ -55,6 +56,12 @@ type Notification struct {
 	Latency time.Duration
 }
 
+// SleepDisabled, assigned to both SleepStartHour and SleepEndHour, turns
+// waking-hours suppression off explicitly. The sentinel exists because the
+// zero pair cannot express disabling: (0, 0) is the unset state and
+// selects the 23..8 default.
+const SleepDisabled = -1
+
 // Options configures the pipeline.
 type Options struct {
 	// DedupTTL suppresses repeat (user,item) pushes within this window.
@@ -66,8 +73,9 @@ type Options struct {
 	// budgets are small in practice).
 	MaxPerUserPerDay int
 	// SleepStartHour..SleepEndHour (local, 24h clock) is the non-waking
-	// interval; pushes inside it are suppressed. Defaults 23 and 8. Equal
-	// values disable suppression.
+	// interval; pushes inside it are suppressed. The zero pair selects the
+	// 23..8 default. Equal non-zero values — or SleepDisabled in both —
+	// disable suppression.
 	SleepStartHour, SleepEndHour int
 	// TimezoneOf returns the user's UTC offset in hours (may be negative).
 	// Nil derives a deterministic offset from the user ID, spreading users
@@ -120,7 +128,11 @@ func NewPipeline(opts Options) *Pipeline {
 	if opts.MaxPerUserPerDay <= 0 {
 		opts.MaxPerUserPerDay = 4
 	}
-	if opts.SleepStartHour == 0 && opts.SleepEndHour == 0 {
+	if opts.SleepStartHour == SleepDisabled || opts.SleepEndHour == SleepDisabled {
+		// Either end carrying the sentinel disables the window outright
+		// (equal values short-circuit isAsleep).
+		opts.SleepStartHour, opts.SleepEndHour = SleepDisabled, SleepDisabled
+	} else if opts.SleepStartHour == 0 && opts.SleepEndHour == 0 {
 		opts.SleepStartHour, opts.SleepEndHour = 23, 8
 	}
 	if opts.TimezoneOf == nil {
@@ -226,6 +238,14 @@ type lruTTL struct {
 	ttlMS int64
 	ll    *list.List // front = most recent
 	items map[dedupKey]*list.Element
+	// minExpMS is a lower bound on the earliest expiry anywhere in the
+	// list, refreshed by the eviction sweep. Recency order is not expiry
+	// order (a live duplicate refreshes recency but keeps its expiry), so
+	// finding an expired entry means walking the list; the bound lets a
+	// full LRU of live entries skip that walk entirely — a sweep that
+	// found nothing expired cannot find anything until minExpMS passes
+	// (new and refreshed entries always expire later than the bound).
+	minExpMS int64
 }
 
 type lruEntry struct {
@@ -256,10 +276,53 @@ func (l *lruTTL) add(k dedupKey, nowMS int64) bool {
 		return true
 	}
 	for l.ll.Len() >= l.cap {
-		back := l.ll.Back()
-		l.ll.Remove(back)
-		delete(l.items, back.Value.(*lruEntry).key)
+		l.evict(nowMS)
 	}
 	l.items[k] = l.ll.PushFront(&lruEntry{key: k, expMS: nowMS + l.ttlMS})
 	return true
+}
+
+// evict removes entries to make room for one insertion: dead (expired)
+// entries first — wherever they sit in the recency order — and only when
+// none exist the genuinely least-recently-used live entry. Evicting the
+// plain LRU tail would drop live dedup state while retaining entries that
+// can never suppress anything again.
+func (l *lruTTL) evict(nowMS int64) {
+	if nowMS >= l.minExpMS {
+		// Something may have expired since the last sweep: walk from the
+		// cold end, drop every dead entry, and record the next bound. The
+		// walk is O(n), but it either frees at least one slot (paid for by
+		// the entries removed, amortized) or proves nothing can expire
+		// before the new minExpMS, disarming itself until then.
+		min := int64(math.MaxInt64)
+		removed := 0
+		for el := l.ll.Back(); el != nil; {
+			prev := el.Prev()
+			if ent := el.Value.(*lruEntry); ent.expMS <= nowMS {
+				l.remove(el)
+				removed++
+			} else if ent.expMS < min {
+				min = ent.expMS
+			}
+			el = prev
+		}
+		if min == math.MaxInt64 {
+			// The sweep removed every entry: there is no survivor to bound
+			// the next expiry, and storing the sentinel would disarm the
+			// sweep forever (stream time never reaches it). Zero re-arms
+			// it; the next capacity sweep recomputes a real bound.
+			min = 0
+		}
+		l.minExpMS = min
+		if removed > 0 {
+			return
+		}
+	}
+	// Every entry is live: fall back to true LRU.
+	l.remove(l.ll.Back())
+}
+
+func (l *lruTTL) remove(el *list.Element) {
+	l.ll.Remove(el)
+	delete(l.items, el.Value.(*lruEntry).key)
 }

@@ -207,6 +207,118 @@ func TestDedupLRUCapacityEviction(t *testing.T) {
 	}
 }
 
+func TestSleepDisabledSentinel(t *testing.T) {
+	// The sentinel pair disables suppression outright — including at
+	// 03:00, deep inside the default 23..8 window.
+	opts := Options{
+		SleepStartHour: SleepDisabled,
+		SleepEndHour:   SleepDisabled,
+		TimezoneOf:     func(graph.VertexID) int { return 0 },
+	}
+	p := NewPipeline(opts)
+	if d, _ := p.Offer(cand(1, 2, 3*hourMS), 0); d != Delivered {
+		t.Fatalf("03:00 with SleepDisabled = %v, want delivered", d)
+	}
+	// One-sided sentinel still disables (it cannot mean a real hour).
+	opts.SleepStartHour, opts.SleepEndHour = SleepDisabled, 8
+	p2 := NewPipeline(opts)
+	if d, _ := p2.Offer(cand(1, 2, 3*hourMS), 0); d != Delivered {
+		t.Fatalf("03:00 with one-sided sentinel = %v, want delivered", d)
+	}
+}
+
+func TestZeroSleepPairSelectsDefaultWindow(t *testing.T) {
+	// The unset (0, 0) pair keeps selecting the 23..8 default: only the
+	// sentinel expresses "no sleep window".
+	p := NewPipeline(Options{TimezoneOf: func(graph.VertexID) int { return 0 }})
+	if d, _ := p.Offer(cand(1, 2, 3*hourMS), 0); d != DroppedAsleep {
+		t.Fatalf("03:00 with zero options = %v, want asleep (default window)", d)
+	}
+}
+
+func TestDedupLRUEvictsExpiredBeforeLive(t *testing.T) {
+	// An expired entry buried mid-list (a live-duplicate hit refreshes
+	// recency but keeps the original expiry, so recency order is not
+	// expiry order) must be evicted before the live LRU tail.
+	opts := Options{DedupCapacity: 3, DedupTTL: time.Minute, MaxPerUserPerDay: 1 << 30}
+	alwaysAwake(&opts)
+	p := NewPipeline(opts)
+	p.Offer(cand(1, 1, 0), 0)      // expires at 60s
+	p.Offer(cand(2, 2, 30_000), 0) // expires at 90s
+	p.Offer(cand(1, 1, 31_000), 0) // live dup: front of the list, expiry still 60s
+	p.Offer(cand(3, 3, 32_000), 0) // full; recency front→back: 3, 1, 2
+	// 62s: (1,1) is dead mid-list, the tail (2,2) is live. The insert
+	// must evict the dead entry, not the tail.
+	p.Offer(cand(4, 4, 62_000), 0)
+	if d, _ := p.Offer(cand(2, 2, 63_000), 0); d != DroppedDuplicate {
+		t.Fatalf("live tail (2,2) was evicted while a dead entry sat mid-list: %v", d)
+	}
+	if d, _ := p.Offer(cand(3, 3, 63_500), 0); d != DroppedDuplicate {
+		t.Fatalf("live entry (3,3) was evicted: %v", d)
+	}
+}
+
+func TestDedupLRUCapacityPressureKeepsLiveEntries(t *testing.T) {
+	// Under sustained capacity pressure the sweep evicts the one dead
+	// entry first, and only the next insertion falls back to true LRU.
+	opts := Options{DedupCapacity: 4, DedupTTL: time.Minute, MaxPerUserPerDay: 1 << 30}
+	alwaysAwake(&opts)
+	p := NewPipeline(opts)
+	p.Offer(cand(1, 1, 0), 0)      // expires at 60s
+	p.Offer(cand(2, 2, 30_000), 0) // expires at 90s — the true live tail
+	p.Offer(cand(3, 3, 31_000), 0)
+	p.Offer(cand(1, 1, 32_000), 0) // refresh recency; expiry stays 60s
+	p.Offer(cand(4, 4, 33_000), 0) // full; front→back: 4, 1, 3, 2
+	// 61s: first insert sweeps out the dead (1,1); the second finds all
+	// entries live and evicts the LRU tail (2,2).
+	p.Offer(cand(5, 5, 61_000), 0)
+	p.Offer(cand(6, 6, 62_000), 0)
+	for _, want := range []struct {
+		u graph.VertexID
+		d Decision
+	}{
+		{3, DroppedDuplicate}, // live, retained
+		{4, DroppedDuplicate},
+		{5, DroppedDuplicate},
+		{6, DroppedDuplicate},
+		{1, Delivered}, // dead, swept first
+		{2, Delivered}, // true LRU tail, evicted second
+	} {
+		if d, _ := p.Offer(cand(want.u, want.u, 63_000), 0); d != want.d {
+			t.Fatalf("key (%d,%d): got %v, want %v", want.u, want.u, d, want.d)
+		}
+	}
+}
+
+func TestDedupLRUSweepSurvivesFullExpiry(t *testing.T) {
+	// Regression: a sweep that removes EVERY entry has no survivor to
+	// bound the next expiry; storing the scan's MaxInt64 sentinel would
+	// disarm the expired-first sweep for the pipeline's lifetime, and
+	// later capacity pressure would silently regress to evicting live
+	// LRU tails over dead entries.
+	opts := Options{DedupCapacity: 3, DedupTTL: time.Minute, MaxPerUserPerDay: 1 << 30}
+	alwaysAwake(&opts)
+	p := NewPipeline(opts)
+	p.Offer(cand(1, 1, 0), 0)
+	p.Offer(cand(2, 2, 1_000), 0)
+	p.Offer(cand(3, 3, 2_000), 0)
+	// 70s: all three are dead; this insert's sweep empties the list.
+	p.Offer(cand(4, 4, 70_000), 0) // expires at 130s
+	// Refill, burying (4,4) mid-list via a live-dup recency refresh.
+	p.Offer(cand(5, 5, 75_000), 0)  // expires at 135s
+	p.Offer(cand(6, 6, 76_000), 0)  // expires at 136s
+	p.Offer(cand(4, 4, 100_000), 0) // live dup: front of list, expiry still 130s
+	// 131s: (4,4) is dead mid-list, the tail (5,5) is live. The sweep
+	// must still be armed after the earlier full-expiry sweep.
+	p.Offer(cand(7, 7, 131_000), 0)
+	if d, _ := p.Offer(cand(5, 5, 132_000), 0); d != DroppedDuplicate {
+		t.Fatalf("live tail (5,5) evicted: the expired-first sweep disarmed itself (%v)", d)
+	}
+	if d, _ := p.Offer(cand(6, 6, 132_500), 0); d != DroppedDuplicate {
+		t.Fatalf("live entry (6,6) evicted: %v", d)
+	}
+}
+
 func TestDecisionString(t *testing.T) {
 	for d, want := range map[Decision]string{
 		Delivered:        "delivered",

@@ -1,0 +1,179 @@
+// Durable pipeline state: a versioned, CRC32C-framed snapshot codec for
+// the parts of the funnel that decide suppression — the dedup LRU (key,
+// expiry, recency order) and the per-user fatigue budgets. The cluster
+// cuts these snapshots next to its delivery high-water offsets and
+// restores them at whole-cluster restart, closing the restart
+// duplicate-push window documented in docs/DURABILITY.md: a (user, item)
+// pair pushed before a clean Shutdown stays suppressed after Reopen, and
+// a user's daily budget is not silently reset by the process boundary.
+//
+// The funnel counters (FunnelStats) are deliberately not part of the
+// snapshot: they are observability, reset per run, and callers that want
+// totals across restarts fold them externally (cmd/magicrecs does).
+
+package delivery
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"motifstream/internal/codecutil"
+	"motifstream/internal/graph"
+)
+
+// stateMagic identifies the pipeline state snapshot format, version 1.
+var stateMagic = [8]byte{'M', 'S', 'D', 'L', 'V', 'S', 0, 1}
+
+const (
+	stateVersion = 1
+
+	// maxStateEntries bounds decoded entry counts against corruption: a
+	// flipped length byte must fail when the data runs out, not allocate
+	// gigabytes up front. Far above any real DedupCapacity.
+	maxStateEntries = 1 << 26
+)
+
+// dedupSnap is one dedup LRU entry in a captured snapshot.
+type dedupSnap struct {
+	user, item graph.VertexID
+	expMS      int64
+}
+
+// budgetSnap is one fatigue budget in a captured snapshot.
+type budgetSnap struct {
+	user  graph.VertexID
+	day   int64
+	spent int
+}
+
+// captureState copies the suppression state out from under the mutex:
+// dedup entries oldest-first (so a restore replays them into the same
+// recency order) and fatigue budgets sorted by user (so equal states
+// encode to equal bytes). The copy is plain memory movement — the
+// pipeline stalls for the capture, not for the encode or the disk.
+func (p *Pipeline) captureState() ([]dedupSnap, []budgetSnap) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dedup := make([]dedupSnap, 0, p.dedup.ll.Len())
+	for el := p.dedup.ll.Back(); el != nil; el = el.Prev() {
+		ent := el.Value.(*lruEntry)
+		dedup = append(dedup, dedupSnap{user: ent.key.user, item: ent.key.item, expMS: ent.expMS})
+	}
+	fatigue := make([]budgetSnap, 0, len(p.fatigue))
+	for u, b := range p.fatigue {
+		fatigue = append(fatigue, budgetSnap{user: u, day: b.day, spent: b.spent})
+	}
+	sort.Slice(fatigue, func(i, j int) bool { return fatigue[i].user < fatigue[j].user })
+	return dedup, fatigue
+}
+
+// WriteTo snapshots the pipeline's suppression state — dedup LRU and
+// fatigue budgets — as one self-contained frame: magic, version, entry
+// sections, CRC32C trailer over everything before it. Safe for concurrent
+// use; Offer calls block only while the state is copied out, not while it
+// is encoded or written.
+func (p *Pipeline) WriteTo(w io.Writer) (int64, error) {
+	dedup, fatigue := p.captureState()
+	cw := &codecutil.CountingWriter{W: w}
+	hw := &codecutil.HashWriter{W: cw}
+	enc := &codecutil.Writer{BW: bufio.NewWriter(hw)}
+	enc.PutBytes(stateMagic[:])
+	enc.PutU(stateVersion)
+	enc.PutU(uint64(len(dedup)))
+	for _, e := range dedup {
+		enc.PutU(uint64(e.user))
+		enc.PutU(uint64(e.item))
+		enc.PutI(e.expMS)
+	}
+	enc.PutU(uint64(len(fatigue)))
+	for _, b := range fatigue {
+		enc.PutU(uint64(b.user))
+		enc.PutI(b.day)
+		enc.PutU(uint64(b.spent))
+	}
+	if err := enc.Flush(); err != nil {
+		return cw.N, err
+	}
+	return cw.N, codecutil.WriteChecksum(cw, hw.Sum())
+}
+
+// ReadFrom restores a snapshot written by WriteTo, replacing the
+// pipeline's dedup LRU and fatigue budgets wholesale. The frame is
+// decoded and checksum-verified in full before anything is installed, so
+// corrupt or truncated input returns an error and leaves the pipeline
+// exactly as it was. When the snapshot holds more dedup entries than the
+// pipeline's capacity (a config shrink across a restart), the newest
+// entries win. Funnel counters are untouched.
+func (p *Pipeline) ReadFrom(r io.Reader) (int64, error) {
+	hr := &codecutil.HashReader{R: codecutil.AsByteReader(r)}
+	br := &codecutil.CountingReader{R: hr}
+	if err := codecutil.ExpectMagic(br, stateMagic[:], "delivery state"); err != nil {
+		return br.N, err
+	}
+	dec := &codecutil.Reader{BR: br, Prefix: "delivery state"}
+	if v := dec.U("version"); dec.Err == nil && v != stateVersion {
+		return br.N, fmt.Errorf("delivery state: unsupported version %d", v)
+	}
+	nDedup := dec.U("dedup count")
+	if dec.Err == nil && nDedup > maxStateEntries {
+		return br.N, fmt.Errorf("delivery state: implausible dedup count %d", nDedup)
+	}
+	dedup := make([]dedupSnap, 0, codecutil.PreallocHint(nDedup))
+	for i := uint64(0); i < nDedup && dec.Err == nil; i++ {
+		e := dedupSnap{
+			user:  graph.VertexID(dec.U("dedup user")),
+			item:  graph.VertexID(dec.U("dedup item")),
+			expMS: dec.I("dedup expiry"),
+		}
+		dedup = append(dedup, e)
+	}
+	nFatigue := dec.U("fatigue count")
+	if dec.Err == nil && nFatigue > maxStateEntries {
+		return br.N, fmt.Errorf("delivery state: implausible fatigue count %d", nFatigue)
+	}
+	fatigue := make([]budgetSnap, 0, codecutil.PreallocHint(nFatigue))
+	for i := uint64(0); i < nFatigue && dec.Err == nil; i++ {
+		b := budgetSnap{
+			user:  graph.VertexID(dec.U("fatigue user")),
+			day:   dec.I("fatigue day"),
+			spent: int(dec.U("fatigue spent")),
+		}
+		fatigue = append(fatigue, b)
+	}
+	if dec.Err != nil {
+		return br.N, dec.Err
+	}
+	sum := hr.Sum()
+	if err := codecutil.VerifyChecksum(br, sum, "delivery state"); err != nil {
+		return br.N, err
+	}
+	p.install(dedup, fatigue)
+	return br.N, nil
+}
+
+// install swaps a fully decoded snapshot in under the mutex.
+func (p *Pipeline) install(dedup []dedupSnap, fatigue []budgetSnap) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l := newLRUTTL(p.opts.DedupCapacity, p.opts.DedupTTL)
+	if len(dedup) > l.cap {
+		dedup = dedup[len(dedup)-l.cap:] // newest entries win
+	}
+	for _, e := range dedup {
+		k := dedupKey{user: e.user, item: e.item}
+		if el, ok := l.items[k]; ok {
+			// Duplicate keys cannot come from WriteTo, but arbitrary input
+			// may carry them; keep the newest and its recency.
+			l.remove(el)
+		}
+		l.items[k] = l.ll.PushFront(&lruEntry{key: k, expMS: e.expMS})
+	}
+	m := make(map[graph.VertexID]*budget, len(fatigue))
+	for _, b := range fatigue {
+		m[b.user] = &budget{day: b.day, spent: b.spent}
+	}
+	p.dedup = l
+	p.fatigue = m
+}

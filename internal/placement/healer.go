@@ -32,16 +32,33 @@ type HealerOptions struct {
 	// 10ms. Health polling is cheap (a state load per replica), so the
 	// deadline resolution, not the poll cost, picks the cadence.
 	Interval time.Duration
+	// MaxConcurrent caps re-provisions in flight at once; zero selects 1.
+	// Re-provisioning rebuilds a replica's whole state (base compose plus
+	// log replay), so a correlated failure — a rack of nodes dying
+	// together — must not fan out into a thundering herd of rebuilds all
+	// competing for the log and the disk. Dead replicas beyond the cap
+	// simply wait for a slot; their deadline has already expired.
+	MaxConcurrent int
+	// MaxBackoff caps the exponential retry backoff a repeatedly failing
+	// replica accumulates; zero selects 16*After. After each failed
+	// re-provision the replica must wait After*2^failures (capped) on top
+	// of being observed dead for After again, so a placement that cannot
+	// be rebuilt — its partition's base pool gone, say — degrades to a
+	// slow periodic retry instead of hot-looping ReprovisionReplica.
+	MaxBackoff time.Duration
 	// OnHeal, if set, observes every re-provision attempt (err is nil on
-	// success). Called from the healer goroutine.
+	// success). Called from a healer goroutine.
 	OnHeal func(pid, r int, err error)
 }
 
 // Healer is the optional self-managing policy loop: it watches replica
 // health and re-provisions placements that stay dead past the deadline —
 // the "node died, schedule a replacement" behavior of a production
-// placement controller, without an operator in the loop. It must be
-// stopped before the cluster it drives is stopped (re-provisioning
+// placement controller, without an operator in the loop. Repeated
+// failures back off exponentially and concurrent re-provisions are
+// capped (HealerOptions.MaxBackoff, MaxConcurrent), so correlated
+// failures degrade to paced retries rather than a rebuild storm. It must
+// be stopped before the cluster it drives is stopped (re-provisioning
 // concurrent with Stop is undefined, like every lifecycle call).
 type Healer struct {
 	c    Elastic
@@ -55,10 +72,27 @@ type Healer struct {
 	healed   atomic.Uint64
 	failures atomic.Uint64
 
+	// mu guards the scheduling state below: the sweep loop reads and
+	// dispatches under it, and heal goroutines record their outcome under
+	// it when they finish.
+	mu sync.Mutex
 	// firstDead records when each replica was first observed dead; an
 	// entry is cleared the moment the replica is observed in any other
 	// state, so flapping replicas restart their deadline.
 	firstDead map[[2]int]time.Time
+	// inFlight marks replicas with a re-provision currently running;
+	// len(inFlight) is the concurrency the MaxConcurrent cap bounds.
+	inFlight map[[2]int]bool
+	// fails counts consecutive re-provision failures per replica and
+	// notBefore gates the next attempt (the exponential backoff). Both
+	// are cleared by a successful heal.
+	fails     map[[2]int]int
+	notBefore map[[2]int]time.Time
+
+	// healWG tracks heal goroutines so Stop can wait for them: a
+	// re-provision still running after Stop returned could race the
+	// cluster's own teardown.
+	healWG sync.WaitGroup
 }
 
 // NewHealer builds a healer over c; call Start to run it.
@@ -69,12 +103,21 @@ func NewHealer(c Elastic, opts HealerOptions) *Healer {
 	if opts.Interval < 10*time.Millisecond {
 		opts.Interval = 10 * time.Millisecond
 	}
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 1
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 16 * opts.After
+	}
 	return &Healer{
 		c:         c,
 		opts:      opts,
 		quit:      make(chan struct{}),
 		done:      make(chan struct{}),
 		firstDead: make(map[[2]int]time.Time),
+		inFlight:  make(map[[2]int]bool),
+		fails:     make(map[[2]int]int),
+		notBefore: make(map[[2]int]time.Time),
 	}
 }
 
@@ -90,7 +133,9 @@ func (h *Healer) Start() {
 	go h.run()
 }
 
-// Stop terminates the policy loop and waits for it to exit. Safe to call
+// Stop terminates the policy loop, waits for it to exit, and then waits
+// for any re-provision still in flight (so no heal can race the
+// teardown of the cluster the caller is about to stop). Safe to call
 // multiple times, and safe on a healer that was never started (a Start
 // racing in afterwards sees the closed quit and exits immediately).
 func (h *Healer) Stop() {
@@ -99,14 +144,16 @@ func (h *Healer) Stop() {
 		return
 	}
 	<-h.done
+	h.healWG.Wait()
 }
 
 // Healed returns how many replicas the healer has re-provisioned.
 func (h *Healer) Healed() uint64 { return h.healed.Load() }
 
-// Failures returns how many re-provision attempts failed (the healer
-// retries on the next deadline expiry — the dead entry is cleared so the
-// full After elapses again before another attempt).
+// Failures returns how many re-provision attempts failed. Each failure
+// doubles the replica's retry backoff (up to MaxBackoff), and the dead
+// entry is cleared, so the full After must elapse again on top of the
+// backoff before the next attempt.
 func (h *Healer) Failures() uint64 { return h.failures.Load() }
 
 func (h *Healer) run() {
@@ -123,38 +170,91 @@ func (h *Healer) run() {
 	}
 }
 
-// sweep polls every replica's state and re-provisions those dead past the
-// deadline.
+// sweep polls every replica's state and dispatches re-provisions for
+// those dead past the deadline, eligible under their backoff, and within
+// the concurrency cap.
 func (h *Healer) sweep(now time.Time) {
 	for pid := 0; pid < h.c.Partitions(); pid++ {
 		for r := 0; r < h.c.Replicas(pid); r++ {
 			key := [2]int{pid, r}
 			state, err := h.c.ReplicaState(pid, r)
+			h.mu.Lock()
+			if h.inFlight[key] {
+				// A heal is already running; its outcome resets the clocks.
+				h.mu.Unlock()
+				continue
+			}
 			if err != nil || state != "dead" {
+				// Observed alive (or gone): reset the deadline clock AND
+				// the failure history — the backoff doubles on
+				// *consecutive* failures, and a replica that recovered by
+				// any path (healer success, operator re-provision,
+				// restore, decommission) starts over. This also keeps the
+				// maps from accumulating entries for replicas that left
+				// the dead state for good.
 				delete(h.firstDead, key)
+				delete(h.fails, key)
+				delete(h.notBefore, key)
+				h.mu.Unlock()
 				continue
 			}
 			first, seen := h.firstDead[key]
 			if !seen {
 				h.firstDead[key] = now
+				h.mu.Unlock()
 				continue
 			}
-			if now.Sub(first) < h.opts.After {
+			if now.Sub(first) < h.opts.After || now.Before(h.notBefore[key]) {
+				h.mu.Unlock()
 				continue
 			}
-			// Deadline expired: replace the node. Clear the entry either
-			// way — success moves the replica out of dead, and a failure
-			// earns a fresh full deadline before the next attempt.
+			if len(h.inFlight) >= h.opts.MaxConcurrent {
+				// At the cap: leave the deadline expired; a free slot on a
+				// later sweep picks the replica up immediately.
+				h.mu.Unlock()
+				continue
+			}
+			// Dispatch. Clear the dead entry either way — success moves
+			// the replica out of dead, and a failure earns a fresh full
+			// deadline (plus backoff) before the next attempt.
 			delete(h.firstDead, key)
-			err = h.c.ReprovisionReplica(pid, r)
-			if err != nil {
-				h.failures.Add(1)
-			} else {
-				h.healed.Add(1)
-			}
-			if h.opts.OnHeal != nil {
-				h.opts.OnHeal(pid, r, err)
-			}
+			h.inFlight[key] = true
+			h.mu.Unlock()
+			h.healWG.Add(1)
+			go h.heal(key)
 		}
 	}
+}
+
+// heal runs one re-provision attempt and records its outcome.
+func (h *Healer) heal(key [2]int) {
+	defer h.healWG.Done()
+	err := h.c.ReprovisionReplica(key[0], key[1])
+	h.mu.Lock()
+	delete(h.inFlight, key)
+	if err != nil {
+		h.fails[key]++
+		h.failures.Add(1)
+		h.notBefore[key] = time.Now().Add(h.backoff(h.fails[key]))
+	} else {
+		delete(h.fails, key)
+		delete(h.notBefore, key)
+		h.healed.Add(1)
+	}
+	h.mu.Unlock()
+	if h.opts.OnHeal != nil {
+		h.opts.OnHeal(key[0], key[1], err)
+	}
+}
+
+// backoff returns After*2^fails clamped to MaxBackoff.
+func (h *Healer) backoff(fails int) time.Duration {
+	d := h.opts.After
+	for i := 0; i < fails; i++ {
+		d *= 2
+		if d >= h.opts.MaxBackoff || d <= 0 { // <= 0: overflow guard
+			return h.opts.MaxBackoff
+		}
+	}
+	return d
 }

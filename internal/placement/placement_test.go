@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"sync"
@@ -202,4 +203,139 @@ func TestHealerStopWithoutStart(t *testing.T) {
 	h := NewHealer(newFakeElastic(), HealerOptions{After: time.Second})
 	h.Stop() // never started: must return, not wait on a loop that never ran
 	h.Stop() // and stay idempotent
+}
+
+func TestHealerBacksOffAfterFailures(t *testing.T) {
+	fake := newFakeElastic()
+	fake.err = errors.New("node pool exhausted")
+	fake.set(0, 1, "dead")
+	h := NewHealer(fake, HealerOptions{
+		After:    10 * time.Millisecond,
+		Interval: 2 * time.Millisecond,
+	})
+	h.Start()
+	time.Sleep(500 * time.Millisecond)
+	h.Stop()
+	// A hot loop would retry on every deadline expiry: 500ms / 10ms ≈ 50
+	// attempts. Exponential backoff (20, 40, 80, then the 160ms cap)
+	// spaces them out to a handful.
+	got := h.Failures()
+	if got < 2 {
+		t.Fatalf("healer gave up after %d failed attempts; want retries", got)
+	}
+	if got > 10 {
+		t.Fatalf("healer hot-looped: %d failed attempts in 500ms despite backoff", got)
+	}
+	if h.Healed() != 0 {
+		t.Fatalf("Healed = %d with a permanently failing fake", h.Healed())
+	}
+}
+
+func TestHealerResetsBackoffOnExternalRecovery(t *testing.T) {
+	// Regression: the backoff doubles on *consecutive* failures, so a
+	// replica that recovers by any non-healer path (operator
+	// re-provision, restore, decommission) must drop its failure history
+	// — otherwise its next death starts at the max backoff, and entries
+	// for replicas that left the dead state for good leak forever.
+	fake := newFakeElastic()
+	h := NewHealer(fake, HealerOptions{After: 10 * time.Millisecond})
+	key := [2]int{0, 1}
+	h.mu.Lock()
+	h.fails[key] = 5
+	h.notBefore[key] = time.Now().Add(time.Hour)
+	h.firstDead[key] = time.Now()
+	h.mu.Unlock()
+	// The replica is observed live (it recovered without the healer).
+	h.sweep(time.Now())
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.fails[key]; ok {
+		t.Fatal("fails survived an external recovery")
+	}
+	if _, ok := h.notBefore[key]; ok {
+		t.Fatal("notBefore survived an external recovery")
+	}
+	if _, ok := h.firstDead[key]; ok {
+		t.Fatal("firstDead survived an external recovery")
+	}
+}
+
+// slowElastic blocks every re-provision until released, recording the
+// maximum number in flight at once.
+type slowElastic struct {
+	mu          sync.Mutex
+	states      map[[2]int]string
+	inFlight    int
+	maxInFlight int
+	release     chan struct{}
+}
+
+func newSlowElastic(replicas int) *slowElastic {
+	s := &slowElastic{states: map[[2]int]string{}, release: make(chan struct{})}
+	for r := 0; r < replicas; r++ {
+		s.states[[2]int{0, r}] = "dead"
+	}
+	return s
+}
+
+func (s *slowElastic) Partitions() int { return 1 }
+func (s *slowElastic) Replicas(int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.states)
+}
+func (s *slowElastic) ReplicaState(pid, r int) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.states[[2]int{pid, r}], nil
+}
+func (s *slowElastic) ReprovisionReplica(pid, r int) error {
+	s.mu.Lock()
+	s.inFlight++
+	if s.inFlight > s.maxInFlight {
+		s.maxInFlight = s.inFlight
+	}
+	s.mu.Unlock()
+	<-s.release
+	s.mu.Lock()
+	s.inFlight--
+	s.states[[2]int{pid, r}] = "live"
+	s.mu.Unlock()
+	return nil
+}
+
+func TestHealerCapsConcurrentReprovisions(t *testing.T) {
+	const replicas = 6
+	fake := newSlowElastic(replicas)
+	h := NewHealer(fake, HealerOptions{
+		After:         5 * time.Millisecond,
+		Interval:      2 * time.Millisecond,
+		MaxConcurrent: 2,
+	})
+	h.Start()
+	// Every replica's deadline expires almost immediately; give the
+	// healer time to dispatch as many rebuilds as it is willing to.
+	time.Sleep(100 * time.Millisecond)
+	close(fake.release)
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Healed() < replicas {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d replicas healed", h.Healed(), replicas)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h.Stop()
+	fake.mu.Lock()
+	max := fake.maxInFlight
+	left := fake.inFlight
+	fake.mu.Unlock()
+	if max > 2 {
+		t.Fatalf("%d re-provisions in flight at once, cap 2", max)
+	}
+	if max == 0 {
+		t.Fatal("vacuous: nothing was ever in flight")
+	}
+	if left != 0 {
+		t.Fatalf("%d re-provisions still in flight after Stop", left)
+	}
 }
