@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test test-race test-crashmatrix test-delivery test-elasticity bench bench-smoke fuzz fuzz-smoke
+.PHONY: check build vet test test-race test-crashmatrix test-delivery test-elasticity test-audit soak-flake bench bench-smoke fuzz fuzz-smoke
 
 # check is the CI gate: formatting, static analysis, the full test suite
 # under the race detector (test-delivery's and test-elasticity's cases
 # run within it, and are also kept as named targets for the quick loop),
 # and short fuzz smoke runs of the durability codecs.
-check: fmt-check vet test-race test-delivery test-elasticity fuzz-smoke
+check: fmt-check vet test-race test-delivery test-elasticity test-audit fuzz-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
@@ -43,6 +43,19 @@ test-delivery:
 test-elasticity:
 	$(GO) test -race -run 'TestElastic|TestAddReplica|TestReprovision|TestHealer|TestReopenRebuilds|TestReopenAllBases|TestReopenRecoversDespite|TestCrashMatrix/(reprovision|scale)' ./internal/cluster ./internal/placement
 
+# test-audit runs the state-determinism layer under the race detector:
+# the audit log codec and verifier, the compose-path fingerprint
+# property, and the former scale-out flake as an always-on regression.
+test-audit:
+	$(GO) test -race ./internal/audit
+	$(GO) test -race -run 'TestComposePathsFingerprintEqual' ./internal/partition
+	$(GO) test -race -run 'TestFlakeHuntScaleOutKillOriginal|TestMirrorOnlySurvivor' ./internal/cluster
+
+# soak-flake is the nightly soak of the once-flaky scale-out scenario
+# (the zombie-cut bug): 200 consecutive runs, any recurrence fails.
+soak-flake:
+	$(GO) test -run 'TestFlakeHuntScaleOutKillOriginal' -count=200 -timeout 60m ./internal/cluster
+
 # bench runs the experiment-index benchmarks briefly (regression smoke,
 # not a measurement run).
 bench:
@@ -59,6 +72,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz FuzzSnapshotDecode -fuzztime 30s ./internal/dynstore
 	$(GO) test -run=NONE -fuzz FuzzWALReadRecord -fuzztime 30s ./internal/queue
 	$(GO) test -run=NONE -fuzz FuzzDeliveryStateReadFrom -fuzztime 30s ./internal/delivery
+	$(GO) test -run=NONE -fuzz FuzzAuditRecords -fuzztime 30s ./internal/audit
 
 # fuzz-smoke is the CI-budget version: 10s per target keeps the decoders,
 # the WAL record framing, and the delivery-state codec continuously
@@ -67,3 +81,4 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/dynstore
 	$(GO) test -run=NONE -fuzz FuzzWALReadRecord -fuzztime 10s ./internal/queue
 	$(GO) test -run=NONE -fuzz FuzzDeliveryStateReadFrom -fuzztime 10s ./internal/delivery
+	$(GO) test -run=NONE -fuzz FuzzAuditRecords -fuzztime 10s ./internal/audit

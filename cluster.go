@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"motifstream/internal/audit"
 	"motifstream/internal/cluster"
 	"motifstream/internal/delivery"
 	"motifstream/internal/dynstore"
@@ -91,6 +92,14 @@ type ClusterOptions struct {
 	// dead longer than this is automatically re-provisioned onto a fresh
 	// node (ReprovisionReplica). Zero disables. Requires CheckpointDir.
 	HealAfter time.Duration
+	// Audit enables the detection-state fingerprint audit: every
+	// checkpoint cut records a CRC32C fingerprint of the replica's full
+	// recoverable state, recovery compositions are cross-checked against
+	// the records, scale-out go-live is gated on a fingerprint match, and
+	// VerifyFingerprints cross-checks all replicas of a partition. See
+	// docs/DURABILITY.md, "State determinism & fingerprint audit".
+	// Requires CheckpointDir.
+	Audit bool
 }
 
 // Cluster is the running multi-partition deployment.
@@ -184,6 +193,7 @@ func NewCluster(staticEdges []Edge, opts ClusterOptions) (*Cluster, error) {
 		LogDir:             opts.LogDir,
 		LogSyncEvery:       opts.LogSyncEvery,
 		MirrorBases:        opts.MirrorBases,
+		Audit:              opts.Audit,
 	})
 	if err != nil {
 		return nil, err
@@ -285,6 +295,12 @@ type ClusterStats struct {
 	// that installed one, keeping a (user, item) pair pushed before the
 	// restart suppressed after it.
 	DeliveryStateCuts, DeliveryStateRestores uint64
+	// AuditRecords counts state fingerprints recorded by the audit layer;
+	// AuditMismatches counts fingerprint disagreements the pipeline
+	// detected (compaction self-checks, recovery cross-checks, go-live
+	// gates). Any nonzero mismatch means two recovery-equivalent states
+	// differed. Zero without ClusterOptions.Audit.
+	AuditRecords, AuditMismatches uint64
 }
 
 // Stats returns current cluster totals.
@@ -309,6 +325,8 @@ func (c *Cluster) Stats() ClusterStats {
 		ScaleIns:              s.ScaleIns,
 		DeliveryStateCuts:     s.DeliveryStateCuts,
 		DeliveryStateRestores: s.DeliveryStateRestores,
+		AuditRecords:          s.AuditRecords,
+		AuditMismatches:       s.AuditMismatches,
 	}
 	if c.healer != nil {
 		st.Healed = c.healer.Healed()
@@ -391,4 +409,22 @@ func (c *Cluster) ReplicaState(partition, replica int) (string, error) {
 // timeout.
 func (c *Cluster) AwaitReplicaLive(partition, replica int, timeout time.Duration) error {
 	return c.inner.AwaitReplicaLive(partition, replica, timeout)
+}
+
+// AuditReport is the result of a cross-replica fingerprint verification:
+// totals plus every offset at which recorded fingerprints disagreed.
+type AuditReport = audit.Report
+
+// AuditMismatch is one offset at which recorded fingerprints disagree.
+type AuditMismatch = audit.Mismatch
+
+// VerifyFingerprints cross-checks every state fingerprint recorded by the
+// partition's replicas: at every offset two or more sources recorded, the
+// fingerprints must agree (detection is deterministic, so replicas that
+// applied the same firehose prefix hold bit-identical recoverable state).
+// An empty Mismatches list with a nonzero Compared count is the
+// bit-equality certificate for the audited offsets. Requires
+// ClusterOptions.Audit.
+func (c *Cluster) VerifyFingerprints(partition int) (AuditReport, error) {
+	return c.inner.VerifyFingerprints(partition)
 }

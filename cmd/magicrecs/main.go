@@ -52,6 +52,7 @@ func main() {
 		reprovN    = flag.Int("reprovision", 0, "N times mid-stream, kill replica 1 of every partition and reprovision it onto a fresh node (requires -checkpointdir and -replicas >= 2)")
 		scaleN     = flag.Int("scale-events", 0, "perform N live scale events mid-stream, alternating AddReplica and DecommissionReplica on every partition (requires -checkpointdir)")
 		healAfter  = flag.Duration("healafter", 0, "auto-reprovision replicas dead longer than this (auto-healer; 0 disables)")
+		auditOn    = flag.Bool("audit", false, "record a CRC32C state fingerprint at every checkpoint cut and cross-verify replicas after the run (requires -checkpointdir)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,9 @@ func main() {
 	}
 	if *reprovN > 0 && *replicas < 2 {
 		log.Fatal("-reprovision requires -replicas >= 2 (the last alive replica cannot be replaced)")
+	}
+	if *auditOn && *ckptDir == "" {
+		log.Fatal("-audit requires -checkpointdir")
 	}
 
 	static, events, err := loadWorkload(*scenario, *staticPath, *streamPath)
@@ -88,6 +92,7 @@ func main() {
 		LogDir:                 *logDir,
 		MirrorBases:            *mirrorN,
 		HealAfter:              *healAfter,
+		Audit:                  *auditOn,
 	}
 	clu, err := motifstream.NewCluster(static, opts)
 	if err != nil {
@@ -197,6 +202,29 @@ func main() {
 			s.DeliveryStateCuts, s.DeliveryStateRestores)
 		fmt.Printf("placement:   %d reprovisions (%d auto-healed), %d base mirrors, %d pool restores, %d scale-outs, %d scale-ins, %d fsyncs saved\n",
 			s.Reprovisions, s.Healed, s.BaseMirrors, s.BasePoolRestores, s.ScaleOuts, s.ScaleIns, s.FsyncsSaved)
+	}
+	if *auditOn {
+		// Cross-verify the recorded per-cut fingerprints of every
+		// partition's replica group: any two replicas that recorded the
+		// same firehose offset must have held bit-identical state.
+		var records, compared, mismatches int
+		for pid := 0; pid < *partitions; pid++ {
+			rep, err := clu.VerifyFingerprints(pid)
+			if err != nil {
+				log.Fatalf("verify fingerprints %d: %v", pid, err)
+			}
+			records += rep.Records
+			compared += rep.Compared
+			mismatches += len(rep.Mismatches)
+			for _, m := range rep.Mismatches {
+				fmt.Printf("  AUDIT MISMATCH partition %d offset %d: %v\n", pid, m.Offset, m.Sums)
+			}
+		}
+		fmt.Printf("audit:       %d fingerprints recorded, %d offsets cross-compared, %d mismatches (%d flagged by the pipeline)\n",
+			records, compared, mismatches, s.AuditMismatches)
+		if mismatches > 0 || s.AuditMismatches > 0 {
+			log.Fatal("audit: replica state diverged — fingerprint mismatch")
+		}
 	}
 
 	// The broker fan-out read path: globally hottest recommendations.

@@ -1,0 +1,126 @@
+package cluster
+
+// Cluster-level surface of the fingerprint audit (internal/audit): the
+// cross-replica verification method, the on-demand live fingerprint, and
+// the recorded-fingerprint lookup the recovery paths gate on. All of it
+// reads the per-replica audit logs the checkpoint writers append —
+// concurrent reads are safe because records land in single appends and a
+// torn tail decodes to nothing.
+
+import (
+	"fmt"
+
+	"motifstream/internal/audit"
+)
+
+// ErrAuditDisabled is returned by the audit methods when the cluster was
+// built without Config.Audit.
+var ErrAuditDisabled = fmt.Errorf("cluster: audit requires Config.Audit (and Config.CheckpointDir)")
+
+// auditSources snapshots partition pid's non-removed replica audit-log
+// paths, keyed by a stable replica label.
+func (c *Cluster) auditSources(pid int) map[string]string {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	out := make(map[string]string)
+	for _, s := range c.slots[pid] {
+		if s.state.Load() == replicaRemoved || s.dir == "" {
+			continue
+		}
+		out[fmt.Sprintf("r%02d-g%d", s.idx, s.gen)] = auditLogPath(s.dir)
+	}
+	return out
+}
+
+// VerifyFingerprints cross-checks every recorded state fingerprint across
+// partition pid's replicas: at every offset two or more sources recorded
+// (live cuts, compacted-base re-derivations, any incarnation), the sums
+// must agree — detection is deterministic, so replicas that applied the
+// same firehose prefix must hold bit-identical recoverable state. The
+// returned report lists every disagreement; an empty Mismatches with a
+// nonzero Compared is the bit-equality certificate for the offsets the
+// group actually audited. Reading is safe while the cluster runs.
+func (c *Cluster) VerifyFingerprints(pid int) (audit.Report, error) {
+	if !c.audit {
+		return audit.Report{}, ErrAuditDisabled
+	}
+	if pid < 0 || pid >= len(c.slots) {
+		return audit.Report{}, fmt.Errorf("cluster: partition %d out of range", pid)
+	}
+	bySource := make(map[string][]audit.Record)
+	for label, path := range c.auditSources(pid) {
+		recs, err := audit.Read(path, c.runID)
+		if err != nil {
+			return audit.Report{}, fmt.Errorf("cluster: partition %d: %w", pid, err)
+		}
+		if recs != nil {
+			bySource[label] = recs
+		}
+	}
+	return audit.Verify(bySource), nil
+}
+
+// ReplicaFingerprint computes the replica's state fingerprint on demand.
+// Meaningful for cross-replica comparison only when the stream is
+// quiescent (replicas at different stream positions legitimately differ);
+// the recorded per-offset fingerprints are the running-cluster instrument.
+func (c *Cluster) ReplicaFingerprint(pid, r int) (uint32, error) {
+	if !c.audit {
+		return 0, ErrAuditDisabled
+	}
+	p, err := c.Replica(pid, r)
+	if err != nil {
+		return 0, err
+	}
+	return p.Fingerprint()
+}
+
+// recordedFingerprint looks up the fingerprint any of partition pid's
+// replicas recorded at the given cut offset. found is false when no audit
+// log mentions the offset. When several records exist (peers, compaction
+// re-derivations) the newest read wins — if they disagree with each other
+// that surfaces through VerifyFingerprints; the caller's comparison
+// catches disagreement with the composed state either way.
+func (c *Cluster) recordedFingerprint(pid int, offset uint64) (uint32, bool) {
+	var sum uint32
+	found := false
+	for _, path := range c.auditSources(pid) {
+		recs, err := audit.Read(path, c.runID)
+		if err != nil {
+			c.ckptErrors.Inc()
+			continue
+		}
+		for _, rec := range recs {
+			if rec.Offset == offset {
+				sum, found = rec.Sum, true
+			}
+		}
+	}
+	return sum, found
+}
+
+// verifyComposedState cross-checks a restore composition against the
+// audit record: the state a chain (or pool base) composes to at offset
+// must fingerprint-equal what a replica recorded when it held that state
+// live. Used by the chain-restore paths, where a mismatch is counted and
+// surfaced through stats rather than failing the restore — the delivery
+// tier's offset filter keeps the group exactly-once regardless, and a
+// bricked restore helps nobody; the elastic go-live gate is the strict
+// variant. No-op when auditing is off or nothing recorded the offset.
+func (c *Cluster) verifyComposedState(pid int, st interface{ Fingerprint() (uint32, error) }, offset uint64) {
+	if !c.audit || offset == 0 {
+		return
+	}
+	want, found := c.recordedFingerprint(pid, offset)
+	if !found {
+		return
+	}
+	got, err := st.Fingerprint()
+	if err != nil {
+		c.ckptErrors.Inc()
+		return
+	}
+	if got != want {
+		c.auditMismatches.Inc()
+	}
+}

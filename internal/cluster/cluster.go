@@ -173,6 +173,16 @@ type Config struct {
 	// rather than the S it was constructed with; re-provisioned and
 	// scaled-out replicas build their fresh S straight from it.
 	StaticSnapshotDir string
+	// Audit enables the detection-state fingerprint audit (internal/audit):
+	// every checkpoint cut also records a CRC32C fingerprint of the
+	// replica's full recoverable state to an append-only per-replica
+	// audit log, the compactor self-checks every composed base against
+	// the live cut it re-derives, recovery paths cross-check composed
+	// state against recorded fingerprints, and scale-out go-live is gated
+	// on a fingerprint match. VerifyFingerprints exposes the cross-replica
+	// check. Costs one full-state hash per cut on the apply loop; ignored
+	// without CheckpointDir.
+	Audit bool
 	// MirrorBases is the base replication factor: every base the
 	// checkpoint compactor publishes is also mirrored (CRC-verified) to
 	// up to this many peer replica directories of the same partition.
@@ -261,6 +271,9 @@ type Cluster struct {
 	ckptEveryMS  int64
 	compactEvery int
 	mirrorBases  int
+	// audit is Config.Audit gated on recovery being enabled: fingerprint
+	// records live in the replica checkpoint directories.
+	audit bool
 	// table is the durable placement assignment (generations, scale-out
 	// membership, decommission tombstones); nil without CheckpointDir.
 	table *placement.Table
@@ -297,6 +310,8 @@ type Cluster struct {
 	scaleIns              *metrics.Counter
 	deliveryStateCuts     *metrics.Counter
 	deliveryStateRestores *metrics.Counter
+	auditRecords          *metrics.Counter
+	auditMismatches       *metrics.Counter
 
 	// stateWG tracks in-flight async delivery-state cuts; stateBusy keeps
 	// at most one in flight (a busy tick is skipped, the next one captures
@@ -451,8 +466,11 @@ func New(cfg Config) (c *Cluster, err error) {
 		scaleIns:              reg.Counter("cluster.scale_ins"),
 		deliveryStateCuts:     reg.Counter("cluster.delivery_state_cuts"),
 		deliveryStateRestores: reg.Counter("cluster.delivery_state_restores"),
+		auditRecords:          reg.Counter("cluster.audit_records"),
+		auditMismatches:       reg.Counter("cluster.audit_mismatches"),
 	}
 	if recovery {
+		c.audit = cfg.Audit
 		c.ckptEveryMS = cfg.CheckpointInterval.Milliseconds()
 		c.compactEvery = cfg.CompactEvery
 		if c.compactEvery <= 0 {
@@ -742,20 +760,31 @@ func (c *Cluster) runReplica(slot *replicaSlot) {
 func (c *Cluster) applyEnvelope(slot *replicaSlot, env queue.Envelope[graph.Edge]) bool {
 	cands := slot.p.Load().Apply(env.Msg)
 
+	// One state load gates BOTH the candidate publish and the checkpoint
+	// cut below. KillReplica stores replicaDead before closing quit, but
+	// the consumer's select may still drain buffered envelopes first —
+	// a "zombie" span. Suppressing only the publish while still cutting
+	// would let a durable cut claim offsets whose candidates were never
+	// handed to the delivery tier; the restored replica would resume past
+	// the suppressed offset, and its first accepted emission would jump
+	// the group's high-water filter over the lost batch. Publish and cut
+	// must therefore share one fate per envelope.
+	state := slot.state.Load()
+
 	// Candidates are published before any checkpoint cut covering this
 	// offset: a cut at Offset+1 must never claim durability for an event
 	// whose candidates were not yet handed to the delivery tier, or a
 	// restore from that cut would skip re-emitting them. Publishing to a
 	// closed candidates topic only happens during shutdown races; drop
 	// silently then.
-	if len(cands) > 0 && slot.state.Load() != replicaDead {
+	if len(cands) > 0 && state != replicaDead {
 		msg := candidateMsg{pid: slot.pid, offset: env.Offset, cands: cands}
 		if c.candidates.Publish(msg, env.VirtualDelay) != nil {
 			return false
 		}
 	}
 
-	if c.ckptEveryMS > 0 {
+	if c.ckptEveryMS > 0 && state != replicaDead {
 		if slot.lastCkptTS == 0 {
 			// First envelope after Start or a restore: seed the clock so a
 			// full checkpoint interval elapses before the first cut —
@@ -796,7 +825,9 @@ func (c *Cluster) cutCheckpoint(slot *replicaSlot, nextOffset uint64) {
 	}
 	start := time.Now()
 	delta := slot.p.Load().CaptureDelta()
-	w.jobs <- ckptJob{delta: delta, offset: nextOffset}
+	job := ckptJob{delta: delta, offset: nextOffset}
+	c.stampFingerprint(slot, &job)
+	w.jobs <- job
 	// Observed after the send so the metric is the apply loop's whole
 	// checkpoint stall: capture plus any backpressure wait on a slow
 	// writer — the honest number an operator watches to confirm
@@ -804,10 +835,22 @@ func (c *Cluster) cutCheckpoint(slot *replicaSlot, nextOffset uint64) {
 	c.cutPause.Observe(time.Since(start))
 }
 
-// deliveryDebug, when non-nil, observes every candidate batch arriving at
-// the delivery filter (before the skip check) with the group's current
-// high-water offset. Test-only instrumentation; set while no cluster runs.
-var deliveryDebug func(msg candidateMsg, next uint64)
+// stampFingerprint attaches the replica's current state fingerprint to a
+// checkpoint job when auditing is on. Called on the apply loop (or at
+// drained shutdown) — the only places Apply is quiescent, which the
+// fingerprint's streaming encode requires. A failed encode is counted and
+// the cut proceeds unaudited: the audit is advisory, the cut is not.
+func (c *Cluster) stampFingerprint(slot *replicaSlot, job *ckptJob) {
+	if !c.audit {
+		return
+	}
+	fp, err := slot.p.Load().Fingerprint()
+	if err != nil {
+		c.ckptErrors.Inc()
+		return
+	}
+	job.fp, job.hasFP = fp, true
+}
 
 // runDelivery consumes candidate batches and runs the push pipeline.
 // nextOffset[g] is group g's exactly-once high-water mark: a batch is
@@ -824,9 +867,6 @@ func (c *Cluster) runDelivery(sub <-chan queue.Envelope[candidateMsg]) {
 	persist := c.cfg.CheckpointDir != ""
 	batches := 0
 	for env := range sub {
-		if deliveryDebug != nil {
-			deliveryDebug(env.Msg, nextOffset[env.Msg.pid])
-		}
 		if env.Msg.offset < nextOffset[env.Msg.pid] {
 			continue // another replica's copy already covered this event
 		}
@@ -914,7 +954,9 @@ func (c *Cluster) stop(finalCut bool) {
 					// log (nothing applied since the last cut) — skip the
 					// no-op segment.
 					if delta := slot.p.Load().CaptureDelta(); delta.Len() > 0 {
-						slot.writer.jobs <- ckptJob{delta: delta, offset: c.firehose.Published()}
+						job := ckptJob{delta: delta, offset: c.firehose.Published()}
+						c.stampFingerprint(slot, &job)
+						slot.writer.jobs <- job
 					}
 				}
 				stopWriterLocked(slot)
@@ -1022,6 +1064,13 @@ type Stats struct {
 	// ScaleOuts and ScaleIns count live membership changes (AddReplica /
 	// DecommissionReplica).
 	ScaleOuts, ScaleIns uint64
+	// AuditRecords counts fingerprint records appended to the per-replica
+	// audit logs; AuditMismatches counts fingerprint disagreements the
+	// pipeline itself detected (compaction self-checks, recovery
+	// cross-checks, go-live gates). Any nonzero mismatch count means two
+	// recovery-equivalent states differed — run VerifyFingerprints for
+	// the offsets. Zero without Config.Audit.
+	AuditRecords, AuditMismatches uint64
 	// LogTruncatedBelow is the firehose log's compaction horizon: every
 	// retained offset is at or above it. Zero until the first truncation.
 	LogTruncatedBelow uint64
@@ -1049,6 +1098,8 @@ func (c *Cluster) Stats() Stats {
 		DeliveryStateRestores: c.deliveryStateRestores.Value(),
 		ScaleOuts:             c.scaleOuts.Value(),
 		ScaleIns:              c.scaleIns.Value(),
+		AuditRecords:          c.auditRecords.Value(),
+		AuditMismatches:       c.auditMismatches.Value(),
 		LogTruncatedBelow:     c.firehose.LogStart(),
 		CutPause:              c.cutPause.Snapshot(),
 		E2ELatency:            c.e2eLatency.Snapshot(),

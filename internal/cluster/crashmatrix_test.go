@@ -262,6 +262,36 @@ func (h *crashHarness) finish() {
 			}
 		}
 	}
+	h.assertFingerprints()
+}
+
+// assertFingerprints cross-checks every recorded state fingerprint across
+// each partition's replicas (and asserts the pipeline's own checks found
+// nothing): at every audited offset all replicas must have held
+// bit-identical state. Called after the drain so the final cuts — which
+// land at the common drained head — are recorded for every replica.
+func (h *crashHarness) assertFingerprints() {
+	h.t.Helper()
+	if !h.c.audit {
+		return
+	}
+	total := 0
+	for pid := 0; pid < h.cfg.Partitions; pid++ {
+		rep, err := h.c.VerifyFingerprints(pid)
+		if err != nil {
+			h.t.Fatalf("VerifyFingerprints(%d): %v", pid, err)
+		}
+		if len(rep.Mismatches) > 0 {
+			h.t.Fatalf("partition %d: state fingerprint mismatches: %+v", pid, rep.Mismatches)
+		}
+		total += rep.Records
+	}
+	if total == 0 {
+		h.t.Fatal("vacuous: audit enabled but no fingerprints recorded")
+	}
+	if n := h.c.Stats().AuditMismatches; n != 0 {
+		h.t.Fatalf("pipeline detected %d fingerprint mismatches", n)
+	}
 }
 
 // assertSameNotes fails unless the fault run delivered exactly the oracle

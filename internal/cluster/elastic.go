@@ -197,6 +197,74 @@ func removeOlderMirrors(dir string, srcIdx int, newest uint64) {
 	}
 }
 
+// mirrorOffsets lists, per source replica, the replay point of the
+// newest CRC-intact mirror base hosted in a replica directory's mirror
+// subdir — the truncation floor scan's view of the base pool. Only the
+// newest intact mirror per source counts: that is the file composeFromPool
+// would actually install (it picks the newest base that passes the gate),
+// so its offset is the pool's real claim on the log. Torn mirrors are
+// deliberately excluded — they are inert for restore, and counting them
+// would let a crashing pusher (whose retirement pass never ran) pin the
+// firehose log at a dead offset forever.
+func mirrorOffsets(dir string) []uint64 {
+	mdir := filepath.Join(dir, mirrorSubdir)
+	entries, err := os.ReadDir(mdir)
+	if err != nil {
+		return nil
+	}
+	// Per source, walk candidate offsets newest-first and take the first
+	// file whose checksum holds. ReadDir returns names sorted, and
+	// mirrorName zero-pads offsets, so per source the order is ascending.
+	bySrc := make(map[int][]string)
+	for _, e := range entries {
+		if idx, _, ok := parseMirrorName(e.Name()); ok {
+			bySrc[idx] = append(bySrc[idx], e.Name())
+		}
+	}
+	var out []uint64
+	for _, names := range bySrc {
+		for i := len(names) - 1; i >= 0; i-- {
+			data, err := os.ReadFile(filepath.Join(mdir, names[i]))
+			if err != nil || !checksumOK(data) {
+				continue
+			}
+			_, off, _ := parseMirrorName(names[i])
+			out = append(out, off)
+			break
+		}
+	}
+	return out
+}
+
+// removeSourceMirrors retires every mirror srcIdx pushed into partition
+// pid's replica directories. Called when the source placement is
+// decommissioned: its mirrors would otherwise never be retired (only the
+// source's own newer pushes retire them), and with the truncation floor
+// counting mirror offsets an orphaned mirror would pin the firehose log
+// forever.
+func (c *Cluster) removeSourceMirrors(pid, srcIdx int) {
+	c.topoMu.RLock()
+	var dirs []string
+	for _, s := range c.slots[pid] {
+		if s.state.Load() != replicaRemoved && s.dir != "" {
+			dirs = append(dirs, s.dir)
+		}
+	}
+	c.topoMu.RUnlock()
+	for _, dir := range dirs {
+		mdir := filepath.Join(dir, mirrorSubdir)
+		entries, err := os.ReadDir(mdir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if idx, _, ok := parseMirrorName(e.Name()); ok && idx == srcIdx {
+				os.Remove(filepath.Join(mdir, e.Name()))
+			}
+		}
+	}
+}
+
 // baseSource is one candidate restore point in a partition's base pool.
 type baseSource struct {
 	path   string
@@ -331,6 +399,21 @@ func (c *Cluster) startPlacement(slot *replicaSlot) error {
 	head := c.firehose.Published()
 	st, data, off, ok := composeFromPool(c.basePool(slot.pid, slot), start, head)
 	if ok {
+		// Go-live fingerprint gate: a base's file CRC32C is by construction
+		// the fingerprint of the state it encodes, so it must equal the
+		// fingerprint the source replica recorded when it held that state
+		// live. A mismatch means the pool would seed this placement with
+		// state no replica ever held — refuse to go live rather than let a
+		// diverged newcomer advance the group's delivery high-water. The
+		// slot stays dead with its floor pinning the log; the operator can
+		// retry once the pool heals.
+		if c.audit {
+			if want, found := c.recordedFingerprint(slot.pid, off); found && want != codecutil.CRC32C(data) {
+				c.auditMismatches.Inc()
+				return fmt.Errorf("cluster: replica %d/%d: pool base at offset %d has fingerprint %08x, source recorded %08x; refusing go-live",
+					slot.pid, slot.idx, off, codecutil.CRC32C(data), want)
+			}
+		}
 		man2, err := c.seedChain(slot.dir, data, off, manifest{})
 		if err != nil {
 			// Without a durable seed base the chain would silently
@@ -572,6 +655,9 @@ func (c *Cluster) DecommissionReplica(pid, r int) error {
 	if slot.dir != "" {
 		os.RemoveAll(slot.dir)
 	}
+	// Retire the mirrors this replica pushed to its peers: no source will
+	// ever supersede them, and the truncation floor counts hosted mirrors.
+	c.removeSourceMirrors(pid, r)
 	c.scaleIns.Inc()
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -420,6 +421,167 @@ func TestReopenRecoversDespiteTornMirrorWrites(t *testing.T) {
 	c, err := Reopen(faultCfg)
 	if err != nil {
 		t.Fatalf("Reopen with only torn+intact mirrors: %v", err)
+	}
+	h.c = c
+	if st := c.Stats(); st.BasePoolRestores == 0 {
+		t.Fatal("vacuous: nothing recovered via the base pool")
+	}
+	h.finish()
+
+	assertSameNotes(t, oracleNotes(), faultNotes())
+	assertConverged(t, h.c, oracle, faultCfg)
+}
+
+// TestMirrorOnlySurvivorReplaysAfterTruncation pins the truncation
+// floor's mirror-awareness. The regression it guards: maybeTruncateLog
+// once counted only replica chain floors, so a stale-but-intact mirror —
+// every newer push from its source torn mid-write — fell below the
+// truncation horizon while both replicas' own floors marched on. The
+// moment those chains corrupt, that mirror is the partition's only
+// restore point, and with the log truncated past its offset the replay
+// gap is gone for good. The floor must therefore count each source's
+// newest intact mirror as a restore point.
+func TestMirrorOnlySurvivorReplaysAfterTruncation(t *testing.T) {
+	const users = 40
+	static := ringStatic(users)
+	stream := motifWorkload(65, users, 400)
+
+	newCfg := func() Config {
+		cfg := durableConfig(t, static)
+		cfg.CheckpointInterval = time.Second
+		cfg.CompactEvery = 2
+		cfg.MirrorBases = 1
+		cfg.LogSegmentBytes = 2 << 10
+		return cfg
+	}
+
+	oracleCfg := newCfg()
+	oracleNotes := collectNotes(&oracleCfg)
+	oracle, err := New(oracleCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.Start()
+	for _, e := range stream {
+		oracle.Publish(e)
+	}
+	oracle.Stop()
+
+	// Install the injector before the cluster starts (the hook is package
+	// scoped and writers read it concurrently); the tear switches on
+	// mid-run via the atomic flag.
+	var tear atomic.Bool
+	orig := openSegFile
+	openSegFile = func(path string) (codecutil.WriteSyncCloser, error) {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if tear.Load() && strings.HasPrefix(filepath.Base(path), "mirror-") {
+			return &codecutil.FailNth{F: f, FailWriteAt: 1}, nil
+		}
+		return f, nil
+	}
+	defer func() { openSegFile = orig }()
+
+	faultCfg := newCfg()
+	faultNotes := collectNotes(&faultCfg)
+	h := newCrashHarness(t, faultCfg, stream)
+	h.publishTo(0.5)
+
+	// Wait until every partition hosts at least one CRC-intact mirror;
+	// those are the replay points that must survive truncation.
+	intactMirrors := func(pid int) map[int]uint64 {
+		// Newest intact mirror offset per source, across the partition's
+		// replica directories — the floor scan's view of the pool.
+		out := map[int]uint64{}
+		for r := 0; r < faultCfg.Replicas; r++ {
+			mdir := filepath.Join(replicaCkptDir(faultCfg.CheckpointDir, pid, r), mirrorSubdir)
+			entries, err := os.ReadDir(mdir)
+			if err != nil {
+				continue
+			}
+			for _, e := range entries {
+				idx, off, ok := parseMirrorName(e.Name())
+				if !ok || off <= out[idx] {
+					continue
+				}
+				if data, err := os.ReadFile(filepath.Join(mdir, e.Name())); err == nil && checksumOK(data) {
+					out[idx] = off
+				}
+			}
+		}
+		return out
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for pid := 0; pid < faultCfg.Partitions; pid++ {
+		for len(intactMirrors(pid)) == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("partition %d never hosted an intact mirror", pid)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Let the horizon pass zero before freezing the mirrors, so the
+	// truncation machinery is demonstrably live in this run — otherwise
+	// "the mirror was respected" would be indistinguishable from "nothing
+	// ever truncated".
+	h.waitForBases(0)
+	h.waitForBases(1)
+	h.waitForTruncation()
+
+	// Arm the tear: from here every mirror push, from every source,
+	// tears mid-write. The intact mirrors freeze at their mid-stream
+	// offsets while both replicas' chain floors keep advancing.
+	tear.Store(true)
+
+	h.publishTo(1.0)
+	h.c.Shutdown()
+
+	st := h.c.Stats()
+	if st.LogTruncatedBelow == 0 {
+		t.Fatal("vacuous: the log was never truncated")
+	}
+	// The floor respected every frozen intact mirror, and for at least
+	// one partition a chain floor advanced strictly past its pool's
+	// replay point — i.e. the mirror really was the binding constraint
+	// the old floor ignored.
+	binding := false
+	for pid := 0; pid < faultCfg.Partitions; pid++ {
+		for src, off := range intactMirrors(pid) {
+			if off < st.LogTruncatedBelow {
+				t.Fatalf("partition %d: intact mirror from r%02d at offset %d fell below the horizon %d",
+					pid, src, off, st.LogTruncatedBelow)
+			}
+			for r := 0; r < faultCfg.Replicas; r++ {
+				dir := replicaCkptDir(faultCfg.CheckpointDir, pid, r)
+				if man, err := loadManifest(manifestPath(dir), h.c.runID); err == nil && man.floorOffset() > off {
+					binding = true
+				}
+			}
+		}
+	}
+	if !binding {
+		t.Fatal("vacuous: no chain floor ever advanced past a frozen mirror")
+	}
+
+	// Corrupt every primary base: the frozen mirrors become the only
+	// restore points, and recovery must replay the log from their
+	// offsets — the span the old floor would have truncated away.
+	for pid := 0; pid < faultCfg.Partitions; pid++ {
+		for r := 0; r < faultCfg.Replicas; r++ {
+			dir := replicaCkptDir(faultCfg.CheckpointDir, pid, r)
+			man, err := loadManifest(manifestPath(dir), h.c.runID)
+			if err != nil || len(man.segs) == 0 || man.segs[0].kind != segKindBase {
+				t.Fatalf("replica %d/%d has no base to corrupt", pid, r)
+			}
+			flipByte(t, segmentPath(dir, man.segs[0]))
+		}
+	}
+
+	c, err := Reopen(faultCfg)
+	if err != nil {
+		t.Fatalf("Reopen with only stale mirrors: %v", err)
 	}
 	h.c = c
 	if st := c.Stats(); st.BasePoolRestores == 0 {

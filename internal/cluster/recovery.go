@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"motifstream/internal/audit"
 	"motifstream/internal/codecutil"
 	"motifstream/internal/partition"
 	"motifstream/internal/placement"
@@ -321,10 +322,14 @@ func loadManifest(path string, runID uint64) (manifest, error) {
 }
 
 // ckptJob is one cut handed from the apply loop to the async writer: the
-// captured delta and the firehose offset it corresponds to.
+// captured delta and the firehose offset it corresponds to. With auditing
+// on, fp carries the CRC32C fingerprint of the replica's full state at
+// the cut (hasFP false when auditing is off or the encode failed).
 type ckptJob struct {
 	delta  *partition.Delta
 	offset uint64
+	fp     uint32
+	hasFP  bool
 }
 
 // ckptWriter is a replica's asynchronous persistence stage: it owns the
@@ -348,7 +353,18 @@ type ckptWriter struct {
 	// pending set is still consistent: the chain simply ends at the last
 	// durable segment's offset and replay rebuilds the lost window.
 	pending *partition.Delta
+	// alog is the replica's append-only fingerprint audit log (nil when
+	// auditing is off or the log failed to open — the audit is advisory).
+	// lastFP is the newest recorded live-cut fingerprint; compact
+	// self-checks every composed base against it.
+	alog         *audit.Log
+	lastFP       uint32
+	lastFPOffset uint64
+	hasLastFP    bool
 }
+
+// auditLogPath names a replica directory's fingerprint audit log.
+func auditLogPath(dir string) string { return filepath.Join(dir, "audit.log") }
 
 // startWriter launches the async persistence goroutine for slot,
 // continuing the given manifest chain.
@@ -365,12 +381,28 @@ func (c *Cluster) startWriter(slot *replicaSlot, man manifest) *ckptWriter {
 	}
 	w.deltas = man.deltaCount()
 	slot.floor.Store(man.floorOffset())
+	if c.audit {
+		alog, err := audit.Open(auditLogPath(w.dir), c.runID)
+		if err != nil {
+			// Advisory subsystem: a replica that cannot audit still
+			// checkpoints; the gap is visible as a missing source in
+			// VerifyFingerprints.
+			c.ckptErrors.Inc()
+		} else {
+			w.alog = alog
+		}
+	}
 	go w.run()
 	return w
 }
 
 func (w *ckptWriter) run() {
 	defer close(w.done)
+	defer func() {
+		if w.alog != nil {
+			w.alog.Close()
+		}
+	}()
 	closed := false
 	for !closed {
 		job, ok := <-w.jobs
@@ -449,11 +481,27 @@ func (w *ckptWriter) appendSegment(job ckptJob) {
 		return
 	}
 	w.c.checkpoints.Inc()
+	if job.hasFP {
+		w.recordFingerprint(audit.Record{Offset: job.offset, Sum: job.fp})
+		w.lastFP, w.lastFPOffset, w.hasLastFP = job.fp, job.offset, true
+	}
 	w.deltas++
 	if w.deltas >= w.c.compactEvery {
 		w.compact()
 	}
 	w.c.maybeTruncateLog()
+}
+
+// recordFingerprint appends one record to the replica's audit log.
+func (w *ckptWriter) recordFingerprint(rec audit.Record) {
+	if w.alog == nil {
+		return
+	}
+	if err := w.alog.Append(rec); err != nil {
+		w.c.ckptErrors.Inc()
+		return
+	}
+	w.c.auditRecords.Inc()
 }
 
 // compact folds the whole chain into a single fresh base whose offset is
@@ -470,6 +518,26 @@ func (w *ckptWriter) compact() {
 		// rather than compacting a prefix and silently losing the rest.
 		w.c.ckptErrors.Inc()
 		return
+	}
+	if w.c.audit {
+		// Compaction self-check: the composed chain re-derives a state the
+		// replica also held live (the newest cut), so their fingerprints
+		// must match bit-for-bit. A mismatch here is the divergence class
+		// the audit exists for — a recovery composition that would install
+		// different state than the replica actually had — caught at write
+		// time instead of at the next restore. The composed fingerprint is
+		// recorded either way (it re-records the offset, so VerifyFingerprints
+		// exposes the disagreement too); the base is still published — its
+		// bytes are what the chain durably says, and refusing to compact
+		// would only hide the divergence behind a longer chain.
+		if fp, err := st.Fingerprint(); err == nil {
+			if w.hasLastFP && w.lastFPOffset == offset && w.lastFP != fp {
+				w.c.auditMismatches.Inc()
+			}
+			w.recordFingerprint(audit.Record{Offset: offset, Sum: fp})
+		} else {
+			w.c.ckptErrors.Inc()
+		}
 	}
 	ref := segmentRef{kind: segKindBase, seq: w.man.nextSeq, offset: offset}
 	path := segmentPath(w.dir, ref)
@@ -823,6 +891,9 @@ func (c *Cluster) planStartupRestore(slot *replicaSlot) error {
 		c.poolRestores.Inc()
 	}
 	if used > 0 {
+		// Audit cross-check: the composed restart state must fingerprint-
+		// equal what a replica recorded when it held that state live.
+		c.verifyComposedState(slot.pid, st, offset)
 		slot.p.Load().LoadState(st)
 	}
 	c.reloadStatic(slot)
@@ -846,17 +917,27 @@ func (c *Cluster) loadDeliveryOffsets() []uint64 {
 
 // maybeTruncateLog compacts the retained firehose log below the minimum
 // restore floor across all replicas: every offset below it is covered by
-// a durable base checkpoint on every replica, so no restore — including
-// segment-at-a-time corruption fallback — can ever need to replay it.
-// Called from writer goroutines after durable progress. The scan and the
-// truncation are one atomic step under truncMu so a restore lowering a
-// replica's floor (corrupt chain → scratch) cannot interleave between
-// them and have its just-started replay truncated out from under it.
+// a durable restore point, so no restore — including segment-at-a-time
+// corruption fallback — can ever need to replay it. The floor counts two
+// kinds of restore point: every non-removed replica's own chain floor,
+// and each source's newest intact mirror base in the partition pools (a
+// mirror's offset is its replay point, and composeFromPool refuses one below the log start
+// — so truncating past one would silently disarm the base pool exactly
+// when it is needed, e.g. a mirror-only survivor whose own base later
+// corrupts). Mirror offsets normally trail their source's chain floor by
+// nothing — compact pushes them at the floor offset — but a mirror
+// outlives its source (kill, decommission), and then it is the pool's
+// only claim on that span. Called from writer goroutines after durable
+// progress. The scan and the truncation are one atomic step under truncMu
+// so a restore lowering a replica's floor (corrupt chain → scratch)
+// cannot interleave between them and have its just-started replay
+// truncated out from under it.
 func (c *Cluster) maybeTruncateLog() {
 	c.truncMu.Lock()
 	defer c.truncMu.Unlock()
 	c.topoMu.RLock()
 	floor := ^uint64(0)
+	var dirs []string
 	for _, group := range c.slots {
 		for _, s := range group {
 			if s.state.Load() == replicaRemoved {
@@ -866,9 +947,19 @@ func (c *Cluster) maybeTruncateLog() {
 			if f := s.floor.Load(); f < floor {
 				floor = f
 			}
+			if s.dir != "" {
+				dirs = append(dirs, s.dir)
+			}
 		}
 	}
 	c.topoMu.RUnlock()
+	for _, dir := range dirs {
+		for _, off := range mirrorOffsets(dir) {
+			if off < floor {
+				floor = off
+			}
+		}
+	}
 	if floor == 0 || floor == ^uint64(0) {
 		return
 	}
@@ -1068,6 +1159,9 @@ func (c *Cluster) RestoreReplica(pid, r int) error {
 	if used == 0 {
 		slot.p.Load().Reset()
 	} else {
+		// Audit cross-check: the composed rejoin state must fingerprint-
+		// equal what a replica recorded when it held that state live.
+		c.verifyComposedState(pid, st, offset)
 		slot.p.Load().LoadState(st)
 	}
 	c.reloadStatic(slot)

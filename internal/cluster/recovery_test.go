@@ -26,6 +26,11 @@ func recoveryConfig(t testing.TB, static []graph.Edge) Config {
 		NewPrograms:        diamondPrograms,
 		CheckpointDir:      t.TempDir(),
 		CheckpointInterval: time.Minute, // stream time
+		// Every recovery test runs with the fingerprint audit on: each cut
+		// records a state fingerprint and every recovery composition is
+		// cross-checked, so any divergence a scenario provokes is caught as
+		// a bit-level mismatch, not only as a delivered-set difference.
+		Audit: true,
 		Delivery: delivery.Options{
 			SleepStartHour: 1, SleepEndHour: 1,
 			MaxPerUserPerDay: 1 << 30,
@@ -423,7 +428,9 @@ func TestCheckpointFilesAreWrittenAtomically(t *testing.T) {
 			if len(man.segs) == 0 {
 				t.Fatalf("empty chain for %d/%d", pid, r)
 			}
-			named := map[string]bool{"MANIFEST": true}
+			// The audit log rides alongside the chain (recoveryConfig
+			// turns the fingerprint audit on).
+			named := map[string]bool{"MANIFEST": true, "audit.log": true}
 			for _, seg := range man.segs {
 				path := segmentPath(dir, seg)
 				if _, err := os.Stat(path); err != nil {

@@ -2,10 +2,13 @@ package partition
 
 import (
 	"bytes"
+	"fmt"
+	"math/rand"
 	"reflect"
 	"testing"
 	"time"
 
+	"motifstream/internal/codecutil"
 	"motifstream/internal/dynstore"
 	"motifstream/internal/graph"
 	"motifstream/internal/motif"
@@ -106,6 +109,132 @@ func TestDeltaComposeMatchesFullState(t *testing.T) {
 	restored.LoadState(decoded)
 	if got := restored.CaptureState(); !statesEqual(got, want) {
 		t.Fatal("restored partition diverged from original")
+	}
+}
+
+// TestComposePathsFingerprintEqual is the determinism property the audit
+// layer rests on: for a randomized workload with interleaved sweeps and
+// cut points, every way the cluster can arrive at a replica's state —
+// composing the replica's own base+delta chain, installing a pool base
+// (the full state round-tripped through the base codec, i.e. what a
+// mirror push ships), or deterministically replaying the edges from
+// scratch — yields a state that is statesEqual to the live capture AND
+// has the identical CRC32C fingerprint. It also pins the file-CRC law:
+// the fingerprint of a state equals codecutil.CRC32C over its full base
+// encoding, which is what lets the elastic go-live gate audit a pool
+// base without decoding it.
+func TestComposePathsFingerprintEqual(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1337} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			t0 := int64(10_000_000)
+
+			// Script a random workload up front so the live run and the
+			// replay run execute the exact same operation sequence:
+			// apply-bursts separated by delta cuts, with sweeps thrown in.
+			type step struct {
+				from, to int
+				sweepAt  int64 // 0 = no sweep before the cut
+			}
+			var steps []step
+			pos := 20 // the base capture covers [0, 20)
+			for i := 0; i < 4+rng.Intn(4); i++ {
+				n := 5 + rng.Intn(30)
+				s := step{from: pos, to: pos + n}
+				if rng.Intn(2) == 0 {
+					// Sweep somewhere inside the burst's time range so
+					// deletion frames land in the chain.
+					s.sweepAt = t0 + int64(s.from+rng.Intn(n))*10
+				}
+				steps = append(steps, s)
+				pos += n
+			}
+
+			// Live run: capture a base, then cut one delta per step.
+			live := deltaWorkloadPartition(t)
+			applyDiamonds(live, t0, 0, 20)
+			base := live.CaptureState()
+			live.CaptureDelta() // align the chain start with the base
+			var segs [][]byte
+			for _, s := range steps {
+				applyDiamonds(live, t0, s.from, s.to)
+				if s.sweepAt != 0 {
+					live.SweepBefore(s.sweepAt)
+				}
+				var buf bytes.Buffer
+				if _, err := live.CaptureDelta().WriteTo(&buf); err != nil {
+					t.Fatal(err)
+				}
+				segs = append(segs, buf.Bytes())
+			}
+			want := live.CaptureState()
+			wantFP, err := want.Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			liveFP, err := live.Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if liveFP != wantFP {
+				t.Fatalf("live partition fingerprint %08x != captured state %08x", liveFP, wantFP)
+			}
+
+			// Path 1: compose the replica's own chain.
+			chain := base
+			for _, seg := range segs {
+				if _, err := chain.ApplyDeltaFrom(bytes.NewReader(seg)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !statesEqual(chain, want) {
+				t.Fatal("own-chain composition diverged from live capture")
+			}
+			if fp, err := chain.Fingerprint(); err != nil || fp != wantFP {
+				t.Fatalf("own-chain fingerprint %08x (err %v), want %08x", fp, err, wantFP)
+			}
+
+			// Path 2: the pool base — the state round-tripped through the
+			// base codec, as a mirror push ships it. The file-CRC law: the
+			// raw file bytes' CRC32C IS the fingerprint.
+			var file bytes.Buffer
+			if _, err := want.WriteBaseTo(&file); err != nil {
+				t.Fatal(err)
+			}
+			if crc := codecutil.CRC32C(file.Bytes()); crc != wantFP {
+				t.Fatalf("file CRC %08x != state fingerprint %08x", crc, wantFP)
+			}
+			pool := NewCheckpointState()
+			if _, err := pool.ReadBaseFrom(bytes.NewReader(file.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			if !statesEqual(pool, want) {
+				t.Fatal("pool-base round trip diverged from live capture")
+			}
+			if fp, err := pool.Fingerprint(); err != nil || fp != wantFP {
+				t.Fatalf("pool-base fingerprint %08x (err %v), want %08x", fp, err, wantFP)
+			}
+
+			// Path 3: deterministic replay from scratch — same edges, same
+			// sweeps, fresh partition.
+			replay := deltaWorkloadPartition(t)
+			applyDiamonds(replay, t0, 0, 20)
+			replay.CaptureDelta()
+			for _, s := range steps {
+				applyDiamonds(replay, t0, s.from, s.to)
+				if s.sweepAt != 0 {
+					replay.SweepBefore(s.sweepAt)
+				}
+				replay.CaptureDelta()
+			}
+			got := replay.CaptureState()
+			if !statesEqual(got, want) {
+				t.Fatal("deterministic replay diverged from live capture")
+			}
+			if fp, err := got.Fingerprint(); err != nil || fp != wantFP {
+				t.Fatalf("replay fingerprint %08x (err %v), want %08x", fp, err, wantFP)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,44 @@
+package partition
+
+import (
+	"io"
+
+	"motifstream/internal/codecutil"
+)
+
+// A state fingerprint is the CRC32C of the full base-checkpoint encoding
+// of a partition's recoverable state — payload and file-level checksum
+// trailer included. Because the base format is canonical (every section
+// writes its keys in sorted order, and every field is stream-derived, so
+// two replicas that applied the same firehose prefix hold byte-identical
+// encodings), the fingerprint is a cheap equality witness:
+//
+//   - two replicas of a group agree at offset N iff their fingerprints at
+//     N are equal;
+//   - a base segment file on disk encodes state st iff
+//     codecutil.CRC32C(fileBytes) == st.Fingerprint(), which is what lets
+//     the scale-out go-live gate verify a pool-composed base against the
+//     source replica's recorded cut without decoding anything.
+//
+// Computing one streams the encoder into a hash and discards the bytes —
+// no allocation proportional to state size beyond the encoder's buffers.
+
+// Fingerprint returns the state's CRC32C fingerprint.
+func (st *CheckpointState) Fingerprint() (uint32, error) {
+	hw := &codecutil.HashWriter{W: io.Discard}
+	if _, err := st.WriteBaseTo(hw); err != nil {
+		return 0, err
+	}
+	return hw.Sum(), nil
+}
+
+// Fingerprint returns the live partition's CRC32C fingerprint, streamed
+// from the live structures under their read locks (no state copy). The
+// caller must not run Apply concurrently — same contract as WriteTo.
+func (p *Partition) Fingerprint() (uint32, error) {
+	hw := &codecutil.HashWriter{W: io.Discard}
+	if _, err := p.WriteTo(hw); err != nil {
+		return 0, err
+	}
+	return hw.Sum(), nil
+}
