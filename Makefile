@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-race test-crashmatrix test-delivery test-elasticity test-audit soak-flake bench bench-smoke fuzz fuzz-smoke
+.PHONY: check build vet test test-race test-crashmatrix test-delivery test-elasticity test-audit soak-flake soak bench bench-smoke bench-trajectory fuzz fuzz-smoke
 
 # check is the CI gate: formatting, static analysis, the full test suite
 # under the race detector (test-delivery's and test-elasticity's cases
@@ -57,15 +57,39 @@ soak-flake:
 	$(GO) test -run 'TestFlakeHuntScaleOutKillOriginal' -count=200 -timeout 60m ./internal/cluster
 
 # bench runs the experiment-index benchmarks briefly (regression smoke,
-# not a measurement run).
+# not a measurement run). -count=1 defeats the test cache (a cached "ok"
+# would mask a freshly introduced benchmark panic), and the per-package
+# loop stops at the first failing package instead of letting one
+# package's noise bury another's failure in a long ./... transcript.
 bench:
-	$(GO) test -run=NONE -bench . -benchtime=1x ./...
+	@set -e; for pkg in $$($(GO) list ./...); do \
+		$(GO) test -run=NONE -bench . -benchtime=1x -count=1 $$pkg; \
+	done
 
-# bench-smoke runs just the checkpoint/recovery benchmarks once each, so
-# the durability perf path keeps compiling and running in CI without a
-# full measurement run.
+# bench-smoke runs the durability benchmarks plus the wall-clock E2E
+# detection-latency probe once each, so the perf paths the trajectory
+# measures keep compiling and running in CI without a full measurement
+# run.
 bench-smoke:
-	$(GO) test -run=NONE -bench 'Checkpoint|Recovery|Snapshot|Reprovision' -benchtime=1x ./...
+	@set -e; for pkg in $$($(GO) list ./...); do \
+		$(GO) test -run=NONE -bench 'Checkpoint|Recovery|Snapshot|Reprovision|E2EDetectionLatency' -benchtime=1x -count=1 $$pkg; \
+	done
+
+# bench-trajectory is the measurement run: the pinned trajectory workload
+# (T1 ingest+latency, T2 recovery replay, T3 reprovision) emits a dated
+# BENCH_<date>.json artifact and gates against the newest committed one —
+# nonzero exit on any metric regressing beyond its tolerance. Commit the
+# artifact to extend the trajectory. See docs/BENCHMARKS.md.
+bench-trajectory:
+	@mkdir -p bench
+	$(GO) run ./cmd/benchreport -trajectory -json bench/BENCH_$$(date +%F).json -baseline bench -tol 0.5
+
+# soak drives the long-haul churn harness (cmd/soak): sustained ingest
+# under kills/restores, reprovisions, scale-out/in, and whole-process
+# restarts, then proves oracle delivered-set equivalence, a clean
+# fingerprint audit, bounded log growth, and flat goroutine/heap usage.
+soak:
+	$(GO) run ./cmd/soak -dur 2m
 
 # fuzz gives each fuzz target a longer budget (manual runs).
 fuzz:
@@ -73,6 +97,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz FuzzWALReadRecord -fuzztime 30s ./internal/queue
 	$(GO) test -run=NONE -fuzz FuzzDeliveryStateReadFrom -fuzztime 30s ./internal/delivery
 	$(GO) test -run=NONE -fuzz FuzzAuditRecords -fuzztime 30s ./internal/audit
+	$(GO) test -run=NONE -fuzz FuzzBenchReport -fuzztime 30s ./internal/benchfmt
 
 # fuzz-smoke is the CI-budget version: 10s per target keeps the decoders,
 # the WAL record framing, and the delivery-state codec continuously
@@ -82,3 +107,4 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz FuzzWALReadRecord -fuzztime 10s ./internal/queue
 	$(GO) test -run=NONE -fuzz FuzzDeliveryStateReadFrom -fuzztime 10s ./internal/delivery
 	$(GO) test -run=NONE -fuzz FuzzAuditRecords -fuzztime 10s ./internal/audit
+	$(GO) test -run=NONE -fuzz FuzzBenchReport -fuzztime 10s ./internal/benchfmt

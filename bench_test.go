@@ -355,6 +355,34 @@ func BenchmarkE11RecoveryReplay(b *testing.B) {
 	b.ReportMetric(float64(events)/perOp, "replayed-events/s")
 }
 
+// BenchmarkE2EDetectionLatency measures real wall-clock detection latency
+// through the full cluster: event publish → candidate batch reaching the
+// delivery tier, with no simulated queue delay. This is the process's own
+// queueing and scheduling cost — the number the trajectory harness tracks
+// as trajectory.detect_latency_p50/p99 — and complements E2, which
+// measures only the graph-query half.
+func BenchmarkE2EDetectionLatency(b *testing.B) {
+	static, stream := benchWorkload(b)
+	clu, err := motifstream.NewCluster(static, motifstream.ClusterOptions{
+		Partitions: 4, K: 3, Window: 10 * time.Minute,
+		MaxInfluencers: 200, MaxFanout: 64, DisableSleepHours: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := clu.Publish(stream[i%len(stream)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	clu.Stop() // drains consumers; every published event has been detected
+	st := clu.Stats()
+	b.ReportMetric(float64(st.DetectLatencyP50.Nanoseconds()), "detect-p50-ns")
+	b.ReportMetric(float64(st.DetectLatencyP99.Nanoseconds()), "detect-p99-ns")
+}
+
 // BenchmarkCheckpointPause measures the apply-loop pause of a checkpoint
 // cut — the synchronous capture only; encode and fsync run on the async
 // writer. "full" is the old pipeline's cost (capture the entire partition

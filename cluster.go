@@ -261,6 +261,11 @@ type ClusterStats struct {
 	// LatencyP50 and LatencyP99 are end-to-end (edge creation → push)
 	// latency quantiles including simulated queue propagation.
 	LatencyP50, LatencyP99 time.Duration
+	// DetectLatencyP50 and DetectLatencyP99 are wall-clock quantiles from
+	// an event's publish to its candidates reaching the delivery tier —
+	// the process's real queueing and scheduling, with no simulated delay.
+	// Replayed (recovery) events are excluded.
+	DetectLatencyP50, DetectLatencyP99 time.Duration
 	// Funnel breaks down candidate drops by pipeline stage.
 	Funnel FunnelStats
 	// Checkpoints counts durable replica checkpoint segments written;
@@ -311,6 +316,8 @@ func (c *Cluster) Stats() ClusterStats {
 		Delivered:             s.Delivered,
 		LatencyP50:            s.E2ELatency.P50,
 		LatencyP99:            s.E2ELatency.P99,
+		DetectLatencyP50:      s.DetectLatency.P50,
+		DetectLatencyP99:      s.DetectLatency.P99,
 		Funnel:                s.Funnel,
 		Checkpoints:           s.Checkpoints,
 		Restores:              s.Restores,

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"motifstream/internal/benchfmt"
 	"motifstream/internal/broker"
 	"motifstream/internal/cluster"
 	"motifstream/internal/dynstore"
@@ -20,7 +21,7 @@ import (
 // for both fault tolerance and increased query throughput." Read
 // throughput should scale with replicas, and killing a replica must not
 // interrupt service.
-func runE9(c runConfig) {
+func runE9(c runConfig) []benchfmt.Metric {
 	users, avgFollows, events := workloadSizes(c.quick)
 	if !c.quick {
 		events = 60_000
@@ -59,6 +60,7 @@ func runE9(c runConfig) {
 	// servers with finite capacity). capacityReplica models that: one
 	// request at a time per replica, with a fixed per-read service time.
 	fmt.Println("  (a) broker read throughput vs replicas (32 readers, 500µs service time/replica)")
+	var out []benchfmt.Metric
 	tb := newTable("replicas", "reads/s", "scaling vs 1 replica")
 	var base float64
 	for _, replicas := range []int{1, 2, 3} {
@@ -103,6 +105,10 @@ func runE9(c runConfig) {
 			base = rate
 		}
 		tb.addf("%d|%.0f|%.2fx", replicas, rate, rate/base)
+		if replicas == 3 {
+			out = append(out, benchfmt.Metric{Name: "e9.read_scaling_r3", Value: rate / base,
+				Unit: "x", Better: benchfmt.HigherIsBetter})
+		}
 	}
 	tb.print()
 
@@ -139,13 +145,14 @@ func runE9(c runConfig) {
 	fmt.Println("  both replicas failed: reads error out as expected ✔")
 	fmt.Println("  expected shape: read throughput grows with replica count; single-replica")
 	fmt.Println("  failure is invisible to clients.")
+	return out
 }
 
 // runE10 verifies the declarative path of §3: a DSL-compiled diamond must
 // produce byte-for-byte the same candidates as the hand-coded program, at
 // negligible runtime overhead (compilation happens once, off the hot
 // path).
-func runE10(c runConfig) {
+func runE10(c runConfig) []benchfmt.Metric {
 	users, avgFollows, events := workloadSizes(c.quick)
 	static := cachedGraph(users, avgFollows)
 	stream := cachedStream(users, events)
@@ -214,6 +221,9 @@ motif "dsl-diamond" {
 	overhead := 100 * (dslTime.Seconds() - handTime.Seconds()) / handTime.Seconds()
 	fmt.Printf("  runtime overhead of the declarative path: %+.1f%% (compile-once, same engine)\n", overhead)
 	fmt.Println("  expected shape: identical candidates; overhead within noise.")
+	return []benchfmt.Metric{
+		{Name: "e10.dsl_overhead_pct", Value: overhead, Unit: "%"},
+	}
 }
 
 // capacityReplica wraps a replica with a per-server capacity model: one

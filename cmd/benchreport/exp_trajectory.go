@@ -1,0 +1,215 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"motifstream/internal/benchfmt"
+	"motifstream/internal/cluster"
+	"motifstream/internal/delivery"
+	"motifstream/internal/dynstore"
+	"motifstream/internal/motif"
+)
+
+// The pinned trajectory deployment shape. docs/BENCHMARKS.md documents the
+// full workload (seeds 1/7, sizes from workloadSizes); changing any of it
+// renames the workload and breaks comparability on purpose.
+const (
+	trajectoryPartitions = 4
+	trajectoryReplicas   = 2
+	// trajectoryCkptInterval is stream time between checkpoint cuts. The
+	// pinned stream spans ~20s of stream time at the design rate, so 2s
+	// yields ~10 cuts per replica — enough cut-pause samples for a p99.
+	trajectoryCkptInterval = 2 * time.Second
+)
+
+// Latency-like trajectory metrics get a more generous tolerance than the
+// CLI default: wall-clock quantiles on shared CI hosts are far noisier
+// than throughput, and the gate is a catastrophe detector, not a
+// microbenchmark.
+const latencyTol = 2.0
+
+// The cut-pause p99 is the noisiest of all: with ~10 cuts per replica it
+// is effectively the max over a few dozen samples, and a single fsync
+// stall on a shared-disk CI host moves it 20x. The regression it exists
+// to catch — cuts degrading from delta capture back to full-state capture
+// — is a 100-1000x move, so the band can be this wide and still bite.
+const cutPauseTol = 25.0
+
+// newTrajectoryCluster builds the pinned durable deployment: 4 partitions
+// x 2 replicas, checkpointing on, suppression-free delivery so the
+// delivered count is deterministic and comparable across runs.
+func newTrajectoryCluster(c runConfig, dir string) (*cluster.Cluster, error) {
+	users, avgFollows, _ := workloadSizes(c.quick)
+	static := cachedGraph(users, avgFollows)
+	return cluster.New(cluster.Config{
+		Partitions:     trajectoryPartitions,
+		Replicas:       trajectoryReplicas,
+		StaticEdges:    static,
+		MaxInfluencers: 200,
+		Dynamic:        dynstore.Options{Retention: 10 * time.Minute, MaxPerTarget: 1024},
+		NewPrograms: func() []motif.Program {
+			return []motif.Program{motif.NewDiamond(motif.DiamondConfig{
+				K: 3, Window: 10 * time.Minute, MaxFanout: 64,
+			})}
+		},
+		Delivery: delivery.Options{
+			SleepStartHour:   delivery.SleepDisabled,
+			SleepEndHour:     delivery.SleepDisabled,
+			MaxPerUserPerDay: 1 << 30,
+		},
+		Seed:               1,
+		CheckpointDir:      dir,
+		CheckpointInterval: trajectoryCkptInterval,
+	})
+}
+
+// runT1 measures the trajectory's steady-state point: sustained ingest
+// throughput and real wall-clock detection latency (event publish →
+// candidate batch at the delivery tier) on the pinned workload, plus the
+// checkpoint cut-pause p99 the ingest path paid while doing it.
+func runT1(c runConfig) []benchfmt.Metric {
+	users, _, events := workloadSizes(c.quick)
+	stream := cachedStream(users, events)
+	dir, err := os.MkdirTemp("", "trajectory-t1-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	clu, err := newTrajectoryCluster(c, dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clu.Start()
+	wall := cluster.Elapsed(func() {
+		for _, e := range stream {
+			if err := clu.Publish(e); err != nil {
+				log.Fatal(err)
+			}
+		}
+		clu.Stop() // the drain is part of sustained throughput
+	})
+	st := clu.Stats()
+	eps := float64(len(stream)) / wall.Seconds()
+
+	tb := newTable("metric", "value")
+	tb.addf("ingest throughput|%.0f events/s (%.1fx the 10^4/s target)", eps, eps/1e4)
+	tb.addf("detection latency p50 (wall)|%v", st.DetectLatency.P50.Round(10*time.Microsecond))
+	tb.addf("detection latency p99 (wall)|%v", st.DetectLatency.P99.Round(10*time.Microsecond))
+	tb.addf("checkpoint cut pause p99|%v", st.CutPause.P99.Round(time.Microsecond))
+	tb.addf("delivered pushes|%d", st.Delivered)
+	tb.print()
+	fmt.Println("  expected shape: ingest comfortably above 10^4/s; detection latency is")
+	fmt.Println("  pure process queueing (ms-scale), dwarfed by E2's simulated queue hops.")
+
+	return []benchfmt.Metric{
+		{Name: "trajectory.ingest_events_per_sec", Value: eps, Unit: "events/s", Better: benchfmt.HigherIsBetter},
+		{Name: "trajectory.detect_latency_p50_ns", Value: float64(st.DetectLatency.P50), Unit: "ns", Better: benchfmt.LowerIsBetter, Tolerance: latencyTol},
+		{Name: "trajectory.detect_latency_p99_ns", Value: float64(st.DetectLatency.P99), Unit: "ns", Better: benchfmt.LowerIsBetter, Tolerance: latencyTol},
+		{Name: "trajectory.cut_pause_p99_ns", Value: float64(st.CutPause.P99), Unit: "ns", Better: benchfmt.LowerIsBetter, Tolerance: cutPauseTol},
+		{Name: "trajectory.delivered", Value: float64(st.Delivered), Unit: "count"},
+	}
+}
+
+// runT2 measures crash-recovery replay rate: after the pinned stream is
+// ingested, one replica is killed and restored; the rate is the ingested
+// event count over the kill→live wall time — how fast a rejoining replica
+// chews through checkpoint restore plus log replay.
+func runT2(c runConfig) []benchfmt.Metric {
+	users, _, events := workloadSizes(c.quick)
+	stream := cachedStream(users, events)
+	dir, err := os.MkdirTemp("", "trajectory-t2-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	clu, err := newTrajectoryCluster(c, dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer clu.Stop()
+	clu.Start()
+	for _, e := range stream {
+		if err := clu.Publish(e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Average over a few cycles: a single restore's wall time is dominated
+	// by scheduler jitter at this scale.
+	const cycles = 3
+	wall := cluster.Elapsed(func() {
+		for i := 0; i < cycles; i++ {
+			if err := clu.KillReplica(0, 1); err != nil {
+				log.Fatal(err)
+			}
+			if err := clu.RestoreReplica(0, 1); err != nil {
+				log.Fatal(err)
+			}
+			if err := clu.AwaitReplicaLive(0, 1, 5*time.Minute); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	perRestore := wall / cycles
+	rate := float64(len(stream)) / perRestore.Seconds()
+
+	tb := newTable("metric", "value")
+	tb.addf("events replayed per restore|%d", len(stream))
+	tb.addf("restore wall time (mean of %d)|%v", cycles, perRestore.Round(time.Millisecond))
+	tb.addf("recovery replay rate|%.0f events/s", rate)
+	tb.print()
+	fmt.Println("  expected shape: replay rate within an order of magnitude of ingest —")
+	fmt.Println("  recovery re-runs detection, it does not redo candidate delivery.")
+
+	return []benchfmt.Metric{
+		{Name: "trajectory.recovery_replay_events_per_sec", Value: rate, Unit: "events/s", Better: benchfmt.HigherIsBetter},
+	}
+}
+
+// runT3 measures elastic reprovision latency: replacing a replica's node
+// wholesale (fresh directory, rebuilt from the partition's base pool plus
+// log replay) until the newcomer serves reads.
+func runT3(c runConfig) []benchfmt.Metric {
+	users, _, events := workloadSizes(c.quick)
+	stream := cachedStream(users, events)
+	dir, err := os.MkdirTemp("", "trajectory-t3-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	clu, err := newTrajectoryCluster(c, dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer clu.Stop()
+	clu.Start()
+	for _, e := range stream {
+		if err := clu.Publish(e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	const cycles = 3
+	wall := cluster.Elapsed(func() {
+		for i := 0; i < cycles; i++ {
+			if err := clu.ReprovisionReplica(0, 1); err != nil {
+				log.Fatal(err)
+			}
+			if err := clu.AwaitReplicaLive(0, 1, 5*time.Minute); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	perOp := wall / cycles
+
+	tb := newTable("metric", "value")
+	tb.addf("reprovision latency (mean of %d)|%v", cycles, perOp.Round(time.Millisecond))
+	tb.print()
+	fmt.Println("  expected shape: same order as a restore (T2) — the newcomer rebuilds")
+	fmt.Println("  from the base pool instead of its own chain, then replays the same log.")
+
+	return []benchfmt.Metric{
+		{Name: "trajectory.reprovision_latency_ns", Value: float64(perOp), Unit: "ns", Better: benchfmt.LowerIsBetter, Tolerance: latencyTol},
+	}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"motifstream/internal/graph"
+	"motifstream/internal/stream"
+	"motifstream/internal/workload"
+)
+
+// TestWriteEdgesRoundTrip pins the contract between loadgen and every
+// consumer of its files: what writeEdges puts on disk, stream.ReadEdges
+// must reproduce field-for-field. A property run over several seeds
+// guards the varint delta encoding against workload shapes a single
+// fixture would miss (timestamp plateaus, bursts, ID jumps).
+func TestWriteEdgesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, seed := range []int64{1, 7, 42, 1000003} {
+		scfg := workload.StreamConfig{
+			Users: 200, Events: 3_000, Rate: 10_000,
+			BurstFraction: 0.35, BurstMeanSize: 12, BurstWindow: 10 * time.Minute,
+			ContentFraction: 0.25, ZipfS: 1.35, Seed: seed,
+		}
+		want := workload.GenEventStream(scfg)
+		path := filepath.Join(dir, "stream.edges")
+		if err := writeEdges(path, want); err != nil {
+			t.Fatalf("seed %d: write: %v", seed, err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := stream.ReadEdges(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("seed %d: read: %v", seed, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: round trip lost events: wrote %d, read %d", seed, len(want), len(got))
+		}
+		content := 0
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: edge %d round-tripped as %+v, wrote %+v", seed, i, got[i], want[i])
+			}
+			if i > 0 && got[i].TS < got[i-1].TS {
+				t.Fatalf("seed %d: timestamps regress at %d: %d after %d", seed, i, got[i].TS, got[i-1].TS)
+			}
+			if got[i].Type == graph.Retweet || got[i].Type == graph.Favorite {
+				content++
+			}
+		}
+		// The generator draws content events at ContentFraction; the read
+		// back stream must show that mix (3000 draws: ±5 points is lax).
+		if frac := float64(content) / float64(len(got)); frac < 0.20 || frac > 0.30 {
+			t.Fatalf("seed %d: content fraction %.3f, want ~0.25", seed, frac)
+		}
+	}
+}
+
+// TestWriteEdgesStaticRoundTrip covers the other artifact loadgen emits:
+// the static follow graph, which has constant timestamps (all-zero
+// deltas) unlike the stream.
+func TestWriteEdgesStaticRoundTrip(t *testing.T) {
+	static := workload.GenFollowGraph(workload.GraphConfig{
+		Users: 300, AvgFollows: 10, ZipfS: 1.35, Seed: 9,
+	})
+	path := filepath.Join(t.TempDir(), "static.edges")
+	if err := writeEdges(path, static); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := stream.ReadEdges(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(static) {
+		t.Fatalf("wrote %d edges, read %d", len(static), len(got))
+	}
+	for i := range got {
+		if got[i] != static[i] {
+			t.Fatalf("edge %d round-tripped as %+v, wrote %+v", i, got[i], static[i])
+		}
+	}
+}
+
+// TestWriteEdgesCreatesParents would be wrong: writeEdges requires the
+// directory to exist (main MkdirAlls it); a missing parent must surface
+// as an error, not a silent no-op.
+func TestWriteEdgesMissingDirErrors(t *testing.T) {
+	err := writeEdges(filepath.Join(t.TempDir(), "no", "such", "dir", "x.edges"), nil)
+	if err == nil {
+		t.Fatal("writeEdges into a missing directory succeeded")
+	}
+}

@@ -1,0 +1,567 @@
+// Command soak drives a durable cluster under sustained ingest while
+// continuously injecting the full fault menu — replica kills and
+// restores, node reprovisions, scale-out/scale-in, and whole-process
+// restarts (Shutdown + Reopen over the same durable directories) — for a
+// wall-clock budget, then proves the run changed nothing observable:
+//
+//   - the delivered notification multiset must equal a no-fault oracle
+//     run over the same event stream (exactly-once, no loss, no dupes);
+//   - every recorded state fingerprint must agree across replicas
+//     (bit-identical recoverable state at every audited offset);
+//   - the firehose log must have truncated (compaction keeps disk
+//     bounded under churn);
+//   - goroutine count and heap must not grow monotonically across waves
+//     (no leaked workers or state across kill/reopen cycles).
+//
+// The process exits nonzero on the first violated invariant, so it can
+// gate CI directly. Where the in-repo crash matrix probes each fault at
+// surgically chosen pipeline stages, soak asks the complementary
+// question: does the same machinery hold up under minutes of arbitrary
+// interleaving?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"motifstream/internal/cluster"
+	"motifstream/internal/delivery"
+	"motifstream/internal/dynstore"
+	"motifstream/internal/graph"
+	"motifstream/internal/motif"
+)
+
+func main() {
+	dur := flag.Duration("dur", 2*time.Minute, "wall-clock churn budget before the final verification phase")
+	seed := flag.Int64("seed", 1, "workload seed (same seed + same ops = same delivered set)")
+	users := flag.Int("users", 48, "ring-graph population")
+	wave := flag.Int("wave", 50, "motif completions published per churn wave")
+	flag.Parse()
+
+	log.SetFlags(log.Ltime)
+	if err := run(*dur, *seed, *users, *wave); err != nil {
+		log.Fatalf("soak: FAIL: %v", err)
+	}
+	fmt.Println("soak: PASS")
+}
+
+// noteKey identifies one delivered notification for multiset comparison.
+type noteKey struct {
+	user, item graph.VertexID
+}
+
+// collectNotes wires a mutex-guarded notification recorder into cfg and
+// returns a snapshot function.
+func collectNotes(cfg *cluster.Config) func() map[noteKey]int {
+	var mu sync.Mutex
+	got := map[noteKey]int{}
+	cfg.OnNotify = func(n delivery.Notification) {
+		mu.Lock()
+		got[noteKey{n.Candidate.User, n.Candidate.Item}]++
+		mu.Unlock()
+	}
+	return func() map[noteKey]int {
+		mu.Lock()
+		defer mu.Unlock()
+		out := make(map[noteKey]int, len(got))
+		for k, v := range got {
+			out[k] = v
+		}
+		return out
+	}
+}
+
+// ringStatic wires users 0..n-1 so each follows the next two; motifs can
+// complete for A's in every partition.
+func ringStatic(n int) []graph.Edge {
+	var static []graph.Edge
+	for a := graph.VertexID(0); a < graph.VertexID(n); a++ {
+		static = append(static,
+			graph.Edge{Src: a, Dst: (a + 1) % graph.VertexID(n)},
+			graph.Edge{Src: a, Dst: (a + 2) % graph.VertexID(n)},
+		)
+	}
+	return static
+}
+
+// waveGen emits a seeded stream in waves: each step has two consecutive
+// ring members follow a fresh target, completing a K=2 diamond. Stream
+// time advances 3s per step so checkpoint cuts and retention sweeps keep
+// firing throughout the run, and the global step counter keeps targets
+// unique and timestamps monotonic across waves and restarts.
+type waveGen struct {
+	r     *rand.Rand
+	users int
+	step  int
+}
+
+func newWaveGen(seed int64, users int) *waveGen {
+	return &waveGen{r: rand.New(rand.NewSource(seed)), users: users}
+}
+
+func (g *waveGen) wave(steps int) []graph.Edge {
+	const t0 = int64(10_000_000)
+	out := make([]graph.Edge, 0, 2*steps)
+	for i := 0; i < steps; i++ {
+		b1 := graph.VertexID(g.r.Intn(g.users))
+		b2 := (b1 + 1) % graph.VertexID(g.users)
+		target := graph.VertexID(100_000 + g.step)
+		ts := t0 + int64(g.step)*3_000
+		out = append(out,
+			graph.Edge{Src: b1, Dst: target, Type: graph.Follow, TS: ts},
+			graph.Edge{Src: b2, Dst: target, Type: graph.Follow, TS: ts + 1},
+		)
+		g.step++
+	}
+	return out
+}
+
+// soakCfg is the durable deployment under test: checkpoints, a durable
+// firehose log with tiny segments (so restarts exercise WAL rotation and
+// truncation within minutes), one mirrored base per partition (so
+// reprovision always has a pool to rebuild from), the fingerprint audit
+// on, and a suppression-free deterministic delivery pipeline — the
+// delivered multiset depends only on the event stream, never on faults.
+func soakCfg(root string, seed int64, static []graph.Edge) cluster.Config {
+	return cluster.Config{
+		Partitions:  2,
+		Replicas:    2,
+		StaticEdges: static,
+		Dynamic:     dynstore.Options{Retention: time.Hour},
+		NewPrograms: func() []motif.Program {
+			return []motif.Program{motif.NewDiamond(motif.DiamondConfig{K: 2, Window: 10 * time.Minute})}
+		},
+		Seed:               seed,
+		CheckpointDir:      filepath.Join(root, "ckpt"),
+		CheckpointInterval: 3 * time.Second, // stream time: a cut per step
+		CompactEvery:       2,               // fold chains constantly
+		Audit:              true,
+		LogDir:             filepath.Join(root, "log"),
+		LogSegmentBytes:    16 << 10,
+		LogSyncEvery:       64,
+		MirrorBases:        1,
+		Delivery: delivery.Options{
+			SleepStartHour: 1, SleepEndHour: 1, // equal = suppression off
+			MaxPerUserPerDay: 1 << 30,
+			TimezoneOf:       func(graph.VertexID) int { return 0 },
+		},
+	}
+}
+
+const awaitTimeout = 30 * time.Second
+
+// soak owns the cluster under churn. A restart replaces the Cluster
+// value wholesale, so every op goes through s.c.
+type soak struct {
+	cfg        cluster.Config
+	c          *cluster.Cluster
+	gen        *waveGen
+	waveSteps  int
+	published  []graph.Edge
+	notes      func() map[noteKey]int
+	goroutines []int
+	heaps      []uint64
+	waves      int
+}
+
+func (s *soak) publishWave() error {
+	w := s.gen.wave(s.waveSteps)
+	for _, e := range w {
+		if err := s.c.Publish(e); err != nil {
+			return fmt.Errorf("publish: %w", err)
+		}
+	}
+	s.published = append(s.published, w...)
+	return nil
+}
+
+func (s *soak) killAll(idx int) error {
+	for pid := 0; pid < s.cfg.Partitions; pid++ {
+		if err := s.c.KillReplica(pid, idx); err != nil {
+			return fmt.Errorf("kill %d/%d: %w", pid, idx, err)
+		}
+	}
+	return nil
+}
+
+func (s *soak) restoreAll(idx int) error {
+	for pid := 0; pid < s.cfg.Partitions; pid++ {
+		if err := s.c.RestoreReplica(pid, idx); err != nil {
+			return fmt.Errorf("restore %d/%d: %w", pid, idx, err)
+		}
+	}
+	return nil
+}
+
+func (s *soak) awaitAll(idx int) error {
+	for pid := 0; pid < s.cfg.Partitions; pid++ {
+		if err := s.c.AwaitReplicaLive(pid, idx, awaitTimeout); err != nil {
+			return fmt.Errorf("await %d/%d: %w", pid, idx, err)
+		}
+	}
+	return nil
+}
+
+func (s *soak) reprovisionAll(idx int) error {
+	for pid := 0; pid < s.cfg.Partitions; pid++ {
+		if err := s.c.ReprovisionReplica(pid, idx); err != nil {
+			return fmt.Errorf("reprovision %d/%d: %w", pid, idx, err)
+		}
+	}
+	return nil
+}
+
+// addAll scales every partition out by one replica and returns the (per
+// the placement contract, common) new index.
+func (s *soak) addAll() (int, error) {
+	idx := -1
+	for pid := 0; pid < s.cfg.Partitions; pid++ {
+		got, err := s.c.AddReplica(pid)
+		if err != nil {
+			return -1, fmt.Errorf("add replica to %d: %w", pid, err)
+		}
+		if idx == -1 {
+			idx = got
+		} else if got != idx {
+			return -1, fmt.Errorf("AddReplica index skew: partition %d got %d, earlier got %d", pid, got, idx)
+		}
+	}
+	return idx, nil
+}
+
+func (s *soak) decommissionAll(idx int) error {
+	for pid := 0; pid < s.cfg.Partitions; pid++ {
+		if err := s.c.DecommissionReplica(pid, idx); err != nil {
+			return fmt.Errorf("decommission %d/%d: %w", pid, idx, err)
+		}
+	}
+	return nil
+}
+
+// restart is the cross-process boundary: graceful shutdown, then a
+// brand-new Cluster over the same durable directories.
+func (s *soak) restart() error {
+	s.c.Shutdown()
+	c, err := cluster.Reopen(s.cfg)
+	if err != nil {
+		return fmt.Errorf("reopen: %w", err)
+	}
+	s.c = c
+	return nil
+}
+
+// waitForTruncation keeps publishing until the firehose compaction
+// horizon has advanced past zero — proof disk use stays bounded under
+// churn. The checkpoint writers drive truncation off stream time, so
+// the wait must feed the stream rather than idle.
+func (s *soak) waitForTruncation() error {
+	deadline := time.Now().Add(awaitTimeout)
+	for s.c.Stats().LogTruncatedBelow == 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("firehose log never truncated (published %d events)", len(s.published))
+		}
+		if err := s.publishWave(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sample records post-wave steady-state resource usage. Goroutine counts
+// are taken with the topology back at rest (every op awaits live before
+// the wave ends), so a leak shows as monotonic growth across samples.
+func (s *soak) sample() {
+	s.goroutines = append(s.goroutines, runtime.NumGoroutine())
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.heaps = append(s.heaps, ms.HeapAlloc)
+}
+
+// checkWave asserts the invariants that must hold mid-run, after every
+// wave: the pipeline's own fingerprint cross-checks found nothing.
+func (s *soak) checkWave() error {
+	if n := s.c.Stats().AuditMismatches; n != 0 {
+		return fmt.Errorf("wave %d: pipeline detected %d fingerprint mismatches", s.waves, n)
+	}
+	return nil
+}
+
+// ops is the churn menu, cycled for the duration budget. Each op leaves
+// the cluster fully live so samples compare like with like.
+func (s *soak) ops() []struct {
+	name string
+	fn   func() error
+} {
+	return []struct {
+		name string
+		fn   func() error
+	}{
+		{"kill r1, ingest while dead, restore", func() error {
+			if err := s.killAll(1); err != nil {
+				return err
+			}
+			if err := s.publishWave(); err != nil {
+				return err
+			}
+			if err := s.restoreAll(1); err != nil {
+				return err
+			}
+			return s.awaitAll(1)
+		}},
+		{"reprovision r1 under ingest", func() error {
+			if err := s.publishWave(); err != nil {
+				return err
+			}
+			if err := s.reprovisionAll(1); err != nil {
+				return err
+			}
+			return s.awaitAll(1)
+		}},
+		{"scale out, ingest, scale back in", func() error {
+			idx, err := s.addAll()
+			if err != nil {
+				return err
+			}
+			if err := s.publishWave(); err != nil {
+				return err
+			}
+			if err := s.awaitAll(idx); err != nil {
+				return err
+			}
+			return s.decommissionAll(idx)
+		}},
+		{"whole-process restart", func() error {
+			if err := s.restart(); err != nil {
+				return err
+			}
+			return s.publishWave()
+		}},
+		{"kill r0 (emitter), ingest, restore", func() error {
+			if err := s.killAll(0); err != nil {
+				return err
+			}
+			if err := s.publishWave(); err != nil {
+				return err
+			}
+			if err := s.restoreAll(0); err != nil {
+				return err
+			}
+			return s.awaitAll(0)
+		}},
+		{"ingest and verify log truncation", func() error {
+			if err := s.publishWave(); err != nil {
+				return err
+			}
+			return s.waitForTruncation()
+		}},
+	}
+}
+
+// finish restores anything left dead, drains the cluster, and runs the
+// full fingerprint audit: every replica of every partition must have
+// recorded bit-identical state at every audited offset.
+func (s *soak) finish() error {
+	for pid := 0; pid < s.cfg.Partitions; pid++ {
+		for r := 0; r < s.c.Replicas(pid); r++ {
+			if state, _ := s.c.ReplicaState(pid, r); state == "dead" {
+				if err := s.c.RestoreReplica(pid, r); err != nil {
+					return fmt.Errorf("final restore %d/%d: %w", pid, r, err)
+				}
+			}
+		}
+	}
+	s.c.Shutdown()
+	for pid := 0; pid < s.cfg.Partitions; pid++ {
+		for r := 0; r < s.c.Replicas(pid); r++ {
+			if state, _ := s.c.ReplicaState(pid, r); state != "live" && state != "removed" {
+				return fmt.Errorf("replica %d/%d state %q after drain, want live", pid, r, state)
+			}
+		}
+	}
+	records := 0
+	for pid := 0; pid < s.cfg.Partitions; pid++ {
+		rep, err := s.c.VerifyFingerprints(pid)
+		if err != nil {
+			return fmt.Errorf("VerifyFingerprints(%d): %w", pid, err)
+		}
+		if len(rep.Mismatches) > 0 {
+			return fmt.Errorf("partition %d: state fingerprint mismatches: %+v", pid, rep.Mismatches)
+		}
+		records += rep.Records
+	}
+	if records == 0 {
+		return fmt.Errorf("vacuous: audit enabled but no fingerprints recorded")
+	}
+	if n := s.c.Stats().AuditMismatches; n != 0 {
+		return fmt.Errorf("pipeline detected %d fingerprint mismatches", n)
+	}
+	return nil
+}
+
+// checkGoroutines fails on monotonic growth: once warmed up, the low
+// watermark of the final waves must not sit above the whole early range.
+// A fixed slack absorbs scheduler and finalizer jitter; a real leak (one
+// worker per kill/restore cycle, say) clears it within a few waves.
+func checkGoroutines(samples []int) error {
+	const warmup, window, slack = 2, 3, 16
+	if len(samples) < warmup+2*window {
+		return nil // too short a run to call it a trend
+	}
+	early := samples[warmup : warmup+window]
+	late := samples[len(samples)-window:]
+	earlyMax, lateMin := early[0], late[0]
+	for _, v := range early {
+		if v > earlyMax {
+			earlyMax = v
+		}
+	}
+	for _, v := range late {
+		if v < lateMin {
+			lateMin = v
+		}
+	}
+	if lateMin > earlyMax+slack {
+		return fmt.Errorf("goroutines grew monotonically: early max %d, late min %d (samples %v)",
+			earlyMax, lateMin, samples)
+	}
+	return nil
+}
+
+// checkHeap fails on egregious post-GC heap growth. The workload keeps
+// every published edge in the dynamic store (retention exceeds the run),
+// so the heap legitimately grows with the stream; the bound is a
+// generous multiple over the warmed-up baseline that a per-wave leak of
+// cluster-sized state would still blow through.
+func checkHeap(samples []uint64) error {
+	const warmup = 2
+	if len(samples) <= warmup {
+		return nil
+	}
+	base := samples[warmup]
+	if base < 32<<20 {
+		base = 32 << 20
+	}
+	if last := samples[len(samples)-1]; last > 4*base {
+		return fmt.Errorf("heap grew from %d to %d bytes post-GC (>4x warmed-up baseline)", samples[warmup], last)
+	}
+	return nil
+}
+
+// oracle replays every published edge through a fresh no-fault cluster
+// of the same shape and returns its delivered multiset.
+func oracle(root string, seed int64, static []graph.Edge, published []graph.Edge) (map[noteKey]int, error) {
+	cfg := soakCfg(root, seed, static)
+	snapshot := collectNotes(&cfg)
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: %w", err)
+	}
+	c.Start()
+	for _, e := range published {
+		if err := c.Publish(e); err != nil {
+			return nil, fmt.Errorf("oracle publish: %w", err)
+		}
+	}
+	c.Stop()
+	return snapshot(), nil
+}
+
+// compareNotes fails unless the churn run delivered exactly the oracle
+// multiset.
+func compareNotes(want, got map[noteKey]int) error {
+	if len(want) == 0 {
+		return fmt.Errorf("vacuous: oracle run delivered nothing")
+	}
+	for k, n := range want {
+		if got[k] != n {
+			return fmt.Errorf("notification %v delivered %d times under churn, %d in oracle", k, got[k], n)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			return fmt.Errorf("churn run delivered %v, oracle did not", k)
+		}
+	}
+	return nil
+}
+
+func run(dur time.Duration, seed int64, users, wave int) error {
+	root, err := os.MkdirTemp("", "soak-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	static := ringStatic(users)
+	s := &soak{
+		cfg:       soakCfg(filepath.Join(root, "churn"), seed, static),
+		gen:       newWaveGen(seed, users),
+		waveSteps: wave,
+	}
+	s.notes = collectNotes(&s.cfg)
+	c, err := cluster.New(s.cfg)
+	if err != nil {
+		return err
+	}
+	c.Start()
+	s.c = c
+
+	log.Printf("churn phase: %v budget, %d users, %d completions/wave", dur, users, wave)
+	ops := s.ops()
+	deadline := time.Now().Add(dur)
+	for time.Now().Before(deadline) {
+		op := ops[s.waves%len(ops)]
+		start := time.Now()
+		if err := op.fn(); err != nil {
+			return fmt.Errorf("wave %d (%s): %w", s.waves, op.name, err)
+		}
+		if err := s.checkWave(); err != nil {
+			return err
+		}
+		s.sample()
+		s.waves++
+		log.Printf("wave %3d  %-40s %6s  %d events  %d goroutines",
+			s.waves, op.name, time.Since(start).Round(time.Millisecond), len(s.published),
+			s.goroutines[len(s.goroutines)-1])
+	}
+	if s.waves < len(ops) {
+		return fmt.Errorf("only %d waves in %v: every op must run at least once (raise -dur)", s.waves, dur)
+	}
+
+	log.Printf("verification phase: %d waves, %d events published", s.waves, len(s.published))
+	if err := s.finish(); err != nil {
+		return err
+	}
+	// Counters reset at each whole-process restart, so these cover the
+	// final incarnation only; the delivered-set oracle below covers the
+	// whole run.
+	st := s.c.Stats()
+	log.Printf("fingerprint audit clean (%d audit records since last restart)", st.AuditRecords)
+
+	want, err := oracle(filepath.Join(root, "oracle"), seed, static, s.published)
+	if err != nil {
+		return err
+	}
+	if err := compareNotes(want, s.notes()); err != nil {
+		return err
+	}
+	log.Printf("oracle equivalence: %d distinct notifications match exactly", len(want))
+
+	if err := checkGoroutines(s.goroutines); err != nil {
+		return err
+	}
+	if err := checkHeap(s.heaps); err != nil {
+		return err
+	}
+	log.Printf("resource check: goroutines %v, heap %d -> %d bytes",
+		s.goroutines, s.heaps[0], s.heaps[len(s.heaps)-1])
+	return nil
+}

@@ -1,0 +1,216 @@
+// Package benchfmt defines the versioned BENCH_<date>.json artifact that
+// records the system's performance trajectory across PRs, and the
+// comparator that turns two artifacts into per-metric deltas and
+// regression verdicts.
+//
+// Every perf claim the repo makes — events/s ingested, end-to-end
+// detection latency, recovery replay rate, checkpoint cut pause,
+// reprovision latency — is emitted by cmd/benchreport as a Report on a
+// pinned synthetic workload, written to bench/BENCH_<date>.json, and
+// compared against the newest committed artifact. A regression beyond the
+// per-metric tolerance fails the build, so "faster" and "no slower" are
+// provable rather than asserted in commit messages. docs/BENCHMARKS.md
+// documents the schema, the pinned workload, and the runbook.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion is the artifact format version. Readers refuse artifacts
+// with a different major version rather than guessing: a trajectory that
+// silently compared incompatible measurements would be worse than none.
+const SchemaVersion = 1
+
+// Direction states which way a metric improves.
+type Direction string
+
+const (
+	// HigherIsBetter marks throughput-like metrics (events/s).
+	HigherIsBetter Direction = "higher"
+	// LowerIsBetter marks latency-like metrics (p99, pause, bytes).
+	LowerIsBetter Direction = "lower"
+)
+
+// Metric is one measured value.
+type Metric struct {
+	// Name is the stable metric identifier, dotted by subsystem, e.g.
+	// "trajectory.ingest_events_per_sec". Comparisons join on it.
+	Name string `json:"name"`
+	// Value is the measurement in Unit.
+	Value float64 `json:"value"`
+	// Unit is the human-readable unit ("events/s", "ns", "bytes", "x").
+	Unit string `json:"unit"`
+	// Better states which direction improves; empty means the metric is
+	// informational and never produces a regression verdict.
+	Better Direction `json:"better,omitempty"`
+	// Tolerance overrides the comparator's default relative tolerance for
+	// this metric (0.25 = a 25% move against Better is a regression).
+	// Zero means use the default.
+	Tolerance float64 `json:"tolerance,omitempty"`
+}
+
+// Workload pins the synthetic workload a report was measured on. Two
+// reports are only comparable when their workloads match; the comparator
+// flags a mismatch instead of producing meaningless deltas.
+type Workload struct {
+	Name       string `json:"name"`
+	Seed       int64  `json:"seed"`
+	Users      int    `json:"users"`
+	AvgFollows int    `json:"avg_follows"`
+	Events     int    `json:"events"`
+	Partitions int    `json:"partitions"`
+	Replicas   int    `json:"replicas"`
+}
+
+// Report is one point on the benchmark trajectory.
+type Report struct {
+	// Schema is the artifact format version (SchemaVersion at write time).
+	Schema int `json:"schema"`
+	// Date is the measurement date, YYYY-MM-DD. It names the artifact.
+	Date string `json:"date"`
+	// Commit is the VCS revision the binary was built from, when known.
+	Commit string `json:"commit,omitempty"`
+	// GoVersion records the toolchain; host performance context.
+	GoVersion string `json:"go_version,omitempty"`
+	// Host is "GOOS/GOARCH/<ncpu>cpu" — absolute numbers are only
+	// comparable within one host class, and the comparator's generous
+	// default tolerance exists exactly because CI hosts vary.
+	Host string `json:"host,omitempty"`
+	// Workload pins the synthetic workload measured.
+	Workload Workload `json:"workload"`
+	// Metrics are the measurements, sorted by name at write time.
+	Metrics []Metric `json:"metrics"`
+}
+
+// ErrSchema is returned (wrapped) when an artifact's schema version does
+// not match SchemaVersion.
+var ErrSchema = fmt.Errorf("benchfmt: unsupported schema version")
+
+// maxArtifactBytes bounds decoding: a trajectory artifact is a few KiB; a
+// multi-megabyte one is damage, not data.
+const maxArtifactBytes = 8 << 20
+
+// Decode reads one Report from r, validating the schema version.
+func Decode(r io.Reader) (*Report, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxArtifactBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("benchfmt: read: %w", err)
+	}
+	if len(data) > maxArtifactBytes {
+		return nil, fmt.Errorf("benchfmt: artifact exceeds %d bytes", maxArtifactBytes)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("benchfmt: decode: %w", err)
+	}
+	if rep.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrSchema, rep.Schema, SchemaVersion)
+	}
+	for i, m := range rep.Metrics {
+		if m.Name == "" {
+			return nil, fmt.Errorf("benchfmt: metric %d has no name", i)
+		}
+		switch m.Better {
+		case "", HigherIsBetter, LowerIsBetter:
+		default:
+			return nil, fmt.Errorf("benchfmt: metric %q: bad direction %q", m.Name, m.Better)
+		}
+		if m.Tolerance < 0 {
+			return nil, fmt.Errorf("benchfmt: metric %q: negative tolerance", m.Name)
+		}
+	}
+	return &rep, nil
+}
+
+// Encode writes the report as indented JSON, metrics sorted by name so
+// committed artifacts diff cleanly.
+func (r *Report) Encode(w io.Writer) error {
+	r.Schema = SchemaVersion
+	sort.Slice(r.Metrics, func(i, j int) bool { return r.Metrics[i].Name < r.Metrics[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadFile loads an artifact from disk.
+func ReadFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// WriteFile atomically writes the artifact (tmp + rename), so a crashed
+// run never leaves a torn trajectory point behind.
+func (r *Report) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := r.Encode(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Lookup returns the named metric, or false.
+func (r *Report) Lookup(name string) (Metric, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// ArtifactName returns the conventional file name for a trajectory point
+// measured on the given date (YYYY-MM-DD).
+func ArtifactName(date string) string { return "BENCH_" + date + ".json" }
+
+// LatestArtifact returns the lexically newest BENCH_*.json in dir — the
+// date-stamped naming makes lexical order chronological — or "" when the
+// directory holds none (a missing directory counts as empty: the first
+// trajectory point has no prior).
+func LatestArtifact(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return "", nil
+	}
+	if err != nil {
+		return "", err
+	}
+	newest := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		if name > newest {
+			newest = name
+		}
+	}
+	if newest == "" {
+		return "", nil
+	}
+	return filepath.Join(dir, newest), nil
+}

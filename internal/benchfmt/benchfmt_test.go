@@ -1,0 +1,152 @@
+package benchfmt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Schema:    SchemaVersion,
+		Date:      "2026-08-08",
+		Commit:    "abc1234",
+		GoVersion: "go1.22.0",
+		Host:      "linux/amd64/8cpu",
+		Workload: Workload{
+			Name: "trajectory-v1", Seed: 1, Users: 20_000, AvgFollows: 30,
+			Events: 200_000, Partitions: 4, Replicas: 2,
+		},
+		// Sorted by name, matching Encode's canonical order.
+		Metrics: []Metric{
+			{Name: "trajectory.delivered", Value: 1234, Unit: "count"},
+			{Name: "trajectory.detect_latency_p99_ns", Value: 1.5e9, Unit: "ns", Better: LowerIsBetter},
+			{Name: "trajectory.ingest_events_per_sec", Value: 31000, Unit: "events/s", Better: HigherIsBetter},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	var buf bytes.Buffer
+	if err := rep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, rep)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, ArtifactName("2026-08-08"))
+	rep := sampleReport()
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Fatal("file round trip mismatch")
+	}
+	// The atomic write leaves no tmp litter.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir has %d entries, want 1", len(entries))
+	}
+}
+
+// TestGoldenArtifact pins the on-disk schema: if the JSON shape changes,
+// this golden file must be regenerated deliberately (and SchemaVersion
+// bumped if the change is incompatible), not silently.
+func TestGoldenArtifact(t *testing.T) {
+	golden := filepath.Join("testdata", "BENCH_golden.json")
+	rep, err := ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden artifact unreadable: %v", err)
+	}
+	if !reflect.DeepEqual(rep, sampleReport()) {
+		t.Fatalf("golden decode mismatch:\n got %+v\nwant %+v", rep, sampleReport())
+	}
+	// And byte-for-byte stability of the encoder.
+	var buf bytes.Buffer
+	if err := rep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("encoder output drifted from golden:\n got %s\nwant %s", buf.Bytes(), want)
+	}
+}
+
+func TestDecodeRejectsWrongSchema(t *testing.T) {
+	for _, schema := range []string{"0", "2", "999"} {
+		in := `{"schema": ` + schema + `, "date": "2026-01-01", "metrics": []}`
+		if _, err := Decode(strings.NewReader(in)); !errors.Is(err, ErrSchema) {
+			t.Fatalf("schema %s: err = %v, want ErrSchema", schema, err)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":           "}{",
+		"nameless metric":    `{"schema":1,"metrics":[{"value":1}]}`,
+		"bad direction":      `{"schema":1,"metrics":[{"name":"x","better":"sideways"}]}`,
+		"negative tolerance": `{"schema":1,"metrics":[{"name":"x","tolerance":-0.5}]}`,
+	}
+	for name, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: decode accepted %q", name, in)
+		}
+	}
+}
+
+func TestLatestArtifact(t *testing.T) {
+	dir := t.TempDir()
+	// Missing or empty directory: no prior, no error.
+	if p, err := LatestArtifact(filepath.Join(dir, "nope")); err != nil || p != "" {
+		t.Fatalf("missing dir: (%q, %v)", p, err)
+	}
+	if p, err := LatestArtifact(dir); err != nil || p != "" {
+		t.Fatalf("empty dir: (%q, %v)", p, err)
+	}
+	for _, name := range []string{"BENCH_2026-01-05.json", "BENCH_2025-12-31.json", "notes.md", "BENCH_bad.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := LatestArtifact(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "BENCH_2026-01-05.json" {
+		t.Fatalf("latest = %q", p)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	rep := sampleReport()
+	if m, ok := rep.Lookup("trajectory.delivered"); !ok || m.Value != 1234 {
+		t.Fatalf("Lookup = %+v, %v", m, ok)
+	}
+	if _, ok := rep.Lookup("missing"); ok {
+		t.Fatal("Lookup found a missing metric")
+	}
+}

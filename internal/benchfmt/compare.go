@@ -1,0 +1,171 @@
+package benchfmt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Verdict classifies one metric's movement between two trajectory points.
+type Verdict string
+
+const (
+	// VerdictImproved: the metric moved in its Better direction by more
+	// than the tolerance.
+	VerdictImproved Verdict = "improved"
+	// VerdictWithin: the movement is inside the tolerance band (noise).
+	VerdictWithin Verdict = "within"
+	// VerdictRegressed: the metric moved against its Better direction by
+	// more than the tolerance. Comparisons with any regression gate CI.
+	VerdictRegressed Verdict = "regressed"
+	// VerdictAdded: the metric exists only in the current report.
+	VerdictAdded Verdict = "added"
+	// VerdictRemoved: the metric exists only in the prior report. Not a
+	// regression by itself, but surfaced so a silently dropped measurement
+	// cannot masquerade as "nothing got worse".
+	VerdictRemoved Verdict = "removed"
+	// VerdictInfo: the metric carries no Better direction; the delta is
+	// reported but never judged.
+	VerdictInfo Verdict = "info"
+)
+
+// Delta is one metric's comparison across two reports.
+type Delta struct {
+	Name string
+	Unit string
+	// Prev and Cur are the two values; meaningless for added/removed.
+	Prev, Cur float64
+	// Change is the relative movement (Cur-Prev)/Prev; +0.10 means the
+	// value rose 10%. Zero when Prev is zero.
+	Change float64
+	// Tolerance is the band actually applied.
+	Tolerance float64
+	Verdict   Verdict
+}
+
+// Comparison is the full result of comparing two trajectory points.
+type Comparison struct {
+	Deltas []Delta
+	// WorkloadMismatch is set when the two reports measured different
+	// pinned workloads; deltas are still produced but the comparison
+	// cannot gate (apples to oranges).
+	WorkloadMismatch bool
+}
+
+// Regressions returns the deltas whose verdict is VerdictRegressed.
+func (c Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Verdict == VerdictRegressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Ok reports whether the comparison can gate a build and found no
+// regression. A workload mismatch is not ok: the gate would be vacuous.
+func (c Comparison) Ok() bool {
+	return !c.WorkloadMismatch && len(c.Regressions()) == 0
+}
+
+// Compare joins prev and cur on metric name and classifies every
+// movement. defaultTol is the relative tolerance applied when a metric
+// carries none of its own; the current report's per-metric Tolerance (or,
+// failing that, the prior's) wins. Tolerances are deliberately generous
+// in CI — the trajectory gate is a catastrophe detector across hosts, not
+// a microbenchmark.
+func Compare(prev, cur *Report, defaultTol float64) Comparison {
+	var c Comparison
+	if prev.Workload != cur.Workload {
+		c.WorkloadMismatch = true
+	}
+	prevBy := make(map[string]Metric, len(prev.Metrics))
+	for _, m := range prev.Metrics {
+		prevBy[m.Name] = m
+	}
+	seen := make(map[string]bool, len(cur.Metrics))
+	for _, m := range cur.Metrics {
+		seen[m.Name] = true
+		pm, ok := prevBy[m.Name]
+		if !ok {
+			c.Deltas = append(c.Deltas, Delta{Name: m.Name, Unit: m.Unit, Cur: m.Value, Verdict: VerdictAdded})
+			continue
+		}
+		tol := m.Tolerance
+		if tol == 0 {
+			tol = pm.Tolerance
+		}
+		if tol == 0 {
+			tol = defaultTol
+		}
+		d := Delta{Name: m.Name, Unit: m.Unit, Prev: pm.Value, Cur: m.Value, Tolerance: tol}
+		if pm.Value != 0 {
+			d.Change = (m.Value - pm.Value) / pm.Value
+		}
+		d.Verdict = classify(m.Better, d.Change, tol)
+		c.Deltas = append(c.Deltas, d)
+	}
+	for _, m := range prev.Metrics {
+		if !seen[m.Name] {
+			c.Deltas = append(c.Deltas, Delta{Name: m.Name, Unit: m.Unit, Prev: m.Value, Verdict: VerdictRemoved})
+		}
+	}
+	return c
+}
+
+// classify turns a relative change into a verdict given the metric's
+// improvement direction and tolerance.
+func classify(better Direction, change, tol float64) Verdict {
+	switch better {
+	case HigherIsBetter:
+		if change < -tol {
+			return VerdictRegressed
+		}
+		if change > tol {
+			return VerdictImproved
+		}
+		return VerdictWithin
+	case LowerIsBetter:
+		if change > tol {
+			return VerdictRegressed
+		}
+		if change < -tol {
+			return VerdictImproved
+		}
+		return VerdictWithin
+	default:
+		return VerdictInfo
+	}
+}
+
+// Format renders the comparison as an aligned text table, one metric per
+// line, regression lines marked so they stand out in CI logs.
+func (c Comparison) Format() string {
+	var sb strings.Builder
+	if c.WorkloadMismatch {
+		sb.WriteString("!! workload mismatch: deltas are not comparable\n")
+	}
+	nameW := len("metric")
+	for _, d := range c.Deltas {
+		if len(d.Name) > nameW {
+			nameW = len(d.Name)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s  %14s  %14s  %8s  %s\n", nameW, "metric", "prev", "cur", "change", "verdict")
+	for _, d := range c.Deltas {
+		mark := "  "
+		if d.Verdict == VerdictRegressed {
+			mark = "!!"
+		}
+		switch d.Verdict {
+		case VerdictAdded:
+			fmt.Fprintf(&sb, "%-*s  %14s  %14.4g  %8s  %s added\n", nameW, d.Name, "-", d.Cur, "-", mark)
+		case VerdictRemoved:
+			fmt.Fprintf(&sb, "%-*s  %14.4g  %14s  %8s  %s removed\n", nameW, d.Name, d.Prev, "-", "-", mark)
+		default:
+			fmt.Fprintf(&sb, "%-*s  %14.4g  %14.4g  %+7.1f%%  %s %s (tol ±%.0f%%)\n",
+				nameW, d.Name, d.Prev, d.Cur, 100*d.Change, mark, d.Verdict, 100*d.Tolerance)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,163 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkReport builds a minimal report over one pinned workload.
+func mkReport(metrics ...Metric) *Report {
+	return &Report{
+		Schema:   SchemaVersion,
+		Date:     "2026-08-08",
+		Workload: Workload{Name: "trajectory-v1", Seed: 1, Users: 100, Events: 1000, Partitions: 2, Replicas: 2},
+		Metrics:  metrics,
+	}
+}
+
+func deltaFor(t *testing.T, c Comparison, name string) Delta {
+	t.Helper()
+	for _, d := range c.Deltas {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %q in %+v", name, c.Deltas)
+	return Delta{}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	prev := mkReport(
+		Metric{Name: "tput", Value: 1000, Better: HigherIsBetter},
+		Metric{Name: "lat", Value: 100, Better: LowerIsBetter},
+		Metric{Name: "info", Value: 5},
+		Metric{Name: "gone", Value: 1, Better: LowerIsBetter},
+	)
+	cases := []struct {
+		name string
+		cur  Metric
+		want Verdict
+	}{
+		{"throughput collapse regresses", Metric{Name: "tput", Value: 400, Better: HigherIsBetter}, VerdictRegressed},
+		{"throughput noise is within", Metric{Name: "tput", Value: 900, Better: HigherIsBetter}, VerdictWithin},
+		{"throughput jump improves", Metric{Name: "tput", Value: 2000, Better: HigherIsBetter}, VerdictImproved},
+		{"latency spike regresses", Metric{Name: "lat", Value: 300, Better: LowerIsBetter}, VerdictRegressed},
+		{"latency noise is within", Metric{Name: "lat", Value: 110, Better: LowerIsBetter}, VerdictWithin},
+		{"latency drop improves", Metric{Name: "lat", Value: 30, Better: LowerIsBetter}, VerdictImproved},
+		{"directionless is info", Metric{Name: "info", Value: 500}, VerdictInfo},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Compare(prev, mkReport(tc.cur), 0.25)
+			if got := deltaFor(t, c, tc.cur.Name).Verdict; got != tc.want {
+				t.Fatalf("verdict = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompareAddedRemoved(t *testing.T) {
+	prev := mkReport(Metric{Name: "gone", Value: 1, Better: LowerIsBetter})
+	cur := mkReport(Metric{Name: "fresh", Value: 2, Better: HigherIsBetter})
+	c := Compare(prev, cur, 0.25)
+	if got := deltaFor(t, c, "fresh").Verdict; got != VerdictAdded {
+		t.Fatalf("fresh verdict = %q", got)
+	}
+	if got := deltaFor(t, c, "gone").Verdict; got != VerdictRemoved {
+		t.Fatalf("gone verdict = %q", got)
+	}
+	// Added/removed are surfaced but are not regressions.
+	if !c.Ok() {
+		t.Fatal("added/removed alone should not fail the gate")
+	}
+}
+
+// TestCompareToleranceMath pins the band edges: a move of exactly the
+// tolerance is within; epsilon past it flips the verdict.
+func TestCompareToleranceMath(t *testing.T) {
+	prev := mkReport(Metric{Name: "lat", Value: 1000, Better: LowerIsBetter})
+	within := Compare(prev, mkReport(Metric{Name: "lat", Value: 1250, Better: LowerIsBetter}), 0.25)
+	if got := deltaFor(t, within, "lat").Verdict; got != VerdictWithin {
+		t.Fatalf("exactly-at-tolerance verdict = %q, want within", got)
+	}
+	past := Compare(prev, mkReport(Metric{Name: "lat", Value: 1251, Better: LowerIsBetter}), 0.25)
+	if got := deltaFor(t, past, "lat").Verdict; got != VerdictRegressed {
+		t.Fatalf("past-tolerance verdict = %q, want regressed", got)
+	}
+}
+
+// TestComparePerMetricTolerance: a metric's own tolerance overrides the
+// default, current report first, then the prior's.
+func TestComparePerMetricTolerance(t *testing.T) {
+	prev := mkReport(Metric{Name: "m", Value: 100, Better: LowerIsBetter, Tolerance: 0.5})
+	// +40% regresses under the default 0.25 but the metric carries 0.5.
+	c := Compare(prev, mkReport(Metric{Name: "m", Value: 140, Better: LowerIsBetter}), 0.25)
+	d := deltaFor(t, c, "m")
+	if d.Verdict != VerdictWithin || d.Tolerance != 0.5 {
+		t.Fatalf("delta = %+v, want within at tol 0.5", d)
+	}
+	// The current report's tolerance wins over the prior's.
+	c = Compare(prev, mkReport(Metric{Name: "m", Value: 140, Better: LowerIsBetter, Tolerance: 0.1}), 0.25)
+	d = deltaFor(t, c, "m")
+	if d.Verdict != VerdictRegressed || d.Tolerance != 0.1 {
+		t.Fatalf("delta = %+v, want regressed at tol 0.1", d)
+	}
+}
+
+func TestCompareZeroPrev(t *testing.T) {
+	prev := mkReport(Metric{Name: "m", Value: 0, Better: HigherIsBetter})
+	c := Compare(prev, mkReport(Metric{Name: "m", Value: 100, Better: HigherIsBetter}), 0.25)
+	d := deltaFor(t, c, "m")
+	// Change is undefined against a zero prior; the verdict must not be a
+	// regression (and must not divide by zero).
+	if d.Verdict == VerdictRegressed {
+		t.Fatalf("zero-prev verdict = %q", d.Verdict)
+	}
+}
+
+func TestCompareWorkloadMismatch(t *testing.T) {
+	prev := mkReport(Metric{Name: "m", Value: 100, Better: HigherIsBetter})
+	cur := mkReport(Metric{Name: "m", Value: 100, Better: HigherIsBetter})
+	cur.Workload.Events = 999
+	c := Compare(prev, cur, 0.25)
+	if !c.WorkloadMismatch || c.Ok() {
+		t.Fatalf("mismatched workloads must not gate ok: %+v", c)
+	}
+}
+
+// TestCompareGateCatchesInjectedRegression is the acceptance-criteria
+// scenario end to end: take a real trajectory report, inject a synthetic
+// regression (halve throughput, triple a latency), and the comparison
+// must gate with those exact metrics listed.
+func TestCompareGateCatchesInjectedRegression(t *testing.T) {
+	prev := mkReport(
+		Metric{Name: "trajectory.ingest_events_per_sec", Value: 30000, Unit: "events/s", Better: HigherIsBetter},
+		Metric{Name: "trajectory.cut_pause_p99_ns", Value: 1e6, Unit: "ns", Better: LowerIsBetter},
+		Metric{Name: "trajectory.recovery_replay_events_per_sec", Value: 25000, Unit: "events/s", Better: HigherIsBetter},
+	)
+	cur := mkReport(
+		Metric{Name: "trajectory.ingest_events_per_sec", Value: 15000, Unit: "events/s", Better: HigherIsBetter},
+		Metric{Name: "trajectory.cut_pause_p99_ns", Value: 3e6, Unit: "ns", Better: LowerIsBetter},
+		Metric{Name: "trajectory.recovery_replay_events_per_sec", Value: 24000, Unit: "events/s", Better: HigherIsBetter},
+	)
+	c := Compare(prev, cur, 0.4)
+	if c.Ok() {
+		t.Fatal("injected regression passed the gate")
+	}
+	regs := c.Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want ingest + cut pause", regs)
+	}
+	names := map[string]bool{}
+	for _, d := range regs {
+		names[d.Name] = true
+	}
+	if !names["trajectory.ingest_events_per_sec"] || !names["trajectory.cut_pause_p99_ns"] {
+		t.Fatalf("wrong regressions flagged: %v", names)
+	}
+	// And the rendering marks them for CI logs.
+	out := c.Format()
+	if !strings.Contains(out, "!! regressed") {
+		t.Fatalf("Format lacks regression marker:\n%s", out)
+	}
+}

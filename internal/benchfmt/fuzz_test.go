@@ -1,0 +1,47 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzBenchReport fuzzes the artifact decoder: arbitrary bytes must never
+// panic, and anything that decodes must re-encode and decode back to an
+// equal report (the decoder defines the format; the encoder must stay
+// inside it).
+func FuzzBenchReport(f *testing.F) {
+	var seed bytes.Buffer
+	if err := sampleReport().Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(`{"schema":1,"date":"2026-01-01","metrics":[]}`))
+	f.Add([]byte(`{"schema":1,"metrics":[{"name":"m","value":1,"better":"higher","tolerance":0.5}]}`))
+	f.Add([]byte(`{"schema":2}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := rep.Encode(&buf); err != nil {
+			t.Fatalf("decoded report failed to encode: %v", err)
+		}
+		first := buf.String()
+		again, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded report failed to decode: %v\n%s", err, first)
+		}
+		// Encode sorts metrics, so compare via the canonical encoding.
+		var buf2 bytes.Buffer
+		if err := again.Encode(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if first != buf2.String() {
+			t.Fatalf("canonical encoding unstable:\n%s\nvs\n%s",
+				strings.TrimSpace(first), strings.TrimSpace(buf2.String()))
+		}
+	})
+}

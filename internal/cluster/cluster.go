@@ -293,6 +293,7 @@ type Cluster struct {
 
 	reg                   *metrics.Registry
 	e2eLatency            *metrics.Histogram
+	detectLatency         *metrics.Histogram
 	cutPause              *metrics.Histogram
 	ingested              *metrics.Counter
 	delivered             *metrics.Counter
@@ -351,10 +352,14 @@ type Cluster struct {
 // candidateMsg is one event's worth of candidates from one replica: the
 // group it came from and the firehose offset of the triggering event, so
 // the delivery consumer can collapse the replicas' redundant emissions to
-// exactly one batch per event per group.
+// exactly one batch per event per group. pubNS carries the triggering
+// event's wall-clock publish time (zero for replayed events), letting the
+// delivery tier measure real end-to-end detection latency alongside the
+// virtual-delay model.
 type candidateMsg struct {
 	pid    int
 	offset uint64
+	pubNS  int64
 	cands  []motif.Candidate
 }
 
@@ -449,6 +454,7 @@ func New(cfg Config) (c *Cluster, err error) {
 		}),
 		pipeline:              delivery.NewPipeline(cfg.Delivery),
 		e2eLatency:            reg.Histogram("cluster.e2e_latency"),
+		detectLatency:         reg.Histogram("cluster.detect_latency_wall"),
 		cutPause:              reg.Histogram("cluster.checkpoint_cut_pause"),
 		ingested:              reg.Counter("cluster.events"),
 		delivered:             reg.Counter("cluster.delivered"),
@@ -778,7 +784,7 @@ func (c *Cluster) applyEnvelope(slot *replicaSlot, env queue.Envelope[graph.Edge
 	// closed candidates topic only happens during shutdown races; drop
 	// silently then.
 	if len(cands) > 0 && state != replicaDead {
-		msg := candidateMsg{pid: slot.pid, offset: env.Offset, cands: cands}
+		msg := candidateMsg{pid: slot.pid, offset: env.Offset, pubNS: env.PubUnixNS, cands: cands}
 		if c.candidates.Publish(msg, env.VirtualDelay) != nil {
 			return false
 		}
@@ -871,6 +877,16 @@ func (c *Cluster) runDelivery(sub <-chan queue.Envelope[candidateMsg]) {
 			continue // another replica's copy already covered this event
 		}
 		nextOffset[env.Msg.pid] = env.Msg.offset + 1
+		// Wall-clock detection latency, measured once per accepted batch:
+		// first publish of the triggering event to the moment its candidates
+		// reach the delivery tier. Replayed events carry pubNS zero and are
+		// excluded — recovery lag is the replay-rate metric's job, not this
+		// one's.
+		if env.Msg.pubNS > 0 {
+			if d := time.Duration(time.Now().UnixNano() - env.Msg.pubNS); d >= 0 {
+				c.detectLatency.Observe(d)
+			}
+		}
 		for _, cand := range env.Msg.cands {
 			decision, note := c.pipeline.Offer(cand, env.VirtualDelay)
 			if decision != delivery.Delivered {
@@ -1079,7 +1095,12 @@ type Stats struct {
 	// async writer (encode and fsync themselves happen off-loop).
 	CutPause   metrics.Snapshot
 	E2ELatency metrics.Snapshot
-	Funnel     delivery.FunnelStats
+	// DetectLatency is the wall-clock distribution from an event's first
+	// publish to its candidate batch reaching the delivery tier. Unlike
+	// E2ELatency (the simulated virtual-delay model), this measures the
+	// process's real scheduling and queueing; replayed events are excluded.
+	DetectLatency metrics.Snapshot
+	Funnel        delivery.FunnelStats
 }
 
 // Stats returns current cluster totals.
@@ -1103,6 +1124,7 @@ func (c *Cluster) Stats() Stats {
 		LogTruncatedBelow:     c.firehose.LogStart(),
 		CutPause:              c.cutPause.Snapshot(),
 		E2ELatency:            c.e2eLatency.Snapshot(),
+		DetectLatency:         c.detectLatency.Snapshot(),
 		Funnel:                c.pipeline.Stats(),
 	}
 }

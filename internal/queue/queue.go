@@ -33,11 +33,15 @@ import (
 // downstream stages add it to processing time to compute end-to-end latency
 // without sleeping. Offset is the message's position in the topic's publish
 // sequence; consumers that checkpoint their progress record it so a
-// restarted consumer can resume with SubscribeFrom.
+// restarted consumer can resume with SubscribeFrom. PubUnixNS is the
+// wall-clock time (UnixNano) the message was first published; replayed
+// envelopes carry zero so recovery traffic never pollutes wall-clock
+// latency measurements with replay lag.
 type Envelope[T any] struct {
 	Msg          T
 	VirtualDelay time.Duration
 	Offset       uint64
+	PubUnixNS    int64
 }
 
 // ErrClosed is returned by Publish after Close.
@@ -454,12 +458,15 @@ func (t *Topic[T]) Publish(msg T, carried time.Duration) error {
 
 // fanOut sends one envelope per subscriber, each with an independently
 // sampled hop delay; a subscriber mid-Unsubscribe is skipped via done.
+// Every copy is stamped with the same publish wall-clock time, taken once.
 func (t *Topic[T]) fanOut(subs []*subscriber[T], msg T, carried time.Duration, off uint64) {
+	now := time.Now().UnixNano()
 	for _, s := range subs {
 		env := Envelope[T]{
 			Msg:          msg,
 			VirtualDelay: carried + t.rng.sample(t.delay),
 			Offset:       off,
+			PubUnixNS:    now,
 		}
 		select {
 		case s.ch <- env:
