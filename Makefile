@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test test-race test-crashmatrix test-delivery test-elasticity test-audit soak-flake soak bench bench-smoke bench-trajectory fuzz fuzz-smoke
+.PHONY: check build vet test test-race test-crashmatrix test-delivery test-elasticity test-audit test-parallel soak-flake soak bench bench-smoke bench-trajectory fuzz fuzz-smoke
 
 # check is the CI gate: formatting, static analysis, the full test suite
 # under the race detector (test-delivery's and test-elasticity's cases
 # run within it, and are also kept as named targets for the quick loop),
-# and short fuzz smoke runs of the durability codecs.
-check: fmt-check vet test-race test-delivery test-elasticity test-audit fuzz-smoke
+# the batched/parallel hot-path equivalence suite, and short fuzz smoke
+# runs of the durability codecs.
+check: fmt-check vet test-race test-delivery test-elasticity test-audit test-parallel fuzz-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
@@ -51,6 +52,15 @@ test-audit:
 	$(GO) test -race -run 'TestComposePathsFingerprintEqual' ./internal/partition
 	$(GO) test -race -run 'TestFlakeHuntScaleOutKillOriginal|TestMirrorOnlySurvivor' ./internal/cluster
 
+# test-parallel runs the batched/parallel detection hot path's suite
+# under the race detector: sequential-equivalence properties (delivered
+# multiset + state fingerprints across batch sizes, worker counts, and
+# GOMAXPROCS), the checkpoint-clock clamp, engine batch equivalence, and
+# the allocation-budget gates — the quick loop for hot-path work.
+test-parallel:
+	$(GO) test -race -run 'TestParallelApply|TestCkptClock|TestCheckpointClockOutlier|TestApplyBatch|TestLatencyMetricSplit' ./internal/cluster ./internal/core
+	$(GO) test -run 'ZeroAlloc|TestApplyBatchAllocBudget' ./internal/graph ./internal/core
+
 # soak-flake is the nightly soak of the once-flaky scale-out scenario
 # (the zombie-cut bug): 200 consecutive runs, any recurrence fails.
 soak-flake:
@@ -72,7 +82,7 @@ bench:
 # run.
 bench-smoke:
 	@set -e; for pkg in $$($(GO) list ./...); do \
-		$(GO) test -run=NONE -bench 'Checkpoint|Recovery|Snapshot|Reprovision|E2EDetectionLatency' -benchtime=1x -count=1 $$pkg; \
+		$(GO) test -run=NONE -bench 'Checkpoint|Recovery|Snapshot|Reprovision|E2EDetectionLatency|ApplyBatch' -benchtime=1x -count=1 $$pkg; \
 	done
 
 # bench-trajectory is the measurement run: the pinned trajectory workload

@@ -92,6 +92,18 @@ type ClusterOptions struct {
 	// dead longer than this is automatically re-provisioned onto a fresh
 	// node (ReprovisionReplica). Zero disables. Requires CheckpointDir.
 	HealAfter time.Duration
+	// ApplyBatch, when > 1, turns on the batched detection hot path: each
+	// replica drains its firehose subscription into batches of up to this
+	// many envelopes, amortizing lock acquisition and metric updates, and
+	// publishes candidates / cuts checkpoints through an ordered-commit
+	// stage that preserves exact sequential semantics (see
+	// docs/DURABILITY.md, "Ordering invariants under batched apply").
+	// Zero or one keeps per-envelope apply.
+	ApplyBatch int
+	// ApplyWorkers fans candidate generation for a batch across this many
+	// goroutines, sharded by target vertex. Zero or one keeps detection
+	// on the consumer goroutine. Ignored unless ApplyBatch > 1.
+	ApplyWorkers int
 	// Audit enables the detection-state fingerprint audit: every
 	// checkpoint cut records a CRC32C fingerprint of the replica's full
 	// recoverable state, recovery compositions are cross-checked against
@@ -193,6 +205,8 @@ func NewCluster(staticEdges []Edge, opts ClusterOptions) (*Cluster, error) {
 		LogDir:             opts.LogDir,
 		LogSyncEvery:       opts.LogSyncEvery,
 		MirrorBases:        opts.MirrorBases,
+		ApplyBatch:         opts.ApplyBatch,
+		ApplyWorkers:       opts.ApplyWorkers,
 		Audit:              opts.Audit,
 	})
 	if err != nil {
@@ -300,6 +314,13 @@ type ClusterStats struct {
 	// that installed one, keeping a (user, item) pair pushed before the
 	// restart suppressed after it.
 	DeliveryStateCuts, DeliveryStateRestores uint64
+	// ApplyBatches counts batches applied through the batched detection
+	// hot path; ApplyBatchMean and ApplyBatchP99 summarize how many
+	// envelopes each batch actually carried (bounded by
+	// ClusterOptions.ApplyBatch; small values mean the consumer is
+	// keeping up and draining shallow). All zero without ApplyBatch > 1.
+	ApplyBatches                  uint64
+	ApplyBatchMean, ApplyBatchP99 float64
 	// AuditRecords counts state fingerprints recorded by the audit layer;
 	// AuditMismatches counts fingerprint disagreements the pipeline
 	// detected (compaction self-checks, recovery cross-checks, go-live
@@ -332,6 +353,9 @@ func (c *Cluster) Stats() ClusterStats {
 		ScaleIns:              s.ScaleIns,
 		DeliveryStateCuts:     s.DeliveryStateCuts,
 		DeliveryStateRestores: s.DeliveryStateRestores,
+		ApplyBatches:          s.ApplyBatches,
+		ApplyBatchMean:        float64(s.ApplyBatchSize.Mean),
+		ApplyBatchP99:         float64(s.ApplyBatchSize.P99),
 		AuditRecords:          s.AuditRecords,
 		AuditMismatches:       s.AuditMismatches,
 	}

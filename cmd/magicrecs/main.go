@@ -53,6 +53,8 @@ func main() {
 		scaleN     = flag.Int("scale-events", 0, "perform N live scale events mid-stream, alternating AddReplica and DecommissionReplica on every partition (requires -checkpointdir)")
 		healAfter  = flag.Duration("healafter", 0, "auto-reprovision replicas dead longer than this (auto-healer; 0 disables)")
 		auditOn    = flag.Bool("audit", false, "record a CRC32C state fingerprint at every checkpoint cut and cross-verify replicas after the run (requires -checkpointdir)")
+		batchN     = flag.Int("applybatch", 0, "batched detection hot path: drain up to N envelopes per apply batch (0/1 = per-envelope apply)")
+		workersN   = flag.Int("applyworkers", 0, "worker goroutines for candidate generation per batch, sharded by target (0/1 = consumer goroutine; needs -applybatch > 1)")
 	)
 	flag.Parse()
 
@@ -92,6 +94,8 @@ func main() {
 		LogDir:                 *logDir,
 		MirrorBases:            *mirrorN,
 		HealAfter:              *healAfter,
+		ApplyBatch:             *batchN,
+		ApplyWorkers:           *workersN,
 		Audit:                  *auditOn,
 	}
 	clu, err := motifstream.NewCluster(static, opts)
@@ -202,6 +206,10 @@ func main() {
 			s.DeliveryStateCuts, s.DeliveryStateRestores)
 		fmt.Printf("placement:   %d reprovisions (%d auto-healed), %d base mirrors, %d pool restores, %d scale-outs, %d scale-ins, %d fsyncs saved\n",
 			s.Reprovisions, s.Healed, s.BaseMirrors, s.BasePoolRestores, s.ScaleOuts, s.ScaleIns, s.FsyncsSaved)
+	}
+	if s.ApplyBatches > 0 {
+		fmt.Printf("batching:    %d apply batches (mean %.1f / p99 %.0f envelopes per batch, bound %d, %d workers)\n",
+			s.ApplyBatches, s.ApplyBatchMean, s.ApplyBatchP99, *batchN, *workersN)
 	}
 	if *auditOn {
 		// Cross-verify the recorded per-cut fingerprints of every

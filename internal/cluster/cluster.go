@@ -129,6 +129,24 @@ type Config struct {
 	Delivery delivery.Options
 	// Buffer sizes the queue channels; 0 selects 4096.
 	Buffer int
+	// ApplyBatch, when > 1, switches each replica consumer to the batched
+	// hot path: it drains its subscription into bounded batches of up to
+	// this many envelopes, runs candidate generation for the whole batch
+	// (fanned across ApplyWorkers), then republishes candidates and cuts
+	// checkpoints in offset order through an ordered commit stage. Batch
+	// boundaries are forced wherever the sequential path would sweep D or
+	// cut a checkpoint, so recoverable state and delivered notifications
+	// are byte-identical to ApplyBatch == 1 (see docs/DURABILITY.md,
+	// "Ordering invariants under batched apply"). 0 or 1 selects the
+	// envelope-at-a-time path.
+	ApplyBatch int
+	// ApplyWorkers bounds the per-replica worker pool for in-batch
+	// candidate generation. Envelopes are sharded by edge target — same
+	// target, same worker, offset order within a worker — which preserves
+	// exact sequential semantics because motif programs only read D at the
+	// triggering edge's target. 0 or 1 runs detection inline on the
+	// consumer goroutine. Ignored unless ApplyBatch > 1.
+	ApplyWorkers int
 	// Seed seeds the delay samplers.
 	Seed int64
 	// Metrics receives cluster instrumentation; nil creates a private one.
@@ -231,8 +249,10 @@ type replicaSlot struct {
 	// target is the firehose offset the replica must reach to leave
 	// replaying; meaningful only while state == replicaReplaying.
 	target uint64
-	// lastCkptTS is the stream time of the newest checkpoint cut.
-	lastCkptTS int64
+	// clock is the replica's checkpoint stream clock (see ckptClock). Only
+	// the consumer goroutine advances it; lifecycle operations reset it
+	// while no consumer is running.
+	clock ckptClock
 
 	// writer is the replica's async checkpoint persistence goroutine; nil
 	// before Start, while dead, and on clusters without recovery. Only
@@ -295,6 +315,8 @@ type Cluster struct {
 	e2eLatency            *metrics.Histogram
 	detectLatency         *metrics.Histogram
 	cutPause              *metrics.Histogram
+	batchSize             *metrics.Histogram
+	applyBatches          *metrics.Counter
 	ingested              *metrics.Counter
 	delivered             *metrics.Counter
 	checkpoints           *metrics.Counter
@@ -456,6 +478,8 @@ func New(cfg Config) (c *Cluster, err error) {
 		e2eLatency:            reg.Histogram("cluster.e2e_latency"),
 		detectLatency:         reg.Histogram("cluster.detect_latency_wall"),
 		cutPause:              reg.Histogram("cluster.checkpoint_cut_pause"),
+		batchSize:             reg.Histogram("cluster.apply_batch_size"),
+		applyBatches:          reg.Counter("cluster.apply_batches"),
 		ingested:              reg.Counter("cluster.events"),
 		delivered:             reg.Counter("cluster.delivered"),
 		checkpoints:           reg.Counter("cluster.checkpoints"),
@@ -738,10 +762,15 @@ func (c *Cluster) Start() {
 
 // runReplica consumes the replica's subscription — live from Start, or
 // replay-then-live from RestoreReplica — until the topic closes or
-// KillReplica pulls the plug.
+// KillReplica pulls the plug. With Config.ApplyBatch > 1 it runs the
+// batched hot path (parallel.go) instead of envelope-at-a-time.
 func (c *Cluster) runReplica(slot *replicaSlot) {
 	defer c.wg.Done()
 	defer close(slot.stopped)
+	if c.cfg.ApplyBatch > 1 {
+		c.consumeBatched(slot)
+		return
+	}
 	for {
 		select {
 		case <-slot.quit:
@@ -791,14 +820,7 @@ func (c *Cluster) applyEnvelope(slot *replicaSlot, env queue.Envelope[graph.Edge
 	}
 
 	if c.ckptEveryMS > 0 && state != replicaDead {
-		if slot.lastCkptTS == 0 {
-			// First envelope after Start or a restore: seed the clock so a
-			// full checkpoint interval elapses before the first cut —
-			// stream timestamps are absolute, and `TS - 0` would otherwise
-			// trip an immediate (and, after a restore, redundant) cut.
-			slot.lastCkptTS = env.Msg.TS
-		} else if env.Msg.TS-slot.lastCkptTS >= c.ckptEveryMS {
-			slot.lastCkptTS = env.Msg.TS
+		if slot.clock.tick(env.Msg.TS, c.ckptEveryMS) {
 			c.cutCheckpoint(slot, env.Offset+1)
 		}
 	}
@@ -1090,6 +1112,11 @@ type Stats struct {
 	// LogTruncatedBelow is the firehose log's compaction horizon: every
 	// retained offset is at or above it. Zero until the first truncation.
 	LogTruncatedBelow uint64
+	// ApplyBatches counts batches applied by the batched replica hot path
+	// (zero with ApplyBatch <= 1); ApplyBatchSize is the distribution of
+	// their envelope counts (stored unitless in the histogram).
+	ApplyBatches   uint64
+	ApplyBatchSize metrics.Snapshot
 	// CutPause is the distribution of apply-loop pauses taken by
 	// checkpoint cuts: delta capture plus any backpressure wait on the
 	// async writer (encode and fsync themselves happen off-loop).
@@ -1122,6 +1149,8 @@ func (c *Cluster) Stats() Stats {
 		AuditRecords:          c.auditRecords.Value(),
 		AuditMismatches:       c.auditMismatches.Value(),
 		LogTruncatedBelow:     c.firehose.LogStart(),
+		ApplyBatches:          c.applyBatches.Value(),
+		ApplyBatchSize:        c.batchSize.Snapshot(),
 		CutPause:              c.cutPause.Snapshot(),
 		E2ELatency:            c.e2eLatency.Snapshot(),
 		DetectLatency:         c.detectLatency.Snapshot(),

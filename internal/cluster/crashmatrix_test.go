@@ -679,8 +679,12 @@ func TestCrashMatrix(t *testing.T) {
 			}
 			oracle.Stop()
 
-			// Fault run.
+			// Fault run — on the batched worker-pool hot path, so every
+			// matrix scenario doubles as a batched-vs-sequential
+			// equivalence check (the oracle stays envelope-at-a-time).
 			faultCfg := newCfg()
+			faultCfg.ApplyBatch = 16
+			faultCfg.ApplyWorkers = 2
 			faultNotes := collectNotes(&faultCfg)
 			h := newCrashHarness(t, faultCfg, stream)
 			tc.fault(h)

@@ -443,7 +443,7 @@ func (c *Cluster) startPlacement(slot *replicaSlot) error {
 	slot.sub = sub
 	slot.quit = make(chan struct{})
 	slot.stopped = make(chan struct{})
-	slot.lastCkptTS = 0
+	slot.clock = ckptClock{}
 	if c.ckptEveryMS > 0 {
 		slot.writer = c.startWriter(slot, man)
 	}

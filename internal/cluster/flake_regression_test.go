@@ -48,6 +48,11 @@ func TestFlakeHuntScaleOutKillOriginal(t *testing.T) {
 	oracle.Stop()
 
 	faultCfg := newCfg()
+	// The fault run uses the batched/parallel apply path: the zombie-cut
+	// invariant (one state load gating publish AND cut) must hold in the
+	// ordered-commit stage too, and the kill can now land mid-batch.
+	faultCfg.ApplyBatch = 16
+	faultCfg.ApplyWorkers = 2
 	faultNotes := collectNotes(&faultCfg)
 	h := newCrashHarness(t, faultCfg, stream)
 	h.publishTo(0.3)

@@ -1,0 +1,291 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"motifstream/internal/graph"
+	"motifstream/internal/motif"
+	"motifstream/internal/partition"
+	"motifstream/internal/queue"
+)
+
+// This file implements the batched, parallel replica hot path selected by
+// Config.ApplyBatch. The consumer drains its subscription into a bounded
+// batch, fans candidate generation across a bounded worker pool sharded by
+// edge target, then runs an ordered commit stage that replays the batch in
+// offset order: candidate-log commit, candidate publish, sweep, checkpoint
+// clock tick and cut — exactly the per-envelope sequence of applyEnvelope.
+//
+// Equivalence to the sequential path rests on three facts, stated as the
+// invariants they preserve (docs/DURABILITY.md expands on each):
+//
+//  1. Motif programs read D only at the triggering edge's target
+//     (motif.Program's locality contract), and the worker sharding sends
+//     every envelope of one target to the same worker in offset order — so
+//     each detection sees exactly the D prefix it would have seen
+//     sequentially, regardless of how the stream was chopped into batches.
+//  2. D sweeps and checkpoint cuts mutate or capture state across ALL
+//     targets, so the batch assembler force-ends a batch at the first
+//     envelope whose timestamp makes either due (simulated read-only on
+//     copies of the clocks); the ordered commit stage then performs them
+//     at that envelope, after all of the batch's publishes — publish
+//     before cut, at the same stream position as sequential apply.
+//  3. One state load per envelope gates both its candidate publish and
+//     (for the batch-final envelope) the checkpoint cut, preserving the
+//     one-fate-per-envelope rule that keeps a zombie span from cutting a
+//     checkpoint whose candidates were never handed to delivery.
+
+// ckptClock is a replica's checkpoint stream clock with a bounded forward
+// jump. The naive clock (`lastTS = env.TS` on every cut) lets one
+// future-dated event from a clock-skewed producer push the clock so far
+// ahead that cuts are suppressed until stream time catches up — an
+// unbounded widening of the suppression-loss window. tick instead clamps
+// each advance to two checkpoint intervals past the newer of the clock and
+// the previous envelope's timestamp: a genuine quiet gap still cuts
+// immediately and re-anchors on the next event, while a lone outlier can
+// defer the following cut by at most ~three intervals of stream time.
+type ckptClock struct {
+	// lastTS is the stream time the newest cut is accounted to; zero means
+	// unseeded (first envelope after Start or a restore seeds it so a full
+	// interval elapses before the first cut).
+	lastTS int64
+	// prevTS is the previous envelope's timestamp — the clamp anchor that
+	// keeps one outlier from poisoning later advances.
+	prevTS int64
+}
+
+// tick advances the clock over one envelope timestamp and reports whether
+// a checkpoint cut is due at this envelope. everyMS must be > 0. The batch
+// assembler calls tick on a copy of the slot's clock to probe boundaries
+// without committing; the commit stage calls it on the slot's clock.
+func (k *ckptClock) tick(ts, everyMS int64) bool {
+	if k.lastTS == 0 {
+		k.lastTS = ts
+		k.prevTS = ts
+		return false
+	}
+	cut := ts-k.lastTS >= everyMS
+	if cut {
+		next := k.lastTS
+		if k.prevTS > next {
+			next = k.prevTS
+		}
+		next += 2 * everyMS
+		if ts < next {
+			next = ts
+		}
+		k.lastTS = next
+	}
+	k.prevTS = ts
+	return cut
+}
+
+// replicaBatch holds one consumer's reusable batch buffers; everything is
+// recycled across batches so a warmed-up consumer allocates nothing per
+// drain beyond the candidates the programs emit.
+type replicaBatch struct {
+	max     int
+	workers int
+	envs    []queue.Envelope[graph.Edge]
+	// Per-worker shards: the edges routed to worker w and each edge's
+	// position in envs, so results scatter back into offset order.
+	edges [][]graph.Edge
+	pos   [][]int
+	outs  [][]candList
+	// cands[i] is envelope i's detection result, in batch order.
+	cands []candList
+	// closed records that the subscription closed mid-drain; the partial
+	// batch is still applied before the consumer exits.
+	closed bool
+}
+
+// candList aliases the candidate slice type to keep the scatter buffers
+// readable.
+type candList = []motif.Candidate
+
+func newReplicaBatch(max, workers int) *replicaBatch {
+	if workers < 1 {
+		workers = 1
+	}
+	b := &replicaBatch{max: max, workers: workers}
+	b.edges = make([][]graph.Edge, workers)
+	b.pos = make([][]int, workers)
+	b.outs = make([][]candList, workers)
+	return b
+}
+
+// consumeBatched is the batched replica consumer loop: block for one
+// envelope, drain up to the batch bound, apply, repeat.
+func (c *Cluster) consumeBatched(slot *replicaSlot) {
+	b := newReplicaBatch(c.cfg.ApplyBatch, c.cfg.ApplyWorkers)
+	for {
+		select {
+		case <-slot.quit:
+			return
+		case env, ok := <-slot.sub:
+			if !ok {
+				return
+			}
+			c.assembleBatch(slot, b, env)
+			if !c.applyBatch(slot, b) {
+				return
+			}
+			if b.closed {
+				return
+			}
+		}
+	}
+}
+
+// assembleBatch collects first plus whatever is already buffered on the
+// subscription, up to the batch bound, ending the batch early at the first
+// envelope where the sequential path would sweep D or cut a checkpoint.
+// The probes are read-only: the sweep clock cannot advance during assembly
+// (only this consumer sweeps this engine) and the checkpoint clock is
+// simulated on a copy.
+func (c *Cluster) assembleBatch(slot *replicaSlot, b *replicaBatch, first queue.Envelope[graph.Edge]) {
+	b.envs = append(b.envs[:0], first)
+	p := slot.p.Load()
+	sim := slot.clock
+	if c.batchBoundary(p, &sim, first.Msg.TS) {
+		return
+	}
+	for len(b.envs) < b.max {
+		select {
+		case env, ok := <-slot.sub:
+			if !ok {
+				b.closed = true
+				return
+			}
+			b.envs = append(b.envs, env)
+			if c.batchBoundary(p, &sim, env.Msg.TS) {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// batchBoundary reports whether an envelope with timestamp ts must be the
+// last of its batch: the sequential path would sweep D or cut a checkpoint
+// at it, and both act across all edge targets, so no later envelope may be
+// detected before they run.
+func (c *Cluster) batchBoundary(p *partition.Partition, sim *ckptClock, ts int64) bool {
+	if p.SweepDue(ts) {
+		return true
+	}
+	return c.ckptEveryMS > 0 && sim.tick(ts, c.ckptEveryMS)
+}
+
+// applyBatch runs detection for the whole batch across the worker pool,
+// then commits in offset order. Returns false only when the candidates
+// topic has closed (shutdown race), mirroring applyEnvelope.
+func (c *Cluster) applyBatch(slot *replicaSlot, b *replicaBatch) bool {
+	p := slot.p.Load()
+	n := len(b.envs)
+	if cap(b.cands) < n {
+		b.cands = make([]candList, n)
+	}
+	cands := b.cands[:n]
+
+	w := b.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		// Inline: one DetectBatch over the whole batch — still amortizes
+		// scratch and counters, just without goroutine fan-out.
+		b.edges[0] = b.edges[0][:0]
+		for _, env := range b.envs {
+			b.edges[0] = append(b.edges[0], env.Msg)
+		}
+		p.DetectBatch(b.edges[0], cands)
+	} else {
+		// Shard by edge target: same target, same worker, offset order
+		// within the worker — the arrangement that makes concurrent
+		// detection exactly sequential-equivalent.
+		for i := 0; i < w; i++ {
+			b.edges[i] = b.edges[i][:0]
+			b.pos[i] = b.pos[i][:0]
+		}
+		for i, env := range b.envs {
+			h := int((uint64(env.Msg.Dst) * 0x9e3779b97f4a7c15 >> 32) % uint64(w))
+			b.edges[h] = append(b.edges[h], env.Msg)
+			b.pos[h] = append(b.pos[h], i)
+		}
+		var wg sync.WaitGroup
+		for i := 1; i < w; i++ {
+			if len(b.edges[i]) == 0 {
+				continue
+			}
+			if cap(b.outs[i]) < len(b.edges[i]) {
+				b.outs[i] = make([]candList, len(b.edges[i]))
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				p.DetectBatch(b.edges[i], b.outs[i][:len(b.edges[i])])
+			}(i)
+		}
+		// Worker 0's shard runs inline on the consumer goroutine.
+		if len(b.edges[0]) > 0 {
+			if cap(b.outs[0]) < len(b.edges[0]) {
+				b.outs[0] = make([]candList, len(b.edges[0]))
+			}
+			p.DetectBatch(b.edges[0], b.outs[0][:len(b.edges[0])])
+		}
+		wg.Wait()
+		for i := 0; i < w; i++ {
+			for j, at := range b.pos[i] {
+				cands[at] = b.outs[i][j]
+			}
+		}
+	}
+
+	c.applyBatches.Inc()
+	// The histogram stores unitless envelope counts; snapshot quantiles
+	// read as counts, not durations.
+	c.batchSize.Observe(time.Duration(n))
+
+	// Ordered commit: replay the batch in offset order through exactly the
+	// per-envelope sequence of applyEnvelope — log commit, state-gated
+	// publish, sweep, clock tick, state-gated cut, catch-up transition.
+	for i, env := range b.envs {
+		ev := cands[i]
+		cands[i] = nil // the slice is handed off; drop the batch's reference
+		p.Commit(ev)
+
+		// One state load gates BOTH this envelope's publish and its cut,
+		// preserving the one-fate rule (see applyEnvelope).
+		state := slot.state.Load()
+
+		if len(ev) > 0 && state != replicaDead {
+			msg := candidateMsg{pid: slot.pid, offset: env.Offset, pubNS: env.PubUnixNS, cands: ev}
+			if c.candidates.Publish(msg, env.VirtualDelay) != nil {
+				return false
+			}
+		}
+
+		// Sweep before any cut at this envelope, as the sequential path
+		// does (engine.Apply sweeps inside, before the cut in
+		// applyEnvelope). By construction only the batch-final envelope can
+		// be due; for the rest this is one atomic load.
+		p.MaybeSweep(env.Msg.TS)
+
+		if c.ckptEveryMS > 0 && state != replicaDead {
+			if slot.clock.tick(env.Msg.TS, c.ckptEveryMS) {
+				c.cutCheckpoint(slot, env.Offset+1)
+			}
+		}
+
+		if slot.state.Load() == replicaReplaying && env.Offset+1 >= slot.target {
+			if slot.state.CompareAndSwap(replicaReplaying, replicaLive) {
+				c.broker.MarkUp(slot.pid, slot.idx)
+				close(slot.live)
+			}
+		}
+	}
+	return true
+}

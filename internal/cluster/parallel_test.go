@@ -1,0 +1,286 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"motifstream/internal/dynstore"
+)
+
+// TestCkptClockNormalCadence pins the clock's ordinary behavior: with
+// timestamps advancing well under the interval, cuts land once per
+// interval and the clock tracks stream time exactly (the clamp never
+// engages).
+func TestCkptClockNormalCadence(t *testing.T) {
+	const interval = int64(1000)
+	var k ckptClock
+	cuts := 0
+	for ts := int64(5_000); ts <= 25_000; ts += 100 {
+		if k.tick(ts, interval) {
+			cuts++
+			if k.lastTS != ts {
+				t.Fatalf("clamp engaged on a normal stream: clock %d at ts %d", k.lastTS, ts)
+			}
+		}
+	}
+	if cuts != 20 {
+		t.Fatalf("cuts = %d over 20 intervals, want 20", cuts)
+	}
+}
+
+// TestCkptClockOutlierBounded is the regression for the unbounded
+// suppression window: one future-dated event from a clock-skewed producer
+// used to set the clock to its timestamp, suppressing every later cut
+// until stream time caught up. The clamped clock may defer cuts by at
+// most ~three intervals after the outlier.
+func TestCkptClockOutlierBounded(t *testing.T) {
+	const interval = int64(1000)
+	var k ckptClock
+	ts := int64(5_000)
+	for ; ts < 10_000; ts += 100 {
+		k.tick(ts, interval)
+	}
+	// A producer an hour in the future.
+	if !k.tick(ts+3_600_000, interval) {
+		t.Fatal("outlier did not trigger a cut")
+	}
+	if jump := k.lastTS - ts; jump > 2*interval {
+		t.Fatalf("clock jumped %dms past the stream on the outlier, want <= %d", jump, 2*interval)
+	}
+	// Back to normal stream time: a cut must land within three intervals.
+	sinceCut := int64(0)
+	for ; ts < 60_000; ts += 100 {
+		sinceCut += 100
+		if k.tick(ts, interval) {
+			if sinceCut > 3*interval {
+				t.Fatalf("first post-outlier cut took %dms of stream time, want <= %d", sinceCut, 3*interval)
+			}
+			sinceCut = 0
+		}
+	}
+	if sinceCut > 3*interval {
+		t.Fatalf("cuts still suppressed %dms after the outlier", sinceCut)
+	}
+}
+
+// TestCkptClockQuietGapReanchors: a genuine idle gap (no events for many
+// intervals) cuts immediately when traffic resumes and re-anchors within
+// one follow-up event, rather than dribbling catch-up cuts.
+func TestCkptClockQuietGapReanchors(t *testing.T) {
+	const interval = int64(1000)
+	var k ckptClock
+	for ts := int64(5_000); ts < 8_000; ts += 100 {
+		k.tick(ts, interval)
+	}
+	// Quiet for 100 intervals, then steady traffic resumes.
+	resume := int64(8_000 + 100*interval)
+	if !k.tick(resume, interval) {
+		t.Fatal("no cut when traffic resumed after a quiet gap")
+	}
+	// The second post-gap event re-anchors: its cut decision is again
+	// driven by real stream progress, at most one interval later.
+	cutAt := int64(0)
+	for ts := resume + 100; ts < resume+3*interval; ts += 100 {
+		if k.tick(ts, interval) {
+			cutAt = ts
+			break
+		}
+	}
+	if cutAt == 0 {
+		t.Fatal("clock failed to re-anchor after the quiet gap")
+	}
+}
+
+// TestCheckpointClockOutlierIntegration runs the satellite-bug scenario
+// through a real cluster: a mid-stream timestamp outlier must not
+// suppress the remaining stream's checkpoint cuts.
+func TestCheckpointClockOutlierIntegration(t *testing.T) {
+	static := ringStatic(30)
+	cfg := recoveryConfig(t, static)
+	cfg.CheckpointInterval = 2 * time.Second // stream time
+
+	stream := motifWorkload(7, 30, 400) // ~3s of stream time per step
+	// One clock-skewed producer a day in the future, a quarter in.
+	outlierAt := len(stream) / 4
+	stream[outlierAt].TS += 24 * 3_600_000
+
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	for _, e := range stream {
+		if err := c.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Stop()
+
+	// The post-outlier stream spans ~900s of stream time at a 2s interval.
+	// The old clock cut nothing there (stream time never reaches
+	// outlier+interval); the clamped clock keeps cutting, so the total is
+	// far above what the pre-outlier prefix alone could produce.
+	prefixBound := uint64(outlierAt) // cuts cannot exceed events
+	if st := c.Stats(); st.Checkpoints <= prefixBound {
+		t.Fatalf("Checkpoints = %d: outlier suppressed post-outlier cuts (prefix bound %d)", st.Checkpoints, prefixBound)
+	}
+}
+
+// TestParallelApplyEquivalence is the batched-path property test: across
+// seeds, batch sizes, worker counts, and GOMAXPROCS values, the batched
+// cluster delivers exactly the sequential cluster's notification multiset
+// and converges to bit-identical recoverable state (CRC32C state
+// fingerprints compared per replica).
+func TestParallelApplyEquivalence(t *testing.T) {
+	const users = 40
+	static := ringStatic(users)
+
+	type variant struct {
+		batch, workers, maxprocs int
+	}
+	variants := []variant{
+		{batch: 4, workers: 1, maxprocs: 1},
+		{batch: 16, workers: 2, maxprocs: 1},
+		{batch: 16, workers: 4, maxprocs: 2},
+		{batch: 64, workers: 3, maxprocs: 4},
+	}
+
+	for _, seed := range []int64{3, 11} {
+		stream := motifWorkload(seed, users, 300)
+		// Sequential reference run for this seed.
+		seqCfg := recoveryConfig(t, static)
+		seqCfg.Dynamic = dynstore.Options{Retention: time.Minute} // sweeps prune mid-stream
+		seqNotes := collectNotes(&seqCfg)
+		seq, err := New(seqCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq.Start()
+		for _, e := range stream {
+			if err := seq.Publish(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		seq.Stop()
+		if len(seqNotes()) == 0 {
+			t.Fatal("vacuous: sequential run delivered nothing")
+		}
+
+		for _, v := range variants {
+			name := fmt.Sprintf("seed%d/batch%d_workers%d_procs%d", seed, v.batch, v.workers, v.maxprocs)
+			t.Run(name, func(t *testing.T) {
+				prev := runtime.GOMAXPROCS(v.maxprocs)
+				defer runtime.GOMAXPROCS(prev)
+
+				parCfg := recoveryConfig(t, static)
+				parCfg.Dynamic = dynstore.Options{Retention: time.Minute}
+				parCfg.ApplyBatch = v.batch
+				parCfg.ApplyWorkers = v.workers
+				parNotes := collectNotes(&parCfg)
+				par, err := New(parCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par.Start()
+				for _, e := range stream {
+					if err := par.Publish(e); err != nil {
+						t.Fatal(err)
+					}
+				}
+				par.Stop()
+
+				assertSameNotes(t, seqNotes(), parNotes())
+				for pid := 0; pid < parCfg.Partitions; pid++ {
+					for r := 0; r < parCfg.Replicas; r++ {
+						pp, err := par.Replica(pid, r)
+						if err != nil {
+							t.Fatal(err)
+						}
+						sp, err := seq.Replica(pid, r)
+						if err != nil {
+							t.Fatal(err)
+						}
+						gotFP, err := pp.Fingerprint()
+						if err != nil {
+							t.Fatal(err)
+						}
+						wantFP, err := sp.Fingerprint()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if gotFP != wantFP {
+							t.Errorf("partition %d replica %d: batched fingerprint %08x != sequential %08x", pid, r, gotFP, wantFP)
+						}
+					}
+				}
+				if st := par.Stats(); st.ApplyBatches == 0 {
+					t.Fatal("vacuous: batched run applied no batches")
+				}
+			})
+		}
+	}
+}
+
+// TestParallelApplyKillRestore reruns the fault-equivalence oracle with
+// the worker pool on: kill/restore mid-stream under batched apply must
+// still deliver the sequential no-fault set exactly.
+func TestParallelApplyKillRestore(t *testing.T) {
+	static := ringStatic(50)
+	stream := motifWorkload(91, 50, 400)
+
+	oracleCfg := recoveryConfig(t, static)
+	oracleNotes := collectNotes(&oracleCfg)
+	oracle, err := New(oracleCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.Start()
+	for _, e := range stream {
+		if err := oracle.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oracle.Stop()
+
+	faultCfg := recoveryConfig(t, static)
+	faultCfg.ApplyBatch = 16
+	faultCfg.ApplyWorkers = 2
+	faultNotes := collectNotes(&faultCfg)
+	fault, err := New(faultCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Start()
+	killAt, restoreAt := len(stream)/3, 2*len(stream)/3
+	for i, e := range stream {
+		if i == killAt {
+			for pid := 0; pid < faultCfg.Partitions; pid++ {
+				if err := fault.KillReplica(pid, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if i == restoreAt {
+			for pid := 0; pid < faultCfg.Partitions; pid++ {
+				if err := fault.RestoreReplica(pid, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := fault.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fault.Stop()
+
+	assertSameNotes(t, oracleNotes(), faultNotes())
+	for pid := 0; pid < faultCfg.Partitions; pid++ {
+		recovered, _ := fault.Replica(pid, 1)
+		reference, _ := oracle.Replica(pid, 1)
+		if got, want := recovered.Engine().Dynamic().Stats(), reference.Engine().Dynamic().Stats(); got != want {
+			t.Fatalf("partition %d recovered D stats %+v != oracle %+v", pid, got, want)
+		}
+	}
+}

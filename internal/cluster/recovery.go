@@ -1189,7 +1189,7 @@ func (c *Cluster) RestoreReplica(pid, r int) error {
 	slot.sub = sub
 	slot.quit = make(chan struct{})
 	slot.stopped = make(chan struct{})
-	slot.lastCkptTS = 0
+	slot.clock = ckptClock{}
 	slot.writer = c.startWriter(slot, man)
 	if offset >= target {
 		// Nothing to replay: the checkpoint is already at the head.

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"motifstream/internal/dynstore"
+	"motifstream/internal/graph"
+	"motifstream/internal/motif"
+	"motifstream/internal/statstore"
+)
+
+// batchWorkload produces a stream with motif completions, repeats, and
+// enough stream-time advance to trigger sweeps.
+func batchWorkload(seed int64, n int) []graph.Edge {
+	r := rand.New(rand.NewSource(seed))
+	t0 := int64(1_000_000)
+	out := make([]graph.Edge, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, graph.Edge{
+			Src:  graph.VertexID(1 + r.Intn(4)),
+			Dst:  graph.VertexID(10 + r.Intn(4)),
+			Type: graph.Follow,
+			TS:   t0 + int64(i)*500, // sweeps (1m default) fire mid-stream
+		})
+	}
+	return out
+}
+
+// TestApplyBatchEquivalence: chunked ApplyBatch produces the same
+// per-event candidates, counters, D state, and sweep clock as per-event
+// Apply, for every chunking.
+func TestApplyBatchEquivalence(t *testing.T) {
+	stream := batchWorkload(5, 400)
+	for _, batch := range []int{1, 3, 16, 400} {
+		t.Run(fmt.Sprintf("batch%d", batch), func(t *testing.T) {
+			seq := testEngine(t, fig1Static(), nil)
+			var seqCands [][]motif.Candidate
+			for _, e := range stream {
+				seqCands = append(seqCands, seq.Apply(e))
+			}
+
+			bat := testEngine(t, fig1Static(), nil)
+			got := make([][]motif.Candidate, len(stream))
+			for lo := 0; lo < len(stream); lo += batch {
+				hi := lo + batch
+				if hi > len(stream) {
+					hi = len(stream)
+				}
+				bat.ApplyBatch(stream[lo:hi], got[lo:hi])
+			}
+
+			for i := range stream {
+				if !reflect.DeepEqual(seqCands[i], got[i]) {
+					t.Fatalf("event %d: batched candidates %+v != sequential %+v", i, got[i], seqCands[i])
+				}
+			}
+			ss, bs := seq.Stats(), bat.Stats()
+			if ss.Events != bs.Events || ss.Candidates != bs.Candidates {
+				t.Fatalf("counters diverged: seq %d/%d, batch %d/%d", ss.Events, ss.Candidates, bs.Events, bs.Candidates)
+			}
+			if ss.Dynamic != bs.Dynamic {
+				t.Fatalf("D stats diverged: seq %+v, batch %+v", ss.Dynamic, bs.Dynamic)
+			}
+			if seq.SweepClock() != bat.SweepClock() {
+				t.Fatalf("sweep clock diverged: seq %d, batch %d", seq.SweepClock(), bat.SweepClock())
+			}
+		})
+	}
+}
+
+// TestLatencyMetricSplit pins the satellite bugfix: engine.query_latency
+// observes only the program-execution span, and the new
+// engine.ingest_latency keeps the old insert-inclusive total visible.
+// Both histograms must observe once per event.
+func TestLatencyMetricSplit(t *testing.T) {
+	e := testEngine(t, fig1Static(), nil)
+	const n = 50
+	for i := 0; i < n; i++ {
+		e.Apply(graph.Edge{Src: 1, Dst: graph.VertexID(100 + i), Type: graph.Follow, TS: 1_000_000 + int64(i)})
+	}
+	st := e.Stats()
+	if st.QueryLatency.Count != n {
+		t.Fatalf("query_latency observed %d times, want %d", st.QueryLatency.Count, n)
+	}
+	if st.IngestLatency.Count != n {
+		t.Fatalf("ingest_latency observed %d times, want %d", st.IngestLatency.Count, n)
+	}
+	// Ingest covers a superset span of query, so its mean cannot be
+	// smaller (histogram bucketing grants equality).
+	if st.IngestLatency.Mean < st.QueryLatency.Mean {
+		t.Fatalf("ingest mean %v < query mean %v: insert span missing from ingest_latency",
+			st.IngestLatency.Mean, st.QueryLatency.Mean)
+	}
+}
+
+// newAllocEngine builds an engine whose workload completes no motifs (S
+// is empty) over a bounded set of targets, the steady-state regime where
+// the hot path must not allocate.
+func newAllocEngine(tb testing.TB) *Engine {
+	tb.Helper()
+	b := &statstore.Builder{}
+	e, err := NewEngine(Config{
+		Static: statstore.New(b.Build(nil)),
+		// A short retention keeps the per-target lists bounded so Insert's
+		// append reuses capacity in steady state.
+		Dynamic: dynstore.New(dynstore.Options{Retention: time.Minute, MaxPerTarget: 64}),
+		Programs: []motif.Program{
+			motif.NewDiamond(motif.DiamondConfig{K: 3, Window: 30 * time.Second, MaxFanout: 64}),
+		},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return e
+}
+
+// TestApplyBatchAllocBudget is the allocation-regression gate of the
+// candidate-generation path: once warm, the no-candidate batched hot path
+// must average under one heap allocation per event. The previous
+// per-event path allocated the recent-actor slice, the list headers, and
+// the intersection output on every edge (~5+ allocs/event); the budget
+// pins the >=90%% reduction.
+func TestApplyBatchAllocBudget(t *testing.T) {
+	e := newAllocEngine(t)
+	const batch = 64
+	edges := make([]graph.Edge, batch)
+	out := make([][]motif.Candidate, batch)
+	ts := int64(1_000_000)
+	fill := func() {
+		for i := range edges {
+			ts += 20
+			edges[i] = graph.Edge{
+				Src:  graph.VertexID(1 + (i % 8)),
+				Dst:  graph.VertexID(50 + (i % 4)),
+				Type: graph.Follow,
+				TS:   ts,
+			}
+		}
+	}
+	// Warm up: grow D lists, scratch buffers, and pools to steady state.
+	for i := 0; i < 20; i++ {
+		fill()
+		e.ApplyBatch(edges, out)
+	}
+	perBatch := testing.AllocsPerRun(20, func() {
+		fill()
+		e.ApplyBatch(edges, out)
+	})
+	if perEvent := perBatch / batch; perEvent > 1.0 {
+		t.Fatalf("batched no-candidate path allocates %.2f/event (%.1f/batch); budget is 1/event", perEvent, perBatch)
+	}
+}
+
+// BenchmarkEngineApply measures the per-event sequential path; its alloc
+// report is the baseline the batched benchmark is compared against.
+func BenchmarkEngineApply(b *testing.B) {
+	e := newAllocEngine(b)
+	b.ReportAllocs()
+	ts := int64(1_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts += 20
+		e.Apply(graph.Edge{Src: graph.VertexID(1 + i%8), Dst: graph.VertexID(50 + i%4), Type: graph.Follow, TS: ts})
+	}
+}
+
+// BenchmarkEngineApplyBatch measures the batched hot path: lock
+// acquisition, scratch, and counter updates amortized over the batch.
+// Run in bench-smoke; allocs/op is the number to watch.
+func BenchmarkEngineApplyBatch(b *testing.B) {
+	e := newAllocEngine(b)
+	const batch = 64
+	edges := make([]graph.Edge, batch)
+	out := make([][]motif.Candidate, batch)
+	ts := int64(1_000_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range edges {
+			ts += 20
+			edges[j] = graph.Edge{Src: graph.VertexID(1 + j%8), Dst: graph.VertexID(50 + j%4), Type: graph.Follow, TS: ts}
+		}
+		e.ApplyBatch(edges, out)
+	}
+}

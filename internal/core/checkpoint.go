@@ -104,36 +104,26 @@ func (e *Engine) ReadFrom(r io.Reader) (int64, error) {
 	if _, err := e.dynamic.ReadFrom(br); err != nil {
 		return br.N, err
 	}
-	e.mu.Lock()
-	e.lastSweep = lastSweep
-	e.mu.Unlock()
+	e.lastSweep.Store(lastSweep)
 	return br.N, nil
 }
 
 // SweepClock returns the stream time of the last D prune — the engine
 // half of a checkpoint cut.
-func (e *Engine) SweepClock() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.lastSweep
-}
+func (e *Engine) SweepClock() int64 { return e.lastSweep.Load() }
 
 // LoadState installs a composed checkpoint state: the sweep clock and the
 // D contents are replaced, taking ownership of targets. The recovery path
 // composes base + delta segments into the map first and installs once.
 func (e *Engine) LoadState(sweepClock int64, targets map[graph.VertexID][]dynstore.InEdge) {
 	e.dynamic.LoadSnapshot(targets)
-	e.mu.Lock()
-	e.lastSweep = sweepClock
-	e.mu.Unlock()
+	e.lastSweep.Store(sweepClock)
 }
 
 // Reset drops the engine's recoverable state — D contents and the sweep
 // clock — modeling a crashed detection server. S is rebuilt from the
 // offline pipeline, not checkpointed, so it is left in place.
 func (e *Engine) Reset() {
-	e.mu.Lock()
-	e.lastSweep = 0
-	e.mu.Unlock()
+	e.lastSweep.Store(0)
 	e.dynamic.Reset()
 }

@@ -58,12 +58,7 @@ func TestEngineCheckpointRoundTrip(t *testing.T) {
 	if got, want := restored.Dynamic().Stats(), orig.Dynamic().Stats(); got != want {
 		t.Fatalf("restored D stats %+v != %+v", got, want)
 	}
-	restored.mu.Lock()
-	gotSweep := restored.lastSweep
-	restored.mu.Unlock()
-	orig.mu.Lock()
-	wantSweep := orig.lastSweep
-	orig.mu.Unlock()
+	gotSweep, wantSweep := restored.SweepClock(), orig.SweepClock()
 	if gotSweep != wantSweep {
 		t.Fatalf("restored sweep clock %d != %d", gotSweep, wantSweep)
 	}
@@ -139,9 +134,7 @@ func TestEngineReset(t *testing.T) {
 	if st := e.Dynamic().Stats(); st.Edges != 0 {
 		t.Fatalf("Reset left D with %+v", st)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.lastSweep != 0 {
-		t.Fatalf("Reset left sweep clock at %d", e.lastSweep)
+	if got := e.SweepClock(); got != 0 {
+		t.Fatalf("Reset left sweep clock at %d", got)
 	}
 }

@@ -148,18 +148,24 @@ func (s *Store) Recent(c graph.VertexID, sinceMS int64) []InEdge {
 // here so a viral target with thousands of in-window edges costs O(limit)
 // per query rather than O(window).
 func (s *Store) RecentLimit(c graph.VertexID, sinceMS int64, limit int) []InEdge {
+	return s.RecentLimitInto(nil, c, sinceMS, limit)
+}
+
+// RecentLimitInto is the appending form of RecentLimit: results are
+// appended to dst (usually dst[:0] of a reusable buffer) and the extended
+// slice is returned. Once dst has capacity the call performs zero heap
+// allocation, which is what keeps the per-event detection path
+// allocation-free.
+func (s *Store) RecentLimitInto(dst []InEdge, c graph.VertexID, sinceMS int64, limit int) []InEdge {
 	sh := s.shardFor(c)
 	sh.mu.RLock()
 	list := sh.targets[c]
 	if len(list) == 0 {
 		sh.mu.RUnlock()
-		return nil
+		return dst
 	}
-	capHint := len(list)
-	if limit > 0 && limit < capHint {
-		capHint = limit
-	}
-	out := make([]InEdge, 0, capHint)
+	base := len(dst)
+	out := dst
 	seen := seenPool.Get().(map[graph.VertexID]struct{})
 	// Scan newest-first: entries are appended in arrival order, so the
 	// first time a B appears in the backward scan carries its most recent
@@ -179,15 +185,15 @@ func (s *Store) RecentLimit(c graph.VertexID, sinceMS int64, limit int) []InEdge
 		}
 		seen[in.B] = struct{}{}
 		out = append(out, in)
-		if limit > 0 && len(out) >= limit {
+		if limit > 0 && len(out)-base >= limit {
 			break
 		}
 	}
 	sh.mu.RUnlock()
 	clear(seen)
 	seenPool.Put(seen)
-	// Restore chronological (oldest-first) order.
-	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+	// Restore chronological (oldest-first) order within the appended span.
+	for i, j := base, len(out)-1; i < j; i, j = i+1, j-1 {
 		out[i], out[j] = out[j], out[i]
 	}
 	return out

@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// decodeFuzzLists turns raw fuzz bytes into sorted, possibly
+// duplicate-bearing input lists. 0xFF starts a new list; every other byte
+// advances the running value by b%8 — a zero delta produces a duplicate, so
+// the corpus naturally exercises the within-list-duplicate semantics the
+// kernels must get right.
+func decodeFuzzLists(data []byte) []AdjList {
+	var lists []AdjList
+	var cur AdjList
+	v := VertexID(0)
+	for _, b := range data {
+		if b == 0xFF {
+			lists = append(lists, cur)
+			cur = nil
+			v = 0
+			continue
+		}
+		v += VertexID(b % 8)
+		cur = append(cur, v)
+	}
+	lists = append(lists, cur)
+	return lists
+}
+
+// FuzzThresholdIntersect differentially tests the heap kernel, the
+// counting fallback, and the Into variant against the naive distinct-lists
+// oracle, over duplicate-bearing sorted inputs and every feasible k.
+func FuzzThresholdIntersect(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0xFF, 7})          // [[0,0],[7]] — the reported bug shape
+	f.Add([]byte{0, 0, 0xFF, 0, 3})       // [[0,0],[0,3]]
+	f.Add([]byte{1, 0, 2, 0xFF, 1, 2, 0}) // dup tails
+	f.Add(bytes.Repeat([]byte{0xFF}, 5))  // many empty lists
+	f.Add([]byte{1, 2, 3, 0xFF, 1, 2, 3, 0xFF, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<10 {
+			return
+		}
+		lists := decodeFuzzLists(data)
+		s := GetScratch()
+		defer PutScratch(s)
+		var dst AdjList
+		for k := 1; k <= len(lists); k++ {
+			want := refThreshold(lists, k)
+			if got := ThresholdIntersect(lists, k); !equalLists(got, want) {
+				t.Fatalf("k=%d: heap kernel = %v, oracle = %v (lists=%v)", k, got, want, lists)
+			}
+			if got := ThresholdIntersectCount(lists, k); !equalLists(got, want) {
+				t.Fatalf("k=%d: counting fallback = %v, oracle = %v (lists=%v)", k, got, want, lists)
+			}
+			dst = ThresholdIntersectInto(dst[:0], lists, k, s)
+			if !equalLists(dst, want) {
+				t.Fatalf("k=%d: Into variant = %v, oracle = %v (lists=%v)", k, dst, want, lists)
+			}
+		}
+	})
+}

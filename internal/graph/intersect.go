@@ -3,6 +3,7 @@ package graph
 import (
 	"container/heap"
 	"sort"
+	"sync"
 )
 
 // This file implements the intersection kernels used by the diamond
@@ -13,14 +14,54 @@ import (
 // the classic two-pointer and galloping kernels; threshold intersection
 // gets a heap-based multi-way merge and a counting fallback. Benchmark E8
 // compares them.
+//
+// Semantics: all kernels treat their inputs as *sets* presented in sorted
+// order. AdjList's invariant is sorted-and-distinct, but the kernels must
+// tolerate duplicate entries within a list (callers may hand them slices
+// built outside NewAdjList): a vertex appearing twice in one list still
+// counts that list once toward k, and outputs never contain duplicates.
+//
+// The *Into variants append into a caller-owned buffer and take a Scratch
+// for intermediates, so a warmed-up caller does zero heap allocation per
+// call. The allocation-friendly wrappers (Intersect, ThresholdIntersect,
+// ...) remain for callers that don't care.
+
+// Scratch holds the reusable intermediates the *Into kernels need. A
+// Scratch is single-goroutine; use GetScratch/PutScratch to recycle them
+// across calls without allocation.
+type Scratch struct {
+	heap cursorHeap
+	tmpA AdjList
+	tmpB AdjList
+	ord  []AdjList
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(Scratch) }}
+
+// GetScratch returns a Scratch from the pool, buffers warmed by prior use.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch recycles s. The caller must not use s afterwards.
+func PutScratch(s *Scratch) {
+	if s != nil {
+		scratchPool.Put(s)
+	}
+}
 
 // IntersectMerge computes the exact intersection of two sorted lists with a
-// linear two-pointer merge. Output is sorted.
+// linear two-pointer merge. Output is sorted and duplicate-free.
 func IntersectMerge(a, b AdjList) AdjList {
 	if len(a) == 0 || len(b) == 0 {
 		return nil
 	}
-	out := make(AdjList, 0, minInt(len(a), len(b)))
+	return IntersectMergeInto(make(AdjList, 0, minInt(len(a), len(b))), a, b)
+}
+
+// IntersectMergeInto appends the exact intersection of two sorted lists to
+// dst and returns the extended slice. Zero allocations once dst has
+// capacity.
+func IntersectMergeInto(dst AdjList, a, b AdjList) AdjList {
+	base := len(dst)
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -29,12 +70,14 @@ func IntersectMerge(a, b AdjList) AdjList {
 		case a[i] > b[j]:
 			j++
 		default:
-			out = append(out, a[i])
+			if len(dst) == base || dst[len(dst)-1] != a[i] {
+				dst = append(dst, a[i])
+			}
 			i++
 			j++
 		}
 	}
-	return out
+	return dst
 }
 
 // IntersectGallop computes the exact intersection of two sorted lists by
@@ -42,15 +85,27 @@ func IntersectMerge(a, b AdjList) AdjList {
 // shorter. It wins when the lists differ greatly in length, the common case
 // when one B is a celebrity account and another is not.
 func IntersectGallop(a, b AdjList) AdjList {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	return IntersectGallopInto(make(AdjList, 0, minInt(len(a), len(b))), a, b)
+}
+
+// IntersectGallopInto appends the exact intersection of two sorted lists to
+// dst and returns the extended slice.
+func IntersectGallopInto(dst AdjList, a, b AdjList) AdjList {
 	if len(a) > len(b) {
 		a, b = b, a
 	}
 	if len(a) == 0 {
-		return nil
+		return dst
 	}
-	out := make(AdjList, 0, len(a))
+	base := len(dst)
 	lo := 0
 	for _, v := range a {
+		if len(dst) > base && dst[len(dst)-1] == v {
+			continue // duplicate within a; already matched
+		}
 		// Gallop forward from lo to find the first b index with b[i] >= v.
 		step := 1
 		hi := lo
@@ -64,7 +119,7 @@ func IntersectGallop(a, b AdjList) AdjList {
 		}
 		i := lo + sort.Search(hi-lo, func(i int) bool { return b[lo+i] >= v })
 		if i < len(b) && b[i] == v {
-			out = append(out, v)
+			dst = append(dst, v)
 			lo = i + 1
 		} else {
 			lo = i
@@ -73,45 +128,82 @@ func IntersectGallop(a, b AdjList) AdjList {
 			break
 		}
 	}
-	return out
+	return dst
 }
 
 // Intersect picks an exact-intersection kernel based on the size ratio of
 // the inputs. The 32x cutover matches the E8 ablation crossover.
 func Intersect(a, b AdjList) AdjList {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	return IntersectInto(make(AdjList, 0, minInt(len(a), len(b))), a, b)
+}
+
+// IntersectInto is the appending form of Intersect: it picks a kernel by
+// size ratio and appends the result to dst.
+func IntersectInto(dst AdjList, a, b AdjList) AdjList {
 	la, lb := len(a), len(b)
 	if la == 0 || lb == 0 {
-		return nil
+		return dst
 	}
 	if la > lb {
 		la, lb = lb, la
 	}
 	if lb/la >= 32 {
-		return IntersectGallop(a, b)
+		return IntersectGallopInto(dst, a, b)
 	}
-	return IntersectMerge(a, b)
+	return IntersectMergeInto(dst, a, b)
 }
 
 // IntersectAll computes the exact intersection of all lists (k == n).
 // Lists are processed shortest-first so intermediate results shrink fast.
+// The result is a fresh slice (never aliases an input).
 func IntersectAll(lists []AdjList) AdjList {
+	if len(lists) == 0 {
+		return nil
+	}
+	s := GetScratch()
+	out := intersectAllInto(nil, lists, s)
+	PutScratch(s)
+	return out
+}
+
+// intersectAllInto appends the exact intersection of all lists to dst,
+// using s for intermediates. dst never aliases an input list.
+func intersectAllInto(dst AdjList, lists []AdjList, s *Scratch) AdjList {
 	switch len(lists) {
 	case 0:
-		return nil
+		return dst
 	case 1:
-		return lists[0].Clone()
-	}
-	ordered := make([]AdjList, len(lists))
-	copy(ordered, lists)
-	sort.Slice(ordered, func(i, j int) bool { return len(ordered[i]) < len(ordered[j]) })
-	acc := Intersect(ordered[0], ordered[1])
-	for _, l := range ordered[2:] {
-		if len(acc) == 0 {
-			return nil
+		base := len(dst)
+		for _, v := range lists[0] {
+			if len(dst) > base && dst[len(dst)-1] == v {
+				continue
+			}
+			dst = append(dst, v)
 		}
-		acc = Intersect(acc, l)
+		return dst
 	}
-	return acc
+	ord := append(s.ord[:0], lists...)
+	// Insertion sort by length: n is small and sort.Slice would allocate.
+	for i := 1; i < len(ord); i++ {
+		for j := i; j > 0 && len(ord[j]) < len(ord[j-1]); j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
+	}
+	s.ord = ord
+	acc := IntersectInto(s.tmpA[:0], ord[0], ord[1])
+	spare := s.tmpB
+	for _, l := range ord[2:] {
+		if len(acc) == 0 {
+			break
+		}
+		next := IntersectInto(spare[:0], acc, l)
+		spare, acc = acc, next
+	}
+	s.tmpA, s.tmpB = acc, spare // return grown buffers to the scratch
+	return append(dst, acc...)
 }
 
 // listCursor tracks a position within one input list for the heap merge.
@@ -137,63 +229,101 @@ func (h *cursorHeap) Pop() interface{} {
 }
 
 // ThresholdIntersect returns, in sorted order, every vertex that appears in
-// at least k of the sorted input lists. k == len(lists) degenerates to
-// IntersectAll; k == 1 is a sorted union. It uses a k-way heap merge, so
-// cost is O(total · log n) independent of k.
+// at least k *distinct* lists. A vertex occurring multiple times within one
+// list counts that list once — lists are sets, duplicates carry no weight.
+// k == len(lists) degenerates to IntersectAll; k == 1 is a sorted union. It
+// uses a k-way heap merge, so cost is O(total · log n) independent of k.
 func ThresholdIntersect(lists []AdjList, k int) AdjList {
 	if k <= 0 || len(lists) < k {
 		return nil
 	}
-	if k == len(lists) {
-		return IntersectAll(lists)
-	}
-	h := make(cursorHeap, 0, len(lists))
-	for _, l := range lists {
-		if len(l) > 0 {
-			h = append(h, listCursor{list: l})
-		}
-	}
-	if len(h) < k {
-		return nil
-	}
-	heap.Init(&h)
-	var out AdjList
-	for len(h) > 0 {
-		cur := h[0].list[h[0].pos]
-		count := 0
-		for len(h) > 0 && h[0].list[h[0].pos] == cur {
-			count++
-			c := h[0]
-			c.pos++
-			if c.pos < len(c.list) {
-				h[0] = c
-				heap.Fix(&h, 0)
-			} else {
-				heap.Pop(&h)
-			}
-		}
-		if count >= k {
-			out = append(out, cur)
-		}
-	}
+	s := GetScratch()
+	out := ThresholdIntersectInto(nil, lists, k, s)
+	PutScratch(s)
 	return out
 }
 
+// ThresholdIntersectInto appends the k-of-n threshold intersection to dst
+// and returns the extended slice. s provides the heap and intermediate
+// buffers; a warmed-up (Scratch, dst) pair makes the call allocation-free.
+func ThresholdIntersectInto(dst AdjList, lists []AdjList, k int, s *Scratch) AdjList {
+	if k <= 0 || len(lists) < k {
+		return dst
+	}
+	if k == len(lists) {
+		return intersectAllInto(dst, lists, s)
+	}
+	// Work through &s.heap rather than a local slice: passing a local's
+	// address into container/heap's interface would force the slice header
+	// to escape, costing one allocation per call. s is already on the heap.
+	h := &s.heap
+	*h = (*h)[:0]
+	for _, l := range lists {
+		if len(l) > 0 {
+			*h = append(*h, listCursor{list: l})
+		}
+	}
+	if len(*h) < k {
+		return dst
+	}
+	heap.Init(h)
+	for len(*h) > 0 {
+		cur := (*h)[0].list[(*h)[0].pos]
+		count := 0
+		for len(*h) > 0 && (*h)[0].list[(*h)[0].pos] == cur {
+			count++
+			c := (*h)[0]
+			c.pos++
+			// Skip duplicates of cur within this list: one list contributes
+			// at most one count per vertex.
+			for c.pos < len(c.list) && c.list[c.pos] == cur {
+				c.pos++
+			}
+			if c.pos < len(c.list) {
+				(*h)[0] = c
+				heap.Fix(h, 0)
+			} else {
+				// Drop the exhausted cursor without heap.Pop: Pop returns an
+				// interface{} and would box the cursor (one alloc per list).
+				n := len(*h) - 1
+				(*h)[0] = (*h)[n]
+				*h = (*h)[:n]
+				if n > 1 {
+					heap.Fix(h, 0)
+				}
+			}
+		}
+		if count >= k {
+			dst = append(dst, cur)
+		}
+	}
+	return dst
+}
+
 // ThresholdIntersectCount is the counting-map fallback used as the E8
-// baseline: no sortedness assumed, output sorted at the end.
+// baseline: no sortedness assumed, output sorted at the end. Like the heap
+// kernel, it counts distinct lists per vertex, not occurrences.
 func ThresholdIntersectCount(lists []AdjList, k int) AdjList {
 	if k <= 0 || len(lists) < k {
 		return nil
 	}
-	counts := make(map[VertexID]int)
-	for _, l := range lists {
+	type tally struct {
+		count    int
+		lastList int // 1-based index of the last list that counted v
+	}
+	counts := make(map[VertexID]tally)
+	for li, l := range lists {
 		for _, v := range l {
-			counts[v]++
+			t := counts[v]
+			if t.lastList == li+1 {
+				continue // duplicate within this list
+			}
+			counts[v] = tally{count: t.count + 1, lastList: li + 1}
 		}
 	}
 	var out AdjList
-	for v, c := range counts {
-		if c >= k {
+	for v, t := range counts {
+		if t.count >= k {
 			out = append(out, v)
 		}
 	}

@@ -24,14 +24,21 @@ func refIntersect(a, b AdjList) AdjList {
 	return out
 }
 
-// refThreshold is the reference k-of-n implementation.
+// refThreshold is the reference k-of-n implementation: a vertex qualifies
+// when it appears in at least k distinct lists (duplicates within one list
+// count once — lists are sets).
 func refThreshold(lists []AdjList, k int) AdjList {
 	if k <= 0 || len(lists) < k {
 		return nil
 	}
 	counts := make(map[VertexID]int)
 	for _, l := range lists {
+		seen := make(map[VertexID]bool, len(l))
 		for _, v := range l {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
 			counts[v]++
 		}
 	}
@@ -264,6 +271,146 @@ func TestThresholdMonotoneInK(t *testing.T) {
 }
 
 func contains(l AdjList, v VertexID) bool { return l.Contains(v) }
+
+// Regression: duplicate entries within one list must not count toward k.
+// The old heap merge counted occurrences, so [[5,5],[7]] with k=2 reported
+// 5 even though it appears in only one list.
+func TestThresholdIntersectDuplicatesWithinList(t *testing.T) {
+	cases := []struct {
+		lists []AdjList
+		k     int
+		want  AdjList
+	}{
+		{[]AdjList{{5, 5}, {7}}, 2, nil},
+		{[]AdjList{{5, 5}, {5, 7}}, 2, AdjList{5}},
+		{[]AdjList{{5, 5, 5}}, 1, AdjList{5}},
+		{[]AdjList{{1, 1, 2}, {1, 2, 2}}, 2, AdjList{1, 2}},
+		{[]AdjList{{1, 1, 2}, {1, 2, 2}}, 1, AdjList{1, 2}},
+		{[]AdjList{{3, 3}, {3, 3}, {4}}, 2, AdjList{3}},
+		{[]AdjList{{3, 3}, {3, 3}, {4}}, 3, nil},
+		// k == n path (delegates to the exact-intersection kernels).
+		{[]AdjList{{5, 5, 7}, {5, 7, 7}}, 2, AdjList{5, 7}},
+		{[]AdjList{{5, 5}}, 1, AdjList{5}},
+	}
+	for i, c := range cases {
+		if got := ThresholdIntersect(c.lists, c.k); !equalLists(got, c.want) {
+			t.Errorf("case %d: ThresholdIntersect(%v, k=%d) = %v, want %v", i, c.lists, c.k, got, c.want)
+		}
+		if got := ThresholdIntersectCount(c.lists, c.k); !equalLists(got, c.want) {
+			t.Errorf("case %d: ThresholdIntersectCount(%v, k=%d) = %v, want %v", i, c.lists, c.k, got, c.want)
+		}
+		s := GetScratch()
+		if got := ThresholdIntersectInto(nil, c.lists, c.k, s); !equalLists(got, c.want) {
+			t.Errorf("case %d: ThresholdIntersectInto(%v, k=%d) = %v, want %v", i, c.lists, c.k, got, c.want)
+		}
+		PutScratch(s)
+	}
+}
+
+// The exact kernels are set operations: duplicate-bearing inputs yield
+// duplicate-free output.
+func TestIntersectKernelsTolerateDuplicates(t *testing.T) {
+	a := AdjList{2, 5, 5, 7, 7, 7}
+	b := AdjList{2, 2, 5, 7, 9}
+	want := AdjList{2, 5, 7}
+	for name, fn := range map[string]func(a, b AdjList) AdjList{
+		"merge":  IntersectMerge,
+		"gallop": IntersectGallop,
+		"auto":   Intersect,
+	} {
+		if got := fn(a, b); !equalLists(got, want) {
+			t.Errorf("%s(%v, %v) = %v, want %v", name, a, b, got, want)
+		}
+	}
+	if got := IntersectAll([]AdjList{a, b}); !equalLists(got, want) {
+		t.Errorf("IntersectAll = %v, want %v", got, want)
+	}
+	if got := IntersectAll([]AdjList{{5, 5, 7}}); !equalLists(got, AdjList{5, 7}) {
+		t.Errorf("IntersectAll(single dup list) = %v, want [5 7]", got)
+	}
+}
+
+// The Into variants append after existing dst content and leave the prefix
+// untouched, even when the prefix ends with a value the kernel is about to
+// emit.
+func TestIntersectIntoPreservesPrefix(t *testing.T) {
+	a := AdjList{2, 3, 4}
+	b := AdjList{2, 3, 9}
+	prefix := AdjList{7, 2} // ends with 2 on purpose: base guard, not value guard
+	for name, fn := range map[string]func(dst AdjList, a, b AdjList) AdjList{
+		"merge":  IntersectMergeInto,
+		"gallop": IntersectGallopInto,
+		"auto":   IntersectInto,
+	} {
+		dst := append(AdjList(nil), prefix...)
+		got := fn(dst, a, b)
+		want := AdjList{7, 2, 2, 3}
+		if !equalLists(got, want) {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	s := GetScratch()
+	defer PutScratch(s)
+	dst := append(AdjList(nil), prefix...)
+	got := ThresholdIntersectInto(dst, []AdjList{a, b, {2, 8}}, 2, s)
+	want := AdjList{7, 2, 2, 3}
+	if !equalLists(got, want) {
+		t.Errorf("ThresholdIntersectInto = %v, want %v", got, want)
+	}
+}
+
+// Property: the Into variants agree with their allocating counterparts.
+func TestThresholdIntersectIntoAgrees(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	s := GetScratch()
+	defer PutScratch(s)
+	var dst AdjList
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(8)
+		lists := make([]AdjList, n)
+		for i := range lists {
+			lists[i] = randList(r, r.Intn(60), 40)
+		}
+		for k := 1; k <= n; k++ {
+			want := ThresholdIntersect(lists, k)
+			dst = ThresholdIntersectInto(dst[:0], lists, k, s)
+			if !equalLists(dst, want) {
+				t.Fatalf("trial %d k=%d: Into = %v, want %v", trial, k, dst, want)
+			}
+		}
+	}
+}
+
+// The whole point of the Into variants: zero heap allocations per call once
+// the scratch and destination buffers are warm. This is the kernel-level
+// half of the per-event alloc budget; engine/cluster tests gate the rest.
+func TestThresholdIntersectIntoZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	lists := make([]AdjList, 6)
+	for i := range lists {
+		lists[i] = randList(r, 200, 300)
+	}
+	s := GetScratch()
+	defer PutScratch(s)
+	dst := make(AdjList, 0, 512)
+	dst = ThresholdIntersectInto(dst[:0], lists, 3, s) // warm buffers
+	if allocs := testing.AllocsPerRun(100, func() {
+		dst = ThresholdIntersectInto(dst[:0], lists, 3, s)
+	}); allocs != 0 {
+		t.Fatalf("heap path: %v allocs/op, want 0", allocs)
+	}
+	dst = ThresholdIntersectInto(dst[:0], lists, len(lists), s)
+	if allocs := testing.AllocsPerRun(100, func() {
+		dst = ThresholdIntersectInto(dst[:0], lists, len(lists), s)
+	}); allocs != 0 {
+		t.Fatalf("k==n path: %v allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		dst = IntersectInto(dst[:0], lists[0], lists[1])
+	}); allocs != 0 {
+		t.Fatalf("IntersectInto: %v allocs/op, want 0", allocs)
+	}
+}
 
 func TestIntersectDeterministic(t *testing.T) {
 	r := rand.New(rand.NewSource(3))

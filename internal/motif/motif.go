@@ -8,6 +8,7 @@
 package motif
 
 import (
+	"sync"
 	"time"
 
 	"motifstream/internal/dynstore"
@@ -54,11 +55,56 @@ type Context struct {
 // Program detects one motif shape. OnEdge is called after e has been
 // inserted into ctx.D and returns the candidates completed by e.
 // Implementations must be safe for concurrent OnEdge calls.
+//
+// Locality contract: a program's D reads must be confined to the in-edge
+// list of e.Dst (the triggering edge's target). Every built-in program and
+// every DSL-compiled plan honors this, and the cluster's batched apply
+// path depends on it: events with distinct targets are detected
+// concurrently, which is only equivalent to sequential apply when no
+// program peeks at another target's dynamic state. S reads are
+// unrestricted (S is immutable between reloads).
 type Program interface {
 	// Name identifies the program in candidates and metrics.
 	Name() string
 	// OnEdge reports the candidates whose motif e completes.
 	OnEdge(ctx *Context, e graph.Edge) []Candidate
+}
+
+// Scratch holds the reusable per-invocation buffers of the detection hot
+// path. A Scratch is single-goroutine; recycle via GetScratch/PutScratch
+// (or hold one per worker) so a warmed-up caller pays zero heap
+// allocation per event that emits no candidates. Emitted candidates and
+// their Via lists are always freshly allocated — they outlive the call.
+type Scratch struct {
+	recent []dynstore.InEdge
+	bs     []graph.VertexID
+	lists  []graph.AdjList
+	as     graph.AdjList
+	g      graph.Scratch
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(Scratch) }}
+
+// GetScratch returns a Scratch from the pool, buffers warmed by prior use.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch recycles s. The caller must not use s afterwards.
+func PutScratch(s *Scratch) {
+	if s != nil {
+		scratchPool.Put(s)
+	}
+}
+
+// ScratchProgram is the allocation-free variant of Program. OnEdgeScratch
+// behaves exactly like OnEdge but takes caller-owned scratch for its
+// intermediates. The engine's hot path uses it when implemented; OnEdge
+// remains the compatibility entry point.
+type ScratchProgram interface {
+	Program
+	// OnEdgeScratch reports the candidates whose motif e completes, using
+	// s for intermediate buffers. The returned slice (when non-nil) is
+	// freshly allocated and safe to retain; the contents of s are not.
+	OnEdgeScratch(ctx *Context, e graph.Edge, s *Scratch) []Candidate
 }
 
 // DiamondConfig parametrizes the diamond motif detector.
@@ -116,8 +162,19 @@ func (d *Diamond) Name() string { return d.cfg.Name }
 // Config returns the program's configuration.
 func (d *Diamond) Config() DiamondConfig { return d.cfg }
 
-// OnEdge implements Program.
+// OnEdge implements Program. It is the allocation-friendly wrapper around
+// OnEdgeScratch using pooled scratch.
 func (d *Diamond) OnEdge(ctx *Context, e graph.Edge) []Candidate {
+	s := GetScratch()
+	out := d.OnEdgeScratch(ctx, e, s)
+	PutScratch(s)
+	return out
+}
+
+// OnEdgeScratch implements ScratchProgram: the §2 diamond detection with
+// every intermediate drawn from s. The only heap allocation on a warmed-up
+// scratch is the emitted candidate slice itself.
+func (d *Diamond) OnEdgeScratch(ctx *Context, e graph.Edge, s *Scratch) []Candidate {
 	if !d.types[e.Type] {
 		return nil
 	}
@@ -125,12 +182,13 @@ func (d *Diamond) OnEdge(ctx *Context, e graph.Edge) []Candidate {
 	// The fanout cap is pushed into the store query so a viral target with
 	// thousands of in-window actors costs O(MaxFanout), not O(window); the
 	// store returns the freshest distinct actors.
-	recent := ctx.D.RecentLimit(e.Dst, since, d.cfg.MaxFanout)
+	recent := ctx.D.RecentLimitInto(s.recent[:0], e.Dst, since, d.cfg.MaxFanout)
+	s.recent = recent
 	if len(recent) < d.cfg.K {
 		return nil
 	}
-	bs := make([]graph.VertexID, 0, len(recent))
-	lists := make([]graph.AdjList, 0, len(recent))
+	bs := s.bs[:0]
+	lists := s.lists[:0]
 	for _, in := range recent {
 		l := ctx.S.Followers(in.B)
 		if len(l) == 0 {
@@ -139,10 +197,12 @@ func (d *Diamond) OnEdge(ctx *Context, e graph.Edge) []Candidate {
 		bs = append(bs, in.B)
 		lists = append(lists, l)
 	}
+	s.bs, s.lists = bs, lists
 	if len(lists) < d.cfg.K {
 		return nil
 	}
-	as := graph.ThresholdIntersect(lists, d.cfg.K)
+	as := graph.ThresholdIntersectInto(s.as[:0], lists, d.cfg.K, &s.g)
+	s.as = as
 	if len(as) == 0 {
 		return nil
 	}
@@ -206,6 +266,13 @@ type FreshFollow struct {
 
 // Name implements Program.
 func (f *FreshFollow) Name() string { return "fresh-follow" }
+
+// OnEdgeScratch implements ScratchProgram. FreshFollow has no
+// intermediates — the only allocations are the emitted candidates — so the
+// scratch is unused and the call simply delegates.
+func (f *FreshFollow) OnEdgeScratch(ctx *Context, e graph.Edge, _ *Scratch) []Candidate {
+	return f.OnEdge(ctx, e)
+}
 
 // OnEdge implements Program.
 func (f *FreshFollow) OnEdge(ctx *Context, e graph.Edge) []Candidate {

@@ -45,7 +45,17 @@ func NewTriangleClosure(window time.Duration) *TriangleClosure {
 func (t *TriangleClosure) Name() string { return "triangle-closure" }
 
 // OnEdge implements Program: on B→C, recommend B to recent co-actors of C.
+// It wraps OnEdgeScratch with pooled scratch.
 func (t *TriangleClosure) OnEdge(ctx *Context, e graph.Edge) []Candidate {
+	s := GetScratch()
+	out := t.OnEdgeScratch(ctx, e, s)
+	PutScratch(s)
+	return out
+}
+
+// OnEdgeScratch implements ScratchProgram; only emitted candidates are
+// freshly allocated.
+func (t *TriangleClosure) OnEdgeScratch(ctx *Context, e graph.Edge, s *Scratch) []Candidate {
 	if t.Window <= 0 {
 		return nil
 	}
@@ -57,7 +67,8 @@ func (t *TriangleClosure) OnEdge(ctx *Context, e graph.Edge) []Candidate {
 		limit = 64
 	}
 	since := e.TS - t.Window.Milliseconds()
-	recent := ctx.D.RecentLimit(e.Dst, since, limit)
+	recent := ctx.D.RecentLimitInto(s.recent[:0], e.Dst, since, limit)
+	s.recent = recent
 	if len(recent) == 0 {
 		return nil
 	}

@@ -159,12 +159,41 @@ func (p *Partition) Engine() *core.Engine { return p.engine }
 // this partition's A's. Candidates are also appended to the per-user log.
 func (p *Partition) Apply(e graph.Edge) []motif.Candidate {
 	cands := p.engine.Apply(e)
-	for _, c := range cands {
-		p.log.add(c)
-		p.items.add(c.Item)
-	}
+	p.Commit(cands)
 	return cands
 }
+
+// DetectBatch runs detection for edges[i] into out[i] (len(out) must be
+// len(edges)) WITHOUT committing candidates to the per-user log or the
+// item counter, and without advancing the sweep clock. The cluster's
+// parallel path fans DetectBatch calls across workers (disjoint edge
+// targets per concurrent call — see motif.Program's locality contract) and
+// then replays Commit/MaybeSweep in stream order, so the log's per-user
+// order and the sweep cadence stay byte-identical to sequential apply.
+func (p *Partition) DetectBatch(edges []graph.Edge, out [][]motif.Candidate) {
+	p.engine.DetectBatch(edges, out)
+}
+
+// Commit appends already-detected candidates to the per-user log and the
+// item counter. Candidates must be presented in stream order; the log's
+// per-user recency depends on it.
+func (p *Partition) Commit(cands []motif.Candidate) {
+	if len(cands) == 0 {
+		return
+	}
+	p.log.addAll(cands)
+	for _, c := range cands {
+		p.items.add(c.Item)
+	}
+}
+
+// SweepDue reports whether the engine would prune D at stream time nowMS.
+func (p *Partition) SweepDue(nowMS int64) bool { return p.engine.SweepDue(nowMS) }
+
+// MaybeSweep prunes the engine's D store if due at nowMS; the batched
+// apply path calls it at exactly the stream positions where the
+// sequential path would have swept.
+func (p *Partition) MaybeSweep(nowMS int64) { p.engine.MaybeSweep(nowMS) }
 
 // RecommendationsFor returns the most recent logged candidates for user a.
 // Returns nil if a is not owned by this partition.
@@ -201,6 +230,20 @@ func newCandidateLog(depth int) *candidateLog {
 func (l *candidateLog) add(c motif.Candidate) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.addLocked(c)
+}
+
+// addAll appends a batch under one lock acquisition — the batched apply
+// path commits a whole batch's candidates at once.
+func (l *candidateLog) addAll(cands []motif.Candidate) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range cands {
+		l.addLocked(c)
+	}
+}
+
+func (l *candidateLog) addLocked(c motif.Candidate) {
 	list := append(l.byA[c.User], c)
 	if len(list) > l.depth {
 		list = list[len(list)-l.depth:]

@@ -139,7 +139,12 @@ type Stats struct {
 	Candidates uint64
 	// QueryP50 and QueryP99 are graph-query latency quantiles — the
 	// paper's "the actual graph queries take only a few milliseconds".
+	// They cover the program-execution span only; see IngestP50/P99 for
+	// the full per-event cost.
 	QueryP50, QueryP99 time.Duration
+	// IngestP50 and IngestP99 are the full per-event latency quantiles:
+	// the D-store insert plus every program.
+	IngestP50, IngestP99 time.Duration
 	// RetainedEdges is the current D store size.
 	RetainedEdges int64
 	// RetainedBytes approximates D's resident memory.
@@ -154,6 +159,8 @@ func (s *System) Stats() Stats {
 		Candidates:    es.Candidates,
 		QueryP50:      es.QueryLatency.P50,
 		QueryP99:      es.QueryLatency.P99,
+		IngestP50:     es.IngestLatency.P50,
+		IngestP99:     es.IngestLatency.P99,
 		RetainedEdges: es.Dynamic.Edges,
 		RetainedBytes: es.Dynamic.Bytes,
 	}
