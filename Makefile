@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test test-race test-crashmatrix test-delivery test-elasticity test-audit test-parallel soak-flake soak bench bench-smoke bench-trajectory fuzz fuzz-smoke
+.PHONY: check build vet test test-race test-crashmatrix test-delivery test-elasticity test-audit test-parallel test-transport soak-flake soak soak-net bench bench-smoke bench-trajectory fuzz fuzz-smoke
 
 # check is the CI gate: formatting, static analysis, the full test suite
 # under the race detector (test-delivery's and test-elasticity's cases
 # run within it, and are also kept as named targets for the quick loop),
 # the batched/parallel hot-path equivalence suite, and short fuzz smoke
 # runs of the durability codecs.
-check: fmt-check vet test-race test-delivery test-elasticity test-audit test-parallel fuzz-smoke
+check: fmt-check vet test-race test-delivery test-elasticity test-audit test-parallel test-transport fuzz-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
@@ -61,6 +61,15 @@ test-parallel:
 	$(GO) test -race -run 'TestParallelApply|TestCkptClock|TestCheckpointClockOutlier|TestApplyBatch|TestLatencyMetricSplit' ./internal/cluster ./internal/core
 	$(GO) test -run 'ZeroAlloc|TestApplyBatchAllocBudget' ./internal/graph ./internal/core
 
+# test-transport runs the networked tier under the race detector: the
+# wire codec and fault tests in internal/transport, plus the loopback
+# multi-process cluster suite (hub + socket-attached workers, connection
+# drops, worker crash/restart, full restart) — the quick loop for
+# transport work.
+test-transport:
+	$(GO) test -race ./internal/transport
+	$(GO) test -race -run 'TestNetworked' ./internal/cluster
+
 # soak-flake is the nightly soak of the once-flaky scale-out scenario
 # (the zombie-cut bug): 200 consecutive runs, any recurrence fails.
 soak-flake:
@@ -101,6 +110,13 @@ bench-trajectory:
 soak:
 	$(GO) run ./cmd/soak -dur 2m
 
+# soak-net is the networked-fault variant: the same harness drives a hub
+# plus socket-attached workers and the faults are random connection
+# drops mid-stream and worker crashes (Abort + restart over the same
+# chains), with the identical oracle/audit/resource verification.
+soak-net:
+	$(GO) run ./cmd/soak -net -dur 2m
+
 # fuzz gives each fuzz target a longer budget (manual runs).
 fuzz:
 	$(GO) test -run=NONE -fuzz FuzzSnapshotDecode -fuzztime 30s ./internal/dynstore
@@ -108,13 +124,15 @@ fuzz:
 	$(GO) test -run=NONE -fuzz FuzzDeliveryStateReadFrom -fuzztime 30s ./internal/delivery
 	$(GO) test -run=NONE -fuzz FuzzAuditRecords -fuzztime 30s ./internal/audit
 	$(GO) test -run=NONE -fuzz FuzzBenchReport -fuzztime 30s ./internal/benchfmt
+	$(GO) test -run=NONE -fuzz FuzzTransportFrame -fuzztime 30s ./internal/transport
 
 # fuzz-smoke is the CI-budget version: 10s per target keeps the decoders,
-# the WAL record framing, and the delivery-state codec continuously
-# fuzzed without stalling checks.
+# the WAL record framing, the delivery-state codec, and the transport
+# wire protocol continuously fuzzed without stalling checks.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/dynstore
 	$(GO) test -run=NONE -fuzz FuzzWALReadRecord -fuzztime 10s ./internal/queue
 	$(GO) test -run=NONE -fuzz FuzzDeliveryStateReadFrom -fuzztime 10s ./internal/delivery
 	$(GO) test -run=NONE -fuzz FuzzAuditRecords -fuzztime 10s ./internal/audit
 	$(GO) test -run=NONE -fuzz FuzzBenchReport -fuzztime 10s ./internal/benchfmt
+	$(GO) test -run=NONE -fuzz FuzzTransportFrame -fuzztime 10s ./internal/transport

@@ -104,6 +104,28 @@ type ClusterOptions struct {
 	// goroutines, sharded by target vertex. Zero or one keeps detection
 	// on the consumer goroutine. Ignored unless ApplyBatch > 1.
 	ApplyWorkers int
+	// Listen, when non-empty, runs this deployment as a networked hub: it
+	// binds a TCP listener on the address (":0" picks a free port; see
+	// ListenAddr), owns the durable firehose log and the delivery tier,
+	// and serves every replica slot to out-of-process workers — no replica
+	// runs in the hub process. Requires LogDir and CheckpointDir. Mutually
+	// exclusive with Join. See docs/OPERATIONS.md, "Multi-process
+	// deployment".
+	Listen string
+	// Join, when non-empty, runs this deployment as a networked worker: it
+	// dials the hub at the address, subscribes to the firehose over TCP
+	// for the slots in OwnedReplicas, and ships detected candidates back.
+	// Requires CheckpointDir and OwnedReplicas; forbids LogDir (the log
+	// lives in the hub process). Use Wait to block until the hub ends the
+	// stream.
+	Join string
+	// OwnedReplicas lists the (partition, replica) slots a worker process
+	// owns. Required with Join, forbidden otherwise.
+	OwnedReplicas [][2]int
+	// NetDrainTimeout bounds networked shutdown flushes (the hub's wait
+	// for worker reconnects to quiesce, a worker's candidate-ack wait);
+	// zero selects 10s. Ignored without Listen/Join.
+	NetDrainTimeout time.Duration
 	// Audit enables the detection-state fingerprint audit: every
 	// checkpoint cut records a CRC32C fingerprint of the replica's full
 	// recoverable state, recovery compositions are cross-checked against
@@ -123,6 +145,11 @@ type Cluster struct {
 // NewCluster builds and starts the deployment with the given static follow
 // edges.
 func NewCluster(staticEdges []Edge, opts ClusterOptions) (*Cluster, error) {
+	if opts.HealAfter > 0 && (opts.Listen != "" || opts.Join != "") {
+		// The healer drives ReprovisionReplica, which is a local-lifecycle
+		// operation (ErrNotLocal over the network tier).
+		return nil, fmt.Errorf("motifstream: HealAfter is not supported in networked mode")
+	}
 	if opts.Partitions == 0 {
 		opts.Partitions = 20
 	}
@@ -208,6 +235,10 @@ func NewCluster(staticEdges []Edge, opts ClusterOptions) (*Cluster, error) {
 		ApplyBatch:         opts.ApplyBatch,
 		ApplyWorkers:       opts.ApplyWorkers,
 		Audit:              opts.Audit,
+		Listen:             opts.Listen,
+		Join:               opts.Join,
+		OwnedReplicas:      opts.OwnedReplicas,
+		NetDrainTimeout:    opts.NetDrainTimeout,
 	})
 	if err != nil {
 		return nil, err
@@ -259,6 +290,21 @@ func (c *Cluster) stopHealer() {
 		c.healer.Stop()
 	}
 }
+
+// ListenAddr returns a networked hub's bound listen address — needed to
+// hand workers a dialable -join target when Listen was ":0". Empty on
+// non-hub deployments.
+func (c *Cluster) ListenAddr() string { return c.inner.ListenAddr() }
+
+// Wait blocks until the hub ends the stream, then runs the worker's full
+// durable stop (final checkpoint cuts gated on candidate acks). This is a
+// networked worker process's main loop — construct, Wait, exit. Errors on
+// non-worker deployments.
+func (c *Cluster) Wait() error { return c.inner.Wait() }
+
+// Abort tears a networked worker down as a crash would: connections
+// drop, consumers stop, no final checkpoint cut. No-op on non-workers.
+func (c *Cluster) Abort() { c.inner.Abort() }
 
 // RecommendationsFor reads the most recent recommendations for a user
 // through the broker tier.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"motifstream/internal/benchfmt"
@@ -38,13 +39,13 @@ const latencyTol = 2.0
 // — is a 100-1000x move, so the band can be this wide and still bite.
 const cutPauseTol = 25.0
 
-// newTrajectoryCluster builds the pinned durable deployment: 4 partitions
-// x 2 replicas, checkpointing on, suppression-free delivery so the
-// delivered count is deterministic and comparable across runs.
-func newTrajectoryCluster(c runConfig, dir string) (*cluster.Cluster, error) {
+// trajectoryConfig is the pinned durable deployment: 4 partitions x 2
+// replicas, checkpointing on, suppression-free delivery so the delivered
+// count is deterministic and comparable across runs.
+func trajectoryConfig(c runConfig, dir string) cluster.Config {
 	users, avgFollows, _ := workloadSizes(c.quick)
 	static := cachedGraph(users, avgFollows)
-	return cluster.New(cluster.Config{
+	return cluster.Config{
 		Partitions:     trajectoryPartitions,
 		Replicas:       trajectoryReplicas,
 		StaticEdges:    static,
@@ -73,7 +74,12 @@ func newTrajectoryCluster(c runConfig, dir string) (*cluster.Cluster, error) {
 		// delivery) does not pay a deep-queueing tax for the throughput.
 		ApplyBatch:   16,
 		ApplyWorkers: 2,
-	})
+	}
+}
+
+// newTrajectoryCluster builds the pinned deployment in-process.
+func newTrajectoryCluster(c runConfig, dir string) (*cluster.Cluster, error) {
+	return cluster.New(trajectoryConfig(c, dir))
 }
 
 // runT1 measures the trajectory's steady-state point: sustained ingest
@@ -221,5 +227,108 @@ func runT3(c runConfig) []benchfmt.Metric {
 
 	return []benchfmt.Metric{
 		{Name: "trajectory.reprovision_latency_ns", Value: float64(perOp), Unit: "ns", Better: benchfmt.LowerIsBetter, Tolerance: latencyTol},
+	}
+}
+
+// runT4 measures the networked deployment tier on the pinned workload:
+// the same stream ingested with every replica slot in a socket-attached
+// worker over loopback TCP (one worker per replica index, each owning
+// its index across all partitions), and the candidate envelope RPC
+// round-trip p99 — batch write to cumulative ack — paid by the workers'
+// forwarders. The wall clock covers publish through the full networked
+// drain (worker flush, FIN, worker exit), so the throughput is honest
+// about the socket tier's framing, batching, and ack overhead.
+func runT4(c runConfig) []benchfmt.Metric {
+	users, _, events := workloadSizes(c.quick)
+	stream := cachedStream(users, events)
+	root, err := os.MkdirTemp("", "trajectory-t4-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+
+	hubCfg := trajectoryConfig(c, filepath.Join(root, "ckpt"))
+	hubCfg.Listen = "127.0.0.1:0"
+	hubCfg.LogDir = filepath.Join(root, "log")
+	hub, err := cluster.New(hubCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hub.Start()
+
+	workers := make([]*cluster.Cluster, 0, trajectoryReplicas)
+	joins := make([]chan error, 0, trajectoryReplicas)
+	for i := 0; i < trajectoryReplicas; i++ {
+		wcfg := hubCfg
+		wcfg.Listen = ""
+		wcfg.LogDir = ""
+		wcfg.Join = hub.ListenAddr()
+		owned := make([][2]int, trajectoryPartitions)
+		for pid := range owned {
+			owned[pid] = [2]int{pid, i}
+		}
+		wcfg.OwnedReplicas = owned
+		w, err := cluster.New(wcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.Start()
+		done := make(chan error, 1)
+		go func() { done <- w.Wait() }()
+		workers = append(workers, w)
+		joins = append(joins, done)
+	}
+	for pid := 0; pid < trajectoryPartitions; pid++ {
+		for r := 0; r < trajectoryReplicas; r++ {
+			if err := hub.AwaitReplicaLive(pid, r, 5*time.Minute); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	wall := cluster.Elapsed(func() {
+		for _, e := range stream {
+			if err := hub.Publish(e); err != nil {
+				log.Fatal(err)
+			}
+		}
+		hub.Shutdown()
+		for _, done := range joins {
+			if err := <-done; err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	st := hub.Stats()
+	eps := float64(len(stream)) / wall.Seconds()
+
+	// The RTT histogram lives in each worker's registry; gate on the worst
+	// worker's p99 — a regression anywhere in the framing/ack path counts.
+	var rttP99 time.Duration
+	var rttN uint64
+	for _, w := range workers {
+		snap := w.Metrics().Histogram("transport.cands.rtt").Snapshot()
+		rttN += snap.Count
+		if snap.P99 > rttP99 {
+			rttP99 = snap.P99
+		}
+	}
+	if rttN == 0 {
+		log.Fatal("T4: no candidate RPC round-trips recorded")
+	}
+
+	tb := newTable("metric", "value")
+	tb.addf("networked ingest throughput|%.0f events/s (%.2fx the paper's 1e4/s target)", eps, eps/1e4)
+	tb.addf("envelope RPC RTT p99 (worst worker)|%v over %d batches", rttP99.Round(10*time.Microsecond), rttN)
+	tb.addf("delivered pushes|%d", st.Delivered)
+	tb.print()
+	fmt.Println("  expected shape: within a small factor of T1 ingest — the socket tier")
+	fmt.Println("  batches envelopes and pipelines acks, so loopback adds framing cost,")
+	fmt.Println("  not a per-event round-trip.")
+
+	return []benchfmt.Metric{
+		{Name: "trajectory.net_ingest_events_per_sec", Value: eps, Unit: "events/s", Better: benchfmt.HigherIsBetter},
+		{Name: "trajectory.net_cand_rtt_p99_ns", Value: float64(rttP99), Unit: "ns", Better: benchfmt.LowerIsBetter, Tolerance: latencyTol},
+		{Name: "trajectory.net_delivered", Value: float64(st.Delivered), Unit: "count"},
 	}
 }

@@ -79,11 +79,12 @@ func main() {
 		{"T1", "trajectory: pinned ingest throughput + wall-clock detection latency", runT1},
 		{"T2", "trajectory: recovery replay rate (kill/restore/catch-up)", runT2},
 		{"T3", "trajectory: reprovision latency (node replacement)", runT3},
+		{"T4", "trajectory: networked ingest + envelope RPC RTT (loopback sockets)", runT4},
 	}
 
 	sel := *expFlag
 	if *trajectory {
-		sel = "T1,T2,T3"
+		sel = "T1,T2,T3,T4"
 	}
 	all := sel == "all"
 	want := map[string]bool{}

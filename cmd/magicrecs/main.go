@@ -8,6 +8,11 @@
 //	magicrecs -scenario medium
 //	magicrecs -static data/static.edges -stream data/stream.edges
 //
+// Multi-process deployment (see docs/OPERATIONS.md):
+//
+//	magicrecs -listen :7400 -logdir /data/log -checkpointdir /data/ckpt -workerprocs 2
+//	magicrecs -join hub:7400 -owned 0/0,1/0 -checkpointdir /data/ckpt
+//
 // Flags control the paper's tunables: k, the window τ, partition and
 // replica counts, influencer cap, and queue-delay modeling.
 package main
@@ -15,8 +20,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/exec"
+	"strconv"
+	"strings"
 	"time"
 
 	"motifstream"
@@ -28,54 +37,111 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("magicrecs: ")
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
 
+// run is the testable entry point: flag parsing and validation write to
+// errOut and return an exit code instead of killing the process.
+func run(args []string, errOut io.Writer) int {
+	fs := flag.NewFlagSet("magicrecs", flag.ContinueOnError)
+	fs.SetOutput(errOut)
 	var (
-		scenario   = flag.String("scenario", "medium", "workload preset: small, medium, large (ignored when -static/-stream set)")
-		staticPath = flag.String("static", "", "recorded static edge file (from loadgen)")
-		streamPath = flag.String("stream", "", "recorded stream edge file (from loadgen)")
-		partitions = flag.Int("partitions", 20, "number of partitions (paper: 20)")
-		replicas   = flag.Int("replicas", 1, "replicas per partition")
-		k          = flag.Int("k", 3, "support threshold k (paper production: 3)")
-		window     = flag.Duration("window", 10*time.Minute, "freshness window tau")
-		maxInfl    = flag.Int("maxinfluencers", 200, "influencer cap per user (0 = unlimited)")
-		maxFanout  = flag.Int("maxfanout", 64, "recent-actor cap per event (-1 = unlimited)")
-		queueMed   = flag.Duration("queuemedian", 7*time.Second, "simulated queue-delay median (0 disables)")
-		queueP99   = flag.Duration("queuep99", 15*time.Second, "simulated queue-delay p99")
-		progress   = flag.Int("progress", 50_000, "print progress every N events (0 disables)")
-		ckptDir    = flag.String("checkpointdir", "", "directory for durable replica checkpoints (enables crash recovery; empty disables)")
-		ckptEvery  = flag.Duration("checkpointinterval", time.Minute, "stream-time interval between replica checkpoints")
-		compactN   = flag.Int("compactevery", 8, "delta checkpoint segments per chain before the background compactor folds a new base")
-		staticSnap = flag.String("staticsnapdir", "", "directory of offline-built S snapshots (s-p%03d.snap) reloaded on replica restore")
-		logDir     = flag.String("logdir", "", "directory for the durable firehose log (WAL); with -checkpointdir, whole-cluster restarts recover from disk")
-		restarts   = flag.Int("restarts", 0, "restart the whole cluster N times mid-stream (Shutdown + Reopen over the same dirs; requires -logdir)")
-		mirrorN    = flag.Int("mirrorbases", 0, "replicate each compacted base checkpoint to N peer replica directories (base replication; 0 disables)")
-		reprovN    = flag.Int("reprovision", 0, "N times mid-stream, kill replica 1 of every partition and reprovision it onto a fresh node (requires -checkpointdir and -replicas >= 2)")
-		scaleN     = flag.Int("scale-events", 0, "perform N live scale events mid-stream, alternating AddReplica and DecommissionReplica on every partition (requires -checkpointdir)")
-		healAfter  = flag.Duration("healafter", 0, "auto-reprovision replicas dead longer than this (auto-healer; 0 disables)")
-		auditOn    = flag.Bool("audit", false, "record a CRC32C state fingerprint at every checkpoint cut and cross-verify replicas after the run (requires -checkpointdir)")
-		batchN     = flag.Int("applybatch", 0, "batched detection hot path: drain up to N envelopes per apply batch (0/1 = per-envelope apply)")
-		workersN   = flag.Int("applyworkers", 0, "worker goroutines for candidate generation per batch, sharded by target (0/1 = consumer goroutine; needs -applybatch > 1)")
+		scenario   = fs.String("scenario", "medium", "workload preset: small, medium, large (ignored when -static/-stream set)")
+		staticPath = fs.String("static", "", "recorded static edge file (from loadgen)")
+		streamPath = fs.String("stream", "", "recorded stream edge file (from loadgen)")
+		partitions = fs.Int("partitions", 20, "number of partitions (paper: 20)")
+		replicas   = fs.Int("replicas", 1, "replicas per partition")
+		k          = fs.Int("k", 3, "support threshold k (paper production: 3)")
+		window     = fs.Duration("window", 10*time.Minute, "freshness window tau")
+		maxInfl    = fs.Int("maxinfluencers", 200, "influencer cap per user (0 = unlimited)")
+		maxFanout  = fs.Int("maxfanout", 64, "recent-actor cap per event (-1 = unlimited)")
+		queueMed   = fs.Duration("queuemedian", 7*time.Second, "simulated queue-delay median (0 disables)")
+		queueP99   = fs.Duration("queuep99", 15*time.Second, "simulated queue-delay p99")
+		progress   = fs.Int("progress", 50_000, "print progress every N events (0 disables)")
+		ckptDir    = fs.String("checkpointdir", "", "directory for durable replica checkpoints (enables crash recovery; empty disables)")
+		ckptEvery  = fs.Duration("checkpointinterval", time.Minute, "stream-time interval between replica checkpoints")
+		compactN   = fs.Int("compactevery", 8, "delta checkpoint segments per chain before the background compactor folds a new base")
+		staticSnap = fs.String("staticsnapdir", "", "directory of offline-built S snapshots (s-p%03d.snap) reloaded on replica restore")
+		logDir     = fs.String("logdir", "", "directory for the durable firehose log (WAL); with -checkpointdir, whole-cluster restarts recover from disk")
+		restarts   = fs.Int("restarts", 0, "restart the whole cluster N times mid-stream (Shutdown + Reopen over the same dirs; requires -logdir)")
+		mirrorN    = fs.Int("mirrorbases", 0, "replicate each compacted base checkpoint to N peer replica directories (base replication; 0 disables)")
+		reprovN    = fs.Int("reprovision", 0, "N times mid-stream, kill replica 1 of every partition and reprovision it onto a fresh node (requires -checkpointdir and -replicas >= 2)")
+		scaleN     = fs.Int("scale-events", 0, "perform N live scale events mid-stream, alternating AddReplica and DecommissionReplica on every partition (requires -checkpointdir)")
+		healAfter  = fs.Duration("healafter", 0, "auto-reprovision replicas dead longer than this (auto-healer; 0 disables)")
+		auditOn    = fs.Bool("audit", false, "record a CRC32C state fingerprint at every checkpoint cut and cross-verify replicas after the run (requires -checkpointdir)")
+		batchN     = fs.Int("applybatch", 0, "batched detection hot path: drain up to N envelopes per apply batch (0/1 = per-envelope apply)")
+		workersN   = fs.Int("applyworkers", 0, "worker goroutines for candidate generation per batch, sharded by target (0/1 = consumer goroutine; needs -applybatch > 1)")
+
+		listen      = fs.String("listen", "", "run as a networked hub: bind this TCP address, own the durable log and delivery tier, and serve every replica slot to worker processes (requires -logdir and -checkpointdir)")
+		join        = fs.String("join", "", "run as a networked worker: dial the hub at this address and consume the slots in -owned (requires -owned and -checkpointdir; forbids -logdir)")
+		ownedStr    = fs.String("owned", "", "comma-separated partition/replica slots this worker owns, e.g. 0/0,1/0 (requires -join)")
+		workerProcs = fs.Int("workerprocs", 0, "with -listen: spawn N worker OS processes (re-exec of this binary with -join), splitting all replica slots among them")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(errOut, "magicrecs: %s\n", fmt.Sprintf(format, a...))
+		fs.Usage()
+		return 2
+	}
 
 	if *restarts > 0 && (*logDir == "" || *ckptDir == "") {
-		log.Fatal("-restarts requires -logdir and -checkpointdir")
+		return fail("-restarts requires -logdir and -checkpointdir")
 	}
 	if (*reprovN > 0 || *scaleN > 0 || *healAfter > 0) && *ckptDir == "" {
-		log.Fatal("-reprovision, -scale-events, and -healafter require -checkpointdir")
+		return fail("-reprovision, -scale-events, and -healafter require -checkpointdir")
 	}
 	if *reprovN > 0 && *replicas < 2 {
-		log.Fatal("-reprovision requires -replicas >= 2 (the last alive replica cannot be replaced)")
+		return fail("-reprovision requires -replicas >= 2 (the last alive replica cannot be replaced)")
 	}
 	if *auditOn && *ckptDir == "" {
-		log.Fatal("-audit requires -checkpointdir")
+		return fail("-audit requires -checkpointdir")
+	}
+	workersSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "applyworkers" {
+			workersSet = true
+		}
+	})
+	if workersSet && *batchN <= 1 {
+		return fail("-applyworkers requires -applybatch > 1 (parallel candidate generation only exists on the batched hot path)")
+	}
+
+	networked := *listen != "" || *join != ""
+	if *listen != "" && *join != "" {
+		return fail("-listen and -join are mutually exclusive (a process is a hub or a worker, not both)")
+	}
+	if *listen != "" && (*logDir == "" || *ckptDir == "") {
+		return fail("-listen requires -logdir and -checkpointdir (the hub owns the durable firehose log)")
+	}
+	if *join != "" && *ownedStr == "" {
+		return fail("-join requires -owned (the partition/replica slots this worker consumes)")
+	}
+	if *join != "" && *ckptDir == "" {
+		return fail("-join requires -checkpointdir (workers cut their own durable checkpoints)")
+	}
+	if *join != "" && *logDir != "" {
+		return fail("-join forbids -logdir (the durable log lives in the hub process)")
+	}
+	if *ownedStr != "" && *join == "" {
+		return fail("-owned requires -join")
+	}
+	if *workerProcs > 0 && *listen == "" {
+		return fail("-workerprocs requires -listen (only a hub spawns workers)")
+	}
+	if networked && (*restarts > 0 || *reprovN > 0 || *scaleN > 0 || *healAfter > 0) {
+		return fail("-restarts, -reprovision, -scale-events, and -healafter are single-process lifecycle drivers; they are not available with -listen/-join")
+	}
+	owned, err := parseOwned(*ownedStr, *partitions, *replicas)
+	if err != nil {
+		return fail("%v", err)
 	}
 
 	static, events, err := loadWorkload(*scenario, *staticPath, *streamPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("workload: %d static follow edges, %d stream events\n", len(static), len(events))
 
 	opts := motifstream.ClusterOptions{
 		Partitions:             *partitions,
@@ -97,11 +163,72 @@ func main() {
 		ApplyBatch:             *batchN,
 		ApplyWorkers:           *workersN,
 		Audit:                  *auditOn,
+		Listen:                 *listen,
+		Join:                   *join,
+		OwnedReplicas:          owned,
 	}
+
+	if *join != "" {
+		// Worker process: consume the owned slots until the hub ends the
+		// stream, then exit through the full durable stop. The workload
+		// flags must match the hub's — the static follow graph is what the
+		// worker's partitions detect against.
+		clu, err := motifstream.NewCluster(static, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("worker: joined %s owning %s (%d static edges)\n", *join, *ownedStr, len(static))
+		if err := clu.Wait(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("worker: stream ended, durable stop complete\n")
+		return 0
+	}
+
+	fmt.Printf("workload: %d static follow edges, %d stream events\n", len(static), len(events))
 	clu, err := motifstream.NewCluster(static, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Hub with -workerprocs: split every replica slot round-robin across N
+	// re-exec'd worker processes, then drive the workload as usual. The
+	// children inherit the workload and shape flags so each builds the
+	// same static graph and detection programs.
+	var workers []*exec.Cmd
+	if *listen != "" && *workerProcs > 0 {
+		addr := clu.ListenAddr()
+		fmt.Printf("hub: listening on %s, spawning %d worker processes\n", addr, *workerProcs)
+		groups := splitSlots(*partitions, *replicas, *workerProcs)
+		for wi, slots := range groups {
+			if len(slots) == 0 {
+				continue
+			}
+			cmd, err := spawnWorker(addr, slots, fs)
+			if err != nil {
+				log.Fatalf("spawn worker %d: %v", wi, err)
+			}
+			workers = append(workers, cmd)
+		}
+	} else if *listen != "" {
+		fmt.Printf("hub: listening on %s, waiting for external workers (-join)\n", clu.ListenAddr())
+	}
+	if *listen != "" {
+		// Publishing into a hub with absent workers would stream into the
+		// log with nobody consuming, then shut the listener before slow
+		// joiners attach; wait until every slot's worker is caught up.
+		for pid := 0; pid < *partitions; pid++ {
+			for r := 0; r < *replicas; r++ {
+				if err := clu.AwaitReplicaLive(pid, r, 5*time.Minute); err != nil {
+					log.Fatalf("waiting for the worker owning slot %d/%d: %v", pid, r, err)
+				}
+			}
+		}
+		fmt.Printf("hub: all %d replica slots live\n", *partitions**replicas)
+	}
+
+	start := time.Now()
+	var delivered, ingested uint64
 
 	// With -restarts N the stream is split into N+1 runs; between runs the
 	// whole cluster shuts down and a brand-new one reopens over the same
@@ -125,8 +252,6 @@ func main() {
 	}
 	scaledIdx := -1
 
-	start := time.Now()
-	var delivered, ingested uint64
 	for i, e := range events {
 		if reprovAt[i] {
 			for pid := 0; pid < *partitions; pid++ {
@@ -185,6 +310,14 @@ func main() {
 	clu.Shutdown()
 	wall := time.Since(start)
 
+	// A networked shutdown ends every worker's stream; collect the
+	// children before reporting so their final flushes are on disk.
+	for wi, cmd := range workers {
+		if err := cmd.Wait(); err != nil {
+			log.Fatalf("worker %d: %v", wi, err)
+		}
+	}
+
 	// Counters reset at each restart boundary; fold the earlier runs back
 	// in (latency quantiles and the funnel describe the final run).
 	s := clu.Stats()
@@ -242,6 +375,87 @@ func main() {
 			fmt.Printf("  item %-10d recommended %d times\n", ic.Item, ic.Count)
 		}
 	}
+	return 0
+}
+
+// parseOwned parses "0/0,1/0" into (partition, replica) pairs and
+// validates them against the deployment shape.
+func parseOwned(s string, partitions, replicas int) ([][2]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var owned [][2]int
+	for _, part := range strings.Split(s, ",") {
+		pr := strings.Split(strings.TrimSpace(part), "/")
+		if len(pr) != 2 {
+			return nil, fmt.Errorf("-owned: %q is not partition/replica", part)
+		}
+		pid, err1 := strconv.Atoi(pr[0])
+		r, err2 := strconv.Atoi(pr[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("-owned: %q is not partition/replica", part)
+		}
+		if pid < 0 || pid >= partitions || r < 0 || r >= replicas {
+			return nil, fmt.Errorf("-owned: slot %d/%d outside %d partitions x %d replicas", pid, r, partitions, replicas)
+		}
+		owned = append(owned, [2]int{pid, r})
+	}
+	return owned, nil
+}
+
+// splitSlots deals every (partition, replica) slot round-robin across n
+// worker processes.
+func splitSlots(partitions, replicas, n int) [][][2]int {
+	groups := make([][][2]int, n)
+	i := 0
+	for pid := 0; pid < partitions; pid++ {
+		for r := 0; r < replicas; r++ {
+			groups[i%n] = append(groups[i%n], [2]int{pid, r})
+			i++
+		}
+	}
+	return groups
+}
+
+// workerFlags is the set of flags a spawned worker inherits from the hub
+// verbatim: the workload (for the static graph) and every knob that
+// shapes per-replica detection or checkpointing.
+var workerFlags = map[string]bool{
+	"scenario": true, "static": true, "stream": true,
+	"partitions": true, "replicas": true, "k": true, "window": true,
+	"maxinfluencers": true, "maxfanout": true,
+	"queuemedian": true, "queuep99": true,
+	"checkpointdir": true, "checkpointinterval": true, "compactevery": true,
+	"staticsnapdir": true, "mirrorbases": true,
+	"applybatch": true, "applyworkers": true, "audit": true,
+}
+
+// spawnWorker re-execs this binary as a worker owning the given slots.
+func spawnWorker(hubAddr string, slots [][2]int, fs *flag.FlagSet) (*exec.Cmd, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]string, len(slots))
+	for i, s := range slots {
+		parts[i] = fmt.Sprintf("%d/%d", s[0], s[1])
+	}
+	args := []string{"-join", hubAddr, "-owned", strings.Join(parts, ","), "-progress", "0"}
+	fs.Visit(func(f *flag.Flag) {
+		if workerFlags[f.Name] {
+			args = append(args, "-"+f.Name+"="+f.Value.String())
+		}
+	})
+	cmd := exec.Command(self, args...)
+	// MAGICRECS_BE_MAIN routes a re-exec'd *test* binary into main()
+	// instead of the test runner; the real binary ignores it.
+	cmd.Env = append(os.Environ(), "MAGICRECS_BE_MAIN=1")
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return cmd, nil
 }
 
 // loadWorkload returns the static and dynamic edge sets, either from

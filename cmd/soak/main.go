@@ -18,6 +18,15 @@
 // surgically chosen pipeline stages, soak asks the complementary
 // question: does the same machinery hold up under minutes of arbitrary
 // interleaving?
+//
+// With -net the deployment under churn is networked instead: a hub plus
+// one worker per replica index attached over real loopback sockets, and
+// the fault menu becomes network faults — random connection drops
+// mid-stream (every worker socket severed at seeded points inside a
+// wave) and worker crashes (Abort: sockets drop, no flush, no final
+// checkpoint cut) with recovery over the same durable chains. The same
+// no-fault oracle equivalence, fingerprint audit, truncation, and
+// resource-flatness invariants apply.
 package main
 
 import (
@@ -43,10 +52,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed (same seed + same ops = same delivered set)")
 	users := flag.Int("users", 48, "ring-graph population")
 	wave := flag.Int("wave", 50, "motif completions published per churn wave")
+	netMode := flag.Bool("net", false, "networked mode: hub + socket-attached workers under connection drops and worker crashes instead of the local lifecycle menu")
 	flag.Parse()
 
 	log.SetFlags(log.Ltime)
-	if err := run(*dur, *seed, *users, *wave); err != nil {
+	var err error
+	if *netMode {
+		err = runNet(*dur, *seed, *users, *wave)
+	} else {
+		err = run(*dur, *seed, *users, *wave)
+	}
+	if err != nil {
 		log.Fatalf("soak: FAIL: %v", err)
 	}
 	fmt.Println("soak: PASS")
@@ -545,6 +561,327 @@ func run(dur time.Duration, seed int64, users, wave int) error {
 	// whole run.
 	st := s.c.Stats()
 	log.Printf("fingerprint audit clean (%d audit records since last restart)", st.AuditRecords)
+
+	want, err := oracle(filepath.Join(root, "oracle"), seed, static, s.published)
+	if err != nil {
+		return err
+	}
+	if err := compareNotes(want, s.notes()); err != nil {
+		return err
+	}
+	log.Printf("oracle equivalence: %d distinct notifications match exactly", len(want))
+
+	if err := checkGoroutines(s.goroutines); err != nil {
+		return err
+	}
+	if err := checkHeap(s.heaps); err != nil {
+		return err
+	}
+	log.Printf("resource check: goroutines %v, heap %d -> %d bytes",
+		s.goroutines, s.heaps[0], s.heaps[len(s.heaps)-1])
+	return nil
+}
+
+// netWorker is one in-process stand-in for a worker OS process: its own
+// Cluster joined to the hub over a real loopback socket, with the worker
+// main loop (Wait) on a goroutine whose result lands on done.
+type netWorker struct {
+	cfg  cluster.Config
+	c    *cluster.Cluster
+	done chan error
+}
+
+func startNetWorker(cfg cluster.Config) (*netWorker, error) {
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.Start()
+	w := &netWorker{cfg: cfg, c: c, done: make(chan error, 1)}
+	go func() { w.done <- c.Wait() }()
+	return w, nil
+}
+
+func (w *netWorker) join(timeout time.Duration) error {
+	select {
+	case err := <-w.done:
+		return err
+	case <-time.After(timeout):
+		return fmt.Errorf("worker owning %v did not exit within %v", w.cfg.OwnedReplicas, timeout)
+	}
+}
+
+// netSoak owns the networked deployment under churn: the hub plus one
+// worker per replica index, each owning that index across every
+// partition. A worker crash replaces the netWorker value wholesale.
+type netSoak struct {
+	hubCfg     cluster.Config
+	hub        *cluster.Cluster
+	workers    []*netWorker
+	gen        *waveGen
+	waveSteps  int
+	published  []graph.Edge
+	notes      func() map[noteKey]int
+	rng        *rand.Rand
+	goroutines []int
+	heaps      []uint64
+	waves      int
+	drops      int    // connections severed by injected blips
+	reconnects uint64 // reconnect counters of workers since crashed (counters die with the Cluster)
+}
+
+// publishWave feeds one wave into the hub's firehose; if blips > 0,
+// every worker connection is severed at that many seeded random points
+// mid-wave. A blip that lands while workers are still redialing from the
+// previous one severs nothing — the running drop count, asserted nonzero
+// at the end, keeps the injection honest without making the schedule
+// timing-sensitive.
+func (s *netSoak) publishWave(blips int) error {
+	w := s.gen.wave(s.waveSteps)
+	cut := make(map[int]bool, blips)
+	for i := 0; i < blips; i++ {
+		cut[s.rng.Intn(len(w))] = true
+	}
+	for i, e := range w {
+		if cut[i] {
+			s.drops += s.hub.DropConnections()
+		}
+		if err := s.hub.Publish(e); err != nil {
+			return fmt.Errorf("publish: %w", err)
+		}
+	}
+	s.published = append(s.published, w...)
+	return nil
+}
+
+func (s *netSoak) awaitAllLive() error {
+	for pid := 0; pid < s.hubCfg.Partitions; pid++ {
+		for r := 0; r < s.hubCfg.Replicas; r++ {
+			if err := s.hub.AwaitReplicaLive(pid, r, awaitTimeout); err != nil {
+				return fmt.Errorf("await %d/%d: %w", pid, r, err)
+			}
+		}
+	}
+	return nil
+}
+
+// crashWorker crashes one worker (Abort: sockets drop, no flush, no
+// final checkpoint cut — the in-process equivalent of SIGKILL), ingests
+// a wave while its slots are dead and the peer covers delivery, then
+// brings a fresh worker up over the same durable chains and waits for it
+// to replay live.
+func (s *netSoak) crashWorker(i int) error {
+	w := s.workers[i]
+	s.reconnects += w.c.Metrics().Counter("transport.reconnects").Value()
+	w.c.Abort()
+	if err := w.join(awaitTimeout); err != nil {
+		return err
+	}
+	// The hub's feed handlers notice the severed sockets asynchronously.
+	for _, or := range w.cfg.OwnedReplicas {
+		deadline := time.Now().Add(awaitTimeout)
+		for {
+			st, err := s.hub.ReplicaState(or[0], or[1])
+			if err != nil {
+				return err
+			}
+			if st == "dead" {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("crashed worker slot %d/%d state %q, want dead", or[0], or[1], st)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if err := s.publishWave(0); err != nil {
+		return err
+	}
+	w2, err := startNetWorker(w.cfg)
+	if err != nil {
+		return err
+	}
+	s.workers[i] = w2
+	for _, or := range w.cfg.OwnedReplicas {
+		if err := s.hub.AwaitReplicaLive(or[0], or[1], awaitTimeout); err != nil {
+			return fmt.Errorf("restarted worker %d/%d: %w", or[0], or[1], err)
+		}
+	}
+	return nil
+}
+
+// waitForTruncation proves compaction holds over sockets too: worker
+// checkpoint cuts report floors over the wire, and the hub truncates the
+// shared log off the reported minimum. Unlike the local mode, floors
+// arrive a full publish→detect→ack→cut→report round-trip later, so the
+// loop paces its waves — a tight loop would bury the run (and every
+// later replay) under hundreds of thousands of events before the first
+// report lands.
+func (s *netSoak) waitForTruncation() error {
+	deadline := time.Now().Add(awaitTimeout)
+	for s.hub.Stats().LogTruncatedBelow == 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("firehose log never truncated (published %d events)", len(s.published))
+		}
+		if err := s.publishWave(0); err != nil {
+			return err
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return nil
+}
+
+func (s *netSoak) sample() {
+	s.goroutines = append(s.goroutines, runtime.NumGoroutine())
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.heaps = append(s.heaps, ms.HeapAlloc)
+}
+
+// ops is the network-fault menu, cycled for the duration budget.
+func (s *netSoak) ops() []struct {
+	name string
+	fn   func() error
+} {
+	return []struct {
+		name string
+		fn   func() error
+	}{
+		{"ingest through one random mid-wave connection drop", func() error {
+			return s.publishWave(1)
+		}},
+		{"crash worker r0 mid-stream, restart over same chains", func() error {
+			return s.crashWorker(0)
+		}},
+		{"ingest through a double blip (drop during replay)", func() error {
+			return s.publishWave(2)
+		}},
+		{"crash worker r1 mid-stream, restart over same chains", func() error {
+			return s.crashWorker(1)
+		}},
+		{"ingest with a drop and verify log truncation", func() error {
+			if err := s.publishWave(1); err != nil {
+				return err
+			}
+			return s.waitForTruncation()
+		}},
+	}
+}
+
+// finish drains the deployment — hub EOS, workers flush + FIN and exit —
+// then runs the cross-replica fingerprint audit and the fault-injection
+// vacuousness checks.
+func (s *netSoak) finish() error {
+	s.hub.Shutdown()
+	for _, w := range s.workers {
+		if err := w.join(time.Minute); err != nil {
+			return err
+		}
+	}
+	records := 0
+	for pid := 0; pid < s.hubCfg.Partitions; pid++ {
+		rep, err := s.hub.VerifyFingerprints(pid)
+		if err != nil {
+			return fmt.Errorf("VerifyFingerprints(%d): %w", pid, err)
+		}
+		if len(rep.Mismatches) > 0 {
+			return fmt.Errorf("partition %d: state fingerprint mismatches: %+v", pid, rep.Mismatches)
+		}
+		records += rep.Records
+	}
+	if records == 0 {
+		return fmt.Errorf("vacuous: audit enabled but no fingerprints recorded")
+	}
+	if n := s.hub.Stats().AuditMismatches; n != 0 {
+		return fmt.Errorf("pipeline detected %d fingerprint mismatches", n)
+	}
+	if s.drops == 0 {
+		return fmt.Errorf("vacuous: no connection was ever severed")
+	}
+	for _, w := range s.workers {
+		s.reconnects += w.c.Metrics().Counter("transport.reconnects").Value()
+	}
+	if s.reconnects == 0 {
+		return fmt.Errorf("no worker ever reconnected despite %d severed connections", s.drops)
+	}
+	return nil
+}
+
+// runNet is the networked counterpart of run: same workload and
+// invariants, but the cluster under churn is a hub plus socket-attached
+// workers and the faults are network blips and worker crashes.
+func runNet(dur time.Duration, seed int64, users, wave int) error {
+	root, err := os.MkdirTemp("", "soak-net-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	static := ringStatic(users)
+	s := &netSoak{
+		hubCfg:    soakCfg(filepath.Join(root, "churn"), seed, static),
+		gen:       newWaveGen(seed, users),
+		waveSteps: wave,
+		// The fault schedule draws from its own stream so the workload
+		// stays identical to the local mode's for the same seed.
+		rng: rand.New(rand.NewSource(seed ^ 0x6e6574)),
+	}
+	s.hubCfg.Listen = "127.0.0.1:0"
+	s.notes = collectNotes(&s.hubCfg)
+	hub, err := cluster.New(s.hubCfg)
+	if err != nil {
+		return err
+	}
+	hub.Start()
+	s.hub = hub
+
+	for i := 0; i < s.hubCfg.Replicas; i++ {
+		wcfg := s.hubCfg
+		wcfg.Listen = ""
+		wcfg.LogDir = ""
+		wcfg.Join = hub.ListenAddr()
+		wcfg.OwnedReplicas = [][2]int{{0, i}, {1, i}}
+		wcfg.OnNotify = nil
+		wcfg.Metrics = nil
+		w, err := startNetWorker(wcfg)
+		if err != nil {
+			return err
+		}
+		s.workers = append(s.workers, w)
+	}
+	if err := s.awaitAllLive(); err != nil {
+		return err
+	}
+
+	log.Printf("networked churn phase: %v budget, %d users, %d completions/wave, hub %s + %d workers",
+		dur, users, wave, hub.ListenAddr(), len(s.workers))
+	ops := s.ops()
+	deadline := time.Now().Add(dur)
+	for time.Now().Before(deadline) {
+		op := ops[s.waves%len(ops)]
+		start := time.Now()
+		if err := op.fn(); err != nil {
+			return fmt.Errorf("wave %d (%s): %w", s.waves, op.name, err)
+		}
+		if n := s.hub.Stats().AuditMismatches; n != 0 {
+			return fmt.Errorf("wave %d: pipeline detected %d fingerprint mismatches", s.waves, n)
+		}
+		s.sample()
+		s.waves++
+		log.Printf("wave %3d  %-52s %6s  %d events  %d drops  %d goroutines",
+			s.waves, op.name, time.Since(start).Round(time.Millisecond), len(s.published),
+			s.drops, s.goroutines[len(s.goroutines)-1])
+	}
+	if s.waves < len(ops) {
+		return fmt.Errorf("only %d waves in %v: every op must run at least once (raise -dur)", s.waves, dur)
+	}
+
+	log.Printf("verification phase: %d waves, %d events published, %d connections severed", s.waves, len(s.published), s.drops)
+	if err := s.finish(); err != nil {
+		return err
+	}
+	log.Printf("fingerprint audit clean; %d reconnects absorbed %d severed connections", s.reconnects, s.drops)
 
 	want, err := oracle(filepath.Join(root, "oracle"), seed, static, s.published)
 	if err != nil {

@@ -101,6 +101,7 @@ import (
 	"motifstream/internal/partition"
 	"motifstream/internal/placement"
 	"motifstream/internal/queue"
+	"motifstream/internal/transport"
 )
 
 // Config assembles a Cluster.
@@ -208,6 +209,35 @@ type Config struct {
 	// recoverable, and what a re-provisioned replica's state is rebuilt
 	// from. Zero disables mirroring. Ignored without CheckpointDir.
 	MirrorBases int
+	// Listen, when non-empty, runs this cluster as a networked hub: it
+	// binds a TCP listener (":0" picks a port; see ListenAddr), owns the
+	// durable firehose log, delivery, placement, and broker tiers, and
+	// serves every replica slot remotely — worker processes attach over
+	// the socket and animate them. Requires LogDir. See networked.go.
+	Listen string
+	// Join, when non-empty, runs this cluster as a networked worker
+	// against the hub listening at this address. The worker consumes the
+	// hub's firehose over TCP for the slots in OwnedReplicas, ships
+	// candidates back over a sequenced acked stream, and serves reads via
+	// its own listener. Requires CheckpointDir (the shared filesystem
+	// holding the checkpoint chains); forbids LogDir (the hub owns the
+	// log). Mutually exclusive with Listen.
+	Join string
+	// OwnedReplicas lists the (partition, replica) slots a worker process
+	// owns. Required with Join, forbidden otherwise.
+	OwnedReplicas [][2]int
+	// ReadListen is a worker's read-RPC bind address; empty picks an
+	// ephemeral loopback port (advertised to the hub on attach).
+	ReadListen string
+	// NetTimeout bounds each dial/hello attempt and read RPC (default 5s).
+	NetTimeout time.Duration
+	// NetRetryFor bounds a worker's initial handshake retries (default
+	// 10s); reconnects after a successful attach retry forever.
+	NetRetryFor time.Duration
+	// NetDrainTimeout bounds shutdown flushes: the hub's wait for worker
+	// candidate FINs and a worker's wait for candidate acks before a
+	// final checkpoint cut (default 30s).
+	NetDrainTimeout time.Duration
 }
 
 // Replica catch-up states. A replica is born live; KillReplica moves it to
@@ -270,6 +300,11 @@ type replicaSlot struct {
 	// The firehose log is only ever truncated below the minimum floor
 	// across replicas.
 	floor atomic.Uint64
+	// applied is the next unapplied feed offset, maintained only on
+	// networked workers: a worker's final shutdown cut must claim exactly
+	// what this slot applied, not the hub log's head (other workers may
+	// be behind or ahead of it).
+	applied atomic.Uint64
 }
 
 // Cluster is a running deployment.
@@ -279,7 +314,7 @@ type Cluster struct {
 	slots  [][]*replicaSlot
 	broker *broker.Broker
 
-	firehose   *queue.Topic[graph.Edge]
+	firehose   edgeFeed
 	candidates *queue.Topic[candidateMsg]
 	pipeline   *delivery.Pipeline
 
@@ -287,6 +322,15 @@ type Cluster struct {
 	// the cluster owns it and closes it after the last drain in stop.
 	wal     *queue.WAL[graph.Edge]
 	durable bool
+	// chains reports that replica checkpoint chains outlive this process
+	// (durable log, or a networked worker whose log lives on the hub):
+	// leftover chains are restored rather than wiped, and Shutdown cuts
+	// final checkpoints.
+	chains bool
+	// hub and worker are the networked-deployment roles (networked.go);
+	// both nil in a single-process cluster, at most one non-nil.
+	hub    *hubState
+	worker *workerState
 
 	ckptEveryMS  int64
 	compactEvery int
@@ -405,8 +449,13 @@ func New(cfg Config) (c *Cluster, err error) {
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = 4096
 	}
+	if err := validateNetworked(cfg); err != nil {
+		return nil, err
+	}
 	recovery := cfg.CheckpointDir != ""
 	durable := cfg.LogDir != ""
+	workerMode := cfg.Join != ""
+	hubMode := cfg.Listen != ""
 	if durable && !recovery {
 		// The restart path leans on the delivery high-water offsets and
 		// replica chains stored under CheckpointDir; a durable log alone
@@ -444,22 +493,39 @@ func New(cfg Config) (c *Cluster, err error) {
 		reg = metrics.NewRegistry()
 	}
 	part := partition.NewHashPartitioner(cfg.Partitions)
-	firehoseOpts := queue.Options{
-		Name:   "firehose",
-		Delay:  cfg.IngestDelay,
-		Buffer: cfg.Buffer,
-		Seed:   cfg.Seed,
-		Retain: recovery,
-		// The delivery tier sequences on firehose offsets, so offset
-		// order must equal every replica's delivery order even when
-		// Publish is called from multiple goroutines.
-		Ordered: true,
-	}
-	var firehose *queue.Topic[graph.Edge]
-	if durable {
-		firehose = queue.NewTopicWithLog[graph.Edge](firehoseOpts, wal)
+	var firehose edgeFeed
+	var worker *workerState
+	if workerMode {
+		// The worker's firehose is the hub's log over a socket; the meta
+		// handshake (with retry, so workers can start first) yields the
+		// log's identity, which gates every durable artifact below.
+		worker, err = newWorkerState(cfg, reg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: join %s: %w", cfg.Join, err)
+		}
+		defer func() {
+			if err != nil {
+				worker.close()
+			}
+		}()
+		firehose = worker.feed
 	} else {
-		firehose = queue.NewTopic[graph.Edge](firehoseOpts)
+		firehoseOpts := queue.Options{
+			Name:   "firehose",
+			Delay:  cfg.IngestDelay,
+			Buffer: cfg.Buffer,
+			Seed:   cfg.Seed,
+			Retain: recovery,
+			// The delivery tier sequences on firehose offsets, so offset
+			// order must equal every replica's delivery order even when
+			// Publish is called from multiple goroutines.
+			Ordered: true,
+		}
+		if durable {
+			firehose = queue.NewTopicWithLog[graph.Edge](firehoseOpts, wal)
+		} else {
+			firehose = queue.NewTopic[graph.Edge](firehoseOpts)
+		}
 	}
 	c = &Cluster{
 		cfg:      cfg,
@@ -499,6 +565,17 @@ func New(cfg Config) (c *Cluster, err error) {
 		auditRecords:          reg.Counter("cluster.audit_records"),
 		auditMismatches:       reg.Counter("cluster.audit_mismatches"),
 	}
+	c.chains = durable || workerMode
+	c.worker = worker
+	if hubMode {
+		// The listener itself binds last (below), after the topology
+		// exists; the state is installed now so backend callbacks can
+		// never observe a half-built hub.
+		c.hub = &hubState{
+			remotes:      make(map[[2]int]*transport.RemoteReplica),
+			drainTimeout: cfg.netDrainTimeout(),
+		}
+	}
 	if recovery {
 		c.audit = cfg.Audit
 		c.ckptEveryMS = cfg.CheckpointInterval.Milliseconds()
@@ -511,6 +588,13 @@ func New(cfg Config) (c *Cluster, err error) {
 			// identity is the gate: a chain survives exactly as long as
 			// the log that assigned its offsets.
 			c.runID = wal.ID()
+		} else if workerMode {
+			// A worker's offsets index the hub's durable log; its identity
+			// (from the meta handshake) gates the worker's chains exactly
+			// as a local WAL's would — and matches the hub's own runID, so
+			// both sides agree on the shared placement table and audit
+			// records.
+			c.runID = worker.feed.LogID()
 		} else {
 			var id [8]byte
 			if _, err := rand.Read(id[:]); err != nil {
@@ -551,13 +635,34 @@ func New(cfg Config) (c *Cluster, err error) {
 				pl = c.table.Get(pid, r)
 			}
 			slot := &replicaSlot{pid: pid, idx: r, gen: pl.Gen, live: make(chan struct{})}
-			if pl.Removed {
-				// A decommissioned placement: no partition, no directory,
-				// never consumes; permanently broker-down (marked after
-				// broker construction below).
+			if pl.Removed || (workerMode && !worker.owned[[2]int{pid, r}]) {
+				// A decommissioned placement — or, on a worker, a slot some
+				// other process owns: no partition, no consumer. On the hub
+				// and in-process, also a permanent broker tombstone (marked
+				// after broker construction below).
 				slot.state.Store(replicaRemoved)
 				slots[pid] = append(slots[pid], slot)
-				replicaGroups[pid] = append(replicaGroups[pid], tombstone{pid: pid})
+				if !workerMode {
+					replicaGroups[pid] = append(replicaGroups[pid], tombstone{pid: pid})
+					tombstones = append(tombstones, [2]int{pid, r})
+				}
+				continue
+			}
+			if hubMode {
+				// A remote slot: a worker process owns the partition state.
+				// The hub keeps the slot's chain directory (shared-fs floor
+				// scans and fingerprint audits read it) and a dial-based
+				// broker member, born down until the worker attaches and
+				// reports live.
+				slot.state.Store(replicaDead)
+				slot.dir = placement.Dir(cfg.CheckpointDir, pid, r, pl.Gen)
+				if err := os.MkdirAll(slot.dir, 0o755); err != nil {
+					return nil, fmt.Errorf("cluster: checkpoint dir: %w", err)
+				}
+				rr := transport.NewRemoteReplica(pid, r, cfg.netTimeout(), reg)
+				c.hub.remotes[[2]int{pid, r}] = rr
+				slots[pid] = append(slots[pid], slot)
+				replicaGroups[pid] = append(replicaGroups[pid], rr)
 				tombstones = append(tombstones, [2]int{pid, r})
 				continue
 			}
@@ -569,10 +674,11 @@ func New(cfg Config) (c *Cluster, err error) {
 			close(slot.live) // replicas are born live
 			if recovery {
 				slot.dir = placement.Dir(cfg.CheckpointDir, pid, r, pl.Gen)
-				if !durable {
+				if !c.chains {
 					// In-memory log: any leftover chain belongs to a
 					// previous run whose firehose log is gone, so it is
-					// wiped rather than resurrected. A durable-log cluster
+					// wiped rather than resurrected. A cluster whose log
+					// outlives the process (durable, or networked worker)
 					// keeps the directory — restoring it is the point —
 					// and relies on the log-identity gate plus segment
 					// checksums instead.
@@ -585,16 +691,31 @@ func New(cfg Config) (c *Cluster, err error) {
 				}
 			}
 			slots[pid] = append(slots[pid], slot)
-			replicaGroups[pid] = append(replicaGroups[pid], p)
+			if !workerMode {
+				replicaGroups[pid] = append(replicaGroups[pid], p)
+			}
 		}
 	}
 	c.slots = slots
-	if durable {
+	if workerMode {
+		// Every owned slot must have materialized: the configured geometry
+		// plus the shared placement table are the authority, and silently
+		// running without a claimed slot would strand its partition.
+		for or := range worker.owned {
+			if or[1] >= len(slots[or[0]]) {
+				return nil, fmt.Errorf("cluster: owned replica %d/%d does not exist in the placement geometry", or[0], or[1])
+			}
+			if slots[or[0]][or[1]].state.Load() == replicaRemoved {
+				return nil, fmt.Errorf("cluster: owned replica %d/%d is decommissioned", or[0], or[1])
+			}
+		}
+	}
+	if c.chains && !hubMode {
 		// Compose and install every replica's durable chain now, so Start
-		// only has to subscribe at the planned offsets. Also seed the
-		// delivery tier's exactly-once filter from the persisted
-		// high-water offsets: the replicas are about to replay their tail
-		// spans, and those batches were already pushed by a previous run.
+		// only has to subscribe at the planned offsets. The hub skips
+		// this: its slots are remote, and the worker that owns each chain
+		// composes it. A worker runs it against the shared CheckpointDir
+		// with offsets indexing the hub's log.
 		for _, group := range c.slots {
 			for _, slot := range group {
 				if slot.state.Load() == replicaRemoved {
@@ -605,6 +726,11 @@ func New(cfg Config) (c *Cluster, err error) {
 				}
 			}
 		}
+	}
+	if durable {
+		// Seed the delivery tier's exactly-once filter from the persisted
+		// high-water offsets: the replicas are about to replay their tail
+		// spans, and those batches were already pushed by a previous run.
 		// Seed the delivery tier's exactly-once filter AND the pipeline's
 		// suppression state (dedup LRU + fatigue budgets) from
 		// delivery.state, which bundles both as one atomic snapshot: a
@@ -637,13 +763,20 @@ func New(cfg Config) (c *Cluster, err error) {
 			}
 		}
 	}
-	b, err := broker.New(part, replicaGroups)
-	if err != nil {
-		return nil, err
+	if !workerMode {
+		b, err := broker.New(part, replicaGroups)
+		if err != nil {
+			return nil, err
+		}
+		c.broker = b
+		for _, ts := range tombstones {
+			c.broker.MarkDown(ts[0], ts[1])
+		}
 	}
-	c.broker = b
-	for _, ts := range tombstones {
-		c.broker.MarkDown(ts[0], ts[1])
+	if hubMode {
+		if err = c.startHubServer(cfg); err != nil {
+			return nil, err
+		}
 	}
 	return c, nil
 }
@@ -712,14 +845,50 @@ func (c *Cluster) buildPartition(pid int) (*partition.Partition, error) {
 func (c *Cluster) Start() {
 	c.startOnce.Do(func() {
 		head := c.firehose.Published()
+		// Two phases: wire every slot's subscription first, launch the
+		// consumers after — a networked worker's subs map must be complete
+		// (and thereafter read-only) before any consumer can report live
+		// through it.
+		var ready []*replicaSlot
 		for _, group := range c.slots {
 			for _, slot := range group {
 				if slot.state.Load() == replicaRemoved {
 					continue
 				}
+				if c.hub != nil {
+					// Remote slot: a worker process runs the consumer; the
+					// hub only serves its feed and brokers its reads.
+					continue
+				}
 				slot.quit = make(chan struct{})
 				slot.stopped = make(chan struct{})
-				if c.durable {
+				if c.worker != nil {
+					ws, err := c.worker.feed.SubscribeReplica(slot.pid, slot.idx, slot.gen, slot.restoreOffset, c.worker.rs.Addr())
+					if err != nil {
+						c.ckptErrors.Inc()
+						slot.state.Store(replicaDead)
+						slot.live = make(chan struct{})
+						close(slot.stopped)
+						continue
+					}
+					c.worker.subs[[2]int{slot.pid, slot.idx}] = ws
+					slot.sub = ws.C()
+					slot.applied.Store(slot.restoreOffset)
+					if slot.restoreOffset < head {
+						slot.target = head
+						slot.state.Store(replicaReplaying)
+						slot.live = make(chan struct{})
+					} else {
+						// Already at the head observed in the handshake:
+						// announce live now (sticky; re-sent on reconnects)
+						// — the catch-up CAS below will never fire.
+						ws.NotifyLive()
+					}
+					if slot.restoreOffset > 0 || head > 0 {
+						c.restores.Inc()
+					}
+					c.worker.rs.Register(slot.pid, slot.idx, slot.p.Load())
+				} else if c.durable {
 					sub, err := c.firehose.SubscribeFrom(slot.restoreOffset)
 					if err != nil {
 						// Unreachable: New validated the restore point
@@ -749,13 +918,20 @@ func (c *Cluster) Start() {
 				if c.ckptEveryMS > 0 {
 					slot.writer = c.startWriter(slot, slot.restoreMan)
 				}
-				c.wg.Add(1)
-				go c.runReplica(slot)
+				ready = append(ready, slot)
 			}
+		}
+		for _, slot := range ready {
+			c.wg.Add(1)
+			go c.runReplica(slot)
 		}
 		deliverSub := c.candidates.Subscribe()
 		c.deliverWG.Add(1)
-		go c.runDelivery(deliverSub)
+		if c.worker != nil {
+			go c.runForwarder(deliverSub)
+		} else {
+			go c.runDelivery(deliverSub)
+		}
 		c.started.Store(true)
 	})
 }
@@ -814,9 +990,22 @@ func (c *Cluster) applyEnvelope(slot *replicaSlot, env queue.Envelope[graph.Edge
 	// silently then.
 	if len(cands) > 0 && state != replicaDead {
 		msg := candidateMsg{pid: slot.pid, offset: env.Offset, pubNS: env.PubUnixNS, cands: cands}
+		// On a networked worker the message is counted against the
+		// checkpoint ack gate BEFORE the publish, so a drained gate is an
+		// upper bound on what was ever handed to the forwarder.
+		if c.worker != nil {
+			c.worker.fw.NoteEnqueued()
+		}
 		if c.candidates.Publish(msg, env.VirtualDelay) != nil {
+			if c.worker != nil {
+				c.worker.fw.NoteAbandoned()
+			}
 			return false
 		}
+	}
+
+	if c.worker != nil {
+		slot.applied.Store(env.Offset + 1)
 	}
 
 	if c.ckptEveryMS > 0 && state != replicaDead {
@@ -833,7 +1022,7 @@ func (c *Cluster) applyEnvelope(slot *replicaSlot, env queue.Envelope[graph.Edge
 		// the state to dead, and resurrecting it would mark a reset
 		// replica broker-healthy.
 		if slot.state.CompareAndSwap(replicaReplaying, replicaLive) {
-			c.broker.MarkUp(slot.pid, slot.idx)
+			c.markLive(slot)
 			close(slot.live)
 		}
 	}
@@ -849,6 +1038,15 @@ func (c *Cluster) applyEnvelope(slot *replicaSlot, env queue.Envelope[graph.Edge
 func (c *Cluster) cutCheckpoint(slot *replicaSlot, nextOffset uint64) {
 	w := slot.writer
 	if w == nil {
+		return
+	}
+	if c.worker != nil && !c.worker.fw.WaitDrained(c.worker.drainTimeout) {
+		// The hub has not acked every candidate message published below
+		// this offset: a cut now could durably cover offsets whose
+		// candidates exist only in this process. Skip the cut entirely —
+		// the dirty keys stay captured by the next one. (Checked before
+		// CaptureDelta: a post-capture skip would drop the delta.)
+		c.ckptErrors.Inc()
 		return
 	}
 	start := time.Now()
@@ -974,13 +1172,33 @@ func (c *Cluster) Stop() { c.stop(false) }
 // last checkpoint interval — and a hard fsync barrier on the durable log
 // before it closes. On a cluster without Config.LogDir it behaves exactly
 // like Stop (the final cuts would be wiped at the next construction
-// anyway).
-func (c *Cluster) Shutdown() { c.stop(c.durable) }
+// anyway). On a networked worker the final cuts are gated on candidate
+// acks and claim each slot's applied offset.
+func (c *Cluster) Shutdown() { c.stop(c.chains) }
 
 func (c *Cluster) stop(finalCut bool) {
 	c.stopOnce.Do(func() {
 		c.firehose.Close()
 		c.wg.Wait()
+		if c.hub != nil {
+			// The topic close above ended every feed with EOS; wait for
+			// the workers' candidate FIN exchanges — including workers that
+			// were mid-reconnect when the stream closed and still need to
+			// replay the tail — so everything they flushed lands in the
+			// delivery queue before it closes.
+			if !c.hub.server.DrainWorkers(c.hub.drainTimeout) {
+				c.ckptErrors.Inc()
+			}
+		}
+		if finalCut && c.worker != nil {
+			// Final cuts claim applied offsets, so the ack gate must cover
+			// them. On timeout skip the cuts — the chains stay at their
+			// last sound offsets.
+			if !c.worker.fw.WaitDrained(c.worker.drainTimeout) {
+				c.ckptErrors.Inc()
+				finalCut = false
+			}
+		}
 		c.ctl.Lock()
 		for _, group := range c.slots {
 			for _, slot := range group {
@@ -992,7 +1210,13 @@ func (c *Cluster) stop(finalCut bool) {
 					// log (nothing applied since the last cut) — skip the
 					// no-op segment.
 					if delta := slot.p.Load().CaptureDelta(); delta.Len() > 0 {
-						job := ckptJob{delta: delta, offset: c.firehose.Published()}
+						offset := c.firehose.Published()
+						if c.worker != nil {
+							// This slot applied exactly this much of the
+							// hub's log; the cached head may be ahead.
+							offset = slot.applied.Load()
+						}
+						job := ckptJob{delta: delta, offset: offset}
 						c.stampFingerprint(slot, &job)
 						slot.writer.jobs <- job
 					}
@@ -1003,6 +1227,17 @@ func (c *Cluster) stop(finalCut bool) {
 		c.ctl.Unlock()
 		c.candidates.Close()
 		c.deliverWG.Wait()
+		if c.worker != nil {
+			// The forwarder finished (FIN acked) inside runForwarder,
+			// which deliverWG just waited out.
+			c.worker.close()
+		}
+		if c.hub != nil {
+			c.hub.server.Close()
+			for _, rr := range c.hub.remotes {
+				rr.Close()
+			}
+		}
 		if c.wal != nil {
 			// Consumers and replayers have drained; everything appended is
 			// fsynced by the close, so the checkpoints written above never
@@ -1050,7 +1285,11 @@ func (c *Cluster) Replica(pid, r int) (*partition.Partition, error) {
 	if slot.state.Load() == replicaRemoved {
 		return nil, fmt.Errorf("cluster: replica %d/%d is decommissioned", pid, r)
 	}
-	return slot.p.Load(), nil
+	p := slot.p.Load()
+	if p == nil {
+		return nil, fmt.Errorf("cluster: replica %d/%d is remote (runs in a worker process)", pid, r)
+	}
+	return p, nil
 }
 
 // FailReplica marks a replica down for reads — experiment E9's failover
@@ -1058,6 +1297,9 @@ func (c *Cluster) Replica(pid, r int) (*partition.Partition, error) {
 // unreachability), so candidate delivery continues seamlessly from the
 // surviving copies; use KillReplica for real state loss.
 func (c *Cluster) FailReplica(pid, r int) error {
+	if c.broker == nil {
+		return ErrNotLocal
+	}
 	return c.broker.MarkDown(pid, r)
 }
 
@@ -1065,6 +1307,9 @@ func (c *Cluster) FailReplica(pid, r int) error {
 // killed with KillReplica must rejoin through RestoreReplica instead:
 // their state is gone, so serving reads would be a lie.
 func (c *Cluster) RecoverReplica(pid, r int) error {
+	if c.broker == nil {
+		return ErrNotLocal
+	}
 	slot, err := c.slot(pid, r)
 	if err != nil {
 		return err
@@ -1158,8 +1403,12 @@ func (c *Cluster) Stats() Stats {
 	}
 }
 
-// RecommendationsFor serves a user read through the broker.
+// RecommendationsFor serves a user read through the broker. Workers have
+// no broker — the hub fans reads out to them over their read listeners.
 func (c *Cluster) RecommendationsFor(a graph.VertexID) ([]motif.Candidate, error) {
+	if c.broker == nil {
+		return nil, ErrNotLocal
+	}
 	return c.broker.RecommendationsFor(a)
 }
 
@@ -1167,12 +1416,19 @@ func (c *Cluster) RecommendationsFor(a graph.VertexID) ([]motif.Candidate, error
 // replica of every partition and gathers the merged global top-n — the
 // paper's broker fan-out/gather read path.
 func (c *Cluster) TopItems(n int) ([]partition.ItemCount, error) {
+	if c.broker == nil {
+		return nil, ErrNotLocal
+	}
 	lists, err := broker.FanOut(c.broker, func(r broker.Replica) []partition.ItemCount {
-		p, ok := r.(*partition.Partition)
+		// Behavioral interface, not a concrete type: both local partitions
+		// and the hub's dial-based remote members serve the query.
+		q, ok := r.(interface {
+			TopItems(int) []partition.ItemCount
+		})
 		if !ok {
 			return nil
 		}
-		return p.TopItems(n)
+		return q.TopItems(n)
 	})
 	if err != nil {
 		return nil, err

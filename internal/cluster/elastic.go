@@ -474,6 +474,9 @@ func (c *Cluster) ReprovisionReplica(pid, r int) error {
 	if c.cfg.CheckpointDir == "" {
 		return ErrRecoveryDisabled
 	}
+	if c.networked() {
+		return ErrNotLocal
+	}
 	slot, err := c.slot(pid, r)
 	if err != nil {
 		return err
@@ -555,6 +558,9 @@ func (c *Cluster) AddReplica(pid int) (int, error) {
 	if c.cfg.CheckpointDir == "" {
 		return 0, ErrRecoveryDisabled
 	}
+	if c.networked() {
+		return 0, ErrNotLocal
+	}
 	if pid < 0 || pid >= len(c.slots) {
 		return 0, fmt.Errorf("cluster: partition %d out of range", pid)
 	}
@@ -616,6 +622,9 @@ func (c *Cluster) AddReplica(pid int) (int, error) {
 func (c *Cluster) DecommissionReplica(pid, r int) error {
 	if c.cfg.CheckpointDir == "" {
 		return ErrRecoveryDisabled
+	}
+	if c.networked() {
+		return ErrNotLocal
 	}
 	slot, err := c.slot(pid, r)
 	if err != nil {

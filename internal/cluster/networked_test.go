@@ -1,0 +1,478 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"motifstream/internal/delivery"
+	"motifstream/internal/graph"
+)
+
+// hubConfig builds a networked hub over fresh (or given) directories with
+// the recovery-test delivery settings.
+func hubConfig(t testing.TB, partitions, replicas int, logDir, ckptDir string) Config {
+	t.Helper()
+	cfg := recoveryConfig(t, ringStatic(8))
+	cfg.Partitions = partitions
+	cfg.Replicas = replicas
+	cfg.Listen = "127.0.0.1:0"
+	cfg.LogDir = logDir
+	cfg.CheckpointDir = ckptDir
+	cfg.NetDrainTimeout = 20 * time.Second
+	return cfg
+}
+
+// workerConfig builds a networked worker joined to addr, owning the given
+// slots, over the hub's shared checkpoint directory.
+func workerConfig(t testing.TB, hub Config, addr string, owned [][2]int) Config {
+	t.Helper()
+	cfg := hub
+	cfg.Listen = ""
+	cfg.LogDir = ""
+	cfg.Join = addr
+	cfg.OwnedReplicas = owned
+	cfg.OnNotify = nil
+	cfg.Metrics = nil
+	return cfg
+}
+
+// startWorker constructs and starts a worker, returning it plus a join
+// function that blocks until the worker's main loop exits (hub EOS).
+func startWorker(t testing.TB, cfg Config) (*Cluster, func()) {
+	t.Helper()
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := w.Wait(); err != nil {
+			t.Errorf("worker Wait: %v", err)
+		}
+	}()
+	return w, wg.Wait
+}
+
+// awaitAllLive waits for every non-removed hub slot to report live.
+func awaitAllLive(t testing.TB, hub *Cluster) {
+	t.Helper()
+	for pid := range hub.slots {
+		for r := range hub.slots[pid] {
+			if hub.slots[pid][r].state.Load() == replicaRemoved {
+				continue
+			}
+			if err := hub.AwaitReplicaLive(pid, r, 15*time.Second); err != nil {
+				t.Fatalf("replica %d/%d never went live: %v", pid, r, err)
+			}
+		}
+	}
+}
+
+// oracleNotes runs the same workload on a single-process durable cluster
+// and returns its delivered set — the equivalence baseline.
+func oracleNotes(t testing.TB, partitions, replicas int, edges []graph.Edge) map[noteKey]int {
+	t.Helper()
+	cfg := recoveryConfig(t, ringStatic(8))
+	cfg.Partitions = partitions
+	cfg.Replicas = replicas
+	notes := collectNotes(&cfg)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	for _, e := range edges {
+		if err := c.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Stop()
+	return notes()
+}
+
+func diffNotes(t testing.TB, want, got map[noteKey]int, label string) {
+	t.Helper()
+	if len(want) == 0 {
+		t.Fatal("oracle delivered nothing; workload is too weak to compare")
+	}
+	for k := range want {
+		if got[k] == 0 {
+			t.Errorf("%s: missing notification user=%d item=%d", label, k.user, k.item)
+		}
+	}
+	for k, n := range got {
+		if want[k] == 0 {
+			t.Errorf("%s: unexpected notification user=%d item=%d", label, k.user, k.item)
+		} else if n != 1 {
+			t.Errorf("%s: notification user=%d item=%d delivered %d times", label, k.user, k.item, n)
+		}
+	}
+}
+
+func verifyAllFingerprints(t testing.TB, hub *Cluster) {
+	t.Helper()
+	for pid := range hub.slots {
+		rep, err := hub.VerifyFingerprints(pid)
+		if err != nil {
+			t.Fatalf("VerifyFingerprints(%d): %v", pid, err)
+		}
+		if len(rep.Mismatches) != 0 {
+			t.Fatalf("partition %d fingerprint mismatches: %+v", pid, rep.Mismatches)
+		}
+	}
+}
+
+func TestNetworkedValidation(t *testing.T) {
+	base := recoveryConfig(t, fig1Static())
+	base.Partitions = 2
+
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"listen and join", func(c *Config) {
+			c.Listen = "127.0.0.1:0"
+			c.LogDir = t.TempDir()
+			c.Join = "127.0.0.1:1"
+			c.OwnedReplicas = [][2]int{{0, 0}}
+		}},
+		{"listen without logdir", func(c *Config) { c.Listen = "127.0.0.1:0" }},
+		{"listen with owned", func(c *Config) { c.Listen = "127.0.0.1:0"; c.LogDir = t.TempDir(); c.OwnedReplicas = [][2]int{{0, 0}} }},
+		{"join with logdir", func(c *Config) { c.Join = "127.0.0.1:1"; c.LogDir = t.TempDir(); c.OwnedReplicas = [][2]int{{0, 0}} }},
+		{"join without owned", func(c *Config) { c.Join = "127.0.0.1:1" }},
+		{"join without checkpoint dir", func(c *Config) { c.Join = "127.0.0.1:1"; c.OwnedReplicas = [][2]int{{0, 0}}; c.CheckpointDir = "" }},
+		{"owned out of range", func(c *Config) { c.Join = "127.0.0.1:1"; c.OwnedReplicas = [][2]int{{9, 0}} }},
+		{"owned duplicated", func(c *Config) { c.Join = "127.0.0.1:1"; c.OwnedReplicas = [][2]int{{0, 0}, {0, 0}} }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestNetworkedLifecycleOpsAreGated(t *testing.T) {
+	hcfg := hubConfig(t, 2, 1, t.TempDir(), t.TempDir())
+	hub, err := New(hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Stop()
+	hub.Start()
+
+	wcfg := workerConfig(t, hcfg, hub.ListenAddr(), [][2]int{{0, 0}, {1, 0}})
+	wk, joinWorker := startWorker(t, wcfg)
+	awaitAllLive(t, hub)
+
+	for name, op := range map[string]func(*Cluster) error{
+		"KillReplica":         func(c *Cluster) error { return c.KillReplica(0, 0) },
+		"RestoreReplica":      func(c *Cluster) error { return c.RestoreReplica(0, 0) },
+		"ReprovisionReplica":  func(c *Cluster) error { return c.ReprovisionReplica(0, 0) },
+		"DecommissionReplica": func(c *Cluster) error { return c.DecommissionReplica(0, 0) },
+		"AddReplica":          func(c *Cluster) error { _, err := c.AddReplica(0); return err },
+	} {
+		if err := op(hub); !errors.Is(err, ErrNotLocal) {
+			t.Errorf("hub %s = %v, want ErrNotLocal", name, err)
+		}
+		if err := op(wk); !errors.Is(err, ErrNotLocal) {
+			t.Errorf("worker %s = %v, want ErrNotLocal", name, err)
+		}
+	}
+	// Worker-side read and failover surfaces are hub business.
+	if _, err := wk.RecommendationsFor(1); !errors.Is(err, ErrNotLocal) {
+		t.Errorf("worker RecommendationsFor = %v, want ErrNotLocal", err)
+	}
+	if _, err := wk.TopItems(3); !errors.Is(err, ErrNotLocal) {
+		t.Errorf("worker TopItems = %v, want ErrNotLocal", err)
+	}
+	if err := wk.FailReplica(0, 0); !errors.Is(err, ErrNotLocal) {
+		t.Errorf("worker FailReplica = %v, want ErrNotLocal", err)
+	}
+	// A remote slot has no local partition handle.
+	if _, err := hub.Replica(0, 0); err == nil {
+		t.Error("hub Replica(0,0) returned a handle for a remote slot")
+	}
+
+	hub.Shutdown()
+	joinWorker()
+}
+
+// TestNetworkedEndToEnd is the success bar's happy path: hub + one worker
+// process boundary over real sockets, oracle delivered-set equivalence,
+// fan-out reads through dial-based broker members, clean shutdown with
+// final checkpoint cuts, clean fingerprint audit.
+func TestNetworkedEndToEnd(t *testing.T) {
+	edges := motifWorkload(42, 8, 120)
+	want := oracleNotes(t, 2, 1, edges)
+
+	hcfg := hubConfig(t, 2, 1, t.TempDir(), t.TempDir())
+	notes := collectNotes(&hcfg)
+	hub, err := New(hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.Start()
+	if hub.ListenAddr() == "" {
+		t.Fatal("hub has no listen address")
+	}
+
+	wcfg := workerConfig(t, hcfg, hub.ListenAddr(), [][2]int{{0, 0}, {1, 0}})
+	_, joinWorker := startWorker(t, wcfg)
+	awaitAllLive(t, hub)
+
+	for _, e := range edges {
+		if err := hub.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Fan-out reads reach the worker over its read listener.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		top, err := hub.TopItems(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(top) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("TopItems never returned data over the read RPC")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	var anyRecs bool
+	for a := graph.VertexID(0); a < 8 && !anyRecs; a++ {
+		recs, err := hub.RecommendationsFor(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anyRecs = len(recs) > 0
+	}
+
+	hub.Shutdown()
+	joinWorker()
+
+	diffNotes(t, want, notes(), "networked")
+	if !anyRecs {
+		t.Error("no user returned recommendations over the read RPC")
+	}
+	verifyAllFingerprints(t, hub)
+	if got := hub.Stats().Delivered; got == 0 {
+		t.Error("hub delivered counter is zero")
+	}
+}
+
+// TestNetworkedTwoWorkersRedundant runs a replicated topology split across
+// two worker processes: every event is detected twice (once per worker),
+// and the hub's per-group offset filter must still collapse delivery to
+// exactly-once.
+func TestNetworkedTwoWorkersRedundant(t *testing.T) {
+	edges := motifWorkload(7, 8, 150)
+	want := oracleNotes(t, 2, 2, edges)
+
+	hcfg := hubConfig(t, 2, 2, t.TempDir(), t.TempDir())
+	notes := collectNotes(&hcfg)
+	hub, err := New(hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.Start()
+
+	wcfgA := workerConfig(t, hcfg, hub.ListenAddr(), [][2]int{{0, 0}, {1, 0}})
+	wcfgB := workerConfig(t, hcfg, hub.ListenAddr(), [][2]int{{0, 1}, {1, 1}})
+	_, joinA := startWorker(t, wcfgA)
+	_, joinB := startWorker(t, wcfgB)
+	awaitAllLive(t, hub)
+
+	for _, e := range edges {
+		if err := hub.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hub.Shutdown()
+	joinA()
+	joinB()
+
+	diffNotes(t, want, notes(), "two-workers")
+	verifyAllFingerprints(t, hub)
+}
+
+// TestNetworkedConnectionDrops injects repeated network blips — every
+// worker connection severed mid-stream — and requires the reconnect path
+// (idempotent envelope redelivery, candidate resend, sticky live reports)
+// to keep the delivered set byte-equal to the no-fault oracle.
+func TestNetworkedConnectionDrops(t *testing.T) {
+	edges := motifWorkload(11, 8, 200)
+	want := oracleNotes(t, 2, 1, edges)
+
+	hcfg := hubConfig(t, 2, 1, t.TempDir(), t.TempDir())
+	notes := collectNotes(&hcfg)
+	hub, err := New(hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.Start()
+
+	wcfg := workerConfig(t, hcfg, hub.ListenAddr(), [][2]int{{0, 0}, {1, 0}})
+	wk, joinWorker := startWorker(t, wcfg)
+	awaitAllLive(t, hub)
+
+	for i, e := range edges {
+		if err := hub.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+		if i%60 == 59 {
+			if n := hub.DropConnections(); n == 0 {
+				t.Fatalf("drop %d severed no connections", i)
+			}
+		}
+	}
+	hub.Shutdown()
+	joinWorker()
+
+	diffNotes(t, want, notes(), "conn-drops")
+	verifyAllFingerprints(t, hub)
+	if rec := wk.Metrics().Counter("transport.reconnects").Value(); rec == 0 {
+		t.Error("worker recorded no reconnects despite injected drops")
+	}
+}
+
+// TestNetworkedWorkerCrashRestart is the crash-matrix leg over real
+// sockets: one of two redundant workers dies mid-stream (Abort — the
+// in-process equivalent of SIGKILL: sockets drop, no flush, no final
+// cut), the surviving worker covers delivery, and a restarted worker
+// process recovers from its durable chains, replays the hub log, and goes
+// live — with the delivered set still exactly the no-fault oracle's.
+func TestNetworkedWorkerCrashRestart(t *testing.T) {
+	edges := motifWorkload(23, 8, 240)
+	want := oracleNotes(t, 2, 2, edges)
+
+	hcfg := hubConfig(t, 2, 2, t.TempDir(), t.TempDir())
+	notes := collectNotes(&hcfg)
+	hub, err := New(hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.Start()
+
+	wcfgA := workerConfig(t, hcfg, hub.ListenAddr(), [][2]int{{0, 0}, {1, 0}})
+	wcfgB := workerConfig(t, hcfg, hub.ListenAddr(), [][2]int{{0, 1}, {1, 1}})
+	_, joinA := startWorker(t, wcfgA)
+	wkB, _ := startWorker(t, wcfgB)
+	awaitAllLive(t, hub)
+
+	third := len(edges) / 3
+	for _, e := range edges[:third] {
+		if err := hub.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wkB.Abort() // crash: connections drop, unflushed state is lost
+
+	for _, e := range edges[third : 2*third] {
+		if err := hub.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The hub marks B's slots dead when the sockets drop (the feed
+	// handlers notice the sever asynchronously).
+	for pid := 0; pid < 2; pid++ {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			st, err := hub.ReplicaState(pid, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st == "dead" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("crashed worker's slot %d/1 state = %q, want dead", pid, st)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Restart: a fresh worker process over the same shared directories.
+	wkB2, joinB2 := startWorker(t, wcfgB)
+	if err := hub.AwaitReplicaLive(0, 1, 20*time.Second); err != nil {
+		t.Fatalf("restarted worker 0/1: %v", err)
+	}
+	if err := hub.AwaitReplicaLive(1, 1, 20*time.Second); err != nil {
+		t.Fatalf("restarted worker 1/1: %v", err)
+	}
+	if wkB2.Stats().Restores == 0 {
+		t.Error("restarted worker recorded no restores")
+	}
+
+	for _, e := range edges[2*third:] {
+		if err := hub.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hub.Shutdown()
+	joinA()
+	joinB2()
+
+	diffNotes(t, want, notes(), "crash-restart")
+	verifyAllFingerprints(t, hub)
+}
+
+// TestNetworkedFullRestart shuts the whole deployment down cleanly and
+// brings it back over the same directories: the hub reopens its durable
+// log and delivery offsets, workers recompose their chains, and a second
+// workload stretch delivers exactly-once overall.
+func TestNetworkedFullRestart(t *testing.T) {
+	edges := motifWorkload(31, 8, 160)
+	want := oracleNotes(t, 2, 1, edges)
+	half := len(edges) / 2
+
+	logDir, ckptDir := t.TempDir(), t.TempDir()
+	total := map[noteKey]int{}
+	var mu sync.Mutex
+
+	runStretch := func(stretch []graph.Edge) {
+		hcfg := hubConfig(t, 2, 1, logDir, ckptDir)
+		hcfg.OnNotify = func(n delivery.Notification) {
+			mu.Lock()
+			total[noteKey{n.Candidate.User, n.Candidate.Item}]++
+			mu.Unlock()
+		}
+		hub, err := New(hcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hub.Start()
+		wcfg := workerConfig(t, hcfg, hub.ListenAddr(), [][2]int{{0, 0}, {1, 0}})
+		_, joinWorker := startWorker(t, wcfg)
+		awaitAllLive(t, hub)
+		for _, e := range stretch {
+			if err := hub.Publish(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		hub.Shutdown()
+		joinWorker()
+		verifyAllFingerprints(t, hub)
+	}
+
+	runStretch(edges[:half])
+	runStretch(edges[half:])
+
+	mu.Lock()
+	got := make(map[noteKey]int, len(total))
+	for k, v := range total {
+		got[k] = v
+	}
+	mu.Unlock()
+	diffNotes(t, want, got, "full-restart")
+}

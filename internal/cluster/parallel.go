@@ -263,9 +263,21 @@ func (c *Cluster) applyBatch(slot *replicaSlot, b *replicaBatch) bool {
 
 		if len(ev) > 0 && state != replicaDead {
 			msg := candidateMsg{pid: slot.pid, offset: env.Offset, pubNS: env.PubUnixNS, cands: ev}
+			// Count against a networked worker's checkpoint ack gate
+			// before publishing (see applyEnvelope).
+			if c.worker != nil {
+				c.worker.fw.NoteEnqueued()
+			}
 			if c.candidates.Publish(msg, env.VirtualDelay) != nil {
+				if c.worker != nil {
+					c.worker.fw.NoteAbandoned()
+				}
 				return false
 			}
+		}
+
+		if c.worker != nil {
+			slot.applied.Store(env.Offset + 1)
 		}
 
 		// Sweep before any cut at this envelope, as the sequential path
@@ -282,7 +294,7 @@ func (c *Cluster) applyBatch(slot *replicaSlot, b *replicaBatch) bool {
 
 		if slot.state.Load() == replicaReplaying && env.Offset+1 >= slot.target {
 			if slot.state.CompareAndSwap(replicaReplaying, replicaLive) {
-				c.broker.MarkUp(slot.pid, slot.idx)
+				c.markLive(slot)
 				close(slot.live)
 			}
 		}

@@ -1004,6 +1004,9 @@ func (c *Cluster) KillReplica(pid, r int) error {
 	if c.cfg.CheckpointDir == "" {
 		return ErrRecoveryDisabled
 	}
+	if c.networked() {
+		return ErrNotLocal
+	}
 	slot, err := c.slot(pid, r)
 	if err != nil {
 		return err
@@ -1081,6 +1084,9 @@ func (c *Cluster) aliveLocked(pid int, except *replicaSlot) int {
 func (c *Cluster) RestoreReplica(pid, r int) error {
 	if c.cfg.CheckpointDir == "" {
 		return ErrRecoveryDisabled
+	}
+	if c.networked() {
+		return ErrNotLocal
 	}
 	slot, err := c.slot(pid, r)
 	if err != nil {

@@ -59,8 +59,11 @@ var walMagic = [8]byte{'M', 'S', 'W', 'A', 'L', 0, 0, 1}
 var ErrWALCorrupt = errors.New("queue: wal segment corrupt")
 
 const (
-	walHeaderLen  = 24 // magic + log id + first offset
-	walRecHeader  = 8  // payload length + CRC32C
+	walHeaderLen = 24 // magic + log id + first offset
+	// walRecHeader is the shared record framing's header: the WAL's
+	// u32-length + CRC32C frame layout is hoisted into codecutil so the
+	// transport wire protocol reuses the identical codec.
+	walRecHeader  = codecutil.FrameHeaderLen
 	maxWALPayload = 1 << 26
 
 	defaultWALSyncEvery    = 256
@@ -285,8 +288,7 @@ func scanWALSegment(path string, tail bool) (*walSegment, uint64, error) {
 			}
 			return tornOrCorrupt(seg, id, tail, path, "short record header")
 		}
-		n := binary.LittleEndian.Uint32(rec[:4])
-		crc := binary.LittleEndian.Uint32(rec[4:8])
+		n, crc := codecutil.DecodeFrameHeader(rec[:])
 		if n == 0 || n > maxWALPayload {
 			return tornOrCorrupt(seg, id, tail, path, "implausible record length")
 		}
@@ -361,10 +363,6 @@ func (w *WAL[T]) Append(rec Record[T]) error {
 	binary.LittleEndian.PutUint64(payload[:8], uint64(rec.Carried))
 	copy(payload[8:], msg)
 
-	var hdr [walRecHeader]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], codecutil.CRC32C(payload))
-
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
@@ -374,10 +372,7 @@ func (w *WAL[T]) Append(rec Record[T]) error {
 		return fmt.Errorf("queue: wal background sync: %w", w.syncErr)
 	}
 	tail := w.segs[len(w.segs)-1]
-	if _, err := w.bw.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := w.bw.Write(payload); err != nil {
+	if err := codecutil.WriteFrame(w.bw, payload); err != nil {
 		return err
 	}
 	tail.index = append(tail.index, tail.size)
@@ -524,8 +519,7 @@ func (w *WAL[T]) Read(from uint64, dst []Record[T]) (int, error) {
 		if pos+walRecHeader > len(buf) {
 			return 0, fmt.Errorf("queue: wal read %s: record %d overruns segment", seg.path, idx+k)
 		}
-		n := binary.LittleEndian.Uint32(buf[pos : pos+4])
-		crc := binary.LittleEndian.Uint32(buf[pos+4 : pos+8])
+		n, crc := codecutil.DecodeFrameHeader(buf[pos : pos+walRecHeader])
 		pos += walRecHeader
 		if n == 0 || n > maxWALPayload || pos+int(n) > len(buf) {
 			return 0, fmt.Errorf("queue: wal read %s: implausible record length %d", seg.path, n)

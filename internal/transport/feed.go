@@ -1,0 +1,419 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"motifstream/internal/graph"
+	"motifstream/internal/metrics"
+	"motifstream/internal/queue"
+)
+
+// ClientOptions tune a worker's dialed connections.
+type ClientOptions struct {
+	// DialTimeout bounds each individual dial+hello attempt (default 5s).
+	DialTimeout time.Duration
+	// RetryFor bounds the time spent redialing across one outage — the
+	// initial handshake or the gap after a connection drop — before the
+	// stream fails terminally (default 10s). The budget resets on every
+	// successful attach, so a hub that blinks within the window is
+	// survivable; one gone longer than the window is treated as dead.
+	RetryFor time.Duration
+	// Metrics receives transport counters.
+	Metrics *metrics.Registry
+	// WrapWriter optionally wraps each connection's write side
+	// (fault-injection seam for torn-write tests).
+	WrapWriter DialWrapper
+}
+
+func (o *ClientOptions) defaults() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RetryFor <= 0 {
+		o.RetryFor = 10 * time.Second
+	}
+}
+
+// FeedClient is a worker's view of the hub's firehose log. It satisfies
+// the cluster's edge-feed surface: cached head/start bounds (refreshed by
+// every envelope batch) plus per-replica subscriptions that replay from a
+// resume offset and survive connection drops by redialing idempotently.
+type FeedClient struct {
+	addr string
+	opts ClientOptions
+
+	logID       uint64
+	head, start atomic.Uint64
+
+	mu     sync.Mutex
+	subs   map[<-chan queue.Envelope[graph.Edge]]*FeedSub
+	floor  uint64
+	closed bool
+
+	m          *connMetrics
+	reconnects *metrics.Counter
+	wg         sync.WaitGroup
+}
+
+// DialFeed performs the meta handshake against the hub (with retry, so
+// the worker can start before the hub finishes binding) and returns a
+// client carrying the log's identity and bounds.
+func DialFeed(addr string, opts ClientOptions) (*FeedClient, error) {
+	opts.defaults()
+	f := &FeedClient{
+		addr: addr,
+		opts: opts,
+		subs: make(map[<-chan queue.Envelope[graph.Edge]]*FeedSub),
+		m:    newConnMetrics(opts.Metrics, "feed", ""),
+	}
+	if opts.Metrics != nil {
+		f.reconnects = opts.Metrics.Counter("transport.reconnects")
+	}
+	deadline := time.Now().Add(opts.RetryFor)
+	attempt := 0
+	for {
+		c, resp, err := dialConn(addr, []byte{msgHelloMeta}, opts.DialTimeout, opts.WrapWriter, nil)
+		if err == nil {
+			c.close()
+			wr := &wireReader{b: resp}
+			if len(resp) == 0 || wr.byte("meta type") != msgMetaResp {
+				return nil, errors.New("transport: unexpected meta response")
+			}
+			meta := decodeLogMeta(wr)
+			if wr.err != nil {
+				return nil, wr.err
+			}
+			f.logID = meta.logID
+			f.head.Store(meta.head)
+			f.start.Store(meta.start)
+			return f, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: meta handshake with %s: %w", addr, err)
+		}
+		time.Sleep(backoff(attempt))
+		attempt++
+	}
+}
+
+// LogID returns the hub log's identity (the worker's runID).
+func (f *FeedClient) LogID() uint64 { return f.logID }
+
+// Published returns the hub log head as of the latest batch or handshake.
+func (f *FeedClient) Published() uint64 { return f.head.Load() }
+
+// LogStart returns the hub log's truncation point, equally cached.
+func (f *FeedClient) LogStart() uint64 { return f.start.Load() }
+
+// Publish is not available on workers: only the hub ingests edges.
+func (f *FeedClient) Publish(graph.Edge, time.Duration) error {
+	return errors.New("transport: workers cannot publish to the firehose")
+}
+
+// Subscribe is not available on workers; replica subscriptions carry an
+// identity and resume offset — use SubscribeReplica.
+func (f *FeedClient) Subscribe() <-chan queue.Envelope[graph.Edge] {
+	ch := make(chan queue.Envelope[graph.Edge])
+	close(ch)
+	return ch
+}
+
+// SubscribeFrom without an identity is likewise unavailable.
+func (f *FeedClient) SubscribeFrom(uint64) (<-chan queue.Envelope[graph.Edge], error) {
+	return nil, errors.New("transport: replica subscriptions require an identity; use SubscribeReplica")
+}
+
+// TruncateBelow reports the worker's merged durable floor to the hub
+// (broadcast on every replica connection); the hub owns the log and does
+// the actual truncation once all floors allow it.
+func (f *FeedClient) TruncateBelow(offset uint64) int {
+	f.mu.Lock()
+	if offset > f.floor {
+		f.floor = offset
+	}
+	subs := make([]*FeedSub, 0, len(f.subs))
+	for _, s := range f.subs {
+		subs = append(subs, s)
+	}
+	floor := f.floor
+	f.mu.Unlock()
+	for _, s := range subs {
+		s.reportFloor(floor)
+	}
+	return 0
+}
+
+// SubscribeReplica opens the feed for slot (pid, r) at generation gen,
+// resuming from offset. readAddr is the worker's read-RPC listener, which
+// the hub's broker dials for fan-out queries. The returned subscription's
+// channel closes on clean end-of-stream (hub shutdown) or Unsubscribe;
+// connection drops reconnect transparently with idempotent redelivery.
+func (f *FeedClient) SubscribeReplica(pid, r, gen int, offset uint64, readAddr string) (*FeedSub, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, errors.New("transport: feed closed")
+	}
+	s := &FeedSub{
+		f:        f,
+		pid:      pid,
+		r:        r,
+		gen:      gen,
+		readAddr: readAddr,
+		next:     offset,
+		ch:       make(chan queue.Envelope[graph.Edge], 256),
+		done:     make(chan struct{}),
+	}
+	f.subs[s.ch] = s
+	f.mu.Unlock()
+	f.wg.Add(1)
+	go s.run()
+	return s, nil
+}
+
+// Unsubscribe detaches the subscription owning ch (edge-feed surface).
+func (f *FeedClient) Unsubscribe(ch <-chan queue.Envelope[graph.Edge]) {
+	f.mu.Lock()
+	s := f.subs[ch]
+	delete(f.subs, ch)
+	f.mu.Unlock()
+	if s != nil {
+		s.stop()
+	}
+}
+
+// Close severs every subscription and waits for their goroutines. Each
+// subscription's channel is closed, so consumers drain and exit exactly
+// as they do when an in-process topic closes.
+func (f *FeedClient) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		f.wg.Wait()
+		return
+	}
+	f.closed = true
+	subs := make([]*FeedSub, 0, len(f.subs))
+	for _, s := range f.subs {
+		subs = append(subs, s)
+	}
+	f.mu.Unlock()
+	for _, s := range subs {
+		s.stop()
+	}
+	f.wg.Wait()
+}
+
+// FeedSub is one replica's firehose subscription over the wire.
+type FeedSub struct {
+	f           *FeedClient
+	pid, r, gen int
+	readAddr    string
+
+	next uint64 // next expected offset; envelopes below are dropped
+	ch   chan queue.Envelope[graph.Edge]
+	done chan struct{}
+
+	mu       sync.Mutex
+	c        *conn
+	live     bool   // live announced; re-sent after reconnect
+	floor    uint64 // last reported floor; re-sent after reconnect
+	err      error  // terminal error (hello rejection)
+	stopOnce sync.Once
+}
+
+// C returns the envelope channel (same contract as a topic subscription).
+func (s *FeedSub) C() <-chan queue.Envelope[graph.Edge] { return s.ch }
+
+// Err reports a terminal subscription error (the hub rejected the hello:
+// unknown slot, stale generation, truncated resume offset).
+func (s *FeedSub) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// NotifyLive announces the replica finished catch-up. The desired state
+// sticks: it is re-sent after every reconnect.
+func (s *FeedSub) NotifyLive() {
+	s.mu.Lock()
+	s.live = true
+	c := s.c
+	s.mu.Unlock()
+	if c != nil {
+		c.writeMsg([]byte{msgLive})
+	}
+}
+
+func (s *FeedSub) reportFloor(floor uint64) {
+	s.mu.Lock()
+	if floor <= s.floor {
+		s.mu.Unlock()
+		return
+	}
+	s.floor = floor
+	c := s.c
+	s.mu.Unlock()
+	if c != nil {
+		c.writeMsg(typeU1(msgFloorReport, floor))
+	}
+}
+
+func (s *FeedSub) stop() {
+	s.stopOnce.Do(func() {
+		close(s.done)
+		s.mu.Lock()
+		c := s.c
+		s.mu.Unlock()
+		if c != nil {
+			c.close()
+		}
+	})
+}
+
+func (s *FeedSub) stopped() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *FeedSub) fail(err error) {
+	s.mu.Lock()
+	s.err = err
+	s.mu.Unlock()
+}
+
+// run is the subscription's connection loop: dial, hello with the resume
+// offset, stream envelope batches into ch, reconnect with backoff on any
+// drop. Exits (closing ch) on EOS, stop, client close, or a hello
+// rejection — rejections are configuration errors, not transient faults.
+func (s *FeedSub) run() {
+	defer s.f.wg.Done()
+	defer close(s.ch)
+	attempt := 0
+	giveUp := time.Now().Add(s.f.opts.RetryFor)
+	envBuf := make([]queue.Envelope[graph.Edge], 0, 128)
+	for !s.stopped() {
+		hello := encodeHelloFeed(helloFeed{pid: s.pid, r: s.r, gen: s.gen, resume: s.next, readAddr: s.readAddr})
+		c, ack, err := dialConn(s.f.addr, hello, s.f.opts.DialTimeout, s.f.opts.WrapWriter, s.f.m)
+		if err != nil {
+			var rej errHelloRejected
+			if errors.As(err, &rej) {
+				s.fail(err)
+				return
+			}
+			if s.stopped() {
+				return
+			}
+			if time.Now().After(giveUp) {
+				// The hub has been unreachable for the whole outage budget —
+				// gone, not blinking. A worker can't tell a dead hub from one
+				// that shut down cleanly while we were between connections
+				// (the EOS went to nobody), so fail terminally: the consumer
+				// and the worker's main loop exit instead of redialing
+				// forever. The budget resets on every successful attach.
+				s.fail(fmt.Errorf("transport: feed subscription %d/%d: %w", s.pid, s.r, err))
+				return
+			}
+			if s.f.reconnects != nil {
+				s.f.reconnects.Inc()
+			}
+			time.Sleep(backoff(attempt))
+			attempt++
+			continue
+		}
+		attempt = 0
+		wr := &wireReader{b: ack}
+		if len(ack) == 0 || wr.byte("feed ack type") != msgFeedAck {
+			c.close()
+			continue
+		}
+		meta := decodeLogMeta(wr)
+		if wr.err != nil || meta.logID != s.f.logID {
+			c.close()
+			if meta.logID != s.f.logID && wr.err == nil {
+				s.fail(fmt.Errorf("transport: hub log changed identity (%d -> %d)", s.f.logID, meta.logID))
+				return
+			}
+			continue
+		}
+		s.f.head.Store(meta.head)
+		s.f.start.Store(meta.start)
+		giveUp = time.Now().Add(s.f.opts.RetryFor)
+
+		// Re-announce desired state on the fresh connection.
+		s.mu.Lock()
+		s.c = c
+		floor, live := s.floor, s.live
+		s.mu.Unlock()
+		if s.stopped() {
+			c.close()
+			return
+		}
+		if floor > 0 {
+			c.writeMsg(typeU1(msgFloorReport, floor))
+		}
+		if live {
+			c.writeMsg([]byte{msgLive})
+		}
+
+		eos := s.stream(c, &envBuf)
+		s.mu.Lock()
+		s.c = nil
+		s.mu.Unlock()
+		c.close()
+		if eos {
+			return
+		}
+		if !s.stopped() && s.f.reconnects != nil {
+			s.f.reconnects.Inc()
+		}
+	}
+}
+
+// stream consumes one connection until it drops (false) or announces a
+// clean end of stream (true).
+func (s *FeedSub) stream(c *conn, envBuf *[]queue.Envelope[graph.Edge]) bool {
+	for {
+		payload, err := c.readMsg()
+		if err != nil {
+			return false
+		}
+		if len(payload) == 0 {
+			return false
+		}
+		switch payload[0] {
+		case msgEnvBatch:
+			wr := &wireReader{b: payload[1:]}
+			meta, envs, err := decodeEnvBatch(wr, (*envBuf)[:0])
+			*envBuf = envs[:0]
+			if err != nil {
+				return false
+			}
+			s.f.head.Store(meta.head)
+			s.f.start.Store(meta.start)
+			for _, env := range envs {
+				if env.Offset < s.next {
+					continue // redelivered after reconnect; already consumed
+				}
+				select {
+				case s.ch <- env:
+					s.next = env.Offset + 1
+				case <-s.done:
+					return true
+				}
+			}
+		case msgEOS:
+			return true
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"motifstream/internal/graph"
+	"motifstream/internal/metrics"
+	"motifstream/internal/queue"
+)
+
+// HubBackend is the cluster-side surface the hub server drives. All
+// methods must be safe for concurrent use; they are called from
+// per-connection handler goroutines.
+type HubBackend interface {
+	// LogMeta reports the firehose log's identity and current bounds.
+	LogMeta() (logID, head, start uint64)
+	// SubscribeFrom opens a firehose subscription at the given offset
+	// (replay-then-live, exactly the in-process semantics).
+	SubscribeFrom(offset uint64) (<-chan queue.Envelope[graph.Edge], error)
+	// Unsubscribe detaches a subscription obtained from SubscribeFrom.
+	Unsubscribe(ch <-chan queue.Envelope[graph.Edge])
+	// ReplicaAttached validates and records a worker taking ownership of
+	// slot (pid, r) at generation gen, reachable for reads at readAddr.
+	ReplicaAttached(pid, r, gen int, readAddr string) error
+	// ReplicaLive marks the slot caught-up (broker MarkUp).
+	ReplicaLive(pid, r int)
+	// ReplicaFloor records the slot's durable restore floor.
+	ReplicaFloor(pid, r int, floor uint64)
+	// ReplicaDetached marks the slot down after its feed drops.
+	ReplicaDetached(pid, r int)
+	// DeliverCandidates publishes decoded candidate messages into the
+	// hub's delivery topic, in slice order. Idempotent under redelivery:
+	// the delivery tier's per-group monotonic offset filter drops
+	// duplicates. Returns an error only when delivery is shut down.
+	DeliverCandidates(msgs []CandMsg) error
+}
+
+// ServerConfig configures the hub listener.
+type ServerConfig struct {
+	// Listen is the TCP bind address (host:port; port 0 picks a free one).
+	Listen string
+	// Backend receives decoded protocol events.
+	Backend HubBackend
+	// BatchMax bounds envelopes coalesced per feed frame (defaults to 64).
+	BatchMax int
+	// HelloTimeout bounds the preamble+hello exchange (defaults to 5s).
+	HelloTimeout time.Duration
+	// DrainQuiet is how long the connection set must stay empty before a
+	// drain concludes no worker is coming back (defaults to 2s — above the
+	// clients' 1s reconnect-backoff ceiling, so a worker that was between
+	// connections when the shutdown started still gets to reconnect and
+	// flush).
+	DrainQuiet time.Duration
+	// Metrics receives per-connection-kind transport counters.
+	Metrics *metrics.Registry
+}
+
+// Server is the hub's listener: it accepts feed, candidate, and meta
+// connections from workers and bridges them onto the HubBackend.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	mu         sync.Mutex
+	conns      map[*conn]struct{}
+	candConns  int
+	lastChange time.Time // last conn-set mutation, for drain quiescence
+	tracked    bool      // any connection ever tracked
+	closed     bool
+
+	feedM *connMetrics
+	candM *connMetrics
+
+	wg sync.WaitGroup
+}
+
+// NewServer binds the listener and starts accepting connections.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, errors.New("transport: server requires a backend")
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 64
+	}
+	if cfg.HelloTimeout <= 0 {
+		cfg.HelloTimeout = 5 * time.Second
+	}
+	if cfg.DrainQuiet <= 0 {
+		cfg.DrainQuiet = 2 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+	}
+	s := &Server{
+		cfg:   cfg,
+		ln:    ln,
+		conns: make(map[*conn]struct{}),
+		feedM: newConnMetrics(cfg.Metrics, "feed", ""),
+		candM: newConnMetrics(cfg.Metrics, "cands", ""),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.handle(nc)
+	}
+}
+
+// track registers a live connection; returns false when the server is
+// already closing (the conn must be dropped).
+func (s *Server) track(c *conn, cand bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	s.lastChange = time.Now()
+	s.tracked = true
+	if cand {
+		s.candConns++
+	}
+	return true
+}
+
+func (s *Server) untrack(c *conn, cand bool) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.lastChange = time.Now()
+	if cand {
+		s.candConns--
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) handle(nc net.Conn) {
+	defer s.wg.Done()
+	c, hello, err := acceptConn(nc, s.cfg.HelloTimeout)
+	if err != nil {
+		nc.Close()
+		return
+	}
+	if len(hello) == 0 {
+		c.close()
+		return
+	}
+	switch hello[0] {
+	case msgHelloMeta:
+		s.handleMeta(c)
+	case msgHelloFeed:
+		s.handleFeed(c, hello[1:])
+	case msgHelloCands:
+		s.handleCands(c, hello[1:])
+	default:
+		c.writeMsg(encodeHelloErr(fmt.Sprintf("unknown hello type %d", hello[0])))
+		c.close()
+	}
+}
+
+func (s *Server) handleMeta(c *conn) {
+	defer c.close()
+	logID, head, start := s.cfg.Backend.LogMeta()
+	c.writeMsg(appendLogMeta([]byte{msgMetaResp}, logMeta{logID, head, start}))
+}
+
+// handleFeed serves one replica's firehose subscription: replay-then-live
+// envelope batches downstream, floor/live reports upstream.
+func (s *Server) handleFeed(c *conn, body []byte) {
+	wr := &wireReader{b: body}
+	h := decodeHelloFeed(wr)
+	if wr.err != nil {
+		c.close()
+		return
+	}
+	b := s.cfg.Backend
+	if err := b.ReplicaAttached(h.pid, h.r, h.gen, h.readAddr); err != nil {
+		c.writeMsg(encodeHelloErr(err.Error()))
+		c.close()
+		return
+	}
+	sub, err := b.SubscribeFrom(h.resume)
+	if err != nil {
+		b.ReplicaDetached(h.pid, h.r)
+		c.writeMsg(encodeHelloErr(err.Error()))
+		c.close()
+		return
+	}
+	if !s.track(c, false) {
+		b.Unsubscribe(sub)
+		b.ReplicaDetached(h.pid, h.r)
+		c.close()
+		return
+	}
+	c.m = s.feedM
+	logID, head, start := b.LogMeta()
+	if err := c.writeMsg(appendLogMeta([]byte{msgFeedAck}, logMeta{logID, head, start})); err != nil {
+		s.untrack(c, false)
+		b.Unsubscribe(sub)
+		b.ReplicaDetached(h.pid, h.r)
+		c.close()
+		return
+	}
+
+	// Reader: upstream floor/live reports; closes done on any error so
+	// the writer stops waiting on the subscription.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			payload, err := c.readMsg()
+			if err != nil {
+				return
+			}
+			wr := &wireReader{b: payload[1:]}
+			switch payload[0] {
+			case msgFloorReport:
+				floor := wr.u("floor")
+				if wr.err == nil {
+					b.ReplicaFloor(h.pid, h.r, floor)
+				}
+			case msgLive:
+				b.ReplicaLive(h.pid, h.r)
+			default:
+				return
+			}
+		}
+	}()
+
+	batch := make([]queue.Envelope[graph.Edge], 0, s.cfg.BatchMax)
+	eos := false
+loop:
+	for {
+		select {
+		case env, ok := <-sub:
+			if !ok {
+				eos = true
+				break loop
+			}
+			batch = append(batch[:0], env)
+			// Coalesce whatever is immediately available, up to the bound.
+			for len(batch) < s.cfg.BatchMax {
+				select {
+				case env, ok := <-sub:
+					if !ok {
+						eos = true
+						break
+					}
+					batch = append(batch, env)
+					continue
+				case <-done:
+				default:
+				}
+				break
+			}
+			logID, head, start := b.LogMeta()
+			if err := c.writeMsg(encodeEnvBatch(logMeta{logID, head, start}, batch)); err != nil {
+				break loop
+			}
+			if eos {
+				break loop
+			}
+		case <-done:
+			break loop
+		}
+	}
+	if eos {
+		c.writeMsg([]byte{msgEOS})
+	} else {
+		b.Unsubscribe(sub)
+	}
+	s.untrack(c, false)
+	c.close()
+	<-done // reader exited: no more live/floor callbacks can race the detach
+	b.ReplicaDetached(h.pid, h.r)
+}
+
+// handleCands serves one worker's candidate stream: batches are published
+// into the hub's delivery topic in order, then cumulatively acked. The
+// ack is only written after every message in the batch is durably handed
+// to the backend, preserving at-least-once across hub or worker crashes.
+func (s *Server) handleCands(c *conn, body []byte) {
+	wr := &wireReader{b: body}
+	logID := wr.u("cands log id")
+	if wr.err != nil {
+		c.close()
+		return
+	}
+	b := s.cfg.Backend
+	wantID, _, _ := b.LogMeta()
+	if logID != wantID {
+		c.writeMsg(encodeHelloErr(fmt.Sprintf("log id mismatch: worker %d, hub %d", logID, wantID)))
+		c.close()
+		return
+	}
+	if !s.track(c, true) {
+		c.close()
+		return
+	}
+	c.m = s.candM
+	defer func() {
+		s.untrack(c, true)
+		c.close()
+	}()
+	if err := c.writeMsg(typeU1(msgCandAck, 0)); err != nil {
+		return
+	}
+	var lastSeq uint64
+	for {
+		payload, err := c.readMsg()
+		if err != nil {
+			return
+		}
+		wr := &wireReader{b: payload[1:]}
+		switch payload[0] {
+		case msgCandBatch:
+			seq, msgs, err := decodeCandBatch(wr)
+			if err != nil {
+				return
+			}
+			if seq <= lastSeq && lastSeq > 0 {
+				// Duplicate after reconnect-with-resend; the delivery
+				// filter would drop the contents anyway, skip the publish.
+				c.writeMsg(typeU1(msgCandAck, lastSeq))
+				continue
+			}
+			if err := b.DeliverCandidates(msgs); err != nil {
+				return
+			}
+			lastSeq = seq
+			if err := c.writeMsg(typeU1(msgCandAck, seq)); err != nil {
+				return
+			}
+		case msgCandFin:
+			c.writeMsg(typeU1(msgCandAck, lastSeq))
+			return
+		default:
+			return
+		}
+	}
+}
+
+// DrainWorkers blocks until every worker has finished its shutdown
+// exchange: feeds drained to EOS, final candidate batches flushed and
+// FINed, all connections closed — sustained for DrainQuiet, so a worker
+// that was between connections (mid-reconnect-backoff after a network
+// blip) still gets to come back, replay the closed log's tail, and flush.
+// A hub that never saw a worker returns immediately. Returns whether the
+// drain completed before the timeout.
+func (s *Server) DrainWorkers(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		last := s.lastChange
+		tracked := s.tracked
+		s.mu.Unlock()
+		if !tracked || (n == 0 && time.Since(last) >= s.cfg.DrainQuiet) {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// DropConnections severs every currently-tracked connection without
+// closing the listener — a network blip, as the fault-injection harnesses
+// see it. Workers reconnect with backoff and resume idempotently.
+func (s *Server) DropConnections() int {
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.close()
+	}
+	return len(conns)
+}
+
+// Close stops accepting, severs all connections, and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.close()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,392 @@
+// Package transport is the TCP RPC layer that lets replicas and the
+// delivery tier run as separate OS processes: a hub process owns the
+// durable firehose log, the delivery pipeline, and the broker read path,
+// while worker processes own replica detection state and dial in.
+//
+// The wire codec is the WAL's record framing (u32 length + CRC32C,
+// hoisted into internal/codecutil), so a frame on the socket and a record
+// in the log are the same bytes-level artifact. Three connection kinds
+// exist, all dialed worker→hub except reads:
+//
+//   - feed: one per replica. The worker subscribes to the hub's firehose
+//     from a resume offset; the hub streams envelope batches (coalesced up
+//     to the configured batch bound per frame) and the worker reports
+//     restore floors and go-live transitions upstream on the same socket.
+//     Reconnects resume idempotently: the worker re-hellos with its next
+//     expected offset and drops anything below it.
+//   - cands: one per worker. Candidate batches flow up with sequence
+//     numbers and cumulative acks flow down; unacked batches are resent in
+//     order after a reconnect. The hub's per-group monotonic offset filter
+//     collapses the resulting at-least-once stream to exactly-once.
+//   - read: hub→worker. The hub's broker dials a worker's ReplicaServer to
+//     serve RecommendationsFor/TopItems fan-outs remotely.
+//
+// Every message is one frame: a type byte followed by varint fields.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"motifstream/internal/graph"
+	"motifstream/internal/motif"
+	"motifstream/internal/partition"
+	"motifstream/internal/queue"
+)
+
+// connMagic opens every transport connection, format version 1.
+var connMagic = [8]byte{'M', 'S', 'T', 'P', 'T', 0, 0, 1}
+
+// maxFrame bounds any accepted wire frame: larger claims are corruption
+// or a hostile peer, rejected before allocation.
+const maxFrame = 1 << 24
+
+// Message types. One byte leads every frame payload.
+const (
+	msgHelloMeta   = 1  // worker→hub: request log identity/bounds
+	msgMetaResp    = 2  // hub→worker: logID, head, logStart
+	msgHelloFeed   = 3  // worker→hub: subscribe replica (pid, r, gen, resume, readAddr)
+	msgFeedAck     = 4  // hub→worker: accepted; logID, head, logStart
+	msgEnvBatch    = 5  // hub→worker: coalesced envelope batch
+	msgEOS         = 6  // hub→worker: clean end of stream (cluster shutdown)
+	msgFloorReport = 7  // worker→hub: durable restore floor
+	msgLive        = 8  // worker→hub: replica finished catch-up
+	msgHelloCands  = 9  // worker→hub: open candidate stream (logID)
+	msgCandBatch   = 10 // worker→hub: candidate batch {seq, msgs}
+	msgCandAck     = 11 // hub→worker: cumulative ack {seq}
+	msgCandFin     = 12 // worker→hub: stream complete, close after ack
+	msgHelloRead   = 13 // hub→worker: open read stream for (pid, r)
+	msgReadAck     = 14 // worker→hub: accepted
+	msgRecsReq     = 15 // read: RecommendationsFor
+	msgRecsResp    = 16
+	msgTopReq      = 17 // read: TopItems
+	msgTopResp     = 18
+	msgPing        = 19
+	msgPong        = 20
+	msgHelloErr    = 21 // either side: hello rejected, message string
+)
+
+// appendEdge encodes an edge with the same varint field layout as the
+// cluster's WAL record codec.
+func appendEdge(b []byte, e graph.Edge) []byte {
+	b = binary.AppendUvarint(b, uint64(e.Src))
+	b = binary.AppendUvarint(b, uint64(e.Dst))
+	b = append(b, byte(e.Type))
+	b = binary.AppendVarint(b, e.TS)
+	return b
+}
+
+// wireReader is a cursor over one frame payload with error latching.
+type wireReader struct {
+	b   []byte
+	err error
+}
+
+func (r *wireReader) fail(context string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("transport: %s: short or malformed frame", context)
+	}
+}
+
+func (r *wireReader) u(context string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail(context)
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *wireReader) i(context string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail(context)
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *wireReader) byte(context string) byte {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail(context)
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *wireReader) str(context string, max uint64) string {
+	n := r.u(context)
+	if r.err != nil {
+		return ""
+	}
+	if n > max || uint64(len(r.b)) < n {
+		r.fail(context)
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *wireReader) edge(context string) graph.Edge {
+	var e graph.Edge
+	e.Src = graph.VertexID(r.u(context))
+	e.Dst = graph.VertexID(r.u(context))
+	e.Type = graph.EdgeType(r.byte(context))
+	e.TS = r.i(context)
+	return e
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// helloFeed is the feed subscription request.
+type helloFeed struct {
+	pid, r, gen int
+	resume      uint64
+	readAddr    string
+}
+
+func encodeHelloFeed(h helloFeed) []byte {
+	b := []byte{msgHelloFeed}
+	b = binary.AppendUvarint(b, uint64(h.pid))
+	b = binary.AppendUvarint(b, uint64(h.r))
+	b = binary.AppendUvarint(b, uint64(h.gen))
+	b = binary.AppendUvarint(b, h.resume)
+	b = appendString(b, h.readAddr)
+	return b
+}
+
+func decodeHelloFeed(r *wireReader) helloFeed {
+	var h helloFeed
+	h.pid = int(r.u("hello pid"))
+	h.r = int(r.u("hello replica"))
+	h.gen = int(r.u("hello gen"))
+	h.resume = r.u("hello resume")
+	h.readAddr = r.str("hello read addr", 256)
+	return h
+}
+
+// logMeta carries the hub log's identity and bounds.
+type logMeta struct {
+	logID, head, start uint64
+}
+
+func appendLogMeta(b []byte, m logMeta) []byte {
+	b = binary.AppendUvarint(b, m.logID)
+	b = binary.AppendUvarint(b, m.head)
+	b = binary.AppendUvarint(b, m.start)
+	return b
+}
+
+func decodeLogMeta(r *wireReader) logMeta {
+	var m logMeta
+	m.logID = r.u("log id")
+	m.head = r.u("log head")
+	m.start = r.u("log start")
+	return m
+}
+
+// encodeEnvBatch packs envelopes into one frame, prefixed with the hub's
+// current log bounds so the worker's cached head/start stay fresh without
+// extra round trips.
+func encodeEnvBatch(meta logMeta, envs []queue.Envelope[graph.Edge]) []byte {
+	b := make([]byte, 1, 32+24*len(envs))
+	b[0] = msgEnvBatch
+	b = appendLogMeta(b, meta)
+	b = binary.AppendUvarint(b, uint64(len(envs)))
+	for _, env := range envs {
+		b = binary.AppendUvarint(b, env.Offset)
+		b = binary.AppendUvarint(b, uint64(env.VirtualDelay))
+		b = binary.AppendVarint(b, env.PubUnixNS)
+		b = appendEdge(b, env.Msg)
+	}
+	return b
+}
+
+func decodeEnvBatch(r *wireReader, dst []queue.Envelope[graph.Edge]) (logMeta, []queue.Envelope[graph.Edge], error) {
+	meta := decodeLogMeta(r)
+	n := r.u("env count")
+	if r.err == nil && n > maxFrame {
+		r.fail("env count")
+	}
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		var env queue.Envelope[graph.Edge]
+		env.Offset = r.u("env offset")
+		env.VirtualDelay = time.Duration(r.u("env delay"))
+		env.PubUnixNS = r.i("env pub ns")
+		env.Msg = r.edge("env edge")
+		dst = append(dst, env)
+	}
+	return meta, dst, r.err
+}
+
+// candMsg is one event's candidate batch from one replica, the wire twin
+// of the cluster's internal candidateMsg.
+type CandMsg struct {
+	Pid    int
+	Offset uint64
+	PubNS  int64
+	Delay  time.Duration
+	Cands  []motif.Candidate
+}
+
+func appendCandidate(b []byte, c motif.Candidate) []byte {
+	b = binary.AppendUvarint(b, uint64(c.User))
+	b = binary.AppendUvarint(b, uint64(c.Item))
+	b = binary.AppendUvarint(b, uint64(len(c.Via)))
+	for _, v := range c.Via {
+		b = binary.AppendUvarint(b, uint64(v))
+	}
+	b = appendEdge(b, c.Trigger)
+	b = binary.AppendVarint(b, c.DetectedAtMS)
+	b = appendString(b, c.Program)
+	b = binary.AppendUvarint(b, math.Float64bits(c.Score))
+	return b
+}
+
+func decodeCandidate(r *wireReader) motif.Candidate {
+	var c motif.Candidate
+	c.User = graph.VertexID(r.u("cand user"))
+	c.Item = graph.VertexID(r.u("cand item"))
+	nv := r.u("cand via count")
+	if r.err == nil && nv > maxFrame {
+		r.fail("cand via count")
+	}
+	for i := uint64(0); i < nv && r.err == nil; i++ {
+		c.Via = append(c.Via, graph.VertexID(r.u("cand via")))
+	}
+	c.Trigger = r.edge("cand trigger")
+	c.DetectedAtMS = r.i("cand detected")
+	c.Program = r.str("cand program", 4096)
+	c.Score = math.Float64frombits(r.u("cand score"))
+	return c
+}
+
+func encodeCandBatch(seq uint64, msgs []CandMsg) []byte {
+	b := make([]byte, 1, 64+64*len(msgs))
+	b[0] = msgCandBatch
+	b = binary.AppendUvarint(b, seq)
+	b = binary.AppendUvarint(b, uint64(len(msgs)))
+	for _, m := range msgs {
+		b = binary.AppendUvarint(b, uint64(m.Pid))
+		b = binary.AppendUvarint(b, m.Offset)
+		b = binary.AppendVarint(b, m.PubNS)
+		b = binary.AppendUvarint(b, uint64(m.Delay))
+		b = binary.AppendUvarint(b, uint64(len(m.Cands)))
+		for _, c := range m.Cands {
+			b = appendCandidate(b, c)
+		}
+	}
+	return b
+}
+
+func decodeCandBatch(r *wireReader) (seq uint64, msgs []CandMsg, err error) {
+	seq = r.u("cand seq")
+	n := r.u("cand msg count")
+	if r.err == nil && n > maxFrame {
+		r.fail("cand msg count")
+	}
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		var m CandMsg
+		m.Pid = int(r.u("cand pid"))
+		m.Offset = r.u("cand offset")
+		m.PubNS = r.i("cand pub ns")
+		m.Delay = time.Duration(r.u("cand delay"))
+		nc := r.u("cand count")
+		if r.err == nil && nc > maxFrame {
+			r.fail("cand count")
+		}
+		for j := uint64(0); j < nc && r.err == nil; j++ {
+			m.Cands = append(m.Cands, decodeCandidate(r))
+		}
+		msgs = append(msgs, m)
+	}
+	return seq, msgs, r.err
+}
+
+func encodeRecsResp(id uint64, cands []motif.Candidate) []byte {
+	b := []byte{msgRecsResp}
+	b = binary.AppendUvarint(b, id)
+	b = binary.AppendUvarint(b, uint64(len(cands)))
+	for _, c := range cands {
+		b = appendCandidate(b, c)
+	}
+	return b
+}
+
+func decodeRecsResp(r *wireReader) (uint64, []motif.Candidate, error) {
+	id := r.u("recs id")
+	n := r.u("recs count")
+	if r.err == nil && n > maxFrame {
+		r.fail("recs count")
+	}
+	var out []motif.Candidate
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		out = append(out, decodeCandidate(r))
+	}
+	return id, out, r.err
+}
+
+func encodeTopResp(id uint64, items []partition.ItemCount) []byte {
+	b := []byte{msgTopResp}
+	b = binary.AppendUvarint(b, id)
+	b = binary.AppendUvarint(b, uint64(len(items)))
+	for _, it := range items {
+		b = binary.AppendUvarint(b, uint64(it.Item))
+		b = binary.AppendUvarint(b, uint64(it.Count))
+	}
+	return b
+}
+
+func decodeTopResp(r *wireReader) (uint64, []partition.ItemCount, error) {
+	id := r.u("top id")
+	n := r.u("top count")
+	if r.err == nil && n > maxFrame {
+		r.fail("top count")
+	}
+	var out []partition.ItemCount
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		var it partition.ItemCount
+		it.Item = graph.VertexID(r.u("top item"))
+		it.Count = r.u("top item count")
+		out = append(out, it)
+	}
+	return id, out, r.err
+}
+
+// typeU1 encodes a message of one uvarint field (acks, floors, ids).
+func typeU1(typ byte, v uint64) []byte {
+	b := []byte{typ}
+	return binary.AppendUvarint(b, v)
+}
+
+// typeU2 encodes a message of two uvarint fields.
+func typeU2(typ byte, v1, v2 uint64) []byte {
+	b := []byte{typ}
+	b = binary.AppendUvarint(b, v1)
+	return binary.AppendUvarint(b, v2)
+}
+
+// appendI appends one signed varint field.
+func appendI(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+func encodeHelloErr(msg string) []byte {
+	return appendString([]byte{msgHelloErr}, msg)
+}
