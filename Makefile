@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test test-race test-crashmatrix test-delivery test-elasticity test-audit test-parallel test-transport soak-flake soak soak-net bench bench-smoke bench-trajectory fuzz fuzz-smoke
+.PHONY: check build vet test test-race test-crashmatrix test-delivery test-elasticity test-audit test-parallel test-transport test-planner soak-flake soak soak-net bench bench-smoke bench-trajectory fuzz fuzz-smoke
 
 # check is the CI gate: formatting, static analysis, the full test suite
 # under the race detector (test-delivery's and test-elasticity's cases
 # run within it, and are also kept as named targets for the quick loop),
 # the batched/parallel hot-path equivalence suite, and short fuzz smoke
 # runs of the durability codecs.
-check: fmt-check vet test-race test-delivery test-elasticity test-audit test-parallel test-transport fuzz-smoke
+check: fmt-check vet test-race test-delivery test-elasticity test-audit test-parallel test-transport test-planner fuzz-smoke
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
@@ -70,6 +70,19 @@ test-transport:
 	$(GO) test -race ./internal/transport
 	$(GO) test -race -run 'TestNetworked' ./internal/cluster
 
+# test-planner runs the motif planner and shared-execution suite under
+# the race detector: the DSL (lexer/parser/plan IR/EXPLAIN goldens), the
+# interpreted planned programs against the hand-written oracles, the
+# engine's shared-trie differential and live-degree feed, and the
+# cluster-level multi-query differential (shared vs independent multiset
+# + fingerprint equality, multi-motif kill/restore) — the quick loop for
+# planner and multi-query work. The multi-motif allocation gate runs
+# without race (instrumentation changes allocation counts).
+test-planner:
+	$(GO) test -race ./internal/motifdsl ./internal/motif
+	$(GO) test -race -run 'TestEngineShared|TestEngineFeedsLiveDegrees|TestMultiQuery' ./internal/core ./internal/cluster
+	$(GO) test -run 'TestApplyBatchAllocBudgetMultiMotif' ./internal/core
+
 # soak-flake is the nightly soak of the once-flaky scale-out scenario
 # (the zombie-cut bug): 200 consecutive runs, any recurrence fails.
 soak-flake:
@@ -95,7 +108,8 @@ bench-smoke:
 	done
 
 # bench-trajectory is the measurement run: the pinned trajectory workload
-# (T1 ingest+latency, T2 recovery replay, T3 reprovision) emits a dated
+# (T1 ingest+latency, T2 recovery replay, T3 reprovision, T4 networked
+# tier, T5 shared multi-query) emits a dated
 # BENCH_<date>.json artifact and gates against the newest committed one —
 # nonzero exit on any metric regressing beyond its tolerance. Commit the
 # artifact to extend the trajectory. See docs/BENCHMARKS.md.
@@ -125,10 +139,12 @@ fuzz:
 	$(GO) test -run=NONE -fuzz FuzzAuditRecords -fuzztime 30s ./internal/audit
 	$(GO) test -run=NONE -fuzz FuzzBenchReport -fuzztime 30s ./internal/benchfmt
 	$(GO) test -run=NONE -fuzz FuzzTransportFrame -fuzztime 30s ./internal/transport
+	$(GO) test -run=NONE -fuzz FuzzCompile -fuzztime 30s ./internal/motifdsl
 
 # fuzz-smoke is the CI-budget version: 10s per target keeps the decoders,
-# the WAL record framing, the delivery-state codec, and the transport
-# wire protocol continuously fuzzed without stalling checks.
+# the WAL record framing, the delivery-state codec, the transport wire
+# protocol, and the motif DSL compiler continuously fuzzed without
+# stalling checks.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/dynstore
 	$(GO) test -run=NONE -fuzz FuzzWALReadRecord -fuzztime 10s ./internal/queue
@@ -136,3 +152,4 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz FuzzAuditRecords -fuzztime 10s ./internal/audit
 	$(GO) test -run=NONE -fuzz FuzzBenchReport -fuzztime 10s ./internal/benchfmt
 	$(GO) test -run=NONE -fuzz FuzzTransportFrame -fuzztime 10s ./internal/transport
+	$(GO) test -run=NONE -fuzz FuzzCompile -fuzztime 10s ./internal/motifdsl

@@ -32,8 +32,17 @@ type ClusterOptions struct {
 	// work on viral items. Zero selects 256; negative means unlimited.
 	MaxFanout int
 	// ExtraDSL holds additional motif declarations compiled and run on
-	// every partition alongside the primary diamond.
+	// every partition alongside the primary diamond. RegisterMotifs is the
+	// programmatic way to build up the same set incrementally.
 	ExtraDSL string
+	// DisableSharing turns off the per-replica engines' shared-prefix
+	// execution trie, running every planned motif's probes independently.
+	// Detection output is identical either way; this is a benchmark and
+	// differential-testing lever, not a correctness switch.
+	DisableSharing bool
+	// motifSources holds DSL sources added via RegisterMotifs; each is
+	// compiled per replica alongside ExtraDSL.
+	motifSources []string
 	// QueueDelayMedian and QueueDelayP99 shape the simulated end-to-end
 	// message-queue propagation delay (the paper's dominant latency:
 	// median 7s, p99 15s). Both zero disables delay modeling. The total
@@ -136,6 +145,22 @@ type ClusterOptions struct {
 	Audit bool
 }
 
+// RegisterMotifs validates src — one or more motif declarations in the
+// DSL of docs/QUERIES.md — and adds it to the standing-query set every
+// replica runs alongside the primary diamond. Call any number of times
+// before NewCluster; an invalid source is rejected without modifying the
+// set. Motifs whose plans share a probe prefix (same trigger types,
+// windows, and fanout) are executed once per event through the engine's
+// shared trie, so large standing-query sets cost far less than N
+// independent scans.
+func (o *ClusterOptions) RegisterMotifs(src string) error {
+	if _, err := CompileMotif(src); err != nil {
+		return err
+	}
+	o.motifSources = append(o.motifSources, src)
+	return nil
+}
+
 // Cluster is the running multi-partition deployment.
 type Cluster struct {
 	inner  *cluster.Cluster
@@ -189,12 +214,25 @@ func NewCluster(staticEdges []Edge, opts ClusterOptions) (*Cluster, error) {
 				progs = append(progs, extra...)
 			}
 		}
+		for _, src := range opts.motifSources {
+			extra, err := CompileMotif(src)
+			if err == nil {
+				progs = append(progs, extra...)
+			}
+		}
 		return progs
 	}
 	if opts.ExtraDSL != "" {
 		// Validate once up front so a bad declaration fails construction
 		// rather than being silently dropped per replica.
 		if _, err := CompileMotif(opts.ExtraDSL); err != nil {
+			return nil, err
+		}
+	}
+	for _, src := range opts.motifSources {
+		// RegisterMotifs validated already; revalidate in case the options
+		// struct was assembled by hand across goroutines or copied stale.
+		if _, err := CompileMotif(src); err != nil {
 			return nil, err
 		}
 	}
@@ -220,6 +258,7 @@ func NewCluster(staticEdges []Edge, opts ClusterOptions) (*Cluster, error) {
 		MaxInfluencers:     opts.MaxInfluencers,
 		Dynamic:            dynstore.Options{Retention: opts.Window, MaxPerTarget: 1024},
 		NewPrograms:        newPrograms,
+		DisableSharing:     opts.DisableSharing,
 		IngestDelay:        ingestDelay,
 		DeliveryDelay:      deliverDelay,
 		Delivery:           dopts,

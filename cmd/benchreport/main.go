@@ -1,7 +1,7 @@
 // Command benchreport regenerates every experiment in the reproduction's
 // experiment index (DESIGN.md §4): the Figure 1 walkthrough and the ten
 // quantitative claims of the paper's §2, printing paper-vs-measured tables.
-// The trajectory experiments (T1..T3) additionally measure the pinned
+// The trajectory experiments (T1..T5) additionally measure the pinned
 // benchmark-trajectory point (docs/BENCHMARKS.md) and every experiment
 // returns its headline numbers as structured benchfmt metrics, so a run
 // can be written to a BENCH_<date>.json artifact and gated against the
@@ -55,9 +55,9 @@ func main() {
 	log.SetPrefix("benchreport: ")
 
 	var (
-		expFlag    = flag.String("exp", "all", "comma-separated experiment IDs (F1,E1..E10,T1..T3) or 'all'")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment IDs (F1,E1..E10,T1..T5) or 'all'")
 		quick      = flag.Bool("quick", false, "use smaller workloads")
-		trajectory = flag.Bool("trajectory", false, "run only the trajectory experiments (T1..T3)")
+		trajectory = flag.Bool("trajectory", false, "run only the trajectory experiments (T1..T5)")
 		jsonOut    = flag.String("json", "", "write a benchfmt artifact (BENCH_<date>.json) to this path")
 		baseline   = flag.String("baseline", "", "prior artifact to gate against: a file, or a directory whose newest BENCH_*.json is used")
 		tol        = flag.Float64("tol", 0.5, "default relative tolerance for the -baseline regression gate")
@@ -80,11 +80,12 @@ func main() {
 		{"T2", "trajectory: recovery replay rate (kill/restore/catch-up)", runT2},
 		{"T3", "trajectory: reprovision latency (node replacement)", runT3},
 		{"T4", "trajectory: networked ingest + envelope RPC RTT (loopback sockets)", runT4},
+		{"T5", "trajectory: shared multi-query execution, 100 standing motifs", runT5},
 	}
 
 	sel := *expFlag
 	if *trajectory {
-		sel = "T1,T2,T3,T4"
+		sel = "T1,T2,T3,T4,T5"
 	}
 	all := sel == "all"
 	want := map[string]bool{}

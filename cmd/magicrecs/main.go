@@ -55,6 +55,8 @@ func run(args []string, errOut io.Writer) int {
 		window     = fs.Duration("window", 10*time.Minute, "freshness window tau")
 		maxInfl    = fs.Int("maxinfluencers", 200, "influencer cap per user (0 = unlimited)")
 		maxFanout  = fs.Int("maxfanout", 64, "recent-actor cap per event (-1 = unlimited)")
+		motifsPath = fs.String("motifs", "", "file of motif DSL declarations run as standing queries on every replica alongside the primary diamond (see docs/QUERIES.md)")
+		noSharing  = fs.Bool("nosharing", false, "disable the shared-prefix execution trie; every motif runs its own probes per event")
 		queueMed   = fs.Duration("queuemedian", 7*time.Second, "simulated queue-delay median (0 disables)")
 		queueP99   = fs.Duration("queuep99", 15*time.Second, "simulated queue-delay p99")
 		progress   = fs.Int("progress", 50_000, "print progress every N events (0 disables)")
@@ -138,6 +140,18 @@ func run(args []string, errOut io.Writer) int {
 		return fail("%v", err)
 	}
 
+	var motifSrc string
+	if *motifsPath != "" {
+		data, err := os.ReadFile(*motifsPath)
+		if err != nil {
+			return fail("-motifs: %v", err)
+		}
+		motifSrc = string(data)
+		if _, err := motifstream.CompileMotif(motifSrc); err != nil {
+			return fail("-motifs %s: %v", *motifsPath, err)
+		}
+	}
+
 	static, events, err := loadWorkload(*scenario, *staticPath, *streamPath)
 	if err != nil {
 		log.Fatal(err)
@@ -150,6 +164,7 @@ func run(args []string, errOut io.Writer) int {
 		Window:                 *window,
 		MaxInfluencers:         *maxInfl,
 		MaxFanout:              *maxFanout,
+		DisableSharing:         *noSharing,
 		QueueDelayMedian:       *queueMed,
 		QueueDelayP99:          *queueP99,
 		Seed:                   1,
@@ -166,6 +181,11 @@ func run(args []string, errOut io.Writer) int {
 		Listen:                 *listen,
 		Join:                   *join,
 		OwnedReplicas:          owned,
+	}
+	if motifSrc != "" {
+		if err := opts.RegisterMotifs(motifSrc); err != nil {
+			return fail("-motifs %s: %v", *motifsPath, err)
+		}
 	}
 
 	if *join != "" {
@@ -424,6 +444,7 @@ var workerFlags = map[string]bool{
 	"scenario": true, "static": true, "stream": true,
 	"partitions": true, "replicas": true, "k": true, "window": true,
 	"maxinfluencers": true, "maxfanout": true,
+	"motifs": true, "nosharing": true,
 	"queuemedian": true, "queuep99": true,
 	"checkpointdir": true, "checkpointinterval": true, "compactevery": true,
 	"staticsnapdir": true, "mirrorbases": true,

@@ -48,6 +48,7 @@ func TestFlagValidation(t *testing.T) {
 		{"lifecycle flags in networked mode", []string{"-listen=:0", "-logdir=a", "-checkpointdir=b", "-scale-events=1"}, "not available with -listen/-join"},
 		{"owned slot out of range", []string{"-join=h:1", "-owned=5/9", "-checkpointdir=b"}, "outside 20 partitions x 1 replicas"},
 		{"owned malformed", []string{"-join=h:1", "-owned=5", "-checkpointdir=b"}, "not partition/replica"},
+		{"motifs missing file", []string{"-motifs=/nonexistent/standing.motif"}, "-motifs"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -64,6 +65,22 @@ func TestFlagValidation(t *testing.T) {
 				t.Fatalf("validation failure did not print usage:\n%s", out)
 			}
 		})
+	}
+}
+
+// TestMotifsFlagRejectsBadSource checks that a -motifs file that fails to
+// compile aborts before any workload is generated.
+func TestMotifsFlagRejectsBadSource(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.motif")
+	if err := os.WriteFile(path, []byte("motif bogus"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if code := run([]string{"-motifs=" + path}, &buf); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(buf.String(), "-motifs") || !strings.Contains(buf.String(), "motifdsl") {
+		t.Fatalf("output missing compile error:\n%s", buf.String())
 	}
 }
 

@@ -2,6 +2,7 @@ package motifstream_test
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"motifstream"
@@ -51,14 +52,25 @@ motif "who-to-follow" {
 	}
 	fmt.Println(programs[0].Name())
 
+	// The full EXPLAIN (probe order, estimates, sharing key, rationale)
+	// is pinned by golden files in internal/motifdsl; the example shows
+	// the header and the probe pipeline.
 	plans, err := motifstream.ExplainMotif(src)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println(plans[0])
+	for _, line := range strings.Split(plans[0], "\n")[:7] {
+		fmt.Println(line)
+	}
 	// Output:
 	// who-to-follow
-	// plan "who-to-follow": diamond k=3 window=10m0s types=follow; per event: D-lookup(item) -> S-lookup(supports) -> 3-threshold intersect (fanout cap 0, candidate cap 0)
+	// plan "who-to-follow" (k-of-n diamond)
+	//   probe order (greedy, statistics-free):
+	//     1. filter-trigger: follow(within 10m0s)
+	//     2. probe-dynamic D.recent(item): est ~8 in-window actors (cold-start default), early-exit < 3
+	//     3. probe-static S.followers(B) per actor: est ~16 followers/list (cold-start default)
+	//     4. threshold-intersect k=3 over the follower lists
+	//     5. emit item -> user with via attribution
 }
 
 // ExampleNewCluster runs the Figure 1 scenario through the full

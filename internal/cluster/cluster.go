@@ -122,6 +122,11 @@ type Config struct {
 	// own instances mirrors a real deployment and keeps the option open.
 	// Required.
 	NewPrograms func() []motif.Program
+	// DisableSharing turns off each replica engine's shared-prefix
+	// execution trie, running every planned motif's probes independently
+	// per event. Detection output is identical either way; this exists for
+	// differential tests and the multi-query benchmark's baseline mode.
+	DisableSharing bool
 	// IngestDelay models the firehose→partition queue hop; nil = NoDelay.
 	IngestDelay queue.DelayModel
 	// DeliveryDelay models the partition→push-gateway hop; nil = NoDelay.
@@ -832,6 +837,7 @@ func (c *Cluster) buildPartition(pid int) (*partition.Partition, error) {
 		MaxInfluencers: c.cfg.MaxInfluencers,
 		Dynamic:        c.cfg.Dynamic,
 		Programs:       c.cfg.NewPrograms(),
+		DisableSharing: c.cfg.DisableSharing,
 		Metrics:        c.reg,
 	})
 }

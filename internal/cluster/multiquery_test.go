@@ -1,0 +1,301 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"motifstream/internal/graph"
+	"motifstream/internal/motif"
+	"motifstream/internal/motifdsl"
+)
+
+// multiQueryDSL generates a seeded standing-query set whose plans share
+// probe prefixes: follow families (one window+fanout each, several
+// thresholds), a content family with per-type windows, and k=1
+// broadcasts. Thresholds above the static fan-out never fire, which
+// exercises the shared executor's early-exit paths alongside the hot ones.
+func multiQueryDSL(seed int64) string {
+	r := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	id := 0
+	windows := []string{"5m", "10m", "20m"}
+	for f := 0; f < 2; f++ {
+		w := windows[r.Intn(len(windows))]
+		fan := 32 * (1 + r.Intn(2))
+		for _, k := range []int{2, 3, 2 + r.Intn(3)} {
+			id++
+			fmt.Fprintf(&sb, `
+motif "follow-%d" {
+    match A -> B;
+    match B =[follow]=> C within %s;
+    where count(B) >= %d;
+    emit C to A via B;
+    limit fanout %d;
+}`, id, w, k, fan)
+		}
+	}
+	for _, k := range []int{2, 3} {
+		id++
+		fmt.Fprintf(&sb, `
+motif "content-%d" {
+    match A -> B;
+    match B =[retweet]=> C within 5m;
+    match B =[favorite]=> C within 15m;
+    where count(B) >= %d;
+    emit C to A via B;
+    limit fanout 32;
+    limit candidates 16;
+}`, id, k)
+	}
+	for i := 0; i < 2; i++ {
+		id++
+		fmt.Fprintf(&sb, `
+motif "broadcast-%d" {
+    match A -> B;
+    match B =[follow]=> C;
+    where count(B) >= 1;
+    emit C to A;
+    limit candidates 8;
+}`, id)
+	}
+	return sb.String()
+}
+
+// multiQueryPrograms returns a NewPrograms constructor for the seeded
+// motif set, with a hand-written Diamond leading the registration order so
+// grouped and ungrouped programs interleave.
+func multiQueryPrograms(t testing.TB, seed int64) func() []motif.Program {
+	t.Helper()
+	src := multiQueryDSL(seed)
+	if _, err := motifdsl.Compile(src); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return func() []motif.Program {
+		progs, err := motifdsl.Compile(src)
+		if err != nil {
+			panic(err)
+		}
+		out := make([]motif.Program, 0, len(progs)+1)
+		out = append(out, motif.NewDiamond(motif.DiamondConfig{
+			Name: "oracle", K: 2, Window: 10 * time.Minute, MaxFanout: 64,
+		}))
+		return append(out, progs...)
+	}
+}
+
+// fanStatic wires users 0..n-1 so each follows the next three, letting
+// thresholds up to k=3 complete.
+func fanStatic(n int) []graph.Edge {
+	var static []graph.Edge
+	for a := graph.VertexID(0); a < graph.VertexID(n); a++ {
+		for d := graph.VertexID(1); d <= 3; d++ {
+			static = append(static, graph.Edge{Src: a, Dst: (a + d) % graph.VertexID(n)})
+		}
+	}
+	return static
+}
+
+// multiTypeWorkload is a seeded stream where 2-3 consecutive ring members
+// act on a fresh target with mixed edge types, so follow families, content
+// families, and broadcasts all fire. Stream time advances ~3s per step.
+func multiTypeWorkload(seed int64, users, steps int) []graph.Edge {
+	r := rand.New(rand.NewSource(seed))
+	t0 := int64(10_000_000)
+	var out []graph.Edge
+	for i := 0; i < steps; i++ {
+		b := graph.VertexID(r.Intn(users))
+		target := graph.VertexID(200_000 + i)
+		ts := t0 + int64(i)*3_000
+		n := 2 + r.Intn(2)
+		for j := 0; j < n; j++ {
+			out = append(out, graph.Edge{
+				Src:  (b + graph.VertexID(j)) % graph.VertexID(users),
+				Dst:  target,
+				Type: graph.EdgeType(r.Intn(3)),
+				TS:   ts + int64(j),
+			})
+		}
+	}
+	return out
+}
+
+// TestMultiQuerySharedMatchesIndependent is the cluster-level multi-query
+// differential: across randomized motif sets, seeds, and batch/worker
+// configurations, a shared-trie cluster must deliver exactly the
+// DisableSharing cluster's notification multiset and converge to
+// bit-identical recoverable state (per-replica CRC32C fingerprints).
+func TestMultiQuerySharedMatchesIndependent(t *testing.T) {
+	const users = 40
+	static := fanStatic(users)
+	type variant struct {
+		batch, workers int
+	}
+	variants := []variant{
+		{batch: 1, workers: 1},
+		{batch: 16, workers: 2},
+		{batch: 64, workers: 4},
+	}
+	for _, seed := range []int64{5, 21} {
+		stream := multiTypeWorkload(seed, users, 300)
+		newProgs := multiQueryPrograms(t, seed)
+
+		refCfg := recoveryConfig(t, static)
+		refCfg.NewPrograms = newProgs
+		refCfg.DisableSharing = true
+		refNotes := collectNotes(&refCfg)
+		ref, err := New(refCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Start()
+		for _, e := range stream {
+			if err := ref.Publish(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ref.Stop()
+
+		for _, v := range variants {
+			name := fmt.Sprintf("seed%d/batch%d_workers%d", seed, v.batch, v.workers)
+			t.Run(name, func(t *testing.T) {
+				cfg := recoveryConfig(t, static)
+				cfg.NewPrograms = newProgs
+				cfg.ApplyBatch = v.batch
+				cfg.ApplyWorkers = v.workers
+				notes := collectNotes(&cfg)
+				c, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c.Start()
+				for _, e := range stream {
+					if err := c.Publish(e); err != nil {
+						t.Fatal(err)
+					}
+				}
+				c.Stop()
+
+				assertSameNotes(t, refNotes(), notes())
+				for pid := 0; pid < cfg.Partitions; pid++ {
+					for r := 0; r < cfg.Replicas; r++ {
+						sp, err := c.Replica(pid, r)
+						if err != nil {
+							t.Fatal(err)
+						}
+						rp, err := ref.Replica(pid, r)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := sp.Fingerprint()
+						if err != nil {
+							t.Fatal(err)
+						}
+						want, err := rp.Fingerprint()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got != want {
+							t.Errorf("partition %d replica %d: shared fingerprint %08x != independent %08x", pid, r, got, want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMultiQueryKillRestore extends the crash matrix to multi-motif
+// configurations: a kill/checkpoint/restore/replay run over a shared-trie
+// standing-query set must deliver the no-fault run's notification set
+// exactly, and the recorded state fingerprints must cross-verify clean.
+func TestMultiQueryKillRestore(t *testing.T) {
+	const users = 50
+	static := fanStatic(users)
+	stream := multiTypeWorkload(33, users, 400)
+	newProgs := multiQueryPrograms(t, 33)
+
+	oracleCfg := recoveryConfig(t, static)
+	oracleCfg.NewPrograms = newProgs
+	oracleNotes := collectNotes(&oracleCfg)
+	oracle, err := New(oracleCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.Start()
+	for _, e := range stream {
+		if err := oracle.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oracle.Stop()
+
+	faultCfg := recoveryConfig(t, static)
+	faultCfg.NewPrograms = newProgs
+	faultCfg.ApplyBatch = 16
+	faultCfg.ApplyWorkers = 2
+	faultNotes := collectNotes(&faultCfg)
+	fault, err := New(faultCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Start()
+	killAt, restoreAt := len(stream)/3, 2*len(stream)/3
+	for i, e := range stream {
+		if i == killAt {
+			for pid := 0; pid < faultCfg.Partitions; pid++ {
+				if err := fault.KillReplica(pid, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if i == restoreAt {
+			for pid := 0; pid < faultCfg.Partitions; pid++ {
+				if err := fault.RestoreReplica(pid, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := fault.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fault.Stop()
+
+	assertSameNotes(t, oracleNotes(), faultNotes())
+	records := 0
+	for pid := 0; pid < faultCfg.Partitions; pid++ {
+		rep, err := fault.VerifyFingerprints(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Mismatches) > 0 {
+			t.Fatalf("partition %d: fingerprint mismatches under multi-motif recovery: %+v", pid, rep.Mismatches)
+		}
+		records += rep.Records
+		recovered, err := fault.Replica(pid, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference, err := oracle.Replica(pid, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := recovered.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := reference.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("partition %d: recovered fingerprint %08x != oracle %08x", pid, got, want)
+		}
+	}
+	if records == 0 {
+		t.Fatal("vacuous: audit recorded no fingerprints")
+	}
+}

@@ -37,6 +37,11 @@ type Config struct {
 	// SweepInterval is the stream-time interval between background D
 	// prunes; zero selects one minute.
 	SweepInterval time.Duration
+	// DisableSharing runs every planned program as an independent per-event
+	// scan instead of grouping common probe prefixes. The shared and
+	// independent paths produce identical candidates; the knob exists for
+	// differential tests and for measuring the sharing win.
+	DisableSharing bool
 }
 
 // Engine applies dynamic edges to D and runs motif programs. Safe for
@@ -46,6 +51,19 @@ type Engine struct {
 	dynamic *dynstore.Store
 	ctx     *motif.Context
 	progs   []progEntry
+
+	// Shared execution trie: planned programs with a common probe prefix
+	// (equal ShareKey) run the per-event D/S work once. groupSlots[i]
+	// holds the registration index of each member of groups[i], so group
+	// results land in their registration-order slots.
+	groups     []*motif.PlannedGroup
+	groupSlots [][]int
+	// scansSavedPerEvent is the number of per-event program invocations
+	// sharing avoids versus independent execution: sum over groups of
+	// (members - 1).
+	scansSavedPerEvent int
+
+	stats *graph.LiveDegreeStats
 
 	reg           *metrics.Registry
 	events        *metrics.Counter
@@ -62,6 +80,9 @@ type Engine struct {
 type progEntry struct {
 	p  motif.Program
 	sp motif.ScratchProgram // non-nil when p implements the scratch path
+	// grouped marks programs executed by a shared group; their candidates
+	// are picked up from the result slot instead of a direct invocation.
+	grouped bool
 }
 
 // NewEngine validates cfg and constructs an Engine.
@@ -83,13 +104,16 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if sweep <= 0 {
 		sweep = time.Minute
 	}
+	stats := &graph.LiveDegreeStats{}
 	e := &Engine{
 		static:  cfg.Static,
 		dynamic: cfg.Dynamic,
+		stats:   stats,
 		ctx: &motif.Context{
 			S:       cfg.Static,
 			D:       cfg.Dynamic,
 			Follows: cfg.Follows,
+			Stats:   stats,
 		},
 		reg:           reg,
 		events:        reg.Counter("engine.events"),
@@ -103,7 +127,55 @@ func NewEngine(cfg Config) (*Engine, error) {
 		ent.sp, _ = p.(motif.ScratchProgram)
 		e.progs = append(e.progs, ent)
 	}
+	if !cfg.DisableSharing {
+		if err := e.buildGroups(); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
+}
+
+// buildGroups partitions the planned programs by ShareKey and forms a
+// shared group for every key with at least two members (a singleton gains
+// nothing from the group machinery). Group members keep their
+// registration indices so candidate assembly stays in registration order.
+func (e *Engine) buildGroups() error {
+	byKey := map[string][]int{}
+	var keys []string
+	for i := range e.progs {
+		pp, ok := e.progs[i].p.(*motif.PlannedProgram)
+		if !ok {
+			continue
+		}
+		k := pp.ShareKey()
+		if len(byKey[k]) == 0 {
+			keys = append(keys, k)
+		}
+		byKey[k] = append(byKey[k], i)
+	}
+	for _, k := range keys {
+		idxs := byKey[k]
+		if len(idxs) < 2 {
+			continue
+		}
+		members := make([]*motif.PlannedProgram, len(idxs))
+		for j, i := range idxs {
+			members[j] = e.progs[i].p.(*motif.PlannedProgram)
+			e.progs[i].grouped = true
+		}
+		g, err := motif.NewPlannedGroup(members)
+		if err != nil {
+			return fmt.Errorf("core: grouping programs: %w", err)
+		}
+		e.groups = append(e.groups, g)
+		e.groupSlots = append(e.groupSlots, idxs)
+		e.scansSavedPerEvent += len(idxs) - 1
+	}
+	if len(e.groups) > 0 {
+		e.reg.Counter("engine.shared_groups").Add(uint64(len(e.groups)))
+		e.reg.Counter("engine.shared_group_members").Add(uint64(len(e.groups) + e.scansSavedPerEvent))
+	}
+	return nil
 }
 
 // Apply ingests one dynamic edge: inserts it into D exactly once, runs
@@ -130,11 +202,28 @@ func (e *Engine) applyOne(edge graph.Edge, s *motif.Scratch) []motif.Candidate {
 	e.dynamic.Insert(edge)
 	detect := time.Now()
 	var out []motif.Candidate
-	for _, ent := range e.progs {
+	var res [][]motif.Candidate
+	if len(e.groups) > 0 {
+		// Shared prefixes first: each group runs its trigger filter and
+		// D/S probes once, parking member results in their registration
+		// slots. Programs are read-only past the D insert above, so
+		// running groups ahead of ungrouped programs cannot change any
+		// result — only the assembly below determines candidate order.
+		res = s.ResultSlots(len(e.progs))
+		for gi, g := range e.groups {
+			g.DetectInto(e.ctx, edge, s, res, e.groupSlots[gi])
+		}
+	}
+	for i := range e.progs {
+		ent := &e.progs[i]
 		var cands []motif.Candidate
-		if ent.sp != nil {
+		switch {
+		case ent.grouped:
+			cands = res[i]
+			res[i] = nil
+		case ent.sp != nil:
 			cands = ent.sp.OnEdgeScratch(e.ctx, edge, s)
-		} else {
+		default:
 			cands = ent.p.OnEdge(e.ctx, edge)
 		}
 		if len(cands) > 0 {
@@ -235,6 +324,49 @@ func (e *Engine) Dynamic() *dynstore.Store { return e.dynamic }
 
 // Metrics returns the engine's registry.
 func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// LiveDegrees returns the incrementally maintained degree views fed by the
+// detection hot path. Compile motifs with motifdsl.CompileLive against
+// this view to let the planner order probes from live quantiles.
+func (e *Engine) LiveDegrees() *graph.LiveDegreeStats { return e.stats }
+
+// SharingStats describes the engine's shared execution trie.
+type SharingStats struct {
+	// Programs is the number of registered programs.
+	Programs int
+	// Groups is the number of shared-prefix groups (>= 2 members each).
+	Groups int
+	// GroupedPrograms is the number of programs executed through a group.
+	GroupedPrograms int
+	// ScansSavedPerEvent is the per-event program invocations avoided by
+	// sharing: sum over groups of (members - 1).
+	ScansSavedPerEvent int
+}
+
+// SharedFraction is the fraction of per-event program scans the trie
+// eliminates relative to independent execution.
+func (s SharingStats) SharedFraction() float64 {
+	if s.Programs == 0 {
+		return 0
+	}
+	return float64(s.ScansSavedPerEvent) / float64(s.Programs)
+}
+
+// Sharing reports how the registered programs were grouped.
+func (e *Engine) Sharing() SharingStats {
+	grouped := 0
+	for i := range e.progs {
+		if e.progs[i].grouped {
+			grouped++
+		}
+	}
+	return SharingStats{
+		Programs:           len(e.progs),
+		Groups:             len(e.groups),
+		GroupedPrograms:    grouped,
+		ScansSavedPerEvent: e.scansSavedPerEvent,
+	}
+}
 
 // Stats summarizes engine activity.
 type Stats struct {

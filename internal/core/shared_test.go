@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"motifstream/internal/dynstore"
+	"motifstream/internal/graph"
+	"motifstream/internal/motif"
+	"motifstream/internal/motifdsl"
+	"motifstream/internal/statstore"
+)
+
+// sharedMotifSet compiles a mixed standing-query set: three share groups
+// (follow diamonds, content co-action with per-type windows, k=1
+// broadcasts) plus a hand-written Diamond that stays outside the trie.
+func sharedMotifSet(t testing.TB) []motif.Program {
+	t.Helper()
+	src := ""
+	for i, k := range []int{2, 3, 4} {
+		src += fmt.Sprintf(`
+motif "follow-k%d" {
+    match A -> B;
+    match B =[follow]=> C within 10m;
+    where count(B) >= %d;
+    emit C to A via B;
+    limit fanout 64;
+}`, k, k)
+		_ = i
+	}
+	for _, k := range []int{2, 3} {
+		src += fmt.Sprintf(`
+motif "content-k%d" {
+    match A -> B;
+    match B =[retweet]=> C within 5m;
+    match B =[favorite]=> C within 30m;
+    where count(B) >= %d;
+    emit C to A via B;
+    limit fanout 32;
+    limit candidates 20;
+}`, k, k)
+	}
+	src += `
+motif "broadcast" {
+    match A -> B;
+    match B =[follow]=> C;
+    where count(B) >= 1;
+    emit C to A;
+    limit candidates 8;
+}
+motif "broadcast-rt" {
+    match A -> B;
+    match B =[retweet]=> C;
+    where count(B) >= 1;
+    emit C to A;
+}
+motif "broadcast2" {
+    match A -> B;
+    match B =[follow]=> C;
+    where count(B) >= 1;
+    emit C to A;
+}`
+	progs, err := motifdsl.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hand-written detector in the middle of the registration order
+	// exercises mixed grouped/ungrouped assembly.
+	withOracle := make([]motif.Program, 0, len(progs)+1)
+	withOracle = append(withOracle, progs[:3]...)
+	withOracle = append(withOracle, motif.NewDiamond(motif.DiamondConfig{
+		Name: "oracle", K: 2, Window: 10 * time.Minute, MaxFanout: 64,
+	}))
+	withOracle = append(withOracle, progs[3:]...)
+	return withOracle
+}
+
+func sharedTestEngine(t testing.TB, disable bool) *Engine {
+	t.Helper()
+	r := rand.New(rand.NewSource(42))
+	var sEdges []graph.Edge
+	for i := 0; i < 600; i++ {
+		src := graph.VertexID(1 + r.Intn(40))
+		dst := graph.VertexID(1 + r.Intn(40))
+		if src != dst {
+			sEdges = append(sEdges, graph.Edge{Src: src, Dst: dst})
+		}
+	}
+	b := &statstore.Builder{}
+	e, err := NewEngine(Config{
+		Static:         statstore.New(b.Build(sEdges)),
+		Dynamic:        dynstore.New(dynstore.Options{Retention: time.Hour, MaxPerTarget: 256}),
+		Programs:       sharedMotifSet(t),
+		DisableSharing: disable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestEngineSharedMatchesIndependent is the engine-level differential: a
+// shared-trie engine and a DisableSharing engine must produce identical
+// per-event candidate slices (same order, same attribution) over a random
+// multi-type stream.
+func TestEngineSharedMatchesIndependent(t *testing.T) {
+	shared := sharedTestEngine(t, false)
+	indep := sharedTestEngine(t, true)
+
+	// Expected trie: {follow-k2,k3,k4}, {content-k2,k3}, and the two
+	// follow broadcasts; broadcast-rt (retweet trigger) stays a singleton.
+	ss := shared.Sharing()
+	if ss.Groups != 3 || ss.GroupedPrograms != 7 || ss.ScansSavedPerEvent != 4 {
+		t.Fatalf("sharing did not engage as expected: %+v", ss)
+	}
+	if is := indep.Sharing(); is.Groups != 0 || is.ScansSavedPerEvent != 0 {
+		t.Fatalf("DisableSharing engine still grouped: %+v", is)
+	}
+
+	r := rand.New(rand.NewSource(99))
+	ts := int64(1_000_000)
+	emitted := 0
+	for i := 0; i < 4000; i++ {
+		ts += int64(r.Intn(20_000))
+		e := graph.Edge{
+			Src:  graph.VertexID(1 + r.Intn(40)),
+			Dst:  graph.VertexID(1 + r.Intn(40)),
+			Type: graph.EdgeType(r.Intn(3)),
+			TS:   ts,
+		}
+		want := indep.Apply(e)
+		got := shared.Apply(e)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("event %d (%v): shared candidates diverge\nindependent: %v\nshared: %v", i, e, want, got)
+		}
+		emitted += len(want)
+	}
+	if emitted == 0 {
+		t.Fatal("vacuous run: no candidates emitted")
+	}
+	sst, ist := shared.Stats(), indep.Stats()
+	if sst.Candidates != ist.Candidates || sst.Events != ist.Events {
+		t.Fatalf("counters diverged: shared %d/%d, independent %d/%d",
+			sst.Events, sst.Candidates, ist.Events, ist.Candidates)
+	}
+}
+
+// TestEngineFeedsLiveDegrees checks the statistics-free feedback loop: a
+// planned program's probes populate the engine's live degree view, and a
+// recompile against that view cites live quantiles in EXPLAIN.
+func TestEngineFeedsLiveDegrees(t *testing.T) {
+	e := sharedTestEngine(t, false)
+	r := rand.New(rand.NewSource(7))
+	ts := int64(1_000_000)
+	for i := 0; i < 500; i++ {
+		ts += 1000
+		e.Apply(graph.Edge{
+			Src: graph.VertexID(1 + r.Intn(40)), Dst: graph.VertexID(1 + r.Intn(40)),
+			Type: graph.Follow, TS: ts,
+		})
+	}
+	live := e.LiveDegrees()
+	if live.DynIn.N() == 0 || live.Static.N() == 0 {
+		t.Fatalf("live views not fed: dyn=%d static=%d", live.DynIn.N(), live.Static.N())
+	}
+}
+
+// TestApplyBatchAllocBudgetMultiMotif extends the alloc gate to the shared
+// executor: five planned motifs in one share group plus the hand-written
+// baseline must still average <= 1 alloc/event warm on the no-candidate
+// path.
+func TestApplyBatchAllocBudgetMultiMotif(t *testing.T) {
+	b := &statstore.Builder{}
+	progs := []motif.Program{
+		motif.NewDiamond(motif.DiamondConfig{K: 3, Window: 30 * time.Second, MaxFanout: 64}),
+	}
+	for _, k := range []int{2, 3, 3, 4, 5} {
+		src := fmt.Sprintf(`
+motif "g%d" {
+    match A -> B;
+    match B =[follow]=> C within 30s;
+    where count(B) >= %d;
+    emit C to A via B;
+    limit fanout 64;
+}`, len(progs), k)
+		ps, err := motifdsl.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, ps...)
+	}
+	e, err := NewEngine(Config{
+		Static:   statstore.New(b.Build(nil)),
+		Dynamic:  dynstore.New(dynstore.Options{Retention: time.Minute, MaxPerTarget: 64}),
+		Programs: progs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Sharing(); s.Groups != 1 || s.ScansSavedPerEvent != 4 {
+		t.Fatalf("expected one 5-member group: %+v", s)
+	}
+	const batch = 64
+	edges := make([]graph.Edge, batch)
+	out := make([][]motif.Candidate, batch)
+	ts := int64(1_000_000)
+	fill := func() {
+		for i := range edges {
+			ts += 20
+			edges[i] = graph.Edge{
+				Src:  graph.VertexID(1 + (i % 8)),
+				Dst:  graph.VertexID(50 + (i % 4)),
+				Type: graph.Follow,
+				TS:   ts,
+			}
+		}
+	}
+	for i := 0; i < 20; i++ {
+		fill()
+		e.ApplyBatch(edges, out)
+	}
+	perBatch := testing.AllocsPerRun(20, func() {
+		fill()
+		e.ApplyBatch(edges, out)
+	})
+	if perEvent := perBatch / batch; perEvent > 1.0 {
+		t.Fatalf("multi-motif no-candidate path allocates %.2f/event (%.1f/batch); budget is 1/event", perEvent, perBatch)
+	}
+}

@@ -50,6 +50,11 @@ type Context struct {
 	// Follows reports whether a already follows c, used to suppress
 	// redundant follow recommendations. Nil disables the check.
 	Follows func(a, c graph.VertexID) bool
+	// Stats, when non-nil, receives degree observations from planned
+	// programs (in-window actor counts per dynamic probe, follower-list
+	// lengths per static probe). The statistics-free planner reads these
+	// live quantiles to order probes; there is no offline catalog.
+	Stats *graph.LiveDegreeStats
 }
 
 // Program detects one motif shape. OnEdge is called after e has been
@@ -81,6 +86,19 @@ type Scratch struct {
 	lists  []graph.AdjList
 	as     graph.AdjList
 	g      graph.Scratch
+
+	// Expansion buffers for planned chain programs: sources and follower
+	// lists of the current expansion round, plus ping-pong frontiers so an
+	// expansion never clobbers the shared threshold result in as.
+	bs2    []graph.VertexID
+	lists2 []graph.AdjList
+	ex1    graph.AdjList
+	ex2    graph.AdjList
+
+	// res holds per-program candidate slots for the engine's shared
+	// executor; entries are nilled after each event so pooled scratches
+	// never retain candidates.
+	res [][]Candidate
 }
 
 var scratchPool = sync.Pool{New: func() interface{} { return new(Scratch) }}

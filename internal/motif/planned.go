@@ -1,0 +1,616 @@
+package motif
+
+import (
+	"fmt"
+	"strings"
+
+	"motifstream/internal/graph"
+)
+
+// This file implements the planned-motif runtime: a small probe-op IR
+// produced by the motifdsl planner, an interpreter (PlannedProgram) that
+// executes an op sequence under the Program/ScratchProgram contracts, and a
+// shared-execution node (PlannedGroup) that runs the common probe prefix of
+// several plans once per event and fans out only where the plans diverge.
+//
+// The IR generalizes the hand-written Diamond/FreshFollow detectors (which
+// remain as oracles for the differential tests) to longer static chains,
+// k-of-n thresholds, and per-trigger-type freshness windows.
+
+// NumEdgeTypes is the number of edge types the planned runtime indexes
+// per-type windows by. Filter ops reject any trigger type outside this
+// range.
+const NumEdgeTypes = 3
+
+// OpKind enumerates the probe-op IR.
+type OpKind uint8
+
+const (
+	// OpFilterTrigger gates on the trigger edge's type and selects the
+	// freshness window for the accepted type (WindowMS).
+	OpFilterTrigger OpKind = iota
+	// OpBindTrigger binds the trigger actor e.Src as the sole support and
+	// resolves its follower list — the k=1 plan shape, where the trigger
+	// edge is itself the single in-window support and the dynamic-window
+	// probe is pruned entirely (the plan reads no dynamic state).
+	OpBindTrigger
+	// OpProbeDynamic fetches the distinct in-window actors at e.Dst from
+	// the D store (fanout-capped by Limit) and early-exits below K actors.
+	OpProbeDynamic
+	// OpProbeStatic resolves each bound support's follower list in S,
+	// dropping supports with no followers.
+	OpProbeStatic
+	// OpThreshold intersects the follower lists with a K-of-n threshold,
+	// yielding the survivor frontier.
+	OpThreshold
+	// OpExpand replaces the survivor frontier with the union of its
+	// members' follower lists (one more static hop toward the user),
+	// capping the expanded survivors at Limit.
+	OpExpand
+	// OpEmit turns the final frontier into candidates: self/already-follows
+	// suppression, via attribution, and a Limit cap on emissions.
+	OpEmit
+)
+
+// String names the op for EXPLAIN output and errors.
+func (k OpKind) String() string {
+	switch k {
+	case OpFilterTrigger:
+		return "filter-trigger"
+	case OpBindTrigger:
+		return "bind-trigger"
+	case OpProbeDynamic:
+		return "probe-dynamic"
+	case OpProbeStatic:
+		return "probe-static"
+	case OpThreshold:
+		return "threshold-intersect"
+	case OpExpand:
+		return "expand"
+	case OpEmit:
+		return "emit"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Op is one instruction of a planned motif. Fields are interpreted per
+// kind; unused fields are zero.
+type Op struct {
+	Kind OpKind
+	// WindowMS (OpFilterTrigger) holds the freshness window in stream
+	// milliseconds per trigger edge type; 0 rejects the type.
+	WindowMS [NumEdgeTypes]int64
+	// K is the OpProbeDynamic early-exit minimum and the OpThreshold
+	// support threshold.
+	K int
+	// Limit caps OpProbeDynamic fanout, OpExpand survivors, and OpEmit
+	// candidates; 0 means unlimited.
+	Limit int
+}
+
+// PlannedProgram interprets a validated op sequence as a motif program. It
+// satisfies the same contracts as the hand-written detectors: safe for
+// concurrent OnEdge calls, D reads confined to e.Dst's in-edge list (k=1
+// plans read no dynamic state at all), and zero heap allocation per
+// non-emitting event on a warmed-up Scratch.
+type PlannedProgram struct {
+	name string
+	ops  []Op
+
+	// Decoded summary of the op sequence, fixed at construction.
+	windowMS    [NumEdgeTypes]int64
+	k           int
+	fanout      int
+	maxCands    int
+	expands     int
+	expandCaps  [2]int
+	triggerOnly bool
+	shareKey    string
+}
+
+// NewPlannedProgram validates ops as one of the two legal shapes —
+//
+//	filter-trigger, probe-dynamic, probe-static, threshold, expand*, emit
+//	filter-trigger, bind-trigger, expand*, emit            (k = 1)
+//
+// — and returns the interpreter. The op order is the planner's output;
+// the runtime trusts its dataflow but re-checks the shape so a hand-built
+// sequence cannot crash the interpreter.
+func NewPlannedProgram(name string, ops []Op) (*PlannedProgram, error) {
+	if name == "" {
+		return nil, fmt.Errorf("motif: planned program needs a name")
+	}
+	p := &PlannedProgram{name: name, ops: append([]Op(nil), ops...)}
+	i := 0
+	next := func() (Op, bool) {
+		if i >= len(p.ops) {
+			return Op{}, false
+		}
+		op := p.ops[i]
+		i++
+		return op, true
+	}
+	op, ok := next()
+	if !ok || op.Kind != OpFilterTrigger {
+		return nil, fmt.Errorf("motif: plan %q must start with filter-trigger", name)
+	}
+	any := false
+	for t := 0; t < NumEdgeTypes; t++ {
+		if op.WindowMS[t] < 0 {
+			return nil, fmt.Errorf("motif: plan %q has a negative window for %s", name, graph.EdgeType(t))
+		}
+		if op.WindowMS[t] > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return nil, fmt.Errorf("motif: plan %q accepts no trigger types", name)
+	}
+	p.windowMS = op.WindowMS
+
+	op, ok = next()
+	switch {
+	case ok && op.Kind == OpBindTrigger:
+		p.triggerOnly = true
+		p.k = 1
+	case ok && op.Kind == OpProbeDynamic:
+		if op.K < 2 {
+			return nil, fmt.Errorf("motif: plan %q probe-dynamic needs K >= 2 (k=1 plans bind the trigger)", name)
+		}
+		p.k = op.K
+		p.fanout = op.Limit
+		op, ok = next()
+		if !ok || op.Kind != OpProbeStatic {
+			return nil, fmt.Errorf("motif: plan %q needs probe-static after probe-dynamic", name)
+		}
+		op, ok = next()
+		if !ok || op.Kind != OpThreshold || op.K != p.k {
+			return nil, fmt.Errorf("motif: plan %q needs threshold-intersect k=%d after probe-static", name, p.k)
+		}
+	default:
+		return nil, fmt.Errorf("motif: plan %q needs bind-trigger or probe-dynamic after the filter", name)
+	}
+
+	for {
+		op, ok = next()
+		if !ok {
+			return nil, fmt.Errorf("motif: plan %q is missing emit", name)
+		}
+		if op.Kind != OpExpand {
+			break
+		}
+		if p.expands >= 2 {
+			return nil, fmt.Errorf("motif: plan %q chains too deep (at most 2 expansions)", name)
+		}
+		p.expandCaps[p.expands] = op.Limit
+		p.expands++
+	}
+	if op.Kind != OpEmit {
+		return nil, fmt.Errorf("motif: plan %q has %s where emit was expected", name, op.Kind)
+	}
+	p.maxCands = op.Limit
+	if _, extra := next(); extra {
+		return nil, fmt.Errorf("motif: plan %q has ops after emit", name)
+	}
+	p.shareKey = shareKeyOf(p.triggerOnly, p.windowMS, p.fanout)
+	return p, nil
+}
+
+// shareKeyOf canonicalizes the shared probe prefix: trigger filter (with
+// per-type windows), probe kind, and fanout cap. Plans with equal keys
+// perform identical per-event D/S prefix work and can execute it once.
+// Trigger-only plans key on accepted types alone — their windows are
+// vacuous (the trigger is always inside its own window).
+func shareKeyOf(triggerOnly bool, windowMS [NumEdgeTypes]int64, fanout int) string {
+	var b strings.Builder
+	if triggerOnly {
+		b.WriteString("trig|")
+		for t := 0; t < NumEdgeTypes; t++ {
+			if windowMS[t] > 0 {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		return b.String()
+	}
+	fmt.Fprintf(&b, "dyn|fan%d|", fanout)
+	for t := 0; t < NumEdgeTypes; t++ {
+		fmt.Fprintf(&b, "%d,", windowMS[t])
+	}
+	return b.String()
+}
+
+// Name implements Program.
+func (p *PlannedProgram) Name() string { return p.name }
+
+// Ops returns a copy of the program's op sequence.
+func (p *PlannedProgram) Ops() []Op { return append([]Op(nil), p.ops...) }
+
+// K returns the support threshold.
+func (p *PlannedProgram) K() int { return p.k }
+
+// MaxFanout returns the dynamic-probe fanout cap (0 = unlimited).
+func (p *PlannedProgram) MaxFanout() int { return p.fanout }
+
+// MaxCandidates returns the per-event emission cap (0 = unlimited).
+func (p *PlannedProgram) MaxCandidates() int { return p.maxCands }
+
+// Expands returns the number of expansion hops between the threshold
+// survivors and the emitted users (0 for the diamond shape).
+func (p *PlannedProgram) Expands() int { return p.expands }
+
+// TriggerOnly reports whether the plan is the pruned k=1 shape that reads
+// no dynamic state.
+func (p *PlannedProgram) TriggerOnly() bool { return p.triggerOnly }
+
+// WindowFor returns the freshness window in milliseconds for a trigger
+// type, 0 when the type is rejected.
+func (p *PlannedProgram) WindowFor(t graph.EdgeType) int64 {
+	if int(t) >= NumEdgeTypes {
+		return 0
+	}
+	return p.windowMS[t]
+}
+
+// ShareKey identifies the program's shared probe prefix. Programs with
+// equal keys can be grouped under one PlannedGroup.
+func (p *PlannedProgram) ShareKey() string { return p.shareKey }
+
+// OnEdge implements Program via pooled scratch.
+func (p *PlannedProgram) OnEdge(ctx *Context, e graph.Edge) []Candidate {
+	s := GetScratch()
+	out := p.OnEdgeScratch(ctx, e, s)
+	PutScratch(s)
+	return out
+}
+
+// OnEdgeScratch interprets the op sequence. Register state (the bound
+// supports, their follower lists, and the survivor frontier) lives in s;
+// the only heap allocation on a warmed-up scratch is the emitted
+// candidates.
+func (p *PlannedProgram) OnEdgeScratch(ctx *Context, e graph.Edge, s *Scratch) []Candidate {
+	var (
+		win      int64
+		bs       []graph.VertexID
+		lists    []graph.AdjList
+		cur      graph.AdjList
+		expanded int
+	)
+	for _, op := range p.ops {
+		switch op.Kind {
+		case OpFilterTrigger:
+			if int(e.Type) >= NumEdgeTypes {
+				return nil
+			}
+			win = op.WindowMS[e.Type]
+			if win <= 0 {
+				return nil
+			}
+		case OpBindTrigger:
+			bs, lists, cur = bindTrigger(ctx, e, s)
+			if cur == nil {
+				return nil
+			}
+		case OpProbeDynamic:
+			recent := ctx.D.RecentLimitInto(s.recent[:0], e.Dst, e.TS-win, op.Limit)
+			s.recent = recent
+			if ctx.Stats != nil {
+				ctx.Stats.DynIn.Observe(len(recent))
+			}
+			if len(recent) < op.K {
+				return nil
+			}
+		case OpProbeStatic:
+			bs, lists = probeStatic(ctx, s)
+			if len(lists) == 0 {
+				return nil
+			}
+		case OpThreshold:
+			if len(lists) < op.K {
+				return nil
+			}
+			cur = graph.ThresholdIntersectInto(s.as[:0], lists, op.K, &s.g)
+			s.as = cur
+			if len(cur) == 0 {
+				return nil
+			}
+		case OpExpand:
+			expanded++
+			cur = expandFrontier(ctx, s, cur, op.Limit, expanded)
+			if len(cur) == 0 {
+				return nil
+			}
+		case OpEmit:
+			return emitFrontier(ctx, e, s, p.name, bs, lists, cur, expanded, op.Limit)
+		}
+	}
+	return nil
+}
+
+// bindTrigger is the k=1 shape: the trigger actor is the sole support and
+// its follower list is the initial frontier.
+func bindTrigger(ctx *Context, e graph.Edge, s *Scratch) ([]graph.VertexID, []graph.AdjList, graph.AdjList) {
+	l := ctx.S.Followers(e.Src)
+	if ctx.Stats != nil {
+		ctx.Stats.Static.Observe(len(l))
+	}
+	if len(l) == 0 {
+		return nil, nil, nil
+	}
+	s.bs = append(s.bs[:0], e.Src)
+	s.lists = append(s.lists[:0], l)
+	return s.bs, s.lists, l
+}
+
+// probeStatic resolves the follower list of every recent actor in
+// s.recent, dropping actors nobody follows. The first list length is
+// sampled into the live degree view (one atomic add per event, not per
+// list).
+func probeStatic(ctx *Context, s *Scratch) ([]graph.VertexID, []graph.AdjList) {
+	bs := s.bs[:0]
+	lists := s.lists[:0]
+	for _, in := range s.recent {
+		l := ctx.S.Followers(in.B)
+		if len(l) == 0 {
+			continue
+		}
+		if ctx.Stats != nil && len(lists) == 0 {
+			ctx.Stats.Static.Observe(len(l))
+		}
+		bs = append(bs, in.B)
+		lists = append(lists, l)
+	}
+	s.bs, s.lists = bs, lists
+	return bs, lists
+}
+
+// expandFrontier replaces the survivor frontier with the union of its
+// members' follower lists — one more static hop toward the user. The
+// sources and their lists are kept in s.bs2/s.lists2 for via attribution;
+// the result ping-pongs between s.ex1 and s.ex2 so consecutive expansions
+// (and the group executor's shared threshold buffer) never alias. A
+// positive limit caps the survivors expanded, bounding the frontier at
+// limit × max-follower-list; survivors are sorted, so the cap is
+// deterministic.
+func expandFrontier(ctx *Context, s *Scratch, cur graph.AdjList, limit, round int) graph.AdjList {
+	if limit > 0 && len(cur) > limit {
+		cur = cur[:limit]
+	}
+	bs2 := s.bs2[:0]
+	lists2 := s.lists2[:0]
+	for _, m := range cur {
+		l := ctx.S.Followers(m)
+		if len(l) == 0 {
+			continue
+		}
+		bs2 = append(bs2, m)
+		lists2 = append(lists2, l)
+	}
+	s.bs2, s.lists2 = bs2, lists2
+	if len(lists2) == 0 {
+		return nil
+	}
+	dst := s.ex1[:0]
+	if round%2 == 0 {
+		dst = s.ex2[:0]
+	}
+	out := graph.ThresholdIntersectInto(dst, lists2, 1, &s.g)
+	if round%2 == 0 {
+		s.ex2 = out
+	} else {
+		s.ex1 = out
+	}
+	return out
+}
+
+// emitFrontier turns the final frontier into candidates with the same
+// suppression rules as the hand-written detectors: never recommend a user
+// to themselves, skip users already following the item. Via attribution
+// depends on how far the frontier was expanded: unexpanded survivors carry
+// their full support set; one expansion carries the connector's support
+// set; deeper expansions carry just the immediate connector (exact
+// attribution is not tracked through two unions).
+func emitFrontier(ctx *Context, e graph.Edge, s *Scratch, name string,
+	bs []graph.VertexID, lists []graph.AdjList, cur graph.AdjList, expanded, limit int) []Candidate {
+	var out []Candidate
+	for _, a := range cur {
+		if a == e.Dst {
+			continue
+		}
+		if ctx.Follows != nil && ctx.Follows(a, e.Dst) {
+			continue
+		}
+		var via []graph.VertexID
+		switch expanded {
+		case 0:
+			via = supportersOf(a, bs, lists)
+		case 1:
+			conn, ok := connectorOf(a, s)
+			if !ok {
+				continue
+			}
+			via = supportersOf(conn, bs, lists)
+		default:
+			conn, ok := connectorOf(a, s)
+			if !ok {
+				continue
+			}
+			via = []graph.VertexID{conn}
+		}
+		if out == nil {
+			hint := len(cur)
+			if limit > 0 && limit < hint {
+				hint = limit
+			}
+			out = make([]Candidate, 0, hint)
+		}
+		out = append(out, Candidate{
+			User:         a,
+			Item:         e.Dst,
+			Via:          via,
+			Trigger:      e,
+			DetectedAtMS: e.TS,
+			Program:      name,
+			Score:        float64(len(via)),
+		})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// connectorOf finds the first source of the last expansion round whose
+// follower list contains a.
+func connectorOf(a graph.VertexID, s *Scratch) (graph.VertexID, bool) {
+	for j, l := range s.lists2 {
+		if l.Contains(a) {
+			return s.bs2[j], true
+		}
+	}
+	return 0, false
+}
+
+// ResultSlots returns a scratch-backed slice of n candidate slots, all
+// nil. The engine's shared executor hands slots to DetectInto and then
+// assembles the combined output in program-registration order, so sharing
+// never perturbs downstream candidate ordering. Callers should nil
+// consumed entries so a pooled Scratch does not retain candidates.
+func (s *Scratch) ResultSlots(n int) [][]Candidate {
+	if cap(s.res) < n {
+		s.res = make([][]Candidate, n)
+	}
+	s.res = s.res[:n]
+	for i := range s.res {
+		s.res[i] = nil
+	}
+	return s.res
+}
+
+// PlannedGroup is one node of the engine's shared execution trie: the
+// members share an identical probe prefix (same trigger filter and
+// windows, same probe kind, same fanout cap — see ShareKey), so the
+// per-event D lookup, window scan, and S expansion run once for the whole
+// group. Execution fans out where the plans diverge: each distinct
+// threshold k intersects once (members are ordered by ascending k so equal
+// thresholds reuse the survivor set and the first failing k short-circuits
+// the rest), and expansions/emissions run per member with per-program
+// candidate attribution intact.
+type PlannedGroup struct {
+	members []*PlannedProgram
+	byK     []int // member indices ordered by ascending k (stable)
+	minK    int
+
+	windowMS    [NumEdgeTypes]int64
+	fanout      int
+	triggerOnly bool
+}
+
+// NewPlannedGroup groups members sharing one ShareKey. At least one member
+// is required; mixed keys are a programmer error.
+func NewPlannedGroup(members []*PlannedProgram) (*PlannedGroup, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("motif: a planned group needs at least one member")
+	}
+	g := &PlannedGroup{
+		members:     members,
+		windowMS:    members[0].windowMS,
+		fanout:      members[0].fanout,
+		triggerOnly: members[0].triggerOnly,
+		minK:        members[0].k,
+	}
+	key := members[0].shareKey
+	for _, m := range members {
+		if m.shareKey != key {
+			return nil, fmt.Errorf("motif: planned group mixes share keys %q and %q", key, m.shareKey)
+		}
+		if m.k < g.minK {
+			g.minK = m.k
+		}
+	}
+	g.byK = make([]int, len(members))
+	for i := range g.byK {
+		g.byK[i] = i
+	}
+	// Insertion sort keeps equal-k members in registration order.
+	for i := 1; i < len(g.byK); i++ {
+		for j := i; j > 0 && members[g.byK[j]].k < members[g.byK[j-1]].k; j-- {
+			g.byK[j], g.byK[j-1] = g.byK[j-1], g.byK[j]
+		}
+	}
+	return g, nil
+}
+
+// Members returns the group's programs in the order given at construction;
+// DetectInto's slots align with this order.
+func (g *PlannedGroup) Members() []*PlannedProgram { return g.members }
+
+// DetectInto runs the group against one edge, storing member i's
+// candidates into res[slots[i]]. Slots not written remain untouched, so
+// callers must pre-clear. The shared prefix honors the same D-locality
+// contract as every member would individually: dynamic reads confined to
+// e.Dst's in-edge list.
+func (g *PlannedGroup) DetectInto(ctx *Context, e graph.Edge, s *Scratch, res [][]Candidate, slots []int) {
+	if int(e.Type) >= NumEdgeTypes {
+		return
+	}
+	win := g.windowMS[e.Type]
+	if win <= 0 {
+		return
+	}
+	if g.triggerOnly {
+		bs, lists, cur := bindTrigger(ctx, e, s)
+		if cur == nil {
+			return
+		}
+		for i, m := range g.members {
+			res[slots[i]] = m.runSuffix(ctx, e, s, bs, lists, cur)
+		}
+		return
+	}
+	recent := ctx.D.RecentLimitInto(s.recent[:0], e.Dst, e.TS-win, g.fanout)
+	s.recent = recent
+	if ctx.Stats != nil {
+		ctx.Stats.DynIn.Observe(len(recent))
+	}
+	if len(recent) < g.minK {
+		return
+	}
+	bs, lists := probeStatic(ctx, s)
+	if len(lists) == 0 {
+		return
+	}
+	curK := -1
+	var cur graph.AdjList
+	for _, idx := range g.byK {
+		m := g.members[idx]
+		if len(lists) < m.k {
+			break // ascending k: every later member fails too
+		}
+		if m.k != curK {
+			cur = graph.ThresholdIntersectInto(s.as[:0], lists, m.k, &s.g)
+			s.as = cur
+			curK = m.k
+		}
+		if len(cur) == 0 {
+			break // larger k can only shrink the survivor set further
+		}
+		res[slots[idx]] = m.runSuffix(ctx, e, s, bs, lists, cur)
+	}
+}
+
+// runSuffix executes the member's post-prefix ops (expansions and emit)
+// from the shared register state. It must not touch s.recent, s.bs,
+// s.lists, or s.as — those belong to the group prefix and later members.
+func (p *PlannedProgram) runSuffix(ctx *Context, e graph.Edge, s *Scratch,
+	bs []graph.VertexID, lists []graph.AdjList, cur graph.AdjList) []Candidate {
+	for round := 1; round <= p.expands; round++ {
+		cur = expandFrontier(ctx, s, cur, p.expandCaps[round-1], round)
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return emitFrontier(ctx, e, s, p.name, bs, lists, cur, p.expands, p.maxCands)
+}

@@ -1,0 +1,249 @@
+package motif
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"motifstream/internal/dynstore"
+	"motifstream/internal/graph"
+	"motifstream/internal/statstore"
+)
+
+// opsForDiamond builds the op sequence the planner emits for a k>=2
+// diamond: filter, dynamic probe, static probe, threshold, emit.
+func opsForDiamond(k int, window time.Duration, types []graph.EdgeType, fanout, maxCands int) []Op {
+	var win [NumEdgeTypes]int64
+	if len(types) == 0 {
+		types = []graph.EdgeType{graph.Follow}
+	}
+	for _, t := range types {
+		win[t] = window.Milliseconds()
+	}
+	return []Op{
+		{Kind: OpFilterTrigger, WindowMS: win},
+		{Kind: OpProbeDynamic, K: k, Limit: fanout},
+		{Kind: OpProbeStatic},
+		{Kind: OpThreshold, K: k},
+		{Kind: OpEmit, Limit: maxCands},
+	}
+}
+
+// opsForTriggerOnly builds the pruned k=1 sequence.
+func opsForTriggerOnly(types []graph.EdgeType, maxCands int) []Op {
+	var win [NumEdgeTypes]int64
+	if len(types) == 0 {
+		types = []graph.EdgeType{graph.Follow}
+	}
+	for _, t := range types {
+		win[t] = defaultTriggerWindowMS
+	}
+	return []Op{
+		{Kind: OpFilterTrigger, WindowMS: win},
+		{Kind: OpBindTrigger},
+		{Kind: OpEmit, Limit: maxCands},
+	}
+}
+
+const defaultTriggerWindowMS = int64(600_000)
+
+// randomWorld builds a seeded random static graph, follows index, and
+// dynamic stream for differential runs.
+func randomWorld(seed int64, users, statics, events int) (*Context, []graph.Edge) {
+	rng := rand.New(rand.NewSource(seed))
+	var sEdges []graph.Edge
+	for i := 0; i < statics; i++ {
+		src := graph.VertexID(1 + rng.Intn(users))
+		dst := graph.VertexID(1 + rng.Intn(users))
+		if src == dst {
+			continue
+		}
+		sEdges = append(sEdges, graph.Edge{Src: src, Dst: dst})
+	}
+	b := &statstore.Builder{}
+	s := statstore.New(b.Build(sEdges))
+	follows := make(map[[2]graph.VertexID]bool, len(sEdges))
+	for _, e := range sEdges {
+		follows[[2]graph.VertexID{e.Src, e.Dst}] = true
+	}
+	d := dynstore.New(dynstore.Options{Retention: time.Hour, MaxPerTarget: 256})
+	ctx := &Context{
+		S: s, D: d,
+		Follows: func(a, c graph.VertexID) bool { return follows[[2]graph.VertexID{a, c}] },
+	}
+	ts := int64(1_000_000)
+	stream := make([]graph.Edge, 0, events)
+	for i := 0; i < events; i++ {
+		ts += int64(rng.Intn(30_000))
+		stream = append(stream, graph.Edge{
+			Src:  graph.VertexID(1 + rng.Intn(users)),
+			Dst:  graph.VertexID(1 + rng.Intn(users)),
+			Type: graph.EdgeType(rng.Intn(3)),
+			TS:   ts,
+		})
+	}
+	return ctx, stream
+}
+
+func sameCandidates(t *testing.T, i int, want, got []Candidate) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("event %d: oracle %d candidates, planned %d\noracle: %v\nplanned: %v",
+			i, len(want), len(got), want, got)
+	}
+	if len(want) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("event %d: candidates differ\noracle: %v\nplanned: %v", i, want, got)
+	}
+}
+
+// TestPlannedMatchesDiamondOracle drives the interpreted plan and the
+// hand-written Diamond over identical random worlds and demands exact
+// per-event candidate equality (order, via, scores, labels).
+func TestPlannedMatchesDiamondOracle(t *testing.T) {
+	cases := []struct {
+		seed    int64
+		k       int
+		window  time.Duration
+		types   []graph.EdgeType
+		fanout  int
+		maxCand int
+	}{
+		{1, 2, 5 * time.Minute, nil, 0, 0},
+		{2, 3, 10 * time.Minute, nil, 64, 100},
+		{3, 2, 2 * time.Minute, []graph.EdgeType{graph.Retweet, graph.Favorite}, 8, 3},
+		{4, 4, 30 * time.Minute, []graph.EdgeType{graph.Follow, graph.Retweet}, 16, 0},
+	}
+	for _, c := range cases {
+		oracle := NewDiamond(DiamondConfig{
+			Name: "m", K: c.k, Window: c.window, EdgeTypes: c.types,
+			MaxFanout: c.fanout, MaxCandidates: c.maxCand,
+		})
+		planned, err := NewPlannedProgram("m", opsForDiamond(c.k, c.window, c.types, c.fanout, c.maxCand))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, stream := randomWorld(c.seed, 50, 400, 3000)
+		emitted := 0
+		for i, e := range stream {
+			ctx.D.Insert(e)
+			want := oracle.OnEdge(ctx, e)
+			got := planned.OnEdge(ctx, e)
+			sameCandidates(t, i, want, got)
+			emitted += len(want)
+		}
+		if emitted == 0 {
+			t.Fatalf("seed %d: vacuous run, no candidates emitted", c.seed)
+		}
+	}
+}
+
+// TestPlannedTriggerOnlyMatchesFreshFollow checks the pruned k=1 plan
+// against the FreshFollow oracle on follow-only triggers.
+func TestPlannedTriggerOnlyMatchesFreshFollow(t *testing.T) {
+	oracle := &FreshFollow{MaxCandidates: 5}
+	planned, err := NewPlannedProgram("fresh-follow", opsForTriggerOnly(nil, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stream := randomWorld(7, 40, 300, 2000)
+	emitted := 0
+	for i, e := range stream {
+		ctx.D.Insert(e)
+		want := oracle.OnEdge(ctx, e)
+		got := planned.OnEdge(ctx, e)
+		sameCandidates(t, i, want, got)
+		emitted += len(want)
+	}
+	if emitted == 0 {
+		t.Fatal("vacuous run")
+	}
+}
+
+// TestPlannedGroupMatchesIndependent proves the shared-prefix executor is
+// candidate-for-candidate identical to running each member independently,
+// across thresholds, emission caps, and chain depths.
+func TestPlannedGroupMatchesIndependent(t *testing.T) {
+	window := 10 * time.Minute
+	types := []graph.EdgeType{graph.Follow, graph.Retweet}
+	mk := func(name string, ops []Op) *PlannedProgram {
+		p, err := NewPlannedProgram(name, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	chainOps := opsForDiamond(2, window, types, 32, 0)
+	chainOps = append(chainOps[:4:4], Op{Kind: OpExpand, Limit: 64}, chainOps[4])
+	members := []*PlannedProgram{
+		mk("k3", opsForDiamond(3, window, types, 32, 0)),
+		mk("k2", opsForDiamond(2, window, types, 32, 10)),
+		mk("k2b", opsForDiamond(2, window, types, 32, 0)),
+		mk("k4", opsForDiamond(4, window, types, 32, 2)),
+		mk("deep", chainOps),
+	}
+	g, err := NewPlannedGroup(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := []int{0, 1, 2, 3, 4}
+	ctx, stream := randomWorld(11, 40, 500, 3000)
+	s := GetScratch()
+	defer PutScratch(s)
+	res := make([][]Candidate, len(members))
+	emitted := 0
+	for i, e := range stream {
+		ctx.D.Insert(e)
+		for j := range res {
+			res[j] = nil
+		}
+		g.DetectInto(ctx, e, s, res, slots)
+		for j, m := range members {
+			want := m.OnEdge(ctx, e)
+			if len(want) == 0 && len(res[j]) == 0 {
+				continue
+			}
+			sameCandidates(t, i, want, res[j])
+			emitted += len(want)
+		}
+	}
+	if emitted == 0 {
+		t.Fatal("vacuous run")
+	}
+}
+
+// TestPlannedGroupRejectsMixedKeys pins the grouping precondition.
+func TestPlannedGroupRejectsMixedKeys(t *testing.T) {
+	a, _ := NewPlannedProgram("a", opsForDiamond(2, time.Minute, nil, 8, 0))
+	b, _ := NewPlannedProgram("b", opsForDiamond(2, 2*time.Minute, nil, 8, 0))
+	if _, err := NewPlannedGroup([]*PlannedProgram{a, b}); err == nil {
+		t.Fatal("mixed windows must not group")
+	}
+}
+
+// TestPlannedProgramValidation exercises NewPlannedProgram's shape checks.
+func TestPlannedProgramValidation(t *testing.T) {
+	valid := opsForDiamond(2, time.Minute, nil, 0, 0)
+	if _, err := NewPlannedProgram("", valid); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := NewPlannedProgram("x", valid[1:]); err == nil {
+		t.Fatal("missing filter accepted")
+	}
+	if _, err := NewPlannedProgram("x", valid[:4]); err == nil {
+		t.Fatal("missing emit accepted")
+	}
+	noTypes := append([]Op(nil), valid...)
+	noTypes[0].WindowMS = [NumEdgeTypes]int64{}
+	if _, err := NewPlannedProgram("x", noTypes); err == nil {
+		t.Fatal("typeless filter accepted")
+	}
+	deep := append(append([]Op(nil), valid[:4]...),
+		Op{Kind: OpExpand}, Op{Kind: OpExpand}, Op{Kind: OpExpand}, valid[4])
+	if _, err := NewPlannedProgram("x", deep); err == nil {
+		t.Fatal("3 expansions accepted")
+	}
+}

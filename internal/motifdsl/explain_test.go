@@ -1,0 +1,107 @@
+package motifdsl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"motifstream/internal/graph"
+)
+
+// TestExplainGolden pins the EXPLAIN output for one plan of each shape.
+// Regenerate with UPDATE_GOLDEN=1 go test ./internal/motifdsl -run Golden.
+func TestExplainGolden(t *testing.T) {
+	cases := []struct {
+		file, src string
+	}{
+		{"diamond.golden", validDiamond},
+		{"k1_broadcast.golden", `
+motif "broadcast" {
+    match A -> B;
+    match B =[follow]=> C;
+    where count(B) >= 1;
+    emit C to A;
+    limit candidates 10;
+}`},
+		{"content_pertype.golden", `
+motif "content" {
+    match A -> B;
+    match B =[retweet]=> C within 5m;
+    match B =[favorite]=> C within 30m;
+    where count(B) >= 2;
+    emit C to A via B;
+    limit fanout 64;
+}`},
+		{"chain_depth2.golden", `
+motif "deep" {
+    match A -> M;
+    match M -> B;
+    match B => C;
+    where count(B) >= 2;
+    emit C to A;
+}`},
+	}
+	for _, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			spec, err := ParseOne(c.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := PlanSpec(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := plan.Describe()
+			path := filepath.Join("testdata", c.file)
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with UPDATE_GOLDEN=1): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("EXPLAIN drifted from golden %s:\n--- got ---\n%s--- want ---\n%s", c.file, got, want)
+			}
+		})
+	}
+}
+
+// TestExplainLiveStats checks that a warmed live view switches the
+// estimate provenance from cold-start defaults to live quantiles.
+func TestExplainLiveStats(t *testing.T) {
+	spec, err := ParseOne(validDiamond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live graph.LiveDegreeStats
+	for i := 0; i < 200; i++ {
+		live.DynIn.Observe(40)
+		live.Static.Observe(100)
+	}
+	plan, err := PlanSpecLive(spec, &live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := plan.Describe()
+	if !strings.Contains(desc, "live p90 in-degree") || !strings.Contains(desc, "live p50 list length") {
+		t.Fatalf("EXPLAIN does not cite live stats:\n%s", desc)
+	}
+	// Under-sampled views keep the cold-start annotation.
+	var cold graph.LiveDegreeStats
+	cold.DynIn.Observe(1)
+	plan2, err := PlanSpecLive(spec, &cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan2.Describe(), "cold-start default") {
+		t.Fatalf("EXPLAIN should fall back to cold-start defaults:\n%s", plan2.Describe())
+	}
+}

@@ -1,0 +1,38 @@
+package motifdsl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCompile asserts that arbitrary source can never panic the lexer,
+// parser, or planner — it either compiles or returns an error. When a
+// plan is produced, Describe must render without panicking too.
+func FuzzCompile(f *testing.F) {
+	f.Add(validDiamond)
+	f.Add(`motif "b" { match A -> B; match B => C; where count(B) >= 1; emit C to A; }`)
+	f.Add(`motif "c" { match A -> M; match M -> B; match B =[retweet]=> C within 5m; match B =[favorite]=> C within 30m; where count(B) >= 2; emit C to A; limit fanout 64; limit candidates 9; }`)
+	f.Add(`motif "x" { match A => B; }`)
+	f.Add(`motif "" {} motif`)
+	f.Add("# comment only\n// another")
+	f.Add(`motif "u" { match A -> B; match B =[poke]=> C within -1m; where count(B) >= 0; emit C to A via Q; }`)
+	f.Fuzz(func(t *testing.T, src string) {
+		specs, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, s := range specs {
+			plan, err := PlanSpec(s)
+			if err != nil {
+				continue
+			}
+			desc := plan.Describe()
+			if !strings.Contains(desc, "plan") {
+				t.Fatalf("EXPLAIN lost its header: %q", desc)
+			}
+			if plan.Program() == nil {
+				t.Fatal("plan without a program")
+			}
+		}
+	})
+}

@@ -2,35 +2,57 @@ package motifdsl
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"motifstream/internal/graph"
 	"motifstream/internal/motif"
 )
 
-// Plan is a validated, executable form of a Spec. The currently supported
-// plan family is the paper's diamond: one static hop USER->SUPPORT resolved
-// in S, one dynamic hop SUPPORT=>ITEM over the stream, a support threshold,
-// and an emit of ITEM to USER. The planner's job is to recognize that
-// family regardless of the variable names used, reject what the engine
-// cannot run, and choose the execution parameters.
+// Plan is a validated, executable form of a Spec: a sequence of probe ops
+// (motif.Op) ordered by a statistics-free greedy rule, plus the rationale
+// behind the ordering for EXPLAIN. The planner generalizes the paper's
+// two-hop diamond to static chains up to three hops deep, k-of-n support
+// thresholds, and per-trigger-type freshness windows.
+//
+// There is no statistics catalog. When a live degree view is supplied
+// (PlanSpecLive), probe-cost estimates come from quantiles the engine
+// maintains incrementally on its own hot path; otherwise fixed cold-start
+// defaults apply. Planning is a single pass over the spec — microseconds
+// per motif, following the "When Greedy Beats Optimal" observation that
+// greedy orderings from live degree stats beat catalog-driven optimizers
+// at a tiny fraction of the planning cost.
 type Plan struct {
 	Spec *Spec
-	// Diamond holds the compiled configuration when K >= 2.
-	Diamond *motif.DiamondConfig
-	// FreshFollow is set instead when the threshold is 1.
-	FreshFollow *motif.FreshFollow
+	// Ops is the probe-op program in execution order.
+	Ops []motif.Op
+	// ShareKey identifies the plan's shared probe prefix; plans with equal
+	// keys execute the prefix once per event under the engine's shared
+	// executor.
+	ShareKey string
+
+	prog  *motif.PlannedProgram
+	depth int      // static hops between user and support
+	notes []string // greedy rationale, one line each
+	// estimates rendered into EXPLAIN
+	estDyn, estStatic int
+	estLive           bool
 }
 
 // Compile parses src and plans every declaration into runnable programs.
 func Compile(src string) ([]motif.Program, error) {
+	return CompileLive(src, nil)
+}
+
+// CompileLive is Compile with a live degree view guiding probe ordering.
+func CompileLive(src string, live *graph.LiveDegreeStats) ([]motif.Program, error) {
 	specs, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]motif.Program, 0, len(specs))
 	for _, s := range specs {
-		p, err := PlanSpec(s)
+		p, err := PlanSpecLive(s, live)
 		if err != nil {
 			return nil, err
 		}
@@ -55,42 +77,65 @@ func CompileOne(src string) (motif.Program, error) {
 // defaultWindow applies when a dynamic hop omits 'within'.
 const defaultWindow = 10 * time.Minute
 
-// PlanSpec semantically checks spec and produces a Plan.
-func PlanSpec(spec *Spec) (*Plan, error) {
-	if len(spec.Matches) != 2 {
-		return nil, errf(spec.Pos,
-			"motif %q: the engine supports exactly two hops (one static, one dynamic), got %d",
-			spec.Name, len(spec.Matches))
-	}
-	var static, dynamic *MatchClause
+// Cold-start estimates used before the live view has enough samples: the
+// p90 count of distinct in-window actors per target and the p50
+// follower-list length. They only influence EXPLAIN text and probe
+// ordering, never results.
+const (
+	coldDynIn     = 8
+	coldStatic    = 16
+	liveMinSample = 64
+)
+
+// defaultExpandCap bounds the survivors carried into a chain expansion
+// when no 'limit fanout' is declared, keeping deep chains from exploding
+// on viral items.
+const defaultExpandCap = 256
+
+// maxChainDepth caps the static chain length (expansions are depth-1).
+const maxChainDepth = 3
+
+// PlanSpec semantically checks spec and produces a Plan using cold-start
+// cost estimates.
+func PlanSpec(spec *Spec) (*Plan, error) { return PlanSpecLive(spec, nil) }
+
+// PlanSpecLive plans spec, ordering probes with quantiles from the live
+// degree view when it has seen enough samples.
+func PlanSpecLive(spec *Spec, live *graph.LiveDegreeStats) (*Plan, error) {
+	var statics []*MatchClause
+	var dynamics []*MatchClause
 	for i := range spec.Matches {
 		m := &spec.Matches[i]
-		switch m.Kind {
-		case StaticHop:
-			if static != nil {
-				return nil, errf(m.Pos, "motif %q: more than one static hop", spec.Name)
-			}
-			static = m
-		case DynamicHop:
-			if dynamic != nil {
-				return nil, errf(m.Pos, "motif %q: more than one dynamic hop", spec.Name)
-			}
-			dynamic = m
+		if m.Kind == StaticHop {
+			statics = append(statics, m)
+		} else {
+			dynamics = append(dynamics, m)
 		}
 	}
-	if static == nil {
-		return nil, errf(spec.Pos, "motif %q: need one static hop ('->')", spec.Name)
-	}
-	if dynamic == nil {
+	if len(dynamics) == 0 {
 		return nil, errf(spec.Pos, "motif %q: need one dynamic hop ('=>')", spec.Name)
 	}
-	// The hops must chain: USER -> SUPPORT => ITEM.
-	if static.To != dynamic.From {
-		return nil, errf(dynamic.Pos,
-			"motif %q: hops do not chain: static hop ends at %q but dynamic hop starts at %q",
-			spec.Name, static.To, dynamic.From)
+	for _, d := range dynamics[1:] {
+		if d.From != dynamics[0].From || d.To != dynamics[0].To {
+			return nil, errf(d.Pos,
+				"motif %q: more than one dynamic hop (%s=>%s and %s=>%s); only per-type windows over the same hop may repeat",
+				spec.Name, dynamics[0].From, dynamics[0].To, d.From, d.To)
+		}
 	}
-	user, support, item := static.From, static.To, dynamic.To
+	support, item := dynamics[0].From, dynamics[0].To
+
+	// Per-trigger-type windows: each dynamic clause contributes its types
+	// at its window; a type declared twice is ambiguous.
+	windowMS, err := typeWindowsOf(spec.Name, dynamics)
+	if err != nil {
+		return nil, err
+	}
+
+	// The static hops must form one simple chain USER -> ... -> SUPPORT.
+	user, depth, err := chainOf(spec, statics, support)
+	if err != nil {
+		return nil, err
+	}
 
 	// Emit must be ITEM to USER (via SUPPORT).
 	if spec.Emit.Item != item {
@@ -99,11 +144,17 @@ func PlanSpec(spec *Spec) (*Plan, error) {
 	}
 	if spec.Emit.User != user {
 		return nil, errf(spec.Emit.Pos,
-			"motif %q: emit recipient %q must be the static hop source %q", spec.Name, spec.Emit.User, user)
+			"motif %q: emit recipient %q must be the chain source %q", spec.Name, spec.Emit.User, user)
 	}
-	if spec.Emit.Via != "" && spec.Emit.Via != support {
-		return nil, errf(spec.Emit.Pos,
-			"motif %q: emit via %q must be the support variable %q", spec.Name, spec.Emit.Via, support)
+	if spec.Emit.Via != "" {
+		if spec.Emit.Via != support {
+			return nil, errf(spec.Emit.Pos,
+				"motif %q: emit via %q must be the support variable %q", spec.Name, spec.Emit.Via, support)
+		}
+		if depth > 2 {
+			return nil, errf(spec.Emit.Pos,
+				"motif %q: via attribution is not tracked through %d-hop chains; omit 'via'", spec.Name, depth)
+		}
 	}
 
 	// Threshold: exactly one where clause, over the support variable.
@@ -124,15 +175,6 @@ func PlanSpec(spec *Spec) (*Plan, error) {
 			"motif %q: missing 'where count(%s) >= k' support threshold", spec.Name, support)
 	}
 
-	types, err := edgeTypesOf(dynamic)
-	if err != nil {
-		return nil, err
-	}
-	window := dynamic.Window
-	if window <= 0 {
-		window = defaultWindow
-	}
-
 	fanout, maxCands := 0, 0
 	for _, l := range spec.Limits {
 		switch l.What {
@@ -143,34 +185,171 @@ func PlanSpec(spec *Spec) (*Plan, error) {
 		}
 	}
 
-	plan := &Plan{Spec: spec}
-	if k == 1 {
-		if len(types) > 0 {
-			for _, t := range types {
-				if t != graph.Follow {
-					return nil, errf(dynamic.Pos,
-						"motif %q: k=1 plans support follow edges only", spec.Name)
-				}
-			}
+	p := &Plan{Spec: spec, depth: depth}
+	p.estimate(live)
+	p.build(k, windowMS, fanout, maxCands)
+
+	prog, err := motif.NewPlannedProgram(spec.Name, p.Ops)
+	if err != nil {
+		return nil, errf(spec.Pos, "motif %q: %v", spec.Name, err)
+	}
+	p.prog = prog
+	p.ShareKey = prog.ShareKey()
+	return p, nil
+}
+
+// typeWindowsOf merges the dynamic clauses into one per-trigger-type
+// window table. A clause without explicit types means follow-only, and a
+// clause without 'within' gets the default window. Note the window gates
+// the *probe* at the trigger's type: the in-window actor scan counts every
+// recent actor on the target regardless of which action they took, exactly
+// like the hand-written detectors.
+func typeWindowsOf(name string, dynamics []*MatchClause) ([motif.NumEdgeTypes]int64, error) {
+	var windowMS [motif.NumEdgeTypes]int64
+	for _, d := range dynamics {
+		types, err := edgeTypesOf(d)
+		if err != nil {
+			return windowMS, err
 		}
-		plan.FreshFollow = &motif.FreshFollow{MaxCandidates: maxCands}
-		return plan, nil
+		if len(types) == 0 {
+			types = []graph.EdgeType{graph.Follow}
+		}
+		w := d.Window
+		if w <= 0 {
+			w = defaultWindow
+		}
+		for _, t := range types {
+			if windowMS[t] != 0 {
+				return windowMS, errf(d.Pos,
+					"motif %q: duplicate window for edge type %s", name, t)
+			}
+			windowMS[t] = w.Milliseconds()
+		}
 	}
-	plan.Diamond = &motif.DiamondConfig{
-		Name:          spec.Name,
-		K:             k,
-		Window:        window,
-		EdgeTypes:     types,
-		MaxFanout:     fanout,
-		MaxCandidates: maxCands,
+	return windowMS, nil
+}
+
+// chainOf validates that the static hops form one simple chain ending at
+// the support variable and returns the chain's source (the user) and its
+// length.
+func chainOf(spec *Spec, statics []*MatchClause, support string) (string, int, error) {
+	if len(statics) == 0 {
+		return "", 0, errf(spec.Pos, "motif %q: need one static hop ('->')", spec.Name)
 	}
-	return plan, nil
+	if len(statics) > maxChainDepth {
+		return "", 0, errf(statics[maxChainDepth].Pos,
+			"motif %q: static chains support at most %d hops, got %d", spec.Name, maxChainDepth, len(statics))
+	}
+	byFrom := make(map[string]*MatchClause, len(statics))
+	isTo := make(map[string]bool, len(statics))
+	for _, m := range statics {
+		if byFrom[m.From] != nil {
+			return "", 0, errf(m.Pos,
+				"motif %q: static hops branch at %q; they must form a single chain", spec.Name, m.From)
+		}
+		byFrom[m.From] = m
+		isTo[m.To] = true
+	}
+	start := ""
+	for _, m := range statics {
+		if !isTo[m.From] {
+			if start != "" {
+				return "", 0, errf(m.Pos,
+					"motif %q: hops do not chain: static hops start at both %q and %q", spec.Name, start, m.From)
+			}
+			start = m.From
+		}
+	}
+	if start == "" {
+		return "", 0, errf(statics[0].Pos, "motif %q: static hops form a cycle", spec.Name)
+	}
+	at, steps := start, 0
+	for byFrom[at] != nil {
+		at = byFrom[at].To
+		steps++
+		if steps > len(statics) {
+			break
+		}
+	}
+	if steps != len(statics) || at != support {
+		return "", 0, errf(spec.Pos,
+			"motif %q: hops do not chain: static hops must form %s -> ... -> %s (the dynamic hop source)",
+			spec.Name, start, support)
+	}
+	return start, len(statics), nil
+}
+
+// estimate pulls probe-cost estimates from the live degree view, falling
+// back to cold-start defaults below the sample floor.
+func (p *Plan) estimate(live *graph.LiveDegreeStats) {
+	p.estDyn, p.estStatic = coldDynIn, coldStatic
+	if live != nil && live.DynIn.N() >= liveMinSample && live.Static.N() >= liveMinSample {
+		p.estDyn = live.DynIn.Quantile(0.90)
+		p.estStatic = live.Static.Quantile(0.50)
+		p.estLive = true
+	}
+}
+
+// build emits the op sequence using the greedy ordering rule: among the
+// dataflow-valid probe orders, take the probe with the smallest expected
+// output first and place the threshold at the narrowest point. With one
+// dynamic and one static probe family there are two valid pipelines —
+// window-probe-first, or (when the trigger alone satisfies the threshold)
+// no window probe at all — and the estimates decide the text of the
+// rationale while the k=1 prune decides the shape.
+func (p *Plan) build(k int, windowMS [motif.NumEdgeTypes]int64, fanout, maxCands int) {
+	filter := motif.Op{Kind: motif.OpFilterTrigger, WindowMS: windowMS}
+	expandCap := fanout
+	if expandCap <= 0 {
+		expandCap = defaultExpandCap
+	}
+	if k == 1 {
+		// The trigger edge is itself the single in-window support: the
+		// dynamic-window probe and the threshold-intersect are pruned, the
+		// window constraint is vacuously satisfied, and the plan reads no
+		// dynamic state at all.
+		p.Ops = append(p.Ops, filter, motif.Op{Kind: motif.OpBindTrigger})
+		p.note("k=1 prune: the trigger edge is always its own in-window support — dynamic-window probe and threshold-intersect eliminated ('within' is vacuously satisfied)")
+	} else {
+		effDyn := p.estDyn
+		if fanout > 0 && fanout < effDyn {
+			effDyn = fanout
+		}
+		p.Ops = append(p.Ops,
+			filter,
+			motif.Op{Kind: motif.OpProbeDynamic, K: k, Limit: fanout},
+			motif.Op{Kind: motif.OpProbeStatic},
+			motif.Op{Kind: motif.OpThreshold, K: k},
+		)
+		p.note("dynamic-window probe ordered first: expected %d in-window actors/event (%s) vs %d followers per static list (%s) — the window filter is the most selective probe and early-exits below k=%d",
+			effDyn, p.estSource("p90 in-degree"), p.estStatic, p.estSource("p50 list length"), k)
+		p.note("threshold-intersect k=%d placed at the narrowest point, before any chain expansion", k)
+	}
+	for i := 1; i < p.depth; i++ {
+		p.Ops = append(p.Ops, motif.Op{Kind: motif.OpExpand, Limit: expandCap})
+	}
+	if p.depth > 1 {
+		p.note("chain depth %d: %d expansion hop(s) after the threshold, survivors capped at %d per hop",
+			p.depth, p.depth-1, expandCap)
+	}
+	p.Ops = append(p.Ops, motif.Op{Kind: motif.OpEmit, Limit: maxCands})
+}
+
+func (p *Plan) note(format string, args ...interface{}) {
+	p.notes = append(p.notes, fmt.Sprintf(format, args...))
+}
+
+func (p *Plan) estSource(what string) string {
+	if p.estLive {
+		return "live " + what
+	}
+	return "cold-start default"
 }
 
 // edgeTypesOf resolves the dynamic hop's type names.
 func edgeTypesOf(m *MatchClause) ([]graph.EdgeType, error) {
 	if len(m.EdgeTypes) == 0 {
-		return nil, nil // defaults to follow in DiamondConfig
+		return nil, nil // defaults to follow
 	}
 	out := make([]graph.EdgeType, 0, len(m.EdgeTypes))
 	for _, name := range m.EdgeTypes {
@@ -188,32 +367,72 @@ func edgeTypesOf(m *MatchClause) ([]graph.EdgeType, error) {
 	return out, nil
 }
 
-// Program instantiates the runnable motif program for the plan.
-func (p *Plan) Program() motif.Program {
-	if p.FreshFollow != nil {
-		return p.FreshFollow
+// Program returns the runnable interpreted program for the plan.
+func (p *Plan) Program() motif.Program { return p.prog }
+
+// Planned returns the typed planned program (the same object Program
+// returns).
+func (p *Plan) Planned() *motif.PlannedProgram { return p.prog }
+
+// Describe renders the plan as a multi-line EXPLAIN: the probe order with
+// cost estimates, the sharing group, and the greedy rationale.
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	shape := "k-of-n diamond"
+	if p.prog.TriggerOnly() {
+		shape = "fresh-follow broadcast (k=1)"
 	}
-	return motif.NewDiamond(*p.Diamond)
+	if p.depth > 1 {
+		shape += fmt.Sprintf(", chain depth %d", p.depth)
+	}
+	fmt.Fprintf(&b, "plan %q (%s)\n", p.Spec.Name, shape)
+	b.WriteString("  probe order (greedy, statistics-free):\n")
+	for i, op := range p.Ops {
+		fmt.Fprintf(&b, "    %d. %s", i+1, p.describeOp(op))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  sharing: key %s — plans with this key run the trigger filter and D/S probes once per event\n", p.ShareKey)
+	b.WriteString("  rationale:\n")
+	for _, n := range p.notes {
+		fmt.Fprintf(&b, "    - %s\n", n)
+	}
+	return b.String()
 }
 
-// Describe returns a human-readable query-plan summary, the moral
-// equivalent of EXPLAIN.
-func (p *Plan) Describe() string {
-	if p.FreshFollow != nil {
-		return fmt.Sprintf("plan %q: fresh-follow broadcast (k=1), S-lookup per event", p.Spec.Name)
-	}
-	d := p.Diamond
-	types := "follow"
-	if len(d.EdgeTypes) > 0 {
-		types = ""
-		for i, t := range d.EdgeTypes {
-			if i > 0 {
-				types += ","
+func (p *Plan) describeOp(op motif.Op) string {
+	switch op.Kind {
+	case motif.OpFilterTrigger:
+		var parts []string
+		for t := 0; t < motif.NumEdgeTypes; t++ {
+			if op.WindowMS[t] > 0 {
+				parts = append(parts, fmt.Sprintf("%s(within %s)",
+					graph.EdgeType(t), time.Duration(op.WindowMS[t])*time.Millisecond))
 			}
-			types += t.String()
 		}
+		return "filter-trigger: " + strings.Join(parts, ", ")
+	case motif.OpBindTrigger:
+		return "bind-trigger: the acting B is the single support; S.followers(B) is the frontier"
+	case motif.OpProbeDynamic:
+		s := fmt.Sprintf("probe-dynamic D.recent(item): est ~%d in-window actors (%s), early-exit < %d",
+			p.estDyn, p.estSource("p90 in-degree"), op.K)
+		if op.Limit > 0 {
+			s += fmt.Sprintf(", fanout cap %d", op.Limit)
+		}
+		return s
+	case motif.OpProbeStatic:
+		return fmt.Sprintf("probe-static S.followers(B) per actor: est ~%d followers/list (%s)",
+			p.estStatic, p.estSource("p50 list length"))
+	case motif.OpThreshold:
+		return fmt.Sprintf("threshold-intersect k=%d over the follower lists", op.K)
+	case motif.OpExpand:
+		return fmt.Sprintf("expand: one static hop toward the user (union of survivor follower lists, cap %d)", op.Limit)
+	case motif.OpEmit:
+		s := "emit item -> user with via attribution"
+		if op.Limit > 0 {
+			s += fmt.Sprintf(" (candidate cap %d)", op.Limit)
+		}
+		return s
+	default:
+		return op.Kind.String()
 	}
-	return fmt.Sprintf(
-		"plan %q: diamond k=%d window=%s types=%s; per event: D-lookup(item) -> S-lookup(supports) -> %d-threshold intersect (fanout cap %d, candidate cap %d)",
-		p.Spec.Name, d.K, d.Window, types, d.K, d.MaxFanout, d.MaxCandidates)
 }

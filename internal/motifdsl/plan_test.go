@@ -16,16 +16,21 @@ func TestPlanDiamond(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, ok := p.(*motif.Diamond)
+	d, ok := p.(*motif.PlannedProgram)
 	if !ok {
-		t.Fatalf("program type %T, want *motif.Diamond", p)
+		t.Fatalf("program type %T, want *motif.PlannedProgram", p)
 	}
-	cfg := d.Config()
-	if cfg.K != 3 || cfg.Window != 10*time.Minute || cfg.MaxFanout != 64 || cfg.MaxCandidates != 100 {
-		t.Fatalf("config = %+v", cfg)
+	if d.K() != 3 || d.MaxFanout() != 64 || d.MaxCandidates() != 100 {
+		t.Fatalf("k=%d fanout=%d cands=%d", d.K(), d.MaxFanout(), d.MaxCandidates())
+	}
+	if got := d.WindowFor(graph.Follow); got != (10 * time.Minute).Milliseconds() {
+		t.Fatalf("window = %dms", got)
 	}
 	if d.Name() != "diamond" {
 		t.Fatalf("name = %q", d.Name())
+	}
+	if d.TriggerOnly() {
+		t.Fatal("k=3 plan must probe the dynamic store")
 	}
 }
 
@@ -40,12 +45,13 @@ motif "x" {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := p.(*motif.Diamond).Config().Window; got != defaultWindow {
-		t.Fatalf("window = %v, want default %v", got, defaultWindow)
+	got := p.(*motif.PlannedProgram).WindowFor(graph.Follow)
+	if got != defaultWindow.Milliseconds() {
+		t.Fatalf("window = %dms, want default %v", got, defaultWindow)
 	}
 }
 
-func TestPlanK1CompilesToFreshFollow(t *testing.T) {
+func TestPlanK1CompilesToTriggerOnly(t *testing.T) {
 	p, err := CompileOne(`
 motif "broadcast" {
     match A -> B;
@@ -57,25 +63,54 @@ motif "broadcast" {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ff, ok := p.(*motif.FreshFollow)
+	d, ok := p.(*motif.PlannedProgram)
 	if !ok {
-		t.Fatalf("program type %T, want *motif.FreshFollow", p)
+		t.Fatalf("program type %T, want *motif.PlannedProgram", p)
 	}
-	if ff.MaxCandidates != 10 {
-		t.Fatalf("MaxCandidates = %d", ff.MaxCandidates)
+	if !d.TriggerOnly() {
+		t.Fatal("k=1 plan must prune the dynamic probe")
+	}
+	if d.MaxCandidates() != 10 {
+		t.Fatalf("MaxCandidates = %d", d.MaxCandidates())
 	}
 }
 
-func TestPlanK1RejectsContentTypes(t *testing.T) {
-	_, err := CompileOne(`
-motif "bad" {
+// TestPlanK1HonorsContentTypes is the regression test for the old planner
+// silently rejecting (and, for 'within', dropping) non-follow constraints
+// on k=1 plans: a k=1 retweet motif now compiles, fires on retweets, and
+// stays quiet on follows.
+func TestPlanK1HonorsContentTypes(t *testing.T) {
+	p, err := CompileOne(`
+motif "fresh-retweet" {
     match A -> B;
-    match B =[retweet]=> C;
+    match B =[retweet]=> C within 5m;
     where count(B) >= 1;
     emit C to A;
 }`)
-	if err == nil || !strings.Contains(err.Error(), "follow edges only") {
-		t.Fatalf("err = %v", err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.(*motif.PlannedProgram)
+	if d.WindowFor(graph.Retweet) != (5 * time.Minute).Milliseconds() {
+		t.Fatalf("retweet window = %dms", d.WindowFor(graph.Retweet))
+	}
+	if d.WindowFor(graph.Follow) != 0 {
+		t.Fatal("k=1 retweet plan must not accept follow triggers")
+	}
+
+	b := &statstore.Builder{}
+	s := statstore.New(b.Build([]graph.Edge{{Src: 1, Dst: 10}}))
+	dyn := dynstore.New(dynstore.Options{Retention: time.Hour})
+	ctx := &motif.Context{S: s, D: dyn}
+	rt := graph.Edge{Src: 10, Dst: 99, Type: graph.Retweet, TS: 1_000_000}
+	dyn.Insert(rt)
+	if got := p.OnEdge(ctx, rt); len(got) != 1 || got[0].User != 1 || got[0].Item != 99 {
+		t.Fatalf("retweet trigger candidates = %v", got)
+	}
+	fl := graph.Edge{Src: 10, Dst: 98, Type: graph.Follow, TS: 1_001_000}
+	dyn.Insert(fl)
+	if got := p.OnEdge(ctx, fl); len(got) != 0 {
+		t.Fatalf("follow trigger must not fire: %v", got)
 	}
 }
 
@@ -91,9 +126,59 @@ motif "renamed" {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := p.(*motif.Diamond).Config()
-	if cfg.K != 2 || len(cfg.EdgeTypes) != 1 || cfg.EdgeTypes[0] != graph.Favorite {
-		t.Fatalf("config = %+v", cfg)
+	d := p.(*motif.PlannedProgram)
+	if d.K() != 2 {
+		t.Fatalf("k = %d", d.K())
+	}
+	if d.WindowFor(graph.Favorite) != (2*time.Minute).Milliseconds() || d.WindowFor(graph.Follow) != 0 {
+		t.Fatalf("windows: favorite=%d follow=%d", d.WindowFor(graph.Favorite), d.WindowFor(graph.Follow))
+	}
+}
+
+// TestPlanPerTypeWindows pins the per-trigger-type window extension: two
+// dynamic clauses over the same hop merge into one probe with distinct
+// windows per type.
+func TestPlanPerTypeWindows(t *testing.T) {
+	p, err := CompileOne(`
+motif "content" {
+    match A -> B;
+    match B =[retweet]=> C within 5m;
+    match B =[favorite]=> C within 30m;
+    where count(B) >= 2;
+    emit C to A via B;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.(*motif.PlannedProgram)
+	if d.WindowFor(graph.Retweet) != (5 * time.Minute).Milliseconds() {
+		t.Fatalf("retweet window = %dms", d.WindowFor(graph.Retweet))
+	}
+	if d.WindowFor(graph.Favorite) != (30 * time.Minute).Milliseconds() {
+		t.Fatalf("favorite window = %dms", d.WindowFor(graph.Favorite))
+	}
+	if d.WindowFor(graph.Follow) != 0 {
+		t.Fatal("follow triggers must be rejected")
+	}
+}
+
+// TestPlanChain pins the longer-chain extension: two static hops compile
+// to a plan with one expansion.
+func TestPlanChain(t *testing.T) {
+	p, err := CompileOne(`
+motif "deep" {
+    match A -> M;
+    match M -> B;
+    match B => C;
+    where count(B) >= 2;
+    emit C to A;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.(*motif.PlannedProgram)
+	if d.Expands() != 1 {
+		t.Fatalf("expands = %d, want 1", d.Expands())
 	}
 }
 
@@ -102,14 +187,14 @@ func TestPlanSemanticErrors(t *testing.T) {
 		name, src, wantSub string
 	}{
 		{
-			"one hop",
+			"no dynamic hop",
 			`motif "x" { match A -> B; where count(B) >= 2; emit B to A; }`,
-			"exactly two hops",
+			"dynamic hop",
 		},
 		{
-			"two static hops",
-			`motif "x" { match A -> B; match B -> C; where count(B) >= 2; emit C to A; }`,
-			"more than one static hop",
+			"static hops branch",
+			`motif "x" { match A -> B; match A -> C; match C => D; where count(C) >= 2; emit D to A; }`,
+			"branch",
 		},
 		{
 			"two dynamic hops",
@@ -120,6 +205,21 @@ func TestPlanSemanticErrors(t *testing.T) {
 			"hops do not chain",
 			`motif "x" { match A -> B; match X => C; where count(X) >= 2; emit C to A; }`,
 			"do not chain",
+		},
+		{
+			"chain too deep",
+			`motif "x" { match A -> B; match B -> C; match C -> D; match D -> E; match E => F; where count(E) >= 2; emit F to A; }`,
+			"at most 3 hops",
+		},
+		{
+			"duplicate type window",
+			`motif "x" { match A -> B; match B =[retweet]=> C within 5m; match B =[retweet]=> C within 9m; where count(B) >= 2; emit C to A; }`,
+			"duplicate window",
+		},
+		{
+			"via on deep chain",
+			`motif "x" { match A -> M; match M -> N; match N -> B; match B => C; where count(B) >= 2; emit C to A via B; }`,
+			"via attribution",
 		},
 		{
 			"emit wrong item",
@@ -204,7 +304,7 @@ func TestPlanDescribe(t *testing.T) {
 			t.Fatalf("Describe() = %q missing %q", desc, want)
 		}
 	}
-	// FreshFollow plans describe themselves too.
+	// k=1 plans describe themselves too.
 	spec2, _ := ParseOne(`
 motif "b" {
     match A -> B;
@@ -256,5 +356,47 @@ motif "fig1" {
 	}
 	if got[0].Program != "fig1" {
 		t.Fatalf("program label = %q", got[0].Program)
+	}
+}
+
+// TestPlanChainDetects hand-verifies a depth-2 chain end to end:
+// A follows M, M follows B1/B2, both B's act on C within the window, and C
+// is recommended to A through connector M.
+func TestPlanChainDetects(t *testing.T) {
+	prog, err := CompileOne(`
+motif "deep" {
+    match A -> M;
+    match M -> B;
+    match B => C;
+    where count(B) >= 2;
+    emit C to A;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Followers(x) = who follows x: A(1) follows M(5); M follows B1(10), B2(11).
+	b := &statstore.Builder{}
+	s := statstore.New(b.Build([]graph.Edge{
+		{Src: 1, Dst: 5},
+		{Src: 5, Dst: 10}, {Src: 5, Dst: 11},
+	}))
+	d := dynstore.New(dynstore.Options{Retention: time.Hour})
+	ctx := &motif.Context{S: s, D: d}
+	t0 := int64(1_000_000)
+	e1 := graph.Edge{Src: 10, Dst: 99, Type: graph.Follow, TS: t0}
+	e2 := graph.Edge{Src: 11, Dst: 99, Type: graph.Follow, TS: t0 + 1_000}
+	d.Insert(e1)
+	if got := prog.OnEdge(ctx, e1); len(got) != 0 {
+		t.Fatalf("premature: %v", got)
+	}
+	d.Insert(e2)
+	got := prog.OnEdge(ctx, e2)
+	// Threshold survivors = {M}; the expansion frontier is Followers(M) = {A}.
+	if len(got) != 1 || got[0].User != 1 || got[0].Item != 99 {
+		t.Fatalf("candidates = %v", got)
+	}
+	// Via carries the connector M's deep supports: the two acting B's.
+	if len(got[0].Via) != 2 || got[0].Via[0] != 10 || got[0].Via[1] != 11 {
+		t.Fatalf("via = %v, want [10 11]", got[0].Via)
 	}
 }

@@ -205,6 +205,66 @@ func TestClusterFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+func TestClusterFacadeRegisterMotifs(t *testing.T) {
+	var opts motifstream.ClusterOptions
+	if err := opts.RegisterMotifs("motif bogus"); err == nil {
+		t.Fatal("bad motif source registered")
+	}
+	opts = motifstream.ClusterOptions{
+		Partitions:        4,
+		K:                 2,
+		Window:            10 * time.Minute,
+		DisableSleepHours: true,
+	}
+	if err := opts.RegisterMotifs(`
+motif "rt" {
+    match A -> B;
+    match B =[retweet]=> C within 10m;
+    where count(B) >= 2;
+    emit C to A via B;
+}`); err != nil {
+		t.Fatal(err)
+	}
+	clu, err := motifstream.NewCluster(fig1(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := int64(1_000_000)
+	clu.Publish(motifstream.Edge{Src: 10, Dst: 777, Type: motifstream.Retweet, TS: t0})
+	clu.Publish(motifstream.Edge{Src: 11, Dst: 777, Type: motifstream.Retweet, TS: t0 + 1})
+	clu.Stop()
+	recs, err := clu.RecommendationsFor(2)
+	if err != nil || len(recs) != 1 || recs[0].Program != "rt" {
+		t.Fatalf("registered motif did not fire: %v, %v", recs, err)
+	}
+}
+
+func TestSystemRegisterMotifs(t *testing.T) {
+	opts := motifstream.Options{K: 2, Window: 10 * time.Minute}
+	if err := opts.RegisterMotifs("motif bogus"); err == nil {
+		t.Fatal("bad motif source registered")
+	}
+	if err := opts.RegisterMotifs(`
+motif "rt" {
+    match A -> B;
+    match B =[retweet]=> C within 10m;
+    where count(B) >= 2;
+    emit C to A via B;
+}`); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := motifstream.New(fig1(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := int64(1_000_000)
+	sys.Apply(motifstream.Edge{Src: 10, Dst: 777, Type: motifstream.Retweet, TS: t0})
+	got := sys.Apply(motifstream.Edge{Src: 11, Dst: 777, Type: motifstream.Retweet, TS: t0 + 1})
+	if len(got) != 1 || got[0].Program != "rt" {
+		t.Fatalf("registered motif did not fire: %v", got)
+	}
+}
+
 func TestClusterFacadeValidatesDSL(t *testing.T) {
 	_, err := motifstream.NewCluster(fig1(), motifstream.ClusterOptions{
 		ExtraDSL: "motif bogus",

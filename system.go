@@ -40,6 +40,21 @@ type Options struct {
 	// ExtraPrograms run after the primary diamond program; use
 	// CompileMotif to build them from DSL source.
 	ExtraPrograms []Program
+	// motifSources holds DSL sources added via RegisterMotifs, compiled
+	// and appended after ExtraPrograms.
+	motifSources []string
+}
+
+// RegisterMotifs validates src — one or more motif declarations in the
+// DSL of docs/QUERIES.md — and adds it to the standing-query set the
+// system runs alongside the primary diamond. Call any number of times
+// before New; an invalid source is rejected without modifying the set.
+func (o *Options) RegisterMotifs(src string) error {
+	if _, err := CompileMotif(src); err != nil {
+		return err
+	}
+	o.motifSources = append(o.motifSources, src)
+	return nil
 }
 
 // System is the single-node detection engine: one S snapshot, one D store,
@@ -90,6 +105,13 @@ func New(staticEdges []Edge, opts Options) (*System, error) {
 		}),
 	}
 	programs = append(programs, opts.ExtraPrograms...)
+	for _, src := range opts.motifSources {
+		extra, err := CompileMotif(src)
+		if err != nil {
+			return nil, err
+		}
+		programs = append(programs, extra...)
+	}
 
 	eng, err := core.NewEngine(core.Config{
 		Static: static,
